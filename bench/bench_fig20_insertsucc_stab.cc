@@ -1,0 +1,50 @@
+// Figure 20: overhead of the consistent insertSucc vs the naive one, as a
+// function of the ring stabilization period (2..8 s), successor list
+// length 4.  The proactive-predecessor optimization (Section 4.3.1) keeps
+// the PEPPER cost nearly independent of the period, which is the paper's
+// observation.
+
+#include "bench_util.h"
+
+namespace pepper::bench {
+namespace {
+
+double RunOnce(unsigned stab_seconds, bool pepper, bool proactive) {
+  workload::ClusterOptions o = workload::ClusterOptions::PaperDefaults();
+  o.seed = 2000 + stab_seconds * 4 + (pepper ? 1 : 0) + (proactive ? 2 : 0);
+  o.ring.stabilization_period = stab_seconds * sim::kSecond;
+  o.ring.pepper_insert = pepper;
+  o.ring.proactive_stabilize = proactive;
+  workload::Cluster c(o);
+  c.Bootstrap(1000000);
+  for (int i = 0; i < 6; ++i) c.AddFreePeer();
+
+  workload::WorkloadOptions w;
+  w.insert_rate_per_sec = 2.0;
+  w.peer_add_rate_per_sec = 1.0 / 3;
+  workload::WorkloadDriver driver(&c, w, o.seed);
+  driver.Start();
+  c.RunFor(400 * sim::kSecond);
+  driver.Stop();
+  return MeanLatency(c, "ring.insert_succ");
+}
+
+}  // namespace
+}  // namespace pepper::bench
+
+int main() {
+  using namespace pepper::bench;
+  PrintHeader(
+      "Figure 20: insertSucc time (s) vs ring stabilization period",
+      {"stab_period_s", "naive_insertSucc", "pepper_insertSucc",
+       "pepper_no_proactive (ablation)"});
+  for (unsigned s = 2; s <= 8; ++s) {
+    PrintRow({static_cast<double>(s), RunOnce(s, false, true),
+              RunOnce(s, true, true), RunOnce(s, true, false)});
+  }
+  std::printf(
+      "\nPaper (Fig. 20): both curves nearly flat in the stabilization\n"
+      "period thanks to the proactive-predecessor optimization; the ablation\n"
+      "column shows the cost without it (grows with the period).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 21: time to answer a range query vs the number of hops the scan
+// takes along the ring, comparing the scanRange primitive (Section 4.3.2)
+// with the naive application-level search.  As in the paper, queries start
+// at the first peer of the range (the query is issued at that peer, so
+// routing is local) and we average over all queries needing the same number
+// of hops.
+
+#include <algorithm>
+
+#include "bench_util.h"
+
+namespace pepper::bench {
+namespace {
+
+constexpr Key kKeySpan = 1000000;
+
+std::vector<double> RunOnce(bool pepper_scan, int max_hops) {
+  workload::ClusterOptions o = workload::ClusterOptions::PaperDefaults();
+  o.seed = 2100;  // identical topology for both modes
+  o.index.pepper_scan = pepper_scan;
+  workload::Cluster c(o);
+  GrowTo(c, 30, 11, kKeySpan);
+  c.RunFor(30 * sim::kSecond);  // stabilize + replicate + build routers
+
+  // Active peers in ring order.
+  std::vector<workload::PeerStack*> ring = c.LiveMembers();
+  std::sort(ring.begin(), ring.end(),
+            [](const workload::PeerStack* a, const workload::PeerStack* b) {
+              return a->ring->val() < b->ring->val();
+            });
+
+  std::vector<Summary> per_hops(static_cast<size_t>(max_hops) + 1);
+  for (int hops = 0; hops <= max_hops; ++hops) {
+    for (size_t i = 0; i + static_cast<size_t>(hops) < ring.size(); i += 3) {
+      workload::PeerStack* first = ring[i];
+      workload::PeerStack* last = ring[i + static_cast<size_t>(hops)];
+      const Span span{first->ring->val(), last->ring->val()};
+      auto q = c.RangeQuery(span, first);
+      if (q.status.ok()) {
+        per_hops[static_cast<size_t>(hops)].Add(
+            static_cast<double>(q.finished - q.started) /
+            static_cast<double>(sim::kSecond));
+      }
+    }
+  }
+  std::vector<double> means;
+  for (auto& s : per_hops) means.push_back(s.mean());
+  return means;
+}
+
+}  // namespace
+}  // namespace pepper::bench
+
+int main() {
+  using namespace pepper::bench;
+  constexpr int kMaxHops = 12;
+  auto pepper = RunOnce(true, kMaxHops);
+  auto naive = RunOnce(false, kMaxHops);
+  PrintHeader("Figure 21: range scan time (s) vs hops along the ring",
+              {"hops", "scanRange", "naive_app_search"});
+  for (int h = 0; h <= kMaxHops; ++h) {
+    PrintRow({static_cast<double>(h), pepper[static_cast<size_t>(h)],
+              naive[static_cast<size_t>(h)]});
+  }
+  std::printf(
+      "\nPaper (Fig. 21): the two curves coincide (~0.22 s on their LAN) —\n"
+      "scanRange's consistency is practically free.  Here both grow linearly\n"
+      "with hops because the simulator charges pure per-hop latency without\n"
+      "the constant cluster overheads that flattened the paper's curves;\n"
+      "the comparison (PEPPER ~= naive) is the reproduced result.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef PEPPER_BENCH_BENCH_UTIL_H_
+#define PEPPER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/cluster.h"
+#include "workload/workload.h"
+
+namespace pepper::bench {
+
+// Prints one row of a figure table: x followed by series values.
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : "\t", columns[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::vector<double>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::printf("%s%.4f", i == 0 ? "" : "\t", values[i]);
+  }
+  std::printf("\n");
+}
+
+// Grows a cluster to roughly `target_peers` live members by inserting
+// uniformly random items (with sf = 5, about 7-8 items per peer are needed).
+// Returns the inserted keys.
+inline std::vector<Key> GrowTo(workload::Cluster& c, size_t target_peers,
+                               uint64_t seed, Key key_span = 1000000) {
+  c.Bootstrap(key_span);
+  for (size_t i = 0; i < target_peers + 8; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  std::vector<Key> keys;
+  sim::Rng rng(seed);
+  while (c.LiveMembers().size() < target_peers) {
+    Key k = rng.Uniform(0, key_span);
+    if (c.InsertItem(k).ok()) keys.push_back(k);
+    if (keys.size() > target_peers * 30) break;  // safety valve
+  }
+  c.RunFor(5 * sim::kSecond);
+  return keys;
+}
+
+inline double MeanLatency(workload::Cluster& c, const std::string& name) {
+  const Summary* s = c.metrics().FindLatency(name);
+  return (s == nullptr || s->count() == 0) ? 0.0 : s->mean();
+}
+
+}  // namespace pepper::bench
+
+#endif  // PEPPER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Demonstrates the availability guarantees of Section 5 head to head: the
+// same churn (merges racing with failures) is applied to a PEPPER cluster
+// and to a naive one (immediate leave, no replicate-to-additional-hop).
+// The PEPPER cluster keeps every item; the naive one loses some.
+
+#include <cstdio>
+
+#include "workload/cluster.h"
+
+using pepper::Key;
+using pepper::workload::Cluster;
+using pepper::workload::ClusterOptions;
+namespace sim = pepper::sim;
+
+namespace {
+
+struct RunResult {
+  size_t merges = 0;
+  size_t lost = 0;
+  size_t peers_left = 0;
+};
+
+RunResult Run(bool pepper) {
+  ClusterOptions options = ClusterOptions::FastDefaults();
+  options.seed = 4242;
+  options.ring.pepper_leave = pepper;
+  options.ds.pepper_availability = pepper;
+  // Tight replication and slow refresh: the merge/failure window is exposed
+  // (Figure 17's setting).
+  options.repl.replication_factor = 1;
+  options.repl.refresh_period = 20 * sim::kSecond;
+  options.repl.push_delay = 10 * sim::kSecond;
+  Cluster cluster(options);
+  cluster.Bootstrap(1000000);
+  for (int i = 0; i < 30; ++i) cluster.AddFreePeer();
+  cluster.RunFor(sim::kSecond);
+
+  sim::Rng rng(9);
+  std::vector<Key> keys;
+  for (int i = 0; i < 150; ++i) {
+    Key k = rng.Uniform(0, 1000000);
+    if (cluster.InsertItem(k).ok()) keys.push_back(k);
+  }
+  cluster.RunFor(25 * sim::kSecond);  // one full replication pass
+
+  // The Figure 17 scenario, repeatedly: force a merge, then kill the
+  // absorbing successor before any replica refresh ("the single failure").
+  size_t cursor = 0;
+  for (int round = 0; round < 6; ++round) {
+    const uint64_t merges_before =
+        cluster.metrics().counters().Get("ds.merges");
+    Key last_deleted = 0;
+    while (cursor < keys.size() &&
+           cluster.metrics().counters().Get("ds.merges") == merges_before) {
+      last_deleted = keys[cursor++];
+      (void)cluster.DeleteItem(last_deleted);
+    }
+    if (cursor >= keys.size()) break;
+    cluster.RunFor(500 * sim::kMillisecond);
+    // The absorber now owns the merged-away range.
+    pepper::workload::PeerStack* absorber = nullptr;
+    for (auto* p : cluster.LiveMembers()) {
+      if (p->ds->range().Contains(last_deleted)) absorber = p;
+    }
+    auto members = cluster.LiveMembers();
+    if (members.size() <= 5) break;
+    if (absorber != nullptr) cluster.FailPeer(absorber);
+    cluster.RunFor(8 * sim::kSecond);
+  }
+  cluster.RunFor(25 * sim::kSecond);
+
+  RunResult r;
+  r.merges = cluster.metrics().counters().Get("ds.merges");
+  r.lost = cluster.AuditAvailability().lost.size();
+  r.peers_left = cluster.LiveMembers().size();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("running identical merge+failure churn on two clusters...\n\n");
+  RunResult naive = Run(false);
+  RunResult pepper = Run(true);
+
+  std::printf("naive departure : %zu merges, %zu peers left, %zu items LOST\n",
+              naive.merges, naive.peers_left, naive.lost);
+  std::printf("PEPPER departure: %zu merges, %zu peers left, %zu items lost\n",
+              pepper.merges, pepper.peers_left, pepper.lost);
+  std::printf("\nThe consistent leave (Section 5.1) plus the extra "
+              "replication hop (Section 5.2)\nkeep every inserted item "
+              "recoverable through the same churn that costs the naive\n"
+              "protocol data.\n");
+  return pepper.lost == 0 ? 0 : 1;
+}

@@ -1,0 +1,188 @@
+// pepper_sim — configurable scenario driver for the PEPPER stack.
+//
+// Runs a cluster under a parameterized workload, issues audited range
+// queries, and prints a full metrics report.  Useful for exploring the
+// protocol trade-offs beyond the canned benchmarks, e.g.:
+//
+//   ./examples/pepper_sim --peers 40 --seconds 120 --fail-rate 0.2
+//   ./examples/pepper_sim --naive --insert-rate 20 --queries 50
+//   ./examples/pepper_sim --list-len 8 --stab-ms 2000 --seed 7
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/cluster.h"
+#include "workload/workload.h"
+
+using namespace pepper;
+using workload::Cluster;
+using workload::ClusterOptions;
+
+namespace {
+
+struct Args {
+  uint64_t seed = 1;
+  size_t peers = 30;
+  double seconds = 60;
+  double insert_rate = 2.0;
+  double delete_rate = 1.0;
+  double peer_add_rate = 1.0 / 3;
+  double fail_rate = 0.0;
+  int queries = 20;
+  size_t list_len = 4;
+  uint64_t stab_ms = 4000;
+  size_t storage_factor = 5;
+  size_t replication = 6;
+  bool naive = false;  // all four naive baselines at once
+  bool fast = false;   // scaled-down timers
+};
+
+void Usage(const char* prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --seed N          rng seed (default 1)\n"
+      "  --peers N         target ring size before the workload (30)\n"
+      "  --seconds S       workload duration in simulated seconds (60)\n"
+      "  --insert-rate R   item inserts per second (2)\n"
+      "  --delete-rate R   item deletes per second (1)\n"
+      "  --peer-rate R     free-peer arrivals per second (0.33)\n"
+      "  --fail-rate R     peer failures per second (0)\n"
+      "  --queries N       audited range queries to issue (20)\n"
+      "  --list-len D      successor list length (4)\n"
+      "  --stab-ms MS      ring stabilization period (4000)\n"
+      "  --sf N            storage factor (5)\n"
+      "  --repl K          replication factor (6)\n"
+      "  --naive           run all four naive baselines instead of PEPPER\n"
+      "  --fast            scaled-down timers (test profile)\n",
+      prog);
+}
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](double* v) {
+      if (i + 1 >= argc) return false;
+      *v = std::atof(argv[++i]);
+      return true;
+    };
+    double v = 0;
+    if (flag == "--help" || flag == "-h") return false;
+    if (flag == "--naive") {
+      out->naive = true;
+    } else if (flag == "--fast") {
+      out->fast = true;
+    } else if (flag == "--seed" && next(&v)) {
+      out->seed = static_cast<uint64_t>(v);
+    } else if (flag == "--peers" && next(&v)) {
+      out->peers = static_cast<size_t>(v);
+    } else if (flag == "--seconds" && next(&v)) {
+      out->seconds = v;
+    } else if (flag == "--insert-rate" && next(&v)) {
+      out->insert_rate = v;
+    } else if (flag == "--delete-rate" && next(&v)) {
+      out->delete_rate = v;
+    } else if (flag == "--peer-rate" && next(&v)) {
+      out->peer_add_rate = v;
+    } else if (flag == "--fail-rate" && next(&v)) {
+      out->fail_rate = v;
+    } else if (flag == "--queries" && next(&v)) {
+      out->queries = static_cast<int>(v);
+    } else if (flag == "--list-len" && next(&v)) {
+      out->list_len = static_cast<size_t>(v);
+    } else if (flag == "--stab-ms" && next(&v)) {
+      out->stab_ms = static_cast<uint64_t>(v);
+    } else if (flag == "--sf" && next(&v)) {
+      out->storage_factor = static_cast<size_t>(v);
+    } else if (flag == "--repl" && next(&v)) {
+      out->replication = static_cast<size_t>(v);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  ClusterOptions options = args.fast ? ClusterOptions::FastDefaults()
+                                     : ClusterOptions::PaperDefaults();
+  options.seed = args.seed;
+  options.ring.succ_list_length = args.list_len;
+  options.ring.stabilization_period = args.stab_ms * sim::kMillisecond;
+  options.ds.storage_factor = args.storage_factor;
+  options.repl.replication_factor = args.replication;
+  if (args.naive) {
+    options.ring.pepper_insert = false;
+    options.ring.pepper_leave = false;
+    options.index.pepper_scan = false;
+    options.ds.pepper_availability = false;
+  }
+
+  constexpr Key kKeySpan = 1000000;
+  Cluster cluster(options);
+  cluster.Bootstrap(kKeySpan);
+  for (size_t i = 0; i < args.peers + 8; ++i) cluster.AddFreePeer();
+  cluster.RunFor(sim::kSecond);
+
+  std::printf("growing to ~%zu peers...\n", args.peers);
+  sim::Rng rng(args.seed * 31 + 5);
+  size_t inserted = 0;
+  while (cluster.LiveMembers().size() < args.peers &&
+         inserted < args.peers * 30) {
+    if (cluster.InsertItem(rng.Uniform(0, kKeySpan)).ok()) ++inserted;
+  }
+  cluster.RunFor(10 * sim::kSecond);
+  std::printf("  %zu peers, %zu items\n", cluster.LiveMembers().size(),
+              cluster.TotalStoredItems());
+
+  workload::WorkloadOptions w;
+  w.insert_rate_per_sec = args.insert_rate;
+  w.delete_rate_per_sec = args.delete_rate;
+  w.peer_add_rate_per_sec = args.peer_add_rate;
+  w.fail_rate_per_sec = args.fail_rate;
+  w.key_max = kKeySpan;
+  workload::WorkloadDriver driver(&cluster, w, args.seed * 17 + 1);
+  driver.Start();
+
+  int completed = 0, incorrect = 0;
+  const double gap =
+      args.queries > 0 ? args.seconds / args.queries : args.seconds;
+  for (int q = 0; q < args.queries; ++q) {
+    cluster.RunFor(static_cast<sim::SimTime>(gap * sim::kSecond));
+    const Key lo = rng.Uniform(0, kKeySpan - 1);
+    const Key hi = lo + rng.Uniform(0, kKeySpan / 3);
+    auto outcome = cluster.RangeQuery(Span{lo, hi});
+    if (!outcome.status.ok()) continue;
+    ++completed;
+    if (!outcome.audit.correct) ++incorrect;
+  }
+  driver.Stop();
+  cluster.RunFor(5 * sim::kSecond);
+
+  auto ring_audit = cluster.AuditRing();
+  auto avail = cluster.AuditAvailability();
+  std::printf(
+      "\n--- outcome (%s mode) ---\n"
+      "queries        : %d issued, %d completed, %d incorrect\n"
+      "ring           : %zu members, consistent=%s connected=%s\n"
+      "availability   : %zu items lost\n"
+      "workload       : %zu inserts, %zu deletes, %zu failures injected\n",
+      args.naive ? "naive" : "PEPPER", args.queries, completed, incorrect,
+      ring_audit.joined_peers, ring_audit.consistent ? "yes" : "NO",
+      ring_audit.connected ? "yes" : "NO", avail.lost.size(),
+      driver.inserts_issued(), driver.deletes_issued(),
+      driver.failures_injected());
+
+  std::printf("\n--- metrics ---\n%s", cluster.metrics().Report().c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "common/key_space.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pepper {
+
+namespace {
+constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+}  // namespace
+
+std::string Span::ToString() const {
+  return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+}
+
+bool RingRange::Contains(Key k) const {
+  if (full_) return true;
+  if (lo_ == hi_) return false;  // empty
+  if (lo_ < hi_) return lo_ < k && k <= hi_;
+  return k > lo_ || k <= hi_;  // wraps past the top of the domain
+}
+
+bool RingRange::Intersects(const Span& span) const {
+  return !IntersectClosed(span).empty();
+}
+
+std::vector<Span> RingRange::IntersectClosed(const Span& span) const {
+  std::vector<Span> out;
+  if (span.Empty()) return out;
+  if (IsEmpty()) return out;
+
+  // Decompose the arc into at most two closed linear segments.
+  std::vector<Span> segments;
+  if (full_) {
+    segments.push_back(Span{0, kMaxKey});
+  } else if (lo_ < hi_) {
+    segments.push_back(Span{lo_ + 1, hi_});
+  } else {  // lo_ > hi_: wraps
+    if (lo_ < kMaxKey) segments.push_back(Span{lo_ + 1, kMaxKey});
+    segments.push_back(Span{0, hi_});
+  }
+
+  for (const Span& seg : segments) {
+    Key lo = std::max(seg.lo, span.lo);
+    Key hi = std::min(seg.hi, span.hi);
+    if (lo <= hi) out.push_back(Span{lo, hi});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.lo < b.lo; });
+  return out;
+}
+
+std::string RingRange::ToString() const {
+  if (full_) return "(*full* @" + std::to_string(hi_) + "]";
+  if (IsEmpty()) return "(empty)";
+  return "(" + std::to_string(lo_) + ", " + std::to_string(hi_) + "]";
+}
+
+bool InArc(Key a, Key b, Key c) {
+  if (a == c) return true;  // full circle
+  if (a < c) return a < b && b <= c;
+  return b > a || b <= c;
+}
+
+void SpanCoverage::Add(const Span& span) {
+  if (span.Empty()) return;
+  Span merged = span;
+  std::vector<Span> next;
+  next.reserve(merged_.size() + 1);
+  for (const Span& s : merged_) {
+    const bool overlaps = s.lo <= merged.hi && merged.lo <= s.hi;
+    // Adjacency (s.hi + 1 == merged.lo or vice versa) merges without being
+    // an overlap; guard the +1 against wrap at the top of the domain.
+    const bool adjacent = (s.hi < kMaxKey && s.hi + 1 == merged.lo) ||
+                          (merged.hi < kMaxKey && merged.hi + 1 == s.lo);
+    if (overlaps) saw_overlap_ = true;
+    if (overlaps || adjacent) {
+      merged.lo = std::min(merged.lo, s.lo);
+      merged.hi = std::max(merged.hi, s.hi);
+    } else {
+      next.push_back(s);
+    }
+  }
+  next.push_back(merged);
+  std::sort(next.begin(), next.end(),
+            [](const Span& a, const Span& b) { return a.lo < b.lo; });
+  merged_ = std::move(next);
+}
+
+std::optional<Key> SpanCoverage::FirstUncovered() const {
+  Key k = target_.lo;
+  for (const Span& s : merged_) {
+    if (s.lo <= k && k <= s.hi) {
+      if (s.hi >= target_.hi) return std::nullopt;
+      if (s.hi == kMaxKey) return std::nullopt;
+      k = s.hi + 1;
+    }
+  }
+  if (k > target_.hi) return std::nullopt;
+  return k;
+}
+
+bool SpanCoverage::Complete() const {
+  for (const Span& s : merged_) {
+    if (s.lo <= target_.lo && s.hi >= target_.hi) return true;
+  }
+  return false;
+}
+
+}  // namespace pepper

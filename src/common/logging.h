@@ -1,0 +1,55 @@
+#ifndef PEPPER_COMMON_LOGGING_H_
+#define PEPPER_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pepper {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+// Global minimum level; messages below it are discarded.  Default keeps the
+// simulator quiet so tests and benchmarks stay readable.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pepper
+
+#define PEPPER_LOG(level)                                              \
+  ::pepper::internal::LogMessage(::pepper::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+// Invariant check that aborts with a message; used for conditions that are
+// programming errors rather than recoverable failures.
+#define PEPPER_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PEPPER_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // PEPPER_COMMON_LOGGING_H_

@@ -1,0 +1,79 @@
+#ifndef PEPPER_COMMON_STATS_H_
+#define PEPPER_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pepper {
+
+// Accumulates latency/size samples and reports summary statistics.  Used by
+// the experiment harness to reproduce the per-operation averages the paper
+// reports in Figures 19-23.
+class Summary {
+ public:
+  void Add(double sample);
+  void Merge(const Summary& other);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  // q in [0, 1]; e.g. Percentile(0.5) is the median.
+  double Percentile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+
+  void EnsureSorted() const;
+};
+
+// Named latency summaries + counters shared by all layers of a cluster;
+// the figure benches read their series out of one of these.
+class MetricsHub;
+
+// Monotonic named counters for protocol events (messages sent, splits,
+// merges, lock waits, violations detected, ...).
+class Counters {
+ public:
+  void Inc(const std::string& name, uint64_t delta = 1);
+  uint64_t Get(const std::string& name) const;
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+  void Clear();
+
+ private:
+  std::vector<std::pair<std::string, uint64_t>> values_;
+};
+
+class MetricsHub {
+ public:
+  // Returns the summary for the named latency series, creating it on first
+  // use.  References remain valid for the hub's lifetime.
+  Summary& Latency(const std::string& name);
+  const Summary* FindLatency(const std::string& name) const;
+
+  void RecordLatency(const std::string& name, double value) {
+    Latency(name).Add(value);
+  }
+
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+
+  void Clear();
+  std::string Report() const;
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<Summary>>> latencies_;
+  Counters counters_;
+};
+
+}  // namespace pepper
+
+#endif  // PEPPER_COMMON_STATS_H_

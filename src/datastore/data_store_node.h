@@ -1,0 +1,232 @@
+#ifndef PEPPER_DATASTORE_DATA_STORE_NODE_H_
+#define PEPPER_DATASTORE_DATA_STORE_NODE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/key_space.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "datastore/ds_messages.h"
+#include "datastore/free_peer_pool.h"
+#include "datastore/item.h"
+#include "datastore/observer.h"
+#include "datastore/range_lock.h"
+#include "ring/ring_node.h"
+
+namespace pepper::datastore {
+
+// What the Data Store needs from the Replication Manager (Section 5.2);
+// an interface so the modules stay independently testable.
+class ReplicationHooks {
+ public:
+  virtual ~ReplicationHooks() = default;
+
+  // Replicate everything this peer stores (own items and held replicas) one
+  // additional hop before a merge-induced departure (Section 5.2).
+  virtual void ReplicateExtraHop(std::function<void(const Status&)> done) = 0;
+
+  // Replicas this peer holds whose keys fall in `arc`; used to revive items
+  // after a predecessor failure (the Figure 9 takeover).
+  virtual std::vector<Item> CollectReplicasIn(const RingRange& arc) = 0;
+
+  // The replica-group owners (peer id, ring value) this peer knows of whose
+  // values fall in `arc` — i.e. our recent predecessors.  Used to verify an
+  // arc is really dead before extending our range over it.
+  virtual std::vector<std::pair<sim::NodeId, Key>> GroupOwnersIn(
+      const RingRange& arc) = 0;
+
+  // Last-resort revival: for every held group with items inside `range`
+  // that the caller is missing, ping the group's owner.  A *departed*
+  // (FREE) owner answers and its obsolete group is purged — promoting from
+  // it would resurrect items its takeover recipient has since deleted.  A
+  // *dead* owner does not answer; its group's in-range items are handed to
+  // `promote`.  At most one sweep runs at a time.
+  virtual void StartReviveSweep(const RingRange& range,
+                                std::function<void(const Item&)> promote) = 0;
+
+  // The local item set changed; schedule a (debounced) replica push.
+  virtual void OnLocalItemsChanged() = 0;
+
+  // Items changed hands (redistribute, takeover, revival): push replicas
+  // NOW — a failure inside a debounce window must not orphan moved items.
+  virtual void PushImmediate() = 0;
+};
+
+struct DataStoreOptions {
+  // sf: each live peer holds between sf and 2*sf items (Section 2.3).
+  // Paper default 5.
+  size_t storage_factor = 5;
+  // Period of the local overflow/underflow check.
+  sim::SimTime maintenance_period = 1 * sim::kSecond;
+  sim::SimTime rpc_timeout = 250 * sim::kMillisecond;
+  // Abort an operation whose range-lock acquisition stalls this long.
+  sim::SimTime lock_timeout = 10 * sim::kSecond;
+  // A successor that offered a takeover gives up waiting after this long.
+  sim::SimTime takeover_timeout = 30 * sim::kSecond;
+  // Retries for a scan waiting on the successor STAB gate.
+  int scan_succ_retries = 40;
+  sim::SimTime scan_succ_retry_delay = 50 * sim::kMillisecond;
+  int scan_hop_budget = 512;
+  // PEPPER replicate-to-additional-hop before a merge departure (Section
+  // 5.2); false reproduces the naive baseline that can lose items.
+  bool pepper_availability = true;
+  MetricsHub* metrics = nullptr;         // optional, not owned
+  DataStoreObserver* observer = nullptr;  // optional, not owned
+};
+
+// The PEPPER Data Store (Figure 1).  Owns the peer's assigned range
+// (pred.val, val], the items mapped into it, the range lock, the scanRange
+// primitive of Section 4.3.2, and the storage-balance maintenance (split /
+// merge / redistribute) of Section 2.3 with the availability-preserving
+// departure of Section 5.  It shares the peer's sim node with the ring
+// layer, registering its own message handlers.
+class DataStoreNode {
+ public:
+  // A scan handler invoked at each peer with the sub-range r of [lb, ub]
+  // that this peer owns (Definition 6 condition 2) and the caller-supplied
+  // parameter.
+  using ScanHandler =
+      std::function<void(const Span& r, const sim::PayloadPtr& param)>;
+  using DoneFn = std::function<void(const Status&)>;
+
+  DataStoreNode(ring::RingNode* ring, FreePeerPool* pool,
+                DataStoreOptions options);
+
+  DataStoreNode(const DataStoreNode&) = delete;
+  DataStoreNode& operator=(const DataStoreNode&) = delete;
+
+  // --- Lifecycle ----------------------------------------------------------
+
+  // Activates this peer as the first ring member: it owns the full circle.
+  void ActivateAsFirst();
+
+  // Activates from a split handoff (wired to the ring's INSERTED event).
+  void ActivateFromHandoff(const SplitHandoff& handoff);
+
+  // Wired to the ring's INFOFROMPRED event: the predecessor (and therefore
+  // the lower end of our range) changed.
+  void OnPredChanged();
+
+  // --- Data Store API (Figure 1) ------------------------------------------
+
+  bool active() const { return active_; }
+  const RingRange& range() const { return range_; }
+  const std::map<Key, Item>& items() const { return items_; }
+  RangeLock& lock() { return lock_; }
+  ring::RingNode* ring() { return ring_; }
+  const DataStoreOptions& options() const { return options_; }
+
+  // getLocalItems(): the items currently in this peer's Data Store.
+  std::vector<Item> GetLocalItems() const;
+
+  // Owner-side insert/delete; fails if this peer does not own the key or a
+  // reorganization is in flight (callers retry through the router).
+  Status InsertLocal(const Item& item);
+  Status DeleteLocal(Key skv);
+
+  void RegisterScanHandler(const std::string& handler_id, ScanHandler fn);
+
+  // scanRange (Algorithm 3): must be invoked at the peer owning lb; aborts
+  // otherwise.  `accepted` fires with OK once the local handler ran and the
+  // scan was forwarded (or finished); the chain then proceeds autonomously
+  // with hand-over-hand locking.
+  void ScanRange(Key lb, Key ub, const std::string& handler_id,
+                 sim::PayloadPtr param, DoneFn accepted);
+
+  // Triggers the overflow/underflow check now (also runs periodically).
+  void MaybeRebalance();
+
+  void set_replication(ReplicationHooks* hooks) { replication_ = hooks; }
+
+  // Re-homes an item this peer no longer owns (range shrink discovered with
+  // items still on board).  Wired by the stack to the index's routed insert,
+  // which retries through reorganizations; without it items fall back to a
+  // best-effort predecessor walk.
+  using RehomeFn = std::function<void(const Item&)>;
+  void set_rehome(RehomeFn fn) { rehome_ = std::move(fn); }
+
+  // Test/bench observability.
+  bool rebalancing() const { return rebalancing_; }
+
+ private:
+  void RegisterHandlers();
+  void Activate(RingRange range, std::vector<Item> items);
+  void Deactivate();
+
+  // Lock helpers: cb(false) on timeout (the grant, if it later fires, is
+  // released automatically).
+  void AcquireReadTimed(std::function<void(bool)> cb);
+  void AcquireWriteTimed(std::function<void(bool)> cb);
+
+  // Items of our range in circular order starting just past the range's
+  // low end; used to pick split/redistribute boundaries.
+  std::vector<Item> ItemsInCircularOrder() const;
+
+  void StoreItem(const Item& item);
+  void DropItem(Key skv);
+
+  // --- scanRange internals (Algorithms 4-5) -------------------------------
+  void ProcessHandler(Key lb, Key ub, const std::string& handler_id,
+                      sim::PayloadPtr param, int hops_left);
+  void ForwardScan(Key lb, Key ub, const std::string& handler_id,
+                   sim::PayloadPtr param, int hops_left, int retries_left);
+  void HandleProcessScan(const sim::Message& msg,
+                         const ProcessScanRequest& req);
+
+  // --- Maintenance --------------------------------------------------------
+  void StartSplit();
+  void FinishSplit(sim::NodeId free_peer, Key split_point,
+                   std::vector<Item> handed, const Status& status);
+  void StartUnderflow();
+  void DoMergeLeave(sim::NodeId succ_id);
+  void HandleSplitInsert(const sim::Message& msg,
+                         const SplitInsertRequest& req);
+  void HandleMergeProposal(const sim::Message& msg, const MergeProposal& req);
+  void HandleMergeTakeover(const sim::Message& msg, const MergeTakeover& req);
+  void HandleMergeAbort(const sim::Message& msg, const MergeAbort& req);
+  void HandleInsert(const sim::Message& msg, const DsInsertRequest& req);
+  void HandleDelete(const sim::Message& msg, const DsDeleteRequest& req);
+  void HandleMigrate(const sim::Message& msg, const DsMigrateItems& req);
+  void ApplyRangeFromPred();
+  // Replicates moved items: immediately under the PEPPER availability
+  // protocol, debounced under the naive CFS baseline.
+  void ReplicateMovedItems();
+  // Pings `candidates` (closest first); calls done(val) with the *current*
+  // ring value of the first live one still inside `arc`, or `fallback` if
+  // none qualifies.
+  void ProbeExtensionBoundary(
+      std::vector<std::pair<sim::NodeId, Key>> candidates, RingRange arc,
+      Key fallback, std::function<void(Key)> done);
+  void EndRebalance(bool locked);
+
+  ring::RingNode* ring_;
+  FreePeerPool* pool_;
+  DataStoreOptions options_;
+  ReplicationHooks* replication_ = nullptr;
+  RehomeFn rehome_;
+
+  bool active_ = false;
+  RingRange range_;
+  std::map<Key, Item> items_;
+  RangeLock lock_;
+  std::map<std::string, ScanHandler> scan_handlers_;
+
+  bool rebalancing_ = false;
+  bool merge_busy_ = false;  // successor side of a proposed merge
+  uint64_t takeover_epoch_ = 0;  // guards stale takeover-expiry timers
+  // Pending range-extension claim awaiting confirmation (no replica-group
+  // evidence for the gained arc yet).
+  sim::NodeId unconfirmed_claimant_ = sim::kNullNode;
+  sim::SimTime claim_first_seen_ = 0;
+  sim::NodeId takeover_from_ = sim::kNullNode;
+  bool pending_range_update_ = false;
+  uint64_t next_scan_id_ = 1;
+  uint64_t maintenance_timer_ = 0;
+};
+
+}  // namespace pepper::datastore
+
+#endif  // PEPPER_DATASTORE_DATA_STORE_NODE_H_

@@ -1,0 +1,99 @@
+#ifndef PEPPER_DATASTORE_DS_MESSAGES_H_
+#define PEPPER_DATASTORE_DS_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/key_space.h"
+#include "common/status.h"
+#include "datastore/item.h"
+#include "sim/message.h"
+
+namespace pepper::datastore {
+
+// Generic ok/error reply.
+struct DsAck : sim::Payload {
+  bool ok = true;
+  std::string error;
+};
+
+// Split handoff carried through the ring's JoinPeerMsg::data: the range and
+// items the joining (free) peer takes over.
+struct SplitHandoff : sim::Payload {
+  RingRange range;
+  std::vector<Item> items;
+};
+
+// Splitter -> its ring predecessor: please insert this free peer as your
+// successor, handing it `handoff`.
+struct SplitInsertRequest : sim::Payload {
+  sim::NodeId new_peer = sim::kNullNode;
+  Key new_val = 0;
+  sim::PayloadPtr handoff;
+};
+
+// Underflowing peer -> successor: propose a merge / redistribution
+// (Section 2.3).  `count` is the proposer's current item count.
+struct MergeProposal : sim::Payload {
+  Key proposer_val = 0;
+  size_t count = 0;
+};
+
+// Successor's answer: either a redistribution (items + the proposer's new
+// ring value) or permission to perform a full takeover (the proposer leaves
+// and transfers everything, Section 5).
+struct MergeDecision : sim::Payload {
+  enum class Kind { kRedistribute, kTakeover, kRejected };
+  Kind kind = Kind::kRejected;
+  std::string error;
+  // kRedistribute: items handed to the proposer; its val becomes new_val.
+  std::vector<Item> items;
+  Key new_val = 0;
+};
+
+// Leaver -> successor after its consistent leave was granted: absorb my
+// range and items; I am gone once you acknowledge.
+struct MergeTakeover : sim::Payload {
+  RingRange range;
+  std::vector<Item> items;
+};
+
+// Tells the successor a proposed takeover was abandoned (leave failed), so
+// it can release its write lock.
+struct MergeAbort : sim::Payload {};
+
+// Item placement traffic (index layer -> owner peer).
+struct DsInsertRequest : sim::Payload {
+  Item item;
+};
+struct DsDeleteRequest : sim::Payload {
+  Key skv = 0;
+};
+
+// Defensive re-homing of items a peer no longer owns after an unexpected
+// range shrink.
+struct DsMigrateItems : sim::Payload {
+  std::vector<Item> items;
+  int hops_left = 8;
+};
+
+// scanRange chain (Algorithms 3-5): invoke the registered handler at every
+// peer whose range intersects [lb, ub], hand-over-hand along the ring.
+struct ProcessScanRequest : sim::Payload {
+  uint64_t scan_id = 0;
+  Key lb = 0;
+  Key ub = 0;
+  std::string handler_id;
+  sim::PayloadPtr param;
+  int hops_left = 0;
+};
+
+// Reply sent by the successor once it holds its range lock (Algorithm 5):
+// the predecessor may then release its own lock.
+struct ProcessScanAccepted : sim::Payload {
+  bool ok = true;
+};
+
+}  // namespace pepper::datastore
+
+#endif  // PEPPER_DATASTORE_DS_MESSAGES_H_

@@ -1,0 +1,55 @@
+#ifndef PEPPER_DATASTORE_FREE_PEER_POOL_H_
+#define PEPPER_DATASTORE_FREE_PEER_POOL_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "sim/message.h"
+#include "sim/simulator.h"
+
+namespace pepper::datastore {
+
+// Registry of free peers (Section 2.3: "free peers are maintained separately
+// in the system and do not store any data items").  The paper leaves the
+// free-peer directory mechanism unspecified; this pool is the cluster-level
+// stand-in.  Splits acquire a free peer here; merged-away peers return.
+class FreePeerPool {
+ public:
+  explicit FreePeerPool(sim::Simulator* sim) : sim_(sim) {}
+
+  void Add(sim::NodeId peer) { peers_.push_back(peer); }
+
+  // Called when a merged-away peer departs the ring.  Ring identities are
+  // single-use (the paper's system model: a peer that left does not
+  // re-enter with the same identifier), so the departed peer is NOT
+  // returned to the pool; instead the owner-provided replenisher creates a
+  // brand-new free peer, modelling the departed process rejoining under a
+  // fresh identity.
+  void Retire(sim::NodeId /*peer*/) {
+    if (replenish_) replenish_();
+  }
+
+  void set_replenish(std::function<void()> fn) { replenish_ = std::move(fn); }
+
+  // Pops the next *alive* free peer, if any.
+  std::optional<sim::NodeId> Acquire() {
+    while (!peers_.empty()) {
+      sim::NodeId id = peers_.front();
+      peers_.pop_front();
+      if (sim_->IsAlive(id)) return id;
+    }
+    return std::nullopt;
+  }
+
+  size_t size() const { return peers_.size(); }
+
+ private:
+  sim::Simulator* sim_;
+  std::deque<sim::NodeId> peers_;
+  std::function<void()> replenish_;
+};
+
+}  // namespace pepper::datastore
+
+#endif  // PEPPER_DATASTORE_FREE_PEER_POOL_H_

@@ -1,0 +1,26 @@
+#ifndef PEPPER_DATASTORE_ITEM_H_
+#define PEPPER_DATASTORE_ITEM_H_
+
+#include <string>
+
+#include "common/key_space.h"
+
+namespace pepper::datastore {
+
+// A (value, item) pair stored in the index (Section 2.1).  The search key
+// value i.skv comes from the totally ordered domain K; search key values are
+// unique (the paper's uniqueness transformation is applied by callers that
+// need duplicates).  The P-Ring map M is the identity, so skv doubles as the
+// peer-value-domain position.
+struct Item {
+  Key skv = 0;
+  std::string data;
+
+  friend bool operator==(const Item& a, const Item& b) {
+    return a.skv == b.skv && a.data == b.data;
+  }
+};
+
+}  // namespace pepper::datastore
+
+#endif  // PEPPER_DATASTORE_ITEM_H_

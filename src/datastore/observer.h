@@ -1,0 +1,27 @@
+#ifndef PEPPER_DATASTORE_OBSERVER_H_
+#define PEPPER_DATASTORE_OBSERVER_H_
+
+#include "common/key_space.h"
+#include "sim/message.h"
+
+namespace pepper::datastore {
+
+// Instrumentation hooks the Data Store fires on every item placement change.
+// The correctness oracle (history module) implements this to maintain the
+// ground-truth "live item" timeline of Definition 3, against which query
+// results (Definition 4) and item availability (Definition 7) are audited.
+// Purely observational: implementations must not call back into the store.
+class DataStoreObserver {
+ public:
+  virtual ~DataStoreObserver() = default;
+
+  // Item with key `skv` is now held in `peer`'s Data Store.
+  virtual void OnStore(sim::NodeId peer, Key skv) = 0;
+  // Item with key `skv` left `peer`'s Data Store (moved, deleted, peer
+  // deactivated).
+  virtual void OnDrop(sim::NodeId peer, Key skv) = 0;
+};
+
+}  // namespace pepper::datastore
+
+#endif  // PEPPER_DATASTORE_OBSERVER_H_

@@ -1,0 +1,54 @@
+#include "datastore/range_lock.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pepper::datastore {
+
+void RangeLock::AcquireRead(Grant grant) {
+  if (!write_held_) {
+    ++readers_;
+    grant();
+    return;
+  }
+  reader_queue_.push_back(std::move(grant));
+}
+
+void RangeLock::AcquireWrite(Grant grant) {
+  if (!write_held_ && readers_ == 0 && writer_queue_.empty()) {
+    write_held_ = true;
+    grant();
+    return;
+  }
+  writer_queue_.push_back(std::move(grant));
+}
+
+void RangeLock::ReleaseRead() {
+  PEPPER_CHECK(readers_ > 0);
+  --readers_;
+  PumpWriters();
+}
+
+void RangeLock::ReleaseWrite() {
+  PEPPER_CHECK(write_held_);
+  write_held_ = false;
+  // Wake all readers that queued up while the writer held the lock.
+  std::deque<Grant> readers;
+  readers.swap(reader_queue_);
+  for (Grant& g : readers) {
+    ++readers_;
+    g();
+  }
+  PumpWriters();
+}
+
+void RangeLock::PumpWriters() {
+  if (write_held_ || readers_ != 0 || writer_queue_.empty()) return;
+  Grant g = std::move(writer_queue_.front());
+  writer_queue_.pop_front();
+  write_held_ = true;
+  g();
+}
+
+}  // namespace pepper::datastore

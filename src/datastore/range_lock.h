@@ -1,0 +1,50 @@
+#ifndef PEPPER_DATASTORE_RANGE_LOCK_H_
+#define PEPPER_DATASTORE_RANGE_LOCK_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+namespace pepper::datastore {
+
+// The read/write lock a peer holds on its Data Store range (Algorithms 3-5).
+// Scans take read locks (hand-over-hand along the ring); splits, merges and
+// redistributions take the write lock so a peer's range cannot change while
+// a scan is positioned on it — the fix for the Section 4.2.2 anomaly.
+//
+// Grant policy is read-preferring: a new reader is granted whenever no
+// writer *holds* the lock, even if writers are queued.  Scans form
+// ring-spanning chains (each peer waits for its successor's lock), so
+// blocking readers behind queued writers could close a waits-for cycle
+// around the ring; letting readers through keeps chains draining at the
+// price of (bounded) writer delay.  Writers queue FIFO.
+//
+// Asynchronous by construction: acquisition hands the caller a continuation
+// instead of blocking, matching the event-driven peers.
+class RangeLock {
+ public:
+  using Grant = std::function<void()>;
+
+  // Runs `grant` once the lock is acquired (possibly synchronously).
+  void AcquireRead(Grant grant);
+  void AcquireWrite(Grant grant);
+
+  void ReleaseRead();
+  void ReleaseWrite();
+
+  bool write_held() const { return write_held_; }
+  size_t readers() const { return readers_; }
+  size_t queued_writers() const { return writer_queue_.size(); }
+
+ private:
+  void PumpWriters();
+
+  size_t readers_ = 0;
+  bool write_held_ = false;
+  std::deque<Grant> writer_queue_;
+  std::deque<Grant> reader_queue_;  // readers waiting out a held writer
+};
+
+}  // namespace pepper::datastore
+
+#endif  // PEPPER_DATASTORE_RANGE_LOCK_H_

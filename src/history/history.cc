@@ -1,0 +1,57 @@
+#include "history/history.h"
+
+namespace pepper::history {
+
+uint64_t History::Begin(const std::string& name, sim::SimTime at) {
+  Operation op;
+  op.id = next_id_++;
+  op.name = name;
+  op.start = at;
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+void History::End(uint64_t op_id, sim::SimTime at) {
+  for (Operation& op : ops_) {
+    if (op.id == op_id) {
+      op.end = at;
+      return;
+    }
+  }
+}
+
+const Operation* History::Find(uint64_t op_id) const {
+  for (const Operation& op : ops_) {
+    if (op.id == op_id) return &op;
+  }
+  return nullptr;
+}
+
+bool History::HappenedBefore(uint64_t op1, uint64_t op2) const {
+  const Operation* a = Find(op1);
+  const Operation* b = Find(op2);
+  if (a == nullptr || b == nullptr) return false;
+  if (op1 == op2) return true;  // reflexive, as in the appendix's usage
+  if (!a->end.has_value()) return false;
+  return *a->end <= b->start;
+}
+
+bool History::Concurrent(uint64_t op1, uint64_t op2) const {
+  if (op1 == op2) return false;
+  return !HappenedBefore(op1, op2) && !HappenedBefore(op2, op1);
+}
+
+History History::Truncate(uint64_t op_id) const {
+  History out;
+  const Operation* pivot = Find(op_id);
+  if (pivot == nullptr) return out;
+  for (const Operation& op : ops_) {
+    if (op.id == op_id || HappenedBefore(op.id, op_id)) {
+      out.ops_.push_back(op);
+      out.next_id_ = std::max(out.next_id_, op.id + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace pepper::history

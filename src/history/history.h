@@ -1,0 +1,53 @@
+#ifndef PEPPER_HISTORY_HISTORY_H_
+#define PEPPER_HISTORY_HISTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace pepper::history {
+
+// An operation in a history (Definition 1): a named event with a start and
+// (once completed) an end instant.  The happened-before partial order is the
+// interval order: op1 <= op2 iff op1 finished before op2 started — exactly
+// the paper's reading of "happened before".
+struct Operation {
+  uint64_t id = 0;
+  std::string name;
+  sim::SimTime start = 0;
+  std::optional<sim::SimTime> end;
+};
+
+// A history H = (O, <=) (Definition 1), recorded as operations execute.
+// Supports the truncated history H_o of Definition 2.
+class History {
+ public:
+  uint64_t Begin(const std::string& name, sim::SimTime at);
+  void End(uint64_t op_id, sim::SimTime at);
+
+  const Operation* Find(uint64_t op_id) const;
+  const std::vector<Operation>& operations() const { return ops_; }
+
+  // Happened-before: op1 finished before op2 started.  Operations missing
+  // an end (still running) are ordered before nothing.
+  bool HappenedBefore(uint64_t op1, uint64_t op2) const;
+
+  // True iff neither happened before the other (they overlap in time): the
+  // paper's "could have been executed in parallel".
+  bool Concurrent(uint64_t op1, uint64_t op2) const;
+
+  // The truncated history H_o (Definition 2): operations that happened
+  // before `op_id` (plus op_id itself).
+  History Truncate(uint64_t op_id) const;
+
+ private:
+  std::vector<Operation> ops_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace pepper::history
+
+#endif  // PEPPER_HISTORY_HISTORY_H_

@@ -1,0 +1,155 @@
+#include "history/ring_history.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pepper::history {
+
+void AbstractRingHistory::RecordInitRing(sim::NodeId p, sim::SimTime at) {
+  ops_.push_back(Op{Op::Kind::kInsert, p, p, at, at});
+}
+
+void AbstractRingHistory::RecordInsert(sim::NodeId inserter, sim::NodeId peer,
+                                       sim::SimTime start, sim::SimTime end) {
+  ops_.push_back(Op{Op::Kind::kInsert, inserter, peer, start, end});
+}
+
+void AbstractRingHistory::RecordLeave(sim::NodeId p, sim::SimTime at) {
+  ops_.push_back(Op{Op::Kind::kLeave, p, sim::kNullNode, at, at});
+}
+
+void AbstractRingHistory::RecordFail(sim::NodeId p, sim::SimTime at) {
+  ops_.push_back(Op{Op::Kind::kFail, p, sim::kNullNode, at, at});
+}
+
+AbstractRingHistory::Verdict AbstractRingHistory::Validate() const {
+  Verdict v;
+  auto violate = [&v](const std::string& why) {
+    v.ok = false;
+    v.violations.push_back(why);
+  };
+
+  // Axiom 3: unique founder.
+  size_t founders = 0;
+  sim::NodeId founder = sim::kNullNode;
+  sim::SimTime founded_at = 0;
+  for (const Op& op : ops_) {
+    if (op.kind == Op::Kind::kInsert && op.p == op.p_prime) {
+      ++founders;
+      founder = op.p;
+      founded_at = op.end;
+    }
+  }
+  if (founders != 1) {
+    violate("expected exactly one founding insert(p, p), saw " +
+            std::to_string(founders));
+    return v;  // nothing else is meaningful
+  }
+
+  // Axiom 5: each peer inserted at most once; the founder never re-inserted.
+  std::map<sim::NodeId, const Op*> inserted_at;
+  for (const Op& op : ops_) {
+    if (op.kind != Op::Kind::kInsert) continue;
+    if (!inserted_at.emplace(op.p_prime, &op).second) {
+      violate("peer " + std::to_string(op.p_prime) + " inserted twice");
+    }
+  }
+
+  // Axiom 4: every inserter was inserted (and finished) before it inserts.
+  for (const Op& op : ops_) {
+    if (op.kind != Op::Kind::kInsert || op.p == op.p_prime) continue;
+    auto it = inserted_at.find(op.p);
+    if (it == inserted_at.end()) {
+      violate("inserter " + std::to_string(op.p) + " was never inserted");
+    } else if (it->second->end > op.start) {
+      violate("inserter " + std::to_string(op.p) +
+              " started inserting before its own insertion completed");
+    }
+  }
+  (void)founded_at;
+  (void)founder;
+
+  // Axiom 6: inserts by the same peer do not overlap.
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    for (size_t j = i + 1; j < ops_.size(); ++j) {
+      const Op& a = ops_[i];
+      const Op& b = ops_[j];
+      if (a.kind != Op::Kind::kInsert || b.kind != Op::Kind::kInsert) continue;
+      if (a.p != b.p || a.p == a.p_prime || b.p == b.p_prime) continue;
+      const bool ordered = a.end <= b.start || b.end <= a.start;
+      if (!ordered) {
+        violate("peer " + std::to_string(a.p) +
+                " ran two overlapping inserts");
+      }
+    }
+  }
+
+  // Axioms 7-9: at most one terminal op per peer, after its insertion and
+  // after everything it did.
+  std::map<sim::NodeId, const Op*> terminal;
+  for (const Op& op : ops_) {
+    if (op.kind == Op::Kind::kInsert) continue;
+    if (!terminal.emplace(op.p, &op).second) {
+      violate("peer " + std::to_string(op.p) +
+              " has more than one leave/fail");
+    }
+    auto it = inserted_at.find(op.p);
+    if (it == inserted_at.end()) {
+      violate("peer " + std::to_string(op.p) +
+              " left/failed without ever joining");
+    } else if (it->second->end > op.start) {
+      violate("peer " + std::to_string(op.p) +
+              " left/failed before its insertion completed");
+    }
+  }
+  for (const Op& op : ops_) {
+    if (op.kind != Op::Kind::kInsert || op.p == op.p_prime) continue;
+    auto it = terminal.find(op.p);
+    if (it != terminal.end() && it->second->start < op.end) {
+      violate("peer " + std::to_string(op.p) +
+              " performed an insert overlapping its own departure");
+    }
+  }
+  return v;
+}
+
+std::optional<std::map<sim::NodeId, sim::NodeId>>
+AbstractRingHistory::InducedSuccessor() const {
+  if (!Validate().ok) return std::nullopt;
+
+  std::vector<const Op*> ordered;
+  ordered.reserve(ops_.size());
+  for (const Op& op : ops_) ordered.push_back(&op);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Op* a, const Op* b) { return a->end < b->end; });
+
+  // Replay (appendix Definition 7): insert splices the new peer after the
+  // inserter; leave/fail splices the peer out.
+  std::map<sim::NodeId, sim::NodeId> succ;
+  for (const Op* op : ordered) {
+    if (op->kind == Op::Kind::kInsert) {
+      if (op->p == op->p_prime) {
+        succ[op->p] = op->p;  // founder: self loop
+        continue;
+      }
+      auto it = succ.find(op->p);
+      if (it == succ.end()) return std::nullopt;  // inserter not live
+      succ[op->p_prime] = it->second;
+      it->second = op->p_prime;
+    } else {
+      auto it = succ.find(op->p);
+      if (it == succ.end()) continue;  // departing peer already gone
+      const sim::NodeId next = it->second;
+      succ.erase(it);
+      for (auto& kv : succ) {
+        if (kv.second == op->p) kv.second = next;
+      }
+      if (succ.size() == 1) {
+        succ.begin()->second = succ.begin()->first;  // lone peer self loop
+      }
+    }
+  }
+  return succ;
+}
+
+}  // namespace pepper::history

@@ -1,0 +1,67 @@
+#ifndef PEPPER_HISTORY_RING_HISTORY_H_
+#define PEPPER_HISTORY_RING_HISTORY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace pepper::history {
+
+// The paper's *abstract ring history* (appendix Section 10.3): the operation
+// set {insert(p, p'), leave(p), fail(p)} with a happened-before partial
+// order (here: the interval order over recorded [start, end] times), subject
+// to axioms 3-9, plus the induced ring of Section 10.4 obtained by replaying
+// the operations.  Used by tests to validate that executions recorded from
+// the simulator are well-formed histories and that the induced successor
+// function matches the live ring.
+class AbstractRingHistory {
+ public:
+  struct Op {
+    enum class Kind { kInsert, kLeave, kFail };
+    Kind kind;
+    sim::NodeId p = sim::kNullNode;       // inserter / leaver / failer
+    sim::NodeId p_prime = sim::kNullNode;  // inserted peer (kInsert only)
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+  };
+
+  // insert(p, p) — the unique ring-founding operation (axiom 3).
+  void RecordInitRing(sim::NodeId p, sim::SimTime at);
+  // insert(p, p'), started when initInsert was invoked and ended when the
+  // peer became JOINED.
+  void RecordInsert(sim::NodeId inserter, sim::NodeId peer,
+                    sim::SimTime start, sim::SimTime end);
+  void RecordLeave(sim::NodeId p, sim::SimTime at);
+  void RecordFail(sim::NodeId p, sim::SimTime at);
+
+  const std::vector<Op>& operations() const { return ops_; }
+
+  struct Verdict {
+    bool ok = true;
+    std::vector<std::string> violations;
+  };
+  // Checks axioms 3-9 of Definition 5 (appendix):
+  //   3. a unique founding insert(p, p);
+  //   4. every inserter was itself inserted earlier;
+  //   5. every peer is inserted at most once (and the founder never again);
+  //   6. inserts by the same inserter do not overlap in time;
+  //   7. at most one of fail(p) / leave(p);
+  //   8/9. a peer's fail/leave comes after its insertion, and after every
+  //        insert it performed.
+  Verdict Validate() const;
+
+  // The induced ring (appendix Section 10.4): replays the operations in
+  // completion order and returns the successor function over live peers.
+  // Returns nullopt if the history is not well-formed.
+  std::optional<std::map<sim::NodeId, sim::NodeId>> InducedSuccessor() const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace pepper::history
+
+#endif  // PEPPER_HISTORY_RING_HISTORY_H_

@@ -1,0 +1,57 @@
+#ifndef PEPPER_INDEX_INDEX_MESSAGES_H_
+#define PEPPER_INDEX_INDEX_MESSAGES_H_
+
+#include <vector>
+
+#include "common/key_space.h"
+#include "datastore/item.h"
+#include "sim/message.h"
+
+namespace pepper::index {
+
+// Initiator -> first peer of the scan range: run rangeQuery via scanRange
+// (Algorithm 6).
+struct StartScanRequest : sim::Payload {
+  uint64_t query_id = 0;
+  Key lb = 0;
+  Key ub = 0;
+  sim::NodeId initiator = sim::kNullNode;
+};
+
+struct StartScanAck : sim::Payload {
+  bool ok = false;
+};
+
+// The rangeQuery handler parameter (Algorithm 6: the id of the peer the
+// results go to).
+struct RangeScanParam : sim::Payload {
+  uint64_t query_id = 0;
+  sim::NodeId initiator = sim::kNullNode;
+};
+
+// Handler -> initiator: the items of sub-range r (Algorithm 7 sends
+// <items, r>); the initiator assembles coverage of [lb, ub].
+struct QueryPartial : sim::Payload {
+  uint64_t query_id = 0;
+  Span r;
+  std::vector<datastore::Item> items;
+};
+
+// Naive application-level scan (the Section 6.2 baseline): walk ring
+// successors without locks or coverage guarantees.
+struct NaiveScanMsg : sim::Payload {
+  uint64_t query_id = 0;
+  Key lb = 0;
+  Key ub = 0;
+  sim::NodeId initiator = sim::kNullNode;
+  int hops_left = 0;
+};
+
+// Naive scan termination marker.
+struct QueryDoneMsg : sim::Payload {
+  uint64_t query_id = 0;
+};
+
+}  // namespace pepper::index
+
+#endif  // PEPPER_INDEX_INDEX_MESSAGES_H_

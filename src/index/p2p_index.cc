@@ -1,0 +1,382 @@
+#include "index/p2p_index.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pepper::index {
+
+namespace {
+constexpr char kRangeQueryHandler[] = "index.rangeQuery";
+
+double Seconds(sim::SimTime d) {
+  return static_cast<double>(d) / static_cast<double>(sim::kSecond);
+}
+}  // namespace
+
+P2PIndex::P2PIndex(ring::RingNode* ring, datastore::DataStoreNode* ds,
+                   router::ContentRouter* router, IndexOptions options)
+    : ring_(ring),
+      ds_(ds),
+      router_(router),
+      options_(std::move(options)),
+      next_query_id_(static_cast<uint64_t>(ring->id()) << 40) {
+  ring_->On<StartScanRequest>(
+      [this](const sim::Message& m, const StartScanRequest& req) {
+        HandleStartScan(m, req);
+      });
+  ring_->On<QueryPartial>(
+      [this](const sim::Message& m, const QueryPartial& part) {
+        HandleQueryPartial(m, part);
+      });
+  ring_->On<NaiveScanMsg>(
+      [this](const sim::Message& m, const NaiveScanMsg& scan) {
+        HandleNaiveScan(m, scan);
+      });
+  ring_->On<QueryDoneMsg>(
+      [this](const sim::Message& m, const QueryDoneMsg& done) {
+        HandleQueryDone(m, done);
+      });
+
+  // Algorithm 7: the rangeQuery handler sends the matching local items and
+  // the covered sub-range to the initiating peer.
+  ds_->RegisterScanHandler(
+      kRangeQueryHandler,
+      [this](const Span& r, const sim::PayloadPtr& param) {
+        const auto* p = dynamic_cast<const RangeScanParam*>(param.get());
+        if (p == nullptr) return;
+        auto partial = std::make_shared<QueryPartial>();
+        partial->query_id = p->query_id;
+        partial->r = r;
+        for (const auto& kv : ds_->items()) {
+          if (r.Contains(kv.first)) partial->items.push_back(kv.second);
+        }
+        if (p->initiator == ring_->id()) {
+          HandleQueryPartial(sim::Message{}, *partial);
+        } else {
+          ring_->Send(p->initiator, partial);
+        }
+      });
+
+  ring_->Every(options_.watchdog_period, [this]() { Watchdog(); },
+               options_.watchdog_period);
+}
+
+// --- insert / delete ---------------------------------------------------------
+
+void P2PIndex::InsertItem(const datastore::Item& item, DoneFn done) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->counters().Inc("index.inserts");
+  }
+  AttemptInsert(item, options_.insert_retries, std::move(done));
+}
+
+void P2PIndex::AttemptInsert(const datastore::Item& item, int retries_left,
+                             DoneFn done) {
+  router_->Lookup(
+      item.skv,
+      [this, item, retries_left, done](const Status& s, sim::NodeId owner,
+                                       int /*hops*/) {
+        auto retry = [this, item, retries_left, done](const Status& why) {
+          if (retries_left <= 0) {
+            done(why);
+            return;
+          }
+          // Exponential backoff: reorganizations (especially merge
+          // takeovers waiting on leave propagation) can hold a range for
+          // several stabilization rounds.
+          const int attempt = options_.insert_retries - retries_left + 1;
+          ring_->After(options_.retry_delay * attempt,
+                       [this, item, retries_left, done]() {
+                         AttemptInsert(item, retries_left - 1, done);
+                       });
+        };
+        if (!s.ok()) {
+          retry(s);
+          return;
+        }
+        if (owner == ring_->id()) {
+          Status local = ds_->InsertLocal(item);
+          if (local.ok()) {
+            done(local);
+          } else {
+            retry(local);
+          }
+          return;
+        }
+        auto req = std::make_shared<datastore::DsInsertRequest>();
+        req->item = item;
+        ring_->Call(
+            owner, req,
+            [done, retry](const sim::Message& m) {
+              const auto& ack =
+                  static_cast<const datastore::DsAck&>(*m.payload);
+              if (ack.ok) {
+                done(Status::OK());
+              } else {
+                retry(Status::Unavailable(ack.error));
+              }
+            },
+            options_.rpc_timeout,
+            [retry]() { retry(Status::TimedOut("owner unreachable")); });
+      });
+}
+
+void P2PIndex::DeleteItem(Key skv, DoneFn done) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->counters().Inc("index.deletes");
+  }
+  AttemptDelete(skv, options_.insert_retries, std::move(done));
+}
+
+void P2PIndex::AttemptDelete(Key skv, int retries_left, DoneFn done) {
+  router_->Lookup(
+      skv, [this, skv, retries_left, done](const Status& s, sim::NodeId owner,
+                                           int /*hops*/) {
+        auto retry = [this, skv, retries_left, done](const Status& why) {
+          if (retries_left <= 0) {
+            done(why);
+            return;
+          }
+          const int attempt = options_.insert_retries - retries_left + 1;
+          ring_->After(options_.retry_delay * attempt,
+                       [this, skv, retries_left, done]() {
+                         AttemptDelete(skv, retries_left - 1, done);
+                       });
+        };
+        if (!s.ok()) {
+          retry(s);
+          return;
+        }
+        if (owner == ring_->id()) {
+          Status local = ds_->DeleteLocal(skv);
+          // NotFound is final: the item is not in the system.
+          if (local.ok() || local.IsNotFound()) {
+            done(local);
+          } else {
+            retry(local);
+          }
+          return;
+        }
+        auto req = std::make_shared<datastore::DsDeleteRequest>();
+        req->skv = skv;
+        ring_->Call(
+            owner, req,
+            [done, retry](const sim::Message& m) {
+              const auto& ack =
+                  static_cast<const datastore::DsAck&>(*m.payload);
+              if (ack.ok || ack.error == "") {
+                done(ack.ok ? Status::OK() : Status::NotFound());
+              } else {
+                retry(Status::Unavailable(ack.error));
+              }
+            },
+            options_.rpc_timeout,
+            [retry]() { retry(Status::TimedOut("owner unreachable")); });
+      });
+}
+
+// --- range queries -----------------------------------------------------------
+
+void P2PIndex::RangeQuery(const Span& span, QueryFn done) {
+  const uint64_t query_id = ++next_query_id_;
+  ActiveQuery q;
+  q.span = span;
+  q.coverage = SpanCoverage(span);
+  q.done = std::move(done);
+  q.started = ring_->now();
+  q.last_progress = q.started;
+  q.naive = !options_.pepper_scan;
+  queries_.emplace(query_id, std::move(q));
+  if (options_.metrics != nullptr) {
+    options_.metrics->counters().Inc("index.queries");
+  }
+  if (options_.pepper_scan) {
+    Kick(query_id);
+  } else {
+    KickNaive(query_id);
+  }
+}
+
+void P2PIndex::Kick(uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end() || it->second.kicking) return;
+  ActiveQuery& q = it->second;
+  auto next = q.coverage.FirstUncovered();
+  if (!next.has_value()) {
+    Finish(query_id, Status::OK());
+    return;
+  }
+  q.kicking = true;
+  const Key lb = *next;
+  const Key ub = q.span.hi;
+  router_->Lookup(lb, [this, query_id, lb, ub](const Status& s,
+                                               sim::NodeId owner,
+                                               int /*hops*/) {
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) return;
+    it->second.kicking = false;
+    if (!s.ok()) return;  // watchdog re-kicks
+    if (owner == ring_->id()) {
+      auto param = std::make_shared<RangeScanParam>();
+      param->query_id = query_id;
+      param->initiator = ring_->id();
+      ds_->ScanRange(lb, ub, kRangeQueryHandler, param,
+                     [](const Status&) {});
+      return;
+    }
+    auto req = std::make_shared<StartScanRequest>();
+    req->query_id = query_id;
+    req->lb = lb;
+    req->ub = ub;
+    req->initiator = ring_->id();
+    ring_->Call(
+        owner, req, [](const sim::Message&) {},
+        ds_->options().lock_timeout + options_.rpc_timeout,
+        []() { /* watchdog re-kicks */ });
+  });
+}
+
+void P2PIndex::HandleStartScan(const sim::Message& msg,
+                               const StartScanRequest& req) {
+  auto param = std::make_shared<RangeScanParam>();
+  param->query_id = req.query_id;
+  param->initiator = req.initiator;
+  const sim::Message request = msg;
+  ds_->ScanRange(req.lb, req.ub, kRangeQueryHandler, param,
+                 [this, request](const Status& s) {
+                   auto ack = std::make_shared<StartScanAck>();
+                   ack->ok = s.ok();
+                   ring_->Reply(request, ack);
+                 });
+}
+
+void P2PIndex::HandleQueryPartial(const sim::Message&,
+                                  const QueryPartial& part) {
+  auto it = queries_.find(part.query_id);
+  if (it == queries_.end()) return;  // finished already
+  ActiveQuery& q = it->second;
+  if (!q.naive && q.coverage.saw_overlap()) {
+    // already flagged; keep collecting anyway
+  }
+  q.coverage.Add(part.r);
+  if (!q.naive && q.coverage.saw_overlap() && options_.metrics != nullptr) {
+    options_.metrics->counters().Inc("index.scan_overlaps");
+  }
+  for (const datastore::Item& item : part.items) {
+    q.items[item.skv] = item;
+  }
+  q.last_progress = ring_->now();
+  if (!q.naive && q.coverage.Complete()) {
+    Finish(part.query_id, Status::OK());
+  }
+}
+
+void P2PIndex::KickNaive(uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  const Span span = it->second.span;
+  router_->Lookup(span.lo, [this, query_id, span](const Status& s,
+                                                  sim::NodeId owner,
+                                                  int /*hops*/) {
+    if (!s.ok()) return;  // times out with partial (empty) results
+    auto scan = std::make_shared<NaiveScanMsg>();
+    scan->query_id = query_id;
+    scan->lb = span.lo;
+    scan->ub = span.hi;
+    scan->initiator = ring_->id();
+    scan->hops_left = options_.naive_hop_budget;
+    if (owner == ring_->id()) {
+      HandleNaiveScan(sim::Message{}, *scan);
+    } else {
+      ring_->Send(owner, scan);
+    }
+  });
+}
+
+void P2PIndex::HandleNaiveScan(const sim::Message&, const NaiveScanMsg& scan) {
+  if (!ds_->active()) return;  // scan chain dies; initiator times out
+  // No locks, no abort checks: read whatever the Data Store holds right now
+  // (this is exactly how results are missed in Figures 9 and 10).
+  auto partial = std::make_shared<QueryPartial>();
+  partial->query_id = scan.query_id;
+  const Span query_span{scan.lb, scan.ub};
+  auto pieces = ds_->range().IntersectClosed(query_span);
+  partial->r = pieces.empty() ? Span{1, 0} : pieces.front();
+  for (const auto& kv : ds_->items()) {
+    if (query_span.Contains(kv.first)) partial->items.push_back(kv.second);
+  }
+  auto deliver_local = scan.initiator == ring_->id();
+  if (deliver_local) {
+    HandleQueryPartial(sim::Message{}, *partial);
+  } else {
+    ring_->Send(scan.initiator, partial);
+  }
+
+  if (ds_->range().Contains(scan.ub) || scan.hops_left <= 0) {
+    auto done = std::make_shared<QueryDoneMsg>();
+    done->query_id = scan.query_id;
+    if (deliver_local) {
+      HandleQueryDone(sim::Message{}, *done);
+    } else {
+      ring_->Send(scan.initiator, done);
+    }
+    return;
+  }
+  auto succ = ring_->GetSuccRelaxed();
+  if (!succ.has_value() || succ->id == ring_->id()) return;
+  auto fwd = std::make_shared<NaiveScanMsg>();
+  *fwd = scan;
+  fwd->hops_left = scan.hops_left - 1;
+  ring_->Send(succ->id, fwd);
+}
+
+void P2PIndex::HandleQueryDone(const sim::Message&, const QueryDoneMsg& done) {
+  auto it = queries_.find(done.query_id);
+  if (it == queries_.end()) return;
+  Finish(done.query_id, Status::OK());
+}
+
+void P2PIndex::Finish(uint64_t query_id, const Status& status) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  ActiveQuery q = std::move(it->second);
+  queries_.erase(it);
+  std::vector<datastore::Item> items;
+  items.reserve(q.items.size());
+  for (auto& kv : q.items) items.push_back(std::move(kv.second));
+  if (options_.metrics != nullptr) {
+    options_.metrics->RecordLatency("index.query_time",
+                                    Seconds(ring_->now() - q.started));
+    options_.metrics->counters().Inc(
+        status.ok() ? "index.queries_completed" : "index.queries_failed");
+  }
+  q.done(status, std::move(items));
+}
+
+void P2PIndex::Watchdog() {
+  std::vector<uint64_t> to_fail;
+  std::vector<uint64_t> to_kick;
+  const sim::SimTime now = ring_->now();
+  for (auto& kv : queries_) {
+    ActiveQuery& q = kv.second;
+    if (now - q.started > options_.query_timeout) {
+      to_fail.push_back(kv.first);
+    } else if (!q.naive && !q.kicking &&
+               now - q.last_progress > options_.progress_timeout) {
+      to_kick.push_back(kv.first);
+    }
+  }
+  for (uint64_t id : to_fail) {
+    Finish(id, Status::TimedOut("query deadline"));
+  }
+  for (uint64_t id : to_kick) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->counters().Inc("index.query_resumes");
+    }
+    Kick(id);
+  }
+}
+
+}  // namespace pepper::index

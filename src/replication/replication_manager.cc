@@ -1,0 +1,256 @@
+#include "replication/replication_manager.h"
+
+#include <memory>
+#include <utility>
+
+namespace pepper::replication {
+
+ReplicationManager::ReplicationManager(ring::RingNode* ring,
+                                       datastore::DataStoreNode* ds,
+                                       ReplicationOptions options)
+    : ring_(ring), ds_(ds), options_(std::move(options)) {
+  ring_->On<ReplicaPushMsg>(
+      [this](const sim::Message& m, const ReplicaPushMsg& push) {
+        HandlePush(m, push);
+      });
+  ring_->Every(options_.refresh_period, [this]() { RefreshTick(); },
+               ring_->sim()->rng().Uniform(0, options_.refresh_period));
+}
+
+void ReplicationManager::RefreshTick() {
+  // Age out groups whose owner stopped refreshing long ago.
+  const sim::SimTime now = ring_->now();
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    if (now - it->second.refreshed_at > options_.group_ttl) {
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  PushNow();
+}
+
+void ReplicationManager::PushNow() {
+  if (!ds_->active() || options_.replication_factor == 0) return;
+  auto succ = ring_->GetSuccRelaxed();
+  if (!succ.has_value() || succ->id == ring_->id()) return;
+  auto push = std::make_shared<ReplicaPushMsg>();
+  push->owner = ring_->id();
+  push->owner_val = ring_->val();
+  push->items = ds_->GetLocalItems();
+  push->hops_left = static_cast<int>(options_.replication_factor) - 1;
+  ring_->Send(succ->id, push);
+  if (options_.metrics != nullptr) {
+    options_.metrics->counters().Inc("repl.pushes");
+  }
+}
+
+void ReplicationManager::OnLocalItemsChanged() {
+  if (push_scheduled_) return;
+  push_scheduled_ = true;
+  ring_->After(options_.push_delay, [this]() {
+    push_scheduled_ = false;
+    PushNow();
+  });
+}
+
+void ReplicationManager::StoreGroup(
+    sim::NodeId owner, Key owner_val,
+    const std::vector<datastore::Item>& items) {
+  ReplicaGroup& group = groups_[owner];
+  group.owner_val = owner_val;
+  group.refreshed_at = ring_->now();
+  group.items.clear();
+  for (const datastore::Item& it : items) {
+    group.items[it.skv] = it;
+  }
+}
+
+void ReplicationManager::ForwardPush(const ReplicaPushMsg& push) {
+  if (push.hops_left <= 0) return;
+  auto succ = ring_->GetSuccRelaxed();
+  if (!succ.has_value() || succ->id == ring_->id() ||
+      succ->id == push.owner) {
+    return;  // wrapped around a small ring
+  }
+  auto fwd = std::make_shared<ReplicaPushMsg>();
+  fwd->owner = push.owner;
+  fwd->owner_val = push.owner_val;
+  fwd->items = push.items;
+  fwd->hops_left = push.hops_left - 1;
+  ring_->Send(succ->id, fwd);
+}
+
+void ReplicationManager::HandlePush(const sim::Message& msg,
+                                    const ReplicaPushMsg& push) {
+  StoreGroup(push.owner, push.owner_val, push.items);
+  if (msg.rpc_id != 0) {
+    ring_->Reply(msg, sim::MakePayload<ReplicaPushAck>());
+  }
+  ForwardPush(push);
+}
+
+void ReplicationManager::ReplicateExtraHop(
+    std::function<void(const Status&)> done) {
+  auto succ = ring_->GetSuccRelaxed();
+  if (!succ.has_value() || succ->id == ring_->id()) {
+    done(Status::Unavailable("no successor for extra-hop replication"));
+    return;
+  }
+  // One message per group we hold, plus one for our own items; all pushed a
+  // single additional hop (Figure 18).  Completion after the last ack.
+  struct Pending {
+    int remaining = 0;
+    std::function<void(const Status&)> done;
+    bool failed = false;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->done = std::move(done);
+
+  std::vector<std::shared_ptr<ReplicaPushMsg>> msgs;
+  for (const auto& kv : groups_) {
+    auto m = std::make_shared<ReplicaPushMsg>();
+    m->owner = kv.first;
+    m->owner_val = kv.second.owner_val;
+    for (const auto& item_kv : kv.second.items) {
+      m->items.push_back(item_kv.second);
+    }
+    m->hops_left = 0;
+    msgs.push_back(std::move(m));
+  }
+  {
+    auto own = std::make_shared<ReplicaPushMsg>();
+    own->owner = ring_->id();
+    own->owner_val = ring_->val();
+    own->items = ds_->GetLocalItems();
+    // Our own items already sit on our k successors — and the first of them
+    // is about to *own* them (merge takeover), which silently removes one
+    // copy.  Push the extra replica one hop beyond the current holders
+    // (Figure 18): k forwarding hops reach successor k+1.
+    own->hops_left = static_cast<int>(options_.replication_factor);
+    msgs.push_back(std::move(own));
+  }
+  pending->remaining = static_cast<int>(msgs.size());
+  if (options_.metrics != nullptr) {
+    options_.metrics->counters().Inc("repl.extra_hop_ops");
+    options_.metrics->counters().Inc("repl.extra_hop_groups", msgs.size());
+  }
+  for (auto& m : msgs) {
+    ring_->Call(
+        succ->id, m,
+        [pending](const sim::Message&) {
+          if (--pending->remaining == 0) {
+            pending->done(pending->failed ? Status::Unavailable("partial")
+                                          : Status::OK());
+          }
+        },
+        options_.rpc_timeout,
+        [pending]() {
+          pending->failed = true;
+          if (--pending->remaining == 0) {
+            pending->done(Status::Unavailable("extra-hop push timed out"));
+          }
+        });
+  }
+}
+
+std::vector<datastore::Item> ReplicationManager::CollectReplicasIn(
+    const RingRange& arc) {
+  std::vector<datastore::Item> out;
+  for (const auto& kv : groups_) {
+    for (const auto& item_kv : kv.second.items) {
+      if (arc.Contains(item_kv.first)) out.push_back(item_kv.second);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<sim::NodeId, Key>> ReplicationManager::GroupOwnersIn(
+    const RingRange& arc) {
+  std::vector<std::pair<sim::NodeId, Key>> out;
+  for (const auto& kv : groups_) {
+    if (arc.Contains(kv.second.owner_val)) {
+      out.emplace_back(kv.first, kv.second.owner_val);
+    }
+  }
+  return out;
+}
+
+void ReplicationManager::StartReviveSweep(
+    const RingRange& range, std::function<void(const datastore::Item&)> promote) {
+  if (sweeping_) return;
+  // Owners whose groups hold something inside the swept range.
+  auto candidates = std::make_shared<std::vector<sim::NodeId>>();
+  for (const auto& kv : groups_) {
+    for (const auto& item_kv : kv.second.items) {
+      if (range.Contains(item_kv.first)) {
+        candidates->push_back(kv.first);
+        break;
+      }
+    }
+  }
+  if (candidates->empty()) return;
+  sweeping_ = true;
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, candidates, range, promote, step]() {
+    if (candidates->empty()) {
+      sweeping_ = false;
+      return;
+    }
+    const sim::NodeId owner = candidates->back();
+    candidates->pop_back();
+    ring_->Call(
+        owner, sim::MakePayload<ring::PingRequest>(),
+        [this, owner, step](const sim::Message& m) {
+          const auto& reply = static_cast<const ring::PingReply&>(*m.payload);
+          if (reply.state == ring::PeerState::kFree) {
+            // Departed owner: its items were handed over at departure; this
+            // frozen snapshot can only resurrect since-deleted items.
+            groups_.erase(owner);
+            if (options_.metrics != nullptr) {
+              options_.metrics->counters().Inc("repl.groups_purged");
+            }
+          }
+          (*step)();
+        },
+        ring_->options().ping_timeout,
+        [this, owner, range, promote, step]() {
+          // Owner is dead: its group is the legitimate revival source.
+          auto it = groups_.find(owner);
+          if (it != groups_.end()) {
+            for (const auto& item_kv : it->second.items) {
+              if (range.Contains(item_kv.first)) promote(item_kv.second);
+            }
+          }
+          (*step)();
+        });
+  };
+  (*step)();
+}
+
+bool ReplicationManager::HoldsReplica(Key skv) const {
+  for (const auto& kv : groups_) {
+    if (kv.second.items.count(skv) > 0) return true;
+  }
+  return false;
+}
+
+sim::PayloadPtr ReplicationManager::MakeSeedForSuccessor() {
+  if (!ds_->active()) return nullptr;
+  auto seed = std::make_shared<ReplicaPushMsg>();
+  seed->owner = ring_->id();
+  seed->owner_val = ring_->val();
+  seed->items = ds_->GetLocalItems();
+  seed->hops_left = 0;
+  return seed;
+}
+
+void ReplicationManager::OnInfoFromPred(sim::NodeId /*pred*/,
+                                        const sim::PayloadPtr& info) {
+  if (info == nullptr) return;
+  const auto* seed = dynamic_cast<const ReplicaPushMsg*>(info.get());
+  if (seed == nullptr) return;
+  StoreGroup(seed->owner, seed->owner_val, seed->items);
+}
+
+}  // namespace pepper::replication

@@ -1,0 +1,108 @@
+#ifndef PEPPER_REPLICATION_REPLICATION_MANAGER_H_
+#define PEPPER_REPLICATION_REPLICATION_MANAGER_H_
+
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "datastore/data_store_node.h"
+#include "datastore/item.h"
+#include "ring/ring_node.h"
+
+namespace pepper::replication {
+
+struct ReplicationOptions {
+  // k: number of successors holding a copy of each item (CFS replication,
+  // Section 2.3).  Paper default 6.
+  size_t replication_factor = 6;
+  // Replica refresh period (push own items k hops along the ring).
+  sim::SimTime refresh_period = 2 * sim::kSecond;
+  // Debounce for change-triggered pushes.
+  sim::SimTime push_delay = 50 * sim::kMillisecond;
+  sim::SimTime rpc_timeout = 250 * sim::kMillisecond;
+  // Drop replica groups not refreshed for this long (their owner is gone
+  // and the range was revived elsewhere).
+  sim::SimTime group_ttl = 60 * sim::kSecond;
+  MetricsHub* metrics = nullptr;  // optional, not owned
+};
+
+// A snapshot of one owner's items held as replicas (the box above each peer
+// in Figure 7).
+struct ReplicaGroup {
+  Key owner_val = 0;
+  std::map<Key, datastore::Item> items;
+  sim::SimTime refreshed_at = 0;
+};
+
+// Replica push: `origin` owner's current item snapshot, forwarded
+// `hops_left` more times along the ring.
+struct ReplicaPushMsg : sim::Payload {
+  sim::NodeId owner = sim::kNullNode;
+  Key owner_val = 0;
+  std::vector<datastore::Item> items;
+  int hops_left = 0;
+};
+
+struct ReplicaPushAck : sim::Payload {};
+
+// CFS-style Replication Manager (Section 2.3) with the PEPPER
+// replicate-to-additional-hop departure protocol (Section 5.2).  Each owner
+// periodically pushes a snapshot of its Data Store to its k ring successors;
+// when a predecessor fails, the successor revives the lost range from the
+// held replica group (Data Store ApplyRangeFromPred); before a
+// merge-departure, everything the leaver stores travels one extra hop so the
+// replica count never dips (Figure 18).
+class ReplicationManager : public datastore::ReplicationHooks {
+ public:
+  ReplicationManager(ring::RingNode* ring, datastore::DataStoreNode* ds,
+                     ReplicationOptions options);
+
+  ReplicationManager(const ReplicationManager&) = delete;
+  ReplicationManager& operator=(const ReplicationManager&) = delete;
+
+  // --- ReplicationHooks ----------------------------------------------------
+  void ReplicateExtraHop(std::function<void(const Status&)> done) override;
+  std::vector<datastore::Item> CollectReplicasIn(
+      const RingRange& arc) override;
+  std::vector<std::pair<sim::NodeId, Key>> GroupOwnersIn(
+      const RingRange& arc) override;
+  void StartReviveSweep(const RingRange& range,
+                        std::function<void(const datastore::Item&)> promote) override;
+  void OnLocalItemsChanged() override;
+  void PushImmediate() override { PushNow(); }
+
+  // Pushes this peer's items to its successors now.
+  void PushNow();
+
+  // The piggyback payload shipped to a brand-new successor on first
+  // stabilization contact (INFOFORSUCCEVENT): our current snapshot.
+  sim::PayloadPtr MakeSeedForSuccessor();
+
+  // Called when a piggybacked seed arrives from the predecessor.
+  void OnInfoFromPred(sim::NodeId pred, const sim::PayloadPtr& info);
+
+  const std::map<sim::NodeId, ReplicaGroup>& groups() const {
+    return groups_;
+  }
+  // True if a replica of `skv` is held here for any owner.
+  bool HoldsReplica(Key skv) const;
+
+ private:
+  void HandlePush(const sim::Message& msg, const ReplicaPushMsg& push);
+  void StoreGroup(sim::NodeId owner, Key owner_val,
+                  const std::vector<datastore::Item>& items);
+  void ForwardPush(const ReplicaPushMsg& push);
+  void RefreshTick();
+
+  ring::RingNode* ring_;
+  datastore::DataStoreNode* ds_;
+  ReplicationOptions options_;
+  std::map<sim::NodeId, ReplicaGroup> groups_;
+  bool push_scheduled_ = false;
+  bool sweeping_ = false;
+};
+
+}  // namespace pepper::replication
+
+#endif  // PEPPER_REPLICATION_REPLICATION_MANAGER_H_

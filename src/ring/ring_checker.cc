@@ -1,0 +1,107 @@
+#include "ring/ring_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pepper::ring {
+
+namespace {
+
+bool IsMember(PeerState s) {
+  // kInserting is a JOINED peer that happens to be mid-insert.
+  return s == PeerState::kJoined || s == PeerState::kInserting;
+}
+
+}  // namespace
+
+RingAudit AuditRing(const std::vector<const RingNode*>& nodes) {
+  RingAudit audit;
+
+  std::map<sim::NodeId, const RingNode*> by_id;
+  for (const RingNode* n : nodes) {
+    if (n != nullptr && n->alive()) by_id[n->id()] = n;
+  }
+  auto live_member = [&](sim::NodeId id) {
+    auto it = by_id.find(id);
+    return it != by_id.end() && IsMember(it->second->state());
+  };
+
+  // The true ring order over live JOINED peers, by value.
+  std::vector<const RingNode*> members;
+  for (const auto& kv : by_id) {
+    if (IsMember(kv.second->state())) members.push_back(kv.second);
+  }
+  std::sort(members.begin(), members.end(),
+            [](const RingNode* a, const RingNode* b) {
+              return a->val() < b->val();
+            });
+  audit.joined_peers = members.size();
+  if (members.size() <= 1) return audit;
+
+  std::map<sim::NodeId, sim::NodeId> true_succ;
+  for (size_t i = 0; i < members.size(); ++i) {
+    true_succ[members[i]->id()] = members[(i + 1) % members.size()]->id();
+  }
+
+  // Definition 5: trimmed lists contain consecutive successors.
+  for (const RingNode* p : members) {
+    std::vector<sim::NodeId> trim;
+    for (const SuccEntry& e : p->succ_list().entries()) {
+      if (live_member(e.id)) trim.push_back(e.id);
+    }
+    if (trim.empty()) {
+      audit.consistent = false;
+      audit.violations.push_back("peer " + std::to_string(p->id()) +
+                                 " has no live JOINED successor pointer");
+      continue;
+    }
+    sim::NodeId expect = true_succ[p->id()];
+    for (size_t i = 0; i < trim.size(); ++i) {
+      if (trim[i] != expect) {
+        audit.consistent = false;
+        audit.violations.push_back(
+            "peer " + std::to_string(p->id()) + " trimList[" +
+            std::to_string(i) + "]=" + std::to_string(trim[i]) +
+            " skips live peer " + std::to_string(expect));
+        break;
+      }
+      expect = true_succ[expect];
+    }
+  }
+
+  // Connectivity: follow the first live entry of each list.
+  auto next_hop = [&](const RingNode* p) -> const RingNode* {
+    for (const SuccEntry& e : p->succ_list().entries()) {
+      auto it = by_id.find(e.id);
+      if (it != by_id.end() && it->second->state() != PeerState::kFree) {
+        return it->second;
+      }
+    }
+    return nullptr;
+  };
+  for (const RingNode* start : members) {
+    std::set<sim::NodeId> visited;
+    const RingNode* cur = start;
+    for (size_t hops = 0; hops <= 2 * by_id.size() + 2; ++hops) {
+      if (cur == nullptr) break;
+      if (!visited.insert(cur->id()).second) break;  // cycle closed
+      cur = next_hop(cur);
+    }
+    size_t reachable_members = 0;
+    for (sim::NodeId v : visited) {
+      if (live_member(v)) ++reachable_members;
+    }
+    if (reachable_members != members.size()) {
+      audit.connected = false;
+      audit.violations.push_back(
+          "peer " + std::to_string(start->id()) + " reaches only " +
+          std::to_string(reachable_members) + "/" +
+          std::to_string(members.size()) + " members");
+      break;
+    }
+  }
+  return audit;
+}
+
+}  // namespace pepper::ring

@@ -1,0 +1,31 @@
+#ifndef PEPPER_RING_RING_CHECKER_H_
+#define PEPPER_RING_RING_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "ring/ring_node.h"
+
+namespace pepper::ring {
+
+// Result of auditing a set of ring nodes against the paper's invariants.
+struct RingAudit {
+  // Definition 5: for every live JOINED peer p, the trimmed successor list
+  // (entries that are live JOINED peers) contains consecutive ring
+  // successors with no live JOINED peer skipped.
+  bool consistent = true;
+  // Every live JOINED peer can reach every other by following, at each hop,
+  // the first *live* entry of the successor list (the ring survives: the
+  // availability property of Section 5.1).
+  bool connected = true;
+  size_t joined_peers = 0;
+  std::vector<std::string> violations;
+};
+
+// Audits the ring formed by `nodes` (the whole population; FREE/JOINING
+// peers are ignored).  Pure observation — no simulated messages.
+RingAudit AuditRing(const std::vector<const RingNode*>& nodes);
+
+}  // namespace pepper::ring
+
+#endif  // PEPPER_RING_RING_CHECKER_H_

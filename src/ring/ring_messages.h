@@ -1,0 +1,76 @@
+#ifndef PEPPER_RING_RING_MESSAGES_H_
+#define PEPPER_RING_RING_MESSAGES_H_
+
+#include <vector>
+
+#include "common/key_space.h"
+#include "ring/ring_types.h"
+#include "sim/message.h"
+
+namespace pepper::ring {
+
+// Ring stabilization request (Algorithm 2 / 16).  `info` carries the
+// INFOFORSUCCEVENT piggyback from higher layers on first contact with a new
+// successor (replication seed, predecessor value for the Data Store).
+struct StabRequest : sim::Payload {
+  sim::NodeId sender = sim::kNullNode;
+  Key sender_val = 0;
+  sim::PayloadPtr info;  // may be null
+};
+
+struct StabResponse : sim::Payload {
+  Key responder_val = 0;
+  PeerState responder_state = PeerState::kJoined;  // kJoined or kLeaving
+  std::vector<SuccEntry> list;
+};
+
+// Sent to the inserter when the JOINING peer's pointer has propagated to
+// every relevant predecessor (Algorithm 2 lines 12-14).
+struct JoinAckMsg : sim::Payload {
+  sim::NodeId joining = sim::kNullNode;
+};
+
+// Sent to a LEAVING peer once all predecessors have lengthened their lists
+// (Section 5.1).
+struct LeaveAckMsg : sim::Payload {
+  sim::NodeId leaving = sim::kNullNode;
+};
+
+// Inserter -> joining peer: "you are now JOINED" (Algorithm 10 lines 20-25 /
+// Algorithm 11).  Carries the new peer's successor list and two payloads:
+// `data` supplied by the party that requested the insert (the Data Store
+// split handoff: range + items) and `inserter_data` collected from the
+// inserter's own higher layers (replication seed).
+struct JoinPeerMsg : sim::Payload {
+  sim::NodeId inserter = sim::kNullNode;
+  Key inserter_val = 0;
+  // The ring value assigned to the joining peer (chosen by the Data Store
+  // split that triggered the insert).
+  Key assigned_val = 0;
+  std::vector<SuccEntry> succ_list;
+  sim::PayloadPtr data;           // may be null
+  sim::PayloadPtr inserter_data;  // may be null
+};
+
+struct JoinPeerOk : sim::Payload {};
+
+struct PingRequest : sim::Payload {};
+
+struct PingReply : sim::Payload {
+  PeerState state = PeerState::kJoined;
+  // The responder's current ring value (values move during redistributes).
+  Key val = 0;
+  // The responder's predecessor hint, used by the caller to detect a
+  // successor it skipped (rectify).
+  sim::NodeId pred_id = sim::kNullNode;
+  Key pred_val = 0;
+};
+
+// Hint to run a stabilization round now (the Section 4.3.1 optimization of
+// proactively contacting predecessors instead of waiting for the periodic
+// stabilization).
+struct TriggerStab : sim::Payload {};
+
+}  // namespace pepper::ring
+
+#endif  // PEPPER_RING_RING_MESSAGES_H_

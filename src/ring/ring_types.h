@@ -1,0 +1,42 @@
+#ifndef PEPPER_RING_RING_TYPES_H_
+#define PEPPER_RING_RING_TYPES_H_
+
+#include <string>
+
+#include "common/key_space.h"
+#include "sim/message.h"
+
+namespace pepper::ring {
+
+// Peer lifecycle states (Section 4.3.1 and appendix Section 11.2).
+//
+//   kFree      — not part of the ring (free peer, or departed after a merge)
+//   kJoining   — being inserted; pointers to it may be inconsistent
+//   kInserting — a JOINED peer currently inserting a new successor
+//   kJoined    — full ring member; pointers to/from it are kept consistent
+//   kLeaving   — executing the consistent leave protocol (Section 5.1)
+enum class PeerState {
+  kFree,
+  kJoining,
+  kInserting,
+  kJoined,
+  kLeaving,
+};
+
+const char* PeerStateName(PeerState s);
+
+// One pointer in a successor list: peer id, its ring value, the state we
+// last learned for it, and whether we have stabilized with it (the paper's
+// STAB/NOTSTAB flag; getSucc only returns STAB successors).
+struct SuccEntry {
+  sim::NodeId id = sim::kNullNode;
+  Key val = 0;
+  PeerState state = PeerState::kJoined;
+  bool stabilized = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace pepper::ring
+
+#endif  // PEPPER_RING_RING_TYPES_H_

@@ -1,0 +1,193 @@
+#include "ring/succ_list.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pepper::ring {
+
+const char* PeerStateName(PeerState s) {
+  switch (s) {
+    case PeerState::kFree:
+      return "FREE";
+    case PeerState::kJoining:
+      return "JOINING";
+    case PeerState::kInserting:
+      return "INSERTING";
+    case PeerState::kJoined:
+      return "JOINED";
+    case PeerState::kLeaving:
+      return "LEAVING";
+  }
+  return "?";
+}
+
+std::string SuccEntry::ToString() const {
+  std::string out = "p" + std::to_string(id) + "(" + std::to_string(val) +
+                    "," + PeerStateName(state);
+  if (stabilized) out += ",STAB";
+  out += ")";
+  return out;
+}
+
+std::optional<size_t> SuccList::Find(sim::NodeId id) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) return i;
+  }
+  return std::nullopt;
+}
+
+void SuccList::Remove(sim::NodeId id) {
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [id](const SuccEntry& e) { return e.id == id; }),
+      entries_.end());
+}
+
+std::optional<size_t> SuccList::FirstJoined() const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].state == PeerState::kJoined) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> SuccList::StabilizationTarget() const {
+  auto joined = FirstJoined();
+  if (joined.has_value()) return joined;
+  // With no JOINED successor left (tiny ring whose successor is leaving),
+  // stabilize with the LEAVING peer itself: it still answers and its list
+  // tells us who follows it.
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].state == PeerState::kLeaving) return i;
+  }
+  return std::nullopt;
+}
+
+size_t SuccList::JoinedCount() const {
+  size_t n = 0;
+  for (const SuccEntry& e : entries_) {
+    if (e.state == PeerState::kJoined) ++n;
+  }
+  return n;
+}
+
+SuccList SuccList::BuildFromStabilization(const SuccList& old_list,
+                                          const SuccEntry& target,
+                                          const SuccList& received,
+                                          sim::NodeId self, bool inserting,
+                                          size_t window) {
+  struct RawEntry {
+    SuccEntry entry;
+    bool own_rider;  // rule-1 prefix entry: exempt from slot counting
+  };
+  std::vector<RawEntry> raw;
+  raw.reserve(old_list.size() + received.size() + 2);
+
+  // Rule 1: preserved transient entries from the owner's current list.
+  // The owner's JOINING front (it is mid-insert) and any LEAVING entries
+  // that precede the target stay in front; they are invisible to the target
+  // (JOINING peers do not stabilize; LEAVING peers are skipped).  These are
+  // first-hand knowledge, never stale, so they ride free of the window.
+  for (const SuccEntry& e : old_list.entries()) {
+    if (e.id == target.id) break;
+    if (inserting && e.state == PeerState::kJoining) {
+      raw.push_back(RawEntry{e, true});
+      continue;
+    }
+    if (e.state == PeerState::kLeaving) raw.push_back(RawEntry{e, true});
+  }
+
+  // Rule 2: the target itself (freshly stabilized), then its list.
+  SuccEntry t = target;
+  t.stabilized = true;
+  raw.push_back(RawEntry{t, false});
+  for (const SuccEntry& e : received.entries()) {
+    SuccEntry copy = e;
+    copy.stabilized = false;  // we have not exchanged info with them
+    raw.push_back(RawEntry{copy, false});
+  }
+
+  // Rules 3-5.
+  std::vector<SuccEntry> out;
+  std::unordered_set<sim::NodeId> seen;
+  size_t slots = 0;
+  for (const RawEntry& re : raw) {
+    const SuccEntry& e = re.entry;
+    if (e.id == self) break;               // rule 3: cut at wrap
+    if (!seen.insert(e.id).second) continue;  // rule 4: dedupe, first wins
+    out.push_back(e);
+    if (re.own_rider) continue;
+    // Rule 5: propagated JOINED and JOINING entries consume window slots (a
+    // possibly-stale JOINING rider displaces the deepest pointer instead of
+    // extending the window — otherwise it would let this peer keep a
+    // pointer that skips the peer being inserted).  LEAVING entries ride
+    // free: that is the list lengthening Section 5.1's availability
+    // argument needs.
+    if (e.state == PeerState::kJoined || e.state == PeerState::kJoining) {
+      ++slots;
+      if (slots == window) break;
+    }
+  }
+  return SuccList(std::move(out));
+}
+
+SuccList SuccList::BuildWindowed(const SuccList& list, size_t window) {
+  std::vector<SuccEntry> out;
+  std::unordered_set<sim::NodeId> seen;
+  size_t slots = 0;
+  for (const SuccEntry& e : list.entries()) {
+    if (!seen.insert(e.id).second) continue;
+    out.push_back(e);
+    if (e.state == PeerState::kJoined || e.state == PeerState::kJoining) {
+      ++slots;
+      if (slots == window) break;
+    }
+  }
+  return SuccList(std::move(out));
+}
+
+std::vector<AckAction> SuccList::ComputeAcks() const {
+  std::vector<AckAction> acks;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const SuccEntry& e = entries_[i];
+    if (e.state != PeerState::kJoining && e.state != PeerState::kLeaving) {
+      continue;
+    }
+    size_t joined_after = 0;
+    for (size_t j = i + 1; j < entries_.size(); ++j) {
+      if (entries_[j].state == PeerState::kJoined) ++joined_after;
+    }
+    if (e.state == PeerState::kJoining) {
+      // Join-ack when *no* JOINED pointer follows the JOINING peer: every
+      // farther predecessor's window ends at or before the inserter, so no
+      // live pointer can skip the new peer once it turns JOINED.  (Because
+      // knowledge of the peer flows strictly backwards through list copies,
+      // every nearer predecessor already has it.)
+      if (joined_after != 0) continue;
+      // The inserter is the entry directly preceding the JOINING peer; a
+      // JOINING peer at the very front means *we* are the inserter and the
+      // acknowledgement is handled by our own pending-insert bookkeeping.
+      if (i == 0) continue;
+      acks.push_back(
+          AckAction{AckAction::Kind::kJoinAck, entries_[i - 1].id, e.id});
+    } else {
+      // Leave-ack when at most one JOINED pointer follows the LEAVING peer:
+      // this peer is the farthest predecessor holding a pointer beyond the
+      // leaver; everyone nearer has already lengthened its list.
+      if (joined_after > 1) continue;
+      acks.push_back(AckAction{AckAction::Kind::kLeaveAck, e.id, e.id});
+    }
+  }
+  return acks;
+}
+
+std::string SuccList::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += entries_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pepper::ring

@@ -1,0 +1,104 @@
+#ifndef PEPPER_RING_SUCC_LIST_H_
+#define PEPPER_RING_SUCC_LIST_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ring/ring_types.h"
+
+namespace pepper::ring {
+
+// A join/leave acknowledgement that the stabilization protocol must emit
+// after a list update (Algorithm 2 lines 10-14 / Algorithm 16 lines 30-42).
+struct AckAction {
+  enum class Kind { kJoinAck, kLeaveAck };
+  Kind kind;
+  // For kJoinAck: the peer to notify (the inserter, i.e. the entry directly
+  // preceding the JOINING peer).  For kLeaveAck: the LEAVING peer itself.
+  sim::NodeId target;
+  // The JOINING / LEAVING peer the acknowledgement is about.
+  sim::NodeId subject;
+};
+
+// The successor list of one peer, together with the pure list-manipulation
+// rules of the PEPPER stabilization protocol.  Lists are "capped": they never
+// contain the owner itself, contain each peer at most once, and hold at most
+// `window` JOINED entries (the fault-tolerance parameter d).  JOINING and
+// LEAVING entries ride along without consuming window slots — this is
+// exactly the transient lengthening the paper's insert (Section 4.3.1) and
+// leave (Section 5.1) protocols rely on.
+class SuccList {
+ public:
+  SuccList() = default;
+  explicit SuccList(std::vector<SuccEntry> entries)
+      : entries_(std::move(entries)) {}
+
+  const std::vector<SuccEntry>& entries() const { return entries_; }
+  std::vector<SuccEntry>& mutable_entries() { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  void PushFront(const SuccEntry& e) { entries_.insert(entries_.begin(), e); }
+
+  std::optional<size_t> Find(sim::NodeId id) const;
+  bool Contains(sim::NodeId id) const { return Find(id).has_value(); }
+  void Remove(sim::NodeId id);
+
+  // Index of the first JOINED entry (the effective successor), if any.
+  std::optional<size_t> FirstJoined() const;
+
+  // Index of the stabilization target: the first JOINED entry (JOINING peers
+  // do not answer stabilization; LEAVING peers are skipped as targets per
+  // Algorithm 16 lines 3-7).
+  std::optional<size_t> StabilizationTarget() const;
+
+  size_t JoinedCount() const;
+
+  // Core of the stabilization update (Algorithm 2 / Algorithms 16-17),
+  // expressed over capped lists.  Builds the owner's new list from:
+  //   - `old_list`: the owner's current list,
+  //   - `target`: the entry stabilized with (becomes the new front, with the
+  //      state it reported and stabilized=true),
+  //   - `received`: the target's own successor list,
+  //   - `self`: the owner's id (wrap point: self and everything after it is
+  //      cut), and
+  //   - `window`: d, the maximum number of JOINED entries retained.
+  // Rules applied, in order:
+  //   1. keep the owner's own JOINING front (if `inserting`) and any LEAVING
+  //      entries that precede the target, in front of the result;
+  //   2. append `target` then `received`;
+  //   3. cut at the owner itself (capped list, no wrap past self);
+  //   4. drop duplicate ids (first occurrence wins, preserving adjacency of
+  //      inserter/JOINING pairs);
+  //   5. cut after the window-th JOINED entry (this also drops the trailing
+  //      JOINING entry that is "far enough away", Algorithm 2 lines 10-11).
+  static SuccList BuildFromStabilization(const SuccList& old_list,
+                                         const SuccEntry& target,
+                                         const SuccList& received,
+                                         sim::NodeId self, bool inserting,
+                                         size_t window);
+
+  // Applies the dedupe + window-cut rules (4 and 5 above) to an existing
+  // list; used to re-normalize after an insert completes.
+  static SuccList BuildWindowed(const SuccList& list, size_t window);
+
+  // Acknowledgements owed after an update (Section 4.3.1 / 5.1).  A
+  // join-ack for JOINING peer j is sent to its inserter (the entry directly
+  // preceding j) by the predecessor holding no JOINED pointer beyond j —
+  // the farthest predecessor whose window can still skip j.  A leave-ack is
+  // sent to a LEAVING peer by the predecessor holding at most one JOINED
+  // pointer beyond it.  Both rules degrade gracefully to rings smaller than
+  // the window.
+  std::vector<AckAction> ComputeAcks() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<SuccEntry> entries_;
+};
+
+}  // namespace pepper::ring
+
+#endif  // PEPPER_RING_SUCC_LIST_H_

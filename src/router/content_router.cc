@@ -1,0 +1,136 @@
+#include "router/content_router.h"
+
+#include <memory>
+#include <utility>
+
+namespace pepper::router {
+
+struct LookupForwardAck : sim::Payload {};
+
+RouterBase::RouterBase(ring::RingNode* ring, datastore::DataStoreNode* ds,
+                       RouterOptions options, bool greedy)
+    : ring_(ring),
+      ds_(ds),
+      options_(std::move(options)),
+      greedy_(greedy),
+      // Lookup ids must be globally unique (replies are matched by id).
+      next_lookup_id_(static_cast<uint64_t>(ring->id()) << 32) {
+  ring_->On<LookupRequest>(
+      [this](const sim::Message& m, const LookupRequest& req) {
+        HandleRequest(m, req);
+      });
+  ring_->On<LookupReply>(
+      [this](const sim::Message& m, const LookupReply& reply) {
+        HandleReply(m, reply);
+      });
+}
+
+void RouterBase::Lookup(Key key, LookupFn done) {
+  const uint64_t lookup_id = ++next_lookup_id_;
+  StartAttempt(key, lookup_id, options_.max_retries, std::move(done));
+}
+
+void RouterBase::StartAttempt(Key key, uint64_t lookup_id, int retries_left,
+                              LookupFn done) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->counters().Inc("router.lookups");
+  }
+  pending_[lookup_id] = PendingLookup{std::move(done)};
+  LookupRequest req;
+  req.lookup_id = lookup_id;
+  req.key = key;
+  req.initiator = ring_->id();
+  req.hops = 0;
+  req.hops_left = options_.hop_budget;
+  req.greedy = greedy_;
+  RouteOrAnswer(req);
+
+  ring_->After(options_.lookup_timeout,
+               [this, key, lookup_id, retries_left]() {
+                 auto it = pending_.find(lookup_id);
+                 if (it == pending_.end()) return;  // answered
+                 LookupFn done = std::move(it->second.done);
+                 pending_.erase(it);
+                 if (retries_left > 0) {
+                   if (options_.metrics != nullptr) {
+                     options_.metrics->counters().Inc("router.retries");
+                   }
+                   StartAttempt(key, lookup_id + (1ull << 20), retries_left - 1,
+                                std::move(done));
+                 } else {
+                   done(Status::TimedOut("lookup failed"), sim::kNullNode, 0);
+                 }
+               });
+}
+
+void RouterBase::HandleRequest(const sim::Message& msg,
+                               const LookupRequest& req) {
+  if (msg.rpc_id != 0) {
+    ring_->Reply(msg, sim::MakePayload<LookupForwardAck>());
+  }
+  RouteOrAnswer(req);
+}
+
+void RouterBase::HandleReply(const sim::Message&, const LookupReply& reply) {
+  auto it = pending_.find(reply.lookup_id);
+  if (it == pending_.end()) return;  // late duplicate
+  LookupFn done = std::move(it->second.done);
+  pending_.erase(it);
+  if (options_.metrics != nullptr) {
+    options_.metrics->RecordLatency("router.hops",
+                                    static_cast<double>(reply.hops));
+  }
+  done(Status::OK(), reply.owner, reply.hops);
+}
+
+void RouterBase::RouteOrAnswer(const LookupRequest& req) {
+  if (ds_->active() && ds_->range().Contains(req.key)) {
+    auto reply = std::make_shared<LookupReply>();
+    reply->lookup_id = req.lookup_id;
+    reply->owner = ring_->id();
+    reply->hops = req.hops;
+    if (req.initiator == ring_->id()) {
+      // Local hit: complete without a network round trip.
+      HandleReply(sim::Message{}, *reply);
+    } else {
+      ring_->Send(req.initiator, reply);
+    }
+    return;
+  }
+  if (req.hops_left <= 0) return;  // budget exhausted; initiator retries
+
+  sim::NodeId next = req.greedy ? NextHop(req.key) : sim::kNullNode;
+  if (next == sim::kNullNode || next == ring_->id()) {
+    auto succ = ring_->GetSuccRelaxed();
+    if (!succ.has_value() || succ->id == ring_->id()) return;
+    next = succ->id;
+  }
+
+  auto fwd = std::make_shared<LookupRequest>();
+  *fwd = req;
+  fwd->hops = req.hops + 1;
+  fwd->hops_left = req.hops_left - 1;
+
+  // Acknowledged forwarding: if the chosen hop is dead, fall back to the
+  // plain ring successor once.
+  ring_->Call(
+      next, fwd, [](const sim::Message&) {}, 4 * ring_->options().ping_timeout,
+      [this, fwd, next]() {
+        auto succ = ring_->GetSuccRelaxed();
+        if (!succ.has_value() || succ->id == ring_->id() ||
+            succ->id == next) {
+          return;
+        }
+        ring_->Call(
+            succ->id, fwd, [](const sim::Message&) {},
+            4 * ring_->options().ping_timeout, []() {});
+      });
+}
+
+sim::NodeId LinearRouter::NextHop(Key /*key*/) {
+  auto succ = ring_->GetSuccRelaxed();
+  if (!succ.has_value()) return sim::kNullNode;
+  return succ->id;
+}
+
+}  // namespace pepper::router

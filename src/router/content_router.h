@@ -1,0 +1,103 @@
+#ifndef PEPPER_ROUTER_CONTENT_ROUTER_H_
+#define PEPPER_ROUTER_CONTENT_ROUTER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/key_space.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "datastore/data_store_node.h"
+#include "ring/ring_node.h"
+
+namespace pepper::router {
+
+// The Content Router of the indexing framework (Figure 1): routes a request
+// to the peer whose Data Store range contains a search key value.  The P2P
+// Index uses it to find the first peer of a range scan and the owner for
+// item inserts/deletes.  Staleness-tolerant by contract: implementations may
+// route through outdated pointers, but the final hops always follow level-0
+// ring successors, and the destination check is the *current* Data Store
+// range at each hop.
+class ContentRouter {
+ public:
+  // done(status, owner, hops): `owner` currently owns `key`.
+  using LookupFn =
+      std::function<void(const Status&, sim::NodeId owner, int hops)>;
+
+  virtual ~ContentRouter() = default;
+
+  virtual void Lookup(Key key, LookupFn done) = 0;
+};
+
+// --- Shared routing messages -------------------------------------------------
+
+struct LookupRequest : sim::Payload {
+  uint64_t lookup_id = 0;
+  Key key = 0;
+  sim::NodeId initiator = sim::kNullNode;
+  int hops = 0;       // hops taken so far
+  int hops_left = 0;  // budget
+  bool greedy = true;  // false: pure successor walk (LinearRouter)
+};
+
+struct LookupReply : sim::Payload {
+  uint64_t lookup_id = 0;
+  sim::NodeId owner = sim::kNullNode;
+  int hops = 0;
+};
+
+struct RouterOptions {
+  sim::SimTime lookup_timeout = 5 * sim::kSecond;
+  int max_retries = 3;
+  int hop_budget = 1024;
+  MetricsHub* metrics = nullptr;  // optional, not owned
+};
+
+// Base with the shared request/reply plumbing; subclasses choose the next
+// hop.
+class RouterBase : public ContentRouter {
+ public:
+  RouterBase(ring::RingNode* ring, datastore::DataStoreNode* ds,
+             RouterOptions options, bool greedy);
+
+  void Lookup(Key key, LookupFn done) override;
+
+ protected:
+  // Picks the next hop for `key`; kNullNode if no progress is possible.
+  virtual sim::NodeId NextHop(Key key) = 0;
+
+  ring::RingNode* ring_;
+  datastore::DataStoreNode* ds_;
+  RouterOptions options_;
+
+ private:
+  void StartAttempt(Key key, uint64_t lookup_id, int retries_left,
+                    LookupFn done);
+  void HandleRequest(const sim::Message& msg, const LookupRequest& req);
+  void HandleReply(const sim::Message& msg, const LookupReply& reply);
+  void RouteOrAnswer(const LookupRequest& req);
+
+  bool greedy_;
+  uint64_t next_lookup_id_;
+  struct PendingLookup {
+    LookupFn done;
+  };
+  std::map<uint64_t, PendingLookup> pending_;
+};
+
+// O(n) baseline: follows ring successors only.
+class LinearRouter : public RouterBase {
+ public:
+  LinearRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
+               RouterOptions options)
+      : RouterBase(ring, ds, options, /*greedy=*/false) {}
+
+ protected:
+  sim::NodeId NextHop(Key key) override;
+};
+
+}  // namespace pepper::router
+
+#endif  // PEPPER_ROUTER_CONTENT_ROUTER_H_

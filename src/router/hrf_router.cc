@@ -1,0 +1,100 @@
+#include "router/hrf_router.h"
+
+#include <memory>
+#include <utility>
+
+namespace pepper::router {
+
+HrfRouter::HrfRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
+                     HrfOptions options)
+    : RouterBase(ring, ds, options.base, /*greedy=*/true),
+      hrf_options_(std::move(options)) {
+  ring_->On<GetEntryRequest>(
+      [this](const sim::Message& m, const GetEntryRequest& req) {
+        auto reply = std::make_shared<GetEntryReply>();
+        if (req.level < levels_.size()) {
+          reply->valid = true;
+          reply->id = levels_[req.level].id;
+          reply->val = levels_[req.level].val;
+        }
+        ring_->Reply(m, reply);
+      });
+  ring_->Every(hrf_options_.refresh_period, [this]() { RefreshTick(); },
+               ring_->sim()->rng().Uniform(0, hrf_options_.refresh_period));
+}
+
+uint64_t HrfRouter::DistFromSelf(Key to) const {
+  return to - ring_->val();  // modular arithmetic on unsigned Key
+}
+
+void HrfRouter::RefreshTick() {
+  if (ring_->state() != ring::PeerState::kJoined &&
+      ring_->state() != ring::PeerState::kInserting) {
+    levels_.clear();
+    return;
+  }
+  auto succ = ring_->GetSuccRelaxed();
+  if (!succ.has_value() || succ->id == ring_->id()) {
+    levels_.clear();
+    return;
+  }
+  if (levels_.empty()) {
+    levels_.push_back(LevelEntry{succ->id, succ->val});
+  } else {
+    levels_[0] = LevelEntry{succ->id, succ->val};
+  }
+  RefreshLevel(1);
+}
+
+void HrfRouter::RefreshLevel(size_t level) {
+  if (level >= hrf_options_.max_levels || level > levels_.size()) return;
+  const LevelEntry base = levels_[level - 1];
+  if (base.id == sim::kNullNode) return;
+  auto req = std::make_shared<GetEntryRequest>();
+  req->level = level - 1;
+  ring_->Call(
+      base.id, req,
+      [this, level, base](const sim::Message& m) {
+        const auto& reply = static_cast<const GetEntryReply&>(*m.payload);
+        // The level-i pointer is the level-(i-1) peer's level-(i-1) pointer
+        // (~2^i successors away).  Stop when the hierarchy wraps past us.
+        if (!reply.valid || reply.id == ring_->id() ||
+            reply.id == sim::kNullNode ||
+            DistFromSelf(reply.val) <= DistFromSelf(base.val)) {
+          if (levels_.size() > level) levels_.resize(level);
+          return;
+        }
+        if (level < levels_.size()) {
+          levels_[level] = LevelEntry{reply.id, reply.val};
+        } else {
+          levels_.push_back(LevelEntry{reply.id, reply.val});
+        }
+        RefreshLevel(level + 1);
+      },
+      options_.lookup_timeout, [this, level]() {
+        // Truncate only: the hierarchy may have been rebuilt or cleared
+        // while this request was in flight, and growing here would insert
+        // null entries.
+        if (levels_.size() > level) levels_.resize(level);
+      });
+}
+
+sim::NodeId HrfRouter::NextHop(Key key) {
+  const uint64_t target = DistFromSelf(key);
+  if (target == 0) return sim::kNullNode;
+  sim::NodeId best = sim::kNullNode;
+  uint64_t best_dist = 0;
+  for (const LevelEntry& e : levels_) {
+    const uint64_t d = DistFromSelf(e.val);
+    if (d == 0) continue;
+    // Safe jumps land at or before the key's owner candidate: e.val in
+    // (self, key].
+    if (d <= target && d > best_dist) {
+      best = e.id;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace pepper::router

@@ -1,0 +1,65 @@
+#ifndef PEPPER_ROUTER_HRF_ROUTER_H_
+#define PEPPER_ROUTER_HRF_ROUTER_H_
+
+#include <vector>
+
+#include "router/content_router.h"
+
+namespace pepper::router {
+
+struct HrfOptions {
+  RouterOptions base;
+  // How often routing levels are rebuilt from the ring.
+  sim::SimTime refresh_period = 2 * sim::kSecond;
+  size_t max_levels = 48;
+};
+
+// Order-preserving hierarchical router in the spirit of the P-Ring Content
+// Router ("hierarchy of rings", Section 2.3): the level-i pointer of a peer
+// is (approximately) its 2^i-th ring successor, built lazily by asking the
+// level-(i-1) peer for *its* level-(i-1) pointer.  Routing is greedy: jump
+// to the farthest pointer that does not overshoot the key, then finish with
+// level-0 successor hops, giving O(log n) lookups.  Pointers may be stale;
+// correctness never depends on them (the Data Store range test at each hop
+// decides, and the final hops follow the fault-tolerant ring), matching the
+// paper's premise that router concurrency is handled elsewhere [2, 6].
+class HrfRouter : public RouterBase {
+ public:
+  HrfRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
+            HrfOptions options);
+
+  // Number of currently valid levels (for tests/benches).
+  size_t num_levels() const { return levels_.size(); }
+
+ protected:
+  sim::NodeId NextHop(Key key) override;
+
+ private:
+  struct LevelEntry {
+    sim::NodeId id = sim::kNullNode;
+    Key val = 0;
+  };
+
+  struct GetEntryRequest : sim::Payload {
+    size_t level = 0;
+  };
+  struct GetEntryReply : sim::Payload {
+    bool valid = false;
+    sim::NodeId id = sim::kNullNode;
+    Key val = 0;
+  };
+
+  void RefreshTick();
+  void RefreshLevel(size_t level);
+
+  // Clockwise distance from this peer's value to `to` (modular Key
+  // arithmetic).
+  uint64_t DistFromSelf(Key to) const;
+
+  HrfOptions hrf_options_;
+  std::vector<LevelEntry> levels_;
+};
+
+}  // namespace pepper::router
+
+#endif  // PEPPER_ROUTER_HRF_ROUTER_H_

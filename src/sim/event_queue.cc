@@ -1,0 +1,26 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace pepper::sim {
+
+void EventQueue::Push(SimTime at, std::function<void()> fn) {
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::NextTime() const {
+  PEPPER_CHECK(!heap_.empty());
+  return heap_.top().at;
+}
+
+std::function<void()> EventQueue::Pop() {
+  PEPPER_CHECK(!heap_.empty());
+  // std::priority_queue::top() returns a const ref; the function object is
+  // moved out via const_cast, which is safe because the element is popped
+  // immediately afterwards.
+  auto fn = std::move(const_cast<Event&>(heap_.top()).fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace pepper::sim

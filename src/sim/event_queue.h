@@ -1,0 +1,46 @@
+#ifndef PEPPER_SIM_EVENT_QUEUE_H_
+#define PEPPER_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace pepper::sim {
+
+// Time-ordered event queue.  Ties are broken by insertion sequence so runs
+// are fully deterministic.
+class EventQueue {
+ public:
+  void Push(SimTime at, std::function<void()> fn);
+
+  bool Empty() const { return heap_.empty(); }
+  SimTime NextTime() const;
+
+  // Pops and returns the earliest event's action.
+  std::function<void()> Pop();
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace pepper::sim
+
+#endif  // PEPPER_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,45 @@
+#ifndef PEPPER_SIM_MESSAGE_H_
+#define PEPPER_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace pepper::sim {
+
+// Identifies a peer process.  Ids are dense and assigned by the Simulator.
+using NodeId = uint32_t;
+inline constexpr NodeId kNullNode = 0xffffffffu;
+
+// Virtual time, in microseconds.
+using SimTime = uint64_t;
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+
+// Base class for every protocol message body.  Concrete payloads are plain
+// structs; dispatch is by typeid (single-process simulation, so no
+// serialization is needed or wanted).
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+template <typename T, typename... Args>
+PayloadPtr MakePayload(Args&&... args) {
+  return std::make_shared<const T>(T{std::forward<Args>(args)...});
+}
+
+// A network message.  rpc_id == 0 marks a one-way message; otherwise the
+// message belongs to a request/response exchange.
+struct Message {
+  NodeId from = kNullNode;
+  NodeId to = kNullNode;
+  uint64_t rpc_id = 0;
+  bool is_response = false;
+  PayloadPtr payload;
+};
+
+}  // namespace pepper::sim
+
+#endif  // PEPPER_SIM_MESSAGE_H_

@@ -1,0 +1,113 @@
+#include "sim/node.h"
+
+#include "common/logging.h"
+
+namespace pepper::sim {
+
+Node::Node(Simulator* sim) : sim_(sim), id_(sim->Register(this)) {}
+
+Node::~Node() { sim_->Unregister(id_); }
+
+void Node::Fail() {
+  if (!alive_) return;
+  alive_ = false;
+  pending_.clear();
+  active_timers_.clear();
+  OnFail();
+}
+
+void Node::Send(NodeId to, PayloadPtr payload) {
+  if (!alive_) return;
+  Message msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.payload = std::move(payload);
+  sim_->network().Send(std::move(msg));
+}
+
+void Node::Call(NodeId to, PayloadPtr payload, ReplyFn on_reply,
+                SimTime timeout, TimeoutFn on_timeout) {
+  if (!alive_) return;
+  const uint64_t rpc_id = next_rpc_id_++;
+  pending_[rpc_id] = PendingCall{std::move(on_reply), std::move(on_timeout)};
+  After(timeout, [this, rpc_id]() {
+    auto it = pending_.find(rpc_id);
+    if (it == pending_.end()) return;  // already answered
+    TimeoutFn cb = std::move(it->second.on_timeout);
+    pending_.erase(it);
+    if (cb) cb();
+  });
+  Message msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.rpc_id = rpc_id;
+  msg.payload = std::move(payload);
+  sim_->network().Send(std::move(msg));
+}
+
+void Node::Reply(const Message& request, PayloadPtr payload) {
+  if (!alive_) return;
+  PEPPER_CHECK(request.rpc_id != 0 && !request.is_response);
+  Message msg;
+  msg.from = id_;
+  msg.to = request.from;
+  msg.rpc_id = request.rpc_id;
+  msg.is_response = true;
+  msg.payload = std::move(payload);
+  sim_->network().Send(std::move(msg));
+}
+
+void Node::After(SimTime delay, std::function<void()> fn) {
+  // The closure is only invoked if this node is still registered (ids are
+  // never reused) and alive, so callbacks cannot touch a destroyed node.
+  sim_->After(delay, [sim = sim_, id = id_, fn = std::move(fn)]() {
+    Node* self = sim->node(id);
+    if (self != nullptr && self->alive_) fn();
+  });
+}
+
+uint64_t Node::Every(SimTime period, std::function<void()> fn,
+                     SimTime initial_delay) {
+  const uint64_t timer_id = next_timer_id_++;
+  active_timers_.insert(timer_id);
+  ScheduleTick(timer_id, period, initial_delay, std::move(fn));
+  return timer_id;
+}
+
+void Node::ScheduleTick(uint64_t timer_id, SimTime period, SimTime delay,
+                        std::function<void()> fn) {
+  sim_->After(delay, [sim = sim_, id = id_, timer_id, period,
+                      fn = std::move(fn)]() mutable {
+    Node* self = sim->node(id);
+    if (self == nullptr || !self->alive_ ||
+        self->active_timers_.count(timer_id) == 0) {
+      return;
+    }
+    fn();
+    if (!self->alive_ || self->active_timers_.count(timer_id) == 0) return;
+    self->ScheduleTick(timer_id, period, period, std::move(fn));
+  });
+}
+
+void Node::CancelTimer(uint64_t timer_id) { active_timers_.erase(timer_id); }
+
+void Node::Deliver(const Message& msg) {
+  if (!alive_) return;
+  if (msg.is_response) {
+    auto it = pending_.find(msg.rpc_id);
+    if (it == pending_.end()) return;  // late reply after timeout: ignore
+    ReplyFn cb = std::move(it->second.on_reply);
+    pending_.erase(it);
+    if (cb) cb(msg);
+    return;
+  }
+  auto it = handlers_.find(std::type_index(typeid(*msg.payload)));
+  if (it == handlers_.end()) {
+    PEPPER_LOG(Warn) << "node " << id_ << ": unhandled payload type "
+                     << typeid(*msg.payload).name();
+    return;
+  }
+  it->second(msg);
+}
+
+}  // namespace pepper::sim

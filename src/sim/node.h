@@ -1,0 +1,94 @@
+#ifndef PEPPER_SIM_NODE_H_
+#define PEPPER_SIM_NODE_H_
+
+#include <functional>
+#include <typeindex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "sim/message.h"
+#include "sim/simulator.h"
+
+namespace pepper::sim {
+
+// Base class for a peer process.  Provides fail-stop semantics, alive-guarded
+// timers, one-way messaging, and an asynchronous request/response (RPC)
+// facility with timeouts — the substrate every protocol layer builds on.
+class Node {
+ public:
+  using ReplyFn = std::function<void(const Message&)>;
+  using TimeoutFn = std::function<void()>;
+
+  explicit Node(Simulator* sim);
+  virtual ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  bool alive() const { return alive_; }
+  Simulator* sim() const { return sim_; }
+  SimTime now() const { return sim_->now(); }
+
+  // Fail-stop: the node stops processing messages and timers permanently.
+  void Fail();
+
+  // Sends a one-way message.
+  void Send(NodeId to, PayloadPtr payload);
+
+  // Sends a request; exactly one of on_reply / on_timeout eventually runs
+  // (unless this node fails first, in which case neither does).
+  void Call(NodeId to, PayloadPtr payload, ReplyFn on_reply, SimTime timeout,
+            TimeoutFn on_timeout);
+
+  // Responds to a request received via a registered handler.
+  void Reply(const Message& request, PayloadPtr payload);
+
+  // Registers the handler for payloads of concrete type T.
+  template <typename T>
+  void On(std::function<void(const Message&, const T&)> handler) {
+    handlers_[std::type_index(typeid(T))] =
+        [handler = std::move(handler)](const Message& m) {
+          handler(m, static_cast<const T&>(*m.payload));
+        };
+  }
+
+  // Runs fn after the delay unless this node has failed by then.
+  void After(SimTime delay, std::function<void()> fn);
+
+  // Periodic timer with a deterministic id; stops on failure or cancel.
+  uint64_t Every(SimTime period, std::function<void()> fn,
+                 SimTime initial_delay);
+  void CancelTimer(uint64_t timer_id);
+
+  // Entry point used by the Network.
+  void Deliver(const Message& msg);
+
+ protected:
+  // Hook for subclasses; runs once when the node fails.
+  virtual void OnFail() {}
+
+ private:
+  void ScheduleTick(uint64_t timer_id, SimTime period, SimTime delay,
+                    std::function<void()> fn);
+
+  Simulator* sim_;
+  NodeId id_;
+  bool alive_ = true;
+
+  uint64_t next_rpc_id_ = 1;
+  struct PendingCall {
+    ReplyFn on_reply;
+    TimeoutFn on_timeout;
+  };
+  std::unordered_map<uint64_t, PendingCall> pending_;
+  std::unordered_map<std::type_index, std::function<void(const Message&)>>
+      handlers_;
+  uint64_t next_timer_id_ = 1;
+  std::unordered_set<uint64_t> active_timers_;
+};
+
+}  // namespace pepper::sim
+
+#endif  // PEPPER_SIM_NODE_H_

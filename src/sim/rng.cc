@@ -1,0 +1,34 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace pepper::sim {
+
+uint64_t Rng::Next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Uniform(uint64_t lo, uint64_t hi) {
+  if (lo >= hi) return lo;
+  const uint64_t span = hi - lo + 1;
+  // Modulo bias is negligible for the span sizes used here (span << 2^64).
+  return lo + (span == 0 ? Next() : Next() % span);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace pepper::sim

@@ -1,0 +1,39 @@
+#ifndef PEPPER_SIM_RNG_H_
+#define PEPPER_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace pepper::sim {
+
+// Deterministic pseudo-random source (splitmix64).  Every random choice in
+// the simulator flows through one of these so whole executions replay from a
+// seed, which is what makes the paper's concurrency theorems testable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] (inclusive).
+  uint64_t Uniform(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponentially distributed sample with the given mean (Poisson arrivals
+  // for the churn/item workloads).
+  double Exponential(double mean);
+
+  // Derives an independent child generator; used to give each peer its own
+  // stream so adding a peer does not perturb unrelated choices.
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pepper::sim
+
+#endif  // PEPPER_SIM_RNG_H_

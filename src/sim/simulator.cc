@@ -1,0 +1,83 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include <cstdio>
+#include <typeinfo>
+
+#include "common/logging.h"
+#include "sim/node.h"
+
+namespace pepper::sim {
+
+void Network::Send(Message msg) {
+  if (msg.to == kNullNode || msg.from == kNullNode) {
+    std::fprintf(stderr, "null endpoint: from=%u to=%u payload=%s\n",
+                 msg.from, msg.to,
+                 msg.payload ? typeid(*msg.payload).name() : "none");
+  }
+  PEPPER_CHECK(msg.from != kNullNode && msg.to != kNullNode);
+  ++messages_sent_;
+  const SimTime latency =
+      sim_->rng().Uniform(options_.min_latency, options_.max_latency);
+  SimTime deliver_at = sim_->now() + latency;
+  auto key = std::make_pair(msg.from, msg.to);
+  auto it = last_delivery_.find(key);
+  if (it != last_delivery_.end()) {
+    deliver_at = std::max(deliver_at, it->second);  // FIFO per channel
+  }
+  last_delivery_[key] = deliver_at;
+  sim_->At(deliver_at, [sim = sim_, msg = std::move(msg)]() {
+    Node* target = sim->node(msg.to);
+    if (target == nullptr || !target->alive()) return;  // fail-stop drop
+    target->Deliver(msg);
+  });
+}
+
+Simulator::Simulator(uint64_t seed, NetworkOptions net)
+    : rng_(seed), network_(this, net) {}
+
+void Simulator::At(SimTime t, std::function<void()> fn) {
+  PEPPER_CHECK(t >= now_);
+  queue_.Push(t, std::move(fn));
+}
+
+void Simulator::After(SimTime delay, std::function<void()> fn) {
+  queue_.Push(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) return false;
+  now_ = std::max(now_, queue_.NextTime());
+  auto fn = queue_.Pop();
+  fn();
+  return true;
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.Empty() && queue_.NextTime() <= t) {
+    Step();
+  }
+  now_ = std::max(now_, t);
+}
+
+NodeId Simulator::Register(Node* node) {
+  nodes_.push_back(node);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Simulator::Unregister(NodeId id) {
+  if (id < nodes_.size()) nodes_[id] = nullptr;
+}
+
+Node* Simulator::node(NodeId id) const {
+  if (id >= nodes_.size()) return nullptr;
+  return nodes_[id];
+}
+
+bool Simulator::IsAlive(NodeId id) const {
+  Node* n = node(id);
+  return n != nullptr && n->alive();
+}
+
+}  // namespace pepper::sim

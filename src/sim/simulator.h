@@ -1,0 +1,90 @@
+#ifndef PEPPER_SIM_SIMULATOR_H_
+#define PEPPER_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/event_queue.h"
+#include "sim/message.h"
+#include "sim/rng.h"
+
+namespace pepper::sim {
+
+class Node;
+class Simulator;
+
+// Point-to-point message transport with configurable latency.  Channels are
+// reliable, FIFO per (src, dst) pair, with bounded delay — the system model
+// of Section 2.1.  Messages addressed to a failed peer are dropped at
+// delivery time (fail-stop).
+struct NetworkOptions {
+  SimTime min_latency = 500 * kMicrosecond;   // LAN-like defaults
+  SimTime max_latency = 1500 * kMicrosecond;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, NetworkOptions options)
+      : sim_(sim), options_(options) {}
+
+  void Send(Message msg);
+
+  const NetworkOptions& options() const { return options_; }
+  void set_options(NetworkOptions options) { options_ = options; }
+  uint64_t messages_sent() const { return messages_sent_; }
+
+  // A delay that safely upper-bounds one round trip; protocol timeouts are
+  // derived from it.
+  SimTime RoundTripBound() const { return 2 * options_.max_latency + 2; }
+
+ private:
+  Simulator* sim_;
+  NetworkOptions options_;
+  uint64_t messages_sent_ = 0;
+  // Enforces per-channel FIFO even though per-message latency is random.
+  std::map<std::pair<NodeId, NodeId>, SimTime> last_delivery_;
+};
+
+// Single-threaded deterministic discrete-event simulator.  Peers are Node
+// actors; every handler runs atomically at a virtual instant, and all
+// concurrency between protocol steps is expressed as interleaving of events,
+// exactly the granularity at which the paper's histories are defined.
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed, NetworkOptions net = NetworkOptions());
+
+  SimTime now() const { return now_; }
+
+  void At(SimTime t, std::function<void()> fn);
+  void After(SimTime delay, std::function<void()> fn);
+
+  // Executes the next event; returns false if the queue is empty.
+  bool Step();
+  void RunFor(SimTime duration) { RunUntil(now_ + duration); }
+  void RunUntil(SimTime t);
+
+  Rng& rng() { return rng_; }
+  Network& network() { return network_; }
+  Counters& counters() { return counters_; }
+
+  NodeId Register(Node* node);
+  void Unregister(NodeId id);
+  Node* node(NodeId id) const;
+  bool IsAlive(NodeId id) const;
+  size_t num_registered() const { return nodes_.size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  Network network_;
+  Counters counters_;
+  std::vector<Node*> nodes_;  // index == NodeId; nullptr when destroyed
+};
+
+}  // namespace pepper::sim
+
+#endif  // PEPPER_SIM_SIMULATOR_H_

@@ -1,0 +1,123 @@
+#ifndef PEPPER_WORKLOAD_CLUSTER_H_
+#define PEPPER_WORKLOAD_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "datastore/data_store_node.h"
+#include "datastore/free_peer_pool.h"
+#include "history/oracle.h"
+#include "index/p2p_index.h"
+#include "replication/replication_manager.h"
+#include "ring/ring_checker.h"
+#include "ring/ring_node.h"
+#include "router/content_router.h"
+#include "router/hrf_router.h"
+#include "sim/simulator.h"
+
+namespace pepper::workload {
+
+// One fully wired peer: ring + data store + replication manager + content
+// router + P2P index, sharing a single simulated node.
+struct PeerStack {
+  std::unique_ptr<ring::RingNode> ring;
+  std::unique_ptr<datastore::DataStoreNode> ds;
+  std::unique_ptr<replication::ReplicationManager> repl;
+  std::unique_ptr<router::ContentRouter> router;
+  std::unique_ptr<index::P2PIndex> index;
+
+  sim::NodeId id() const { return ring->id(); }
+};
+
+struct ClusterOptions {
+  uint64_t seed = 42;
+  sim::NetworkOptions net;
+  ring::RingOptions ring;
+  datastore::DataStoreOptions ds;
+  replication::ReplicationOptions repl;
+  index::IndexOptions index;
+  router::RouterOptions router;
+  bool use_hrf_router = true;
+  sim::SimTime hrf_refresh_period = 2 * sim::kSecond;
+
+  // Paper defaults (Section 6.1): successor list 4, stabilization 4 s,
+  // sf = 5, replication factor 6.
+  static ClusterOptions PaperDefaults();
+  // Scaled-down timers for unit/integration tests.
+  static ClusterOptions FastDefaults();
+};
+
+// Owns the simulator, the peers, the free-peer pool, the metrics hub and the
+// correctness oracle; provides synchronous (simulated-time) drivers that the
+// tests, benches and examples share.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  sim::Simulator& sim() { return *sim_; }
+  MetricsHub& metrics() { return metrics_; }
+  history::LivenessOracle& oracle() { return *oracle_; }
+  datastore::FreePeerPool& pool() { return pool_; }
+  const ClusterOptions& options() const { return options_; }
+
+  // Creates the first peer (owns the whole key space).
+  PeerStack* Bootstrap(Key val);
+  // Creates a free peer; it enters the ring when some overflow splits with
+  // it (Section 2.3).
+  PeerStack* AddFreePeer();
+
+  // --- Synchronous drivers (advance simulated time until completion) ------
+  Status InsertItem(Key skv, const std::string& data = "",
+                    PeerStack* via = nullptr,
+                    sim::SimTime deadline = 30 * sim::kSecond);
+  Status DeleteItem(Key skv, PeerStack* via = nullptr,
+                    sim::SimTime deadline = 30 * sim::kSecond);
+
+  struct QueryOutcome {
+    Status status = Status::Internal("not finished");
+    std::vector<datastore::Item> items;
+    sim::SimTime started = 0;
+    sim::SimTime finished = 0;
+    // The oracle's verdict on this result (Definition 4).
+    history::LivenessOracle::QueryAudit audit;
+  };
+  QueryOutcome RangeQuery(const Span& span, PeerStack* via = nullptr,
+                          sim::SimTime deadline = 60 * sim::kSecond);
+
+  // Fail-stop crash of a peer (notifies the oracle).
+  void FailPeer(PeerStack* peer);
+
+  void RunFor(sim::SimTime d) { sim_->RunFor(d); }
+
+  // --- Observation ---------------------------------------------------------
+  const std::vector<std::unique_ptr<PeerStack>>& peers() const {
+    return peers_;
+  }
+  std::vector<PeerStack*> LiveMembers() const;  // alive, ring-joined, DS on
+  PeerStack* FindPeer(sim::NodeId id) const;
+  ring::RingAudit AuditRing() const;
+  history::LivenessOracle::AvailabilityAudit AuditAvailability() const {
+    return oracle_->CheckAvailability();
+  }
+  size_t TotalStoredItems() const;
+  // Any live member (deterministic round-robin for drivers).
+  PeerStack* SomeMember();
+
+ private:
+  PeerStack* MakeStack();
+
+  ClusterOptions options_;
+  MetricsHub metrics_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<history::LivenessOracle> oracle_;
+  datastore::FreePeerPool pool_;
+  std::vector<std::unique_ptr<PeerStack>> peers_;
+  size_t rr_cursor_ = 0;
+};
+
+}  // namespace pepper::workload
+
+#endif  // PEPPER_WORKLOAD_CLUSTER_H_

@@ -1,0 +1,125 @@
+#include "workload/workload.h"
+
+#include <cmath>
+
+namespace pepper::workload {
+
+ZipfGenerator::ZipfGenerator(size_t n, double theta, uint64_t seed)
+    : n_(n == 0 ? 1 : n), theta_(theta), zetan_(0.0), rng_(seed) {
+  for (size_t i = 1; i <= n_; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+}
+
+size_t ZipfGenerator::Next() {
+  // YCSB-style zipfian inversion.
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double zeta2 = 1.0 + std::pow(0.5, theta_);
+  const double alpha = 1.0 / (1.0 - theta_);
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+      (1.0 - zeta2 / zetan_);
+  auto rank = static_cast<size_t>(static_cast<double>(n_) *
+                                  std::pow(eta * u - eta + 1.0, alpha));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+WorkloadDriver::WorkloadDriver(Cluster* cluster, WorkloadOptions options,
+                               uint64_t seed)
+    : cluster_(cluster), options_(options), rng_(seed) {
+  if (options_.zipf_keys) {
+    zipf_ = std::make_unique<ZipfGenerator>(100000, options_.zipf_theta,
+                                            rng_.Next());
+  }
+}
+
+void WorkloadDriver::Start() {
+  running_ = true;
+  if (options_.insert_rate_per_sec > 0) ArmInsert();
+  if (options_.delete_rate_per_sec > 0) ArmDelete();
+  if (options_.peer_add_rate_per_sec > 0) ArmPeerAdd();
+  if (options_.fail_rate_per_sec > 0) ArmFail();
+}
+
+sim::SimTime WorkloadDriver::Arrival(double rate_per_sec) {
+  const double mean_us = 1e6 / rate_per_sec;
+  auto d = static_cast<sim::SimTime>(rng_.Exponential(mean_us));
+  return d == 0 ? 1 : d;
+}
+
+Key WorkloadDriver::NextKey() {
+  const Key span = options_.key_max - options_.key_min;
+  if (zipf_ != nullptr) {
+    // Map zipf ranks onto scattered key-space buckets so popular ranks
+    // cluster (skew) without colliding.
+    const size_t rank = zipf_->Next();
+    const Key bucket = options_.key_min +
+                       (static_cast<Key>(rank) * 2654435761u) % span;
+    return bucket;
+  }
+  return options_.key_min + rng_.Uniform(0, span);
+}
+
+void WorkloadDriver::ArmInsert() {
+  cluster_->sim().After(Arrival(options_.insert_rate_per_sec), [this]() {
+    if (!running_) return;
+    PeerStack* via = cluster_->SomeMember();
+    if (via != nullptr) {
+      const Key key = NextKey();
+      ++inserts_issued_;
+      inserted_keys_.push_back(key);
+      datastore::Item item;
+      item.skv = key;
+      item.data = "w";
+      auto* oracle = &cluster_->oracle();
+      via->index->InsertItem(item, [oracle, key](const Status& s) {
+        if (s.ok()) oracle->RegisterInsert(key);
+      });
+    }
+    ArmInsert();
+  });
+}
+
+void WorkloadDriver::ArmDelete() {
+  cluster_->sim().After(Arrival(options_.delete_rate_per_sec), [this]() {
+    if (!running_) return;
+    PeerStack* via = cluster_->SomeMember();
+    if (via != nullptr && !inserted_keys_.empty()) {
+      const size_t idx = rng_.Uniform(0, inserted_keys_.size() - 1);
+      const Key key = inserted_keys_[idx];
+      inserted_keys_.erase(inserted_keys_.begin() + static_cast<long>(idx));
+      ++deletes_issued_;
+      auto* oracle = &cluster_->oracle();
+      via->index->DeleteItem(key, [oracle, key](const Status& s) {
+        if (s.ok()) oracle->RegisterDelete(key);
+      });
+    }
+    ArmDelete();
+  });
+}
+
+void WorkloadDriver::ArmPeerAdd() {
+  cluster_->sim().After(Arrival(options_.peer_add_rate_per_sec), [this]() {
+    if (!running_) return;
+    cluster_->AddFreePeer();
+    ArmPeerAdd();
+  });
+}
+
+void WorkloadDriver::ArmFail() {
+  cluster_->sim().After(Arrival(options_.fail_rate_per_sec), [this]() {
+    if (!running_) return;
+    auto members = cluster_->LiveMembers();
+    if (members.size() > options_.min_live_members) {
+      const size_t idx = rng_.Uniform(0, members.size() - 1);
+      cluster_->FailPeer(members[idx]);
+      ++failures_injected_;
+    }
+    ArmFail();
+  });
+}
+
+}  // namespace pepper::workload

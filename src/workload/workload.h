@@ -1,0 +1,77 @@
+#ifndef PEPPER_WORKLOAD_WORKLOAD_H_
+#define PEPPER_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "workload/cluster.h"
+
+namespace pepper::workload {
+
+// Zipf-distributed ranks (skewed key popularity) via the classic
+// power-law inversion; rank 0 is the most popular.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double theta, uint64_t seed);
+  size_t Next();
+  size_t n() const { return n_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  double zetan_;
+  sim::Rng rng_;
+};
+
+// Open-loop workload driver reproducing the paper's Section 6.1 load: items
+// arrive at a fixed rate (default 2/s), peers arrive as free peers (default
+// 1 per 3 s), and in failure mode peers are killed at a configurable rate.
+// All arrivals are Poisson with the configured means.
+struct WorkloadOptions {
+  double insert_rate_per_sec = 2.0;
+  double delete_rate_per_sec = 0.0;
+  double peer_add_rate_per_sec = 1.0 / 3.0;
+  double fail_rate_per_sec = 0.0;  // failures per second (failure mode)
+  size_t min_live_members = 2;     // never fail below this population
+  Key key_min = 0;
+  Key key_max = 1000000;
+  bool zipf_keys = false;
+  double zipf_theta = 0.8;
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Cluster* cluster, WorkloadOptions options, uint64_t seed);
+
+  // Schedules the first arrivals; the driver then keeps re-arming itself on
+  // the cluster's simulator until Stop().
+  void Start();
+  void Stop() { running_ = false; }
+
+  const std::vector<Key>& inserted_keys() const { return inserted_keys_; }
+  size_t inserts_issued() const { return inserts_issued_; }
+  size_t deletes_issued() const { return deletes_issued_; }
+  size_t failures_injected() const { return failures_injected_; }
+
+ private:
+  void ArmInsert();
+  void ArmDelete();
+  void ArmPeerAdd();
+  void ArmFail();
+  sim::SimTime Arrival(double rate_per_sec);
+  Key NextKey();
+
+  Cluster* cluster_;
+  WorkloadOptions options_;
+  sim::Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  bool running_ = false;
+  std::vector<Key> inserted_keys_;
+  size_t inserts_issued_ = 0;
+  size_t deletes_issued_ = 0;
+  size_t failures_injected_ = 0;
+};
+
+}  // namespace pepper::workload
+
+#endif  // PEPPER_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,85 @@
+#ifndef PEPPER_TESTS_CLUSTER_TEST_UTIL_H_
+#define PEPPER_TESTS_CLUSTER_TEST_UTIL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "workload/cluster.h"
+
+namespace pepper::workload {
+
+// Result of checking that the active Data Store ranges partition the key
+// circle: pairwise disjoint and jointly complete.
+struct PartitionAudit {
+  bool ok = true;
+  std::vector<std::string> problems;
+};
+
+inline PartitionAudit AuditRangePartition(const Cluster& cluster) {
+  PartitionAudit audit;
+  std::vector<const PeerStack*> active;
+  for (const auto& p : cluster.peers()) {
+    if (p->ring->alive() && p->ds->active()) active.push_back(p.get());
+  }
+  if (active.empty()) {
+    audit.ok = false;
+    audit.problems.push_back("no active data stores");
+    return audit;
+  }
+  if (active.size() == 1) {
+    if (!active[0]->ds->range().full()) {
+      audit.ok = false;
+      audit.problems.push_back("single peer does not own the full circle");
+    }
+    return audit;
+  }
+  // With multiple peers: each range is (lo, hi]; the set of (lo, hi) pairs
+  // must chain: sorted by hi, each range's lo equals the previous range's
+  // hi (cyclically).
+  std::vector<std::pair<Key, Key>> ranges;  // (lo, hi)
+  for (const PeerStack* p : active) {
+    const RingRange& r = p->ds->range();
+    if (r.full()) {
+      audit.ok = false;
+      audit.problems.push_back("peer " + std::to_string(p->id()) +
+                               " claims the full circle among others");
+      return audit;
+    }
+    ranges.emplace_back(r.lo(), r.hi());
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    const auto& prev = ranges[(i + ranges.size() - 1) % ranges.size()];
+    if (ranges[i].first != prev.second) {
+      audit.ok = false;
+      audit.problems.push_back(
+          "gap/overlap: range (" + std::to_string(ranges[i].first) + ", " +
+          std::to_string(ranges[i].second) + "] does not start at previous " +
+          "hi " + std::to_string(prev.second));
+    }
+  }
+  return audit;
+}
+
+// Every stored item must lie in its holder's range.
+inline PartitionAudit AuditItemPlacement(const Cluster& cluster) {
+  PartitionAudit audit;
+  for (const auto& p : cluster.peers()) {
+    if (!p->ring->alive() || !p->ds->active()) continue;
+    for (const auto& kv : p->ds->items()) {
+      if (!p->ds->range().Contains(kv.first)) {
+        audit.ok = false;
+        audit.problems.push_back("peer " + std::to_string(p->id()) +
+                                 " holds out-of-range key " +
+                                 std::to_string(kv.first));
+      }
+    }
+  }
+  return audit;
+}
+
+}  // namespace pepper::workload
+
+#endif  // PEPPER_TESTS_CLUSTER_TEST_UTIL_H_

@@ -1,0 +1,154 @@
+#include "datastore/data_store_node.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.h"
+#include "workload/cluster.h"
+
+namespace pepper::workload {
+namespace {
+
+constexpr Key kKeySpan = 1000000;
+
+ClusterOptions TestOptions(uint64_t seed) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = seed;
+  return o;
+}
+
+TEST(DataStoreTest, SinglePeerStoresAndServes) {
+  Cluster c(TestOptions(1));
+  c.Bootstrap(kKeySpan);
+  c.RunFor(sim::kSecond);
+  ASSERT_TRUE(c.InsertItem(100).ok());
+  ASSERT_TRUE(c.InsertItem(200).ok());
+  EXPECT_EQ(c.TotalStoredItems(), 2u);
+  auto q = c.RangeQuery(Span{0, 1000});
+  EXPECT_TRUE(q.status.ok()) << q.status.ToString();
+  EXPECT_EQ(q.items.size(), 2u);
+  EXPECT_TRUE(q.audit.correct);
+}
+
+TEST(DataStoreTest, OverflowSplitsWithFreePeer) {
+  Cluster c(TestOptions(2));
+  c.Bootstrap(kKeySpan);
+  for (int i = 0; i < 4; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  // sf = 5: the 11th item overflows the lone peer.
+  for (Key k = 1; k <= 14; ++k) {
+    ASSERT_TRUE(c.InsertItem(k * 1000).ok()) << k;
+  }
+  c.RunFor(5 * sim::kSecond);
+  EXPECT_GE(c.LiveMembers().size(), 2u);
+  EXPECT_GT(c.metrics().counters().Get("ds.splits"), 0u);
+  EXPECT_EQ(c.TotalStoredItems(), 14u);
+
+  auto part = AuditRangePartition(c);
+  EXPECT_TRUE(part.ok) << (part.problems.empty() ? "" : part.problems[0]);
+  auto placement = AuditItemPlacement(c);
+  EXPECT_TRUE(placement.ok)
+      << (placement.problems.empty() ? "" : placement.problems[0]);
+}
+
+TEST(DataStoreTest, GrowthKeepsStorageBounded) {
+  Cluster c(TestOptions(3));
+  c.Bootstrap(kKeySpan);
+  for (int i = 0; i < 40; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  sim::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(c.InsertItem(rng.Uniform(0, kKeySpan)).ok()) << i;
+  }
+  c.RunFor(10 * sim::kSecond);
+
+  EXPECT_EQ(c.TotalStoredItems(), 200u);
+  const size_t sf = c.options().ds.storage_factor;
+  for (PeerStack* p : c.LiveMembers()) {
+    EXPECT_LE(p->ds->items().size(), 2 * sf)
+        << "peer " << p->id() << " overfull";
+  }
+  auto part = AuditRangePartition(c);
+  EXPECT_TRUE(part.ok) << (part.problems.empty() ? "" : part.problems[0]);
+  auto ring_audit = c.AuditRing();
+  EXPECT_TRUE(ring_audit.consistent)
+      << (ring_audit.violations.empty() ? "" : ring_audit.violations[0]);
+  EXPECT_TRUE(ring_audit.connected);
+}
+
+TEST(DataStoreTest, DeletionsTriggerMergeOrRedistribute) {
+  Cluster c(TestOptions(4));
+  c.Bootstrap(kKeySpan);
+  for (int i = 0; i < 20; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  std::vector<Key> keys;
+  sim::Rng rng(99);
+  for (int i = 0; i < 120; ++i) {
+    Key k = rng.Uniform(0, kKeySpan);
+    if (c.InsertItem(k).ok()) keys.push_back(k);
+  }
+  c.RunFor(5 * sim::kSecond);
+  const size_t peers_before = c.LiveMembers().size();
+  ASSERT_GT(peers_before, 3u);
+
+  // Delete most items: peers underflow, merge away, and return to the pool.
+  // Under cascading takeovers a few deletes may exhaust their retries; they
+  // must fail cleanly (never silently) and stay rare.
+  size_t deleted = 0;
+  for (size_t i = 0; i < keys.size() - 10; ++i) {
+    if (c.DeleteItem(keys[i]).ok()) ++deleted;
+  }
+  EXPECT_GE(deleted + 5, keys.size() - 10) << "too many deletes failed";
+  c.RunFor(20 * sim::kSecond);
+  const uint64_t merges = c.metrics().counters().Get("ds.merges");
+  const uint64_t redist = c.metrics().counters().Get("ds.redistributes");
+  EXPECT_GT(merges + redist, 0u);
+  EXPECT_LT(c.LiveMembers().size(), peers_before);
+  EXPECT_EQ(c.TotalStoredItems(), keys.size() - deleted);
+
+  auto part = AuditRangePartition(c);
+  EXPECT_TRUE(part.ok) << (part.problems.empty() ? "" : part.problems[0]);
+  auto placement = AuditItemPlacement(c);
+  EXPECT_TRUE(placement.ok)
+      << (placement.problems.empty() ? "" : placement.problems[0]);
+  auto avail = c.AuditAvailability();
+  EXPECT_TRUE(avail.ok) << avail.lost.size() << " items lost";
+}
+
+TEST(DataStoreTest, InsertRejectedOutsideRangeIsRetriedViaRouter) {
+  // Exercised implicitly everywhere; here we check the owner check itself.
+  Cluster c(TestOptions(5));
+  PeerStack* first = c.Bootstrap(kKeySpan);
+  c.RunFor(sim::kSecond);
+  datastore::Item item;
+  item.skv = 42;
+  EXPECT_TRUE(first->ds->InsertLocal(item).ok());
+  EXPECT_TRUE(first->ds->InsertLocal(item).ok());  // overwrite is fine
+  EXPECT_EQ(first->ds->items().size(), 1u);
+}
+
+TEST(DataStoreTest, ItemConservationUnderMixedLoad) {
+  Cluster c(TestOptions(6));
+  c.Bootstrap(kKeySpan);
+  for (int i = 0; i < 30; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  sim::Rng rng(5);
+  std::set<Key> expected;
+  for (int round = 0; round < 150; ++round) {
+    if (rng.NextDouble() < 0.7 || expected.empty()) {
+      Key k = rng.Uniform(0, kKeySpan);
+      if (c.InsertItem(k).ok()) expected.insert(k);
+    } else {
+      Key k = *expected.begin();
+      if (c.DeleteItem(k).ok()) expected.erase(k);
+    }
+  }
+  c.RunFor(10 * sim::kSecond);
+  EXPECT_EQ(c.TotalStoredItems(), expected.size());
+  auto q = c.RangeQuery(Span{0, kKeySpan});
+  ASSERT_TRUE(q.status.ok());
+  EXPECT_EQ(q.items.size(), expected.size());
+  EXPECT_TRUE(q.audit.correct);
+}
+
+}  // namespace
+}  // namespace pepper::workload

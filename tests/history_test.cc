@@ -1,0 +1,137 @@
+#include "history/history.h"
+
+#include <gtest/gtest.h>
+
+#include "history/oracle.h"
+#include "sim/simulator.h"
+
+namespace pepper::history {
+namespace {
+
+TEST(HistoryTest, IntervalOrderMatchesHappenedBefore) {
+  History h;
+  uint64_t a = h.Begin("a", 0);
+  h.End(a, 10);
+  uint64_t b = h.Begin("b", 10);
+  h.End(b, 20);
+  uint64_t c = h.Begin("c", 5);  // overlaps a and b
+  h.End(c, 15);
+
+  EXPECT_TRUE(h.HappenedBefore(a, b));
+  EXPECT_FALSE(h.HappenedBefore(b, a));
+  EXPECT_TRUE(h.Concurrent(a, c));
+  EXPECT_TRUE(h.Concurrent(b, c));
+  EXPECT_TRUE(h.HappenedBefore(a, a));  // reflexive
+}
+
+TEST(HistoryTest, UnfinishedOperationOrderedBeforeNothing) {
+  History h;
+  uint64_t a = h.Begin("a", 0);
+  uint64_t b = h.Begin("b", 100);
+  EXPECT_FALSE(h.HappenedBefore(a, b));
+  EXPECT_TRUE(h.Concurrent(a, b));
+}
+
+TEST(HistoryTest, TruncatedHistoryContainsOnlyPriorOps) {
+  History h;
+  uint64_t a = h.Begin("a", 0);
+  h.End(a, 10);
+  uint64_t b = h.Begin("b", 20);
+  h.End(b, 30);
+  uint64_t c = h.Begin("c", 25);  // concurrent with b
+  h.End(c, 35);
+
+  History hb = h.Truncate(b);
+  EXPECT_NE(hb.Find(a), nullptr);
+  EXPECT_NE(hb.Find(b), nullptr);
+  EXPECT_EQ(hb.Find(c), nullptr);
+}
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() : sim_(1), oracle_(&sim_) {}
+  sim::Simulator sim_;
+  LivenessOracle oracle_;
+};
+
+TEST_F(OracleTest, LivenessFollowsHolders) {
+  sim_.RunFor(100);
+  oracle_.OnStore(1, 42);
+  EXPECT_TRUE(oracle_.IsLiveNow(42));
+  sim_.RunFor(100);
+  oracle_.OnStore(2, 42);  // replica-promotion style double-hold
+  sim_.RunFor(100);
+  oracle_.OnDrop(1, 42);
+  EXPECT_TRUE(oracle_.IsLiveNow(42));
+  sim_.RunFor(100);
+  oracle_.OnDrop(2, 42);
+  EXPECT_FALSE(oracle_.IsLiveNow(42));
+
+  EXPECT_TRUE(oracle_.LiveThroughout(42, 150, 350));
+  EXPECT_FALSE(oracle_.LiveThroughout(42, 150, 450));
+  EXPECT_TRUE(oracle_.EverLiveIn(42, 350, 500));
+  EXPECT_FALSE(oracle_.EverLiveIn(42, 401, 500));
+}
+
+TEST_F(OracleTest, PeerFailureDropsItsItems) {
+  oracle_.OnStore(1, 10);
+  oracle_.OnStore(1, 20);
+  oracle_.OnStore(2, 20);
+  oracle_.OnPeerFailed(1);
+  EXPECT_FALSE(oracle_.IsLiveNow(10));
+  EXPECT_TRUE(oracle_.IsLiveNow(20));
+}
+
+TEST_F(OracleTest, QueryAuditFlagsMissingItems) {
+  sim_.RunFor(100);
+  oracle_.OnStore(1, 50);
+  oracle_.OnStore(1, 60);
+  sim_.RunFor(400);
+  // Query window [200, 300], range [0, 100]: both items live throughout.
+  auto audit = oracle_.CheckQuery(Span{0, 100}, 200, 300, {50});
+  EXPECT_FALSE(audit.correct);
+  ASSERT_EQ(audit.missing.size(), 1u);
+  EXPECT_EQ(audit.missing[0], 60u);
+  EXPECT_TRUE(audit.unexpected.empty());
+}
+
+TEST_F(OracleTest, QueryAuditFlagsUnexpectedItems) {
+  sim_.RunFor(100);
+  oracle_.OnStore(1, 50);
+  auto audit = oracle_.CheckQuery(Span{0, 100}, 150, 200, {50, 99});
+  EXPECT_FALSE(audit.correct);
+  ASSERT_EQ(audit.unexpected.size(), 1u);
+  EXPECT_EQ(audit.unexpected[0], 99u);
+}
+
+TEST_F(OracleTest, ItemsNotLiveThroughoutMayBeMissed) {
+  sim_.RunFor(100);
+  oracle_.OnStore(1, 50);
+  sim_.RunFor(100);
+  oracle_.OnDrop(1, 50);  // dies mid-window
+  auto audit = oracle_.CheckQuery(Span{0, 100}, 150, 300, {});
+  EXPECT_TRUE(audit.correct) << "Definition 4 condition 2 only constrains "
+                                "items live throughout the query";
+  // But returning it is also fine (condition 1: live at some point).
+  auto audit2 = oracle_.CheckQuery(Span{0, 100}, 150, 300, {50});
+  EXPECT_TRUE(audit2.correct);
+}
+
+TEST_F(OracleTest, AvailabilityAuditReportsLostItems) {
+  oracle_.OnStore(1, 7);
+  oracle_.RegisterInsert(7);
+  oracle_.OnStore(2, 8);
+  oracle_.RegisterInsert(8);
+  oracle_.RegisterDelete(8);
+  oracle_.OnDrop(2, 8);
+  EXPECT_TRUE(oracle_.CheckAvailability().ok);
+
+  oracle_.OnPeerFailed(1);  // 7 lost without delete
+  auto audit = oracle_.CheckAvailability();
+  EXPECT_FALSE(audit.ok);
+  ASSERT_EQ(audit.lost.size(), 1u);
+  EXPECT_EQ(audit.lost[0], 7u);
+}
+
+}  // namespace
+}  // namespace pepper::history

@@ -1,0 +1,142 @@
+#include "common/key_space.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pepper {
+namespace {
+
+constexpr Key kMax = std::numeric_limits<Key>::max();
+
+TEST(SpanTest, ContainsAndEmpty) {
+  Span s{10, 20};
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_TRUE(s.Contains(20));
+  EXPECT_TRUE(s.Contains(15));
+  EXPECT_FALSE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(21));
+  EXPECT_FALSE(s.Empty());
+  EXPECT_TRUE((Span{5, 4}).Empty());
+}
+
+TEST(RingRangeTest, SimpleArcContains) {
+  auto r = RingRange::OpenClosed(10, 20);  // (10, 20]
+  EXPECT_FALSE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(11));
+  EXPECT_TRUE(r.Contains(20));
+  EXPECT_FALSE(r.Contains(21));
+  EXPECT_FALSE(r.IsEmpty());
+}
+
+TEST(RingRangeTest, WrappingArcContains) {
+  auto r = RingRange::OpenClosed(20, 10);  // (20, 10] wrapping
+  EXPECT_TRUE(r.Contains(21));
+  EXPECT_TRUE(r.Contains(kMax));
+  EXPECT_TRUE(r.Contains(0));
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_FALSE(r.Contains(20));
+  EXPECT_FALSE(r.Contains(15));
+}
+
+TEST(RingRangeTest, FullAndEmpty) {
+  auto full = RingRange::Full(42);
+  EXPECT_TRUE(full.Contains(0));
+  EXPECT_TRUE(full.Contains(42));
+  EXPECT_TRUE(full.Contains(kMax));
+  EXPECT_FALSE(full.IsEmpty());
+
+  auto empty = RingRange::Empty();
+  EXPECT_FALSE(empty.Contains(0));
+  EXPECT_TRUE(empty.IsEmpty());
+}
+
+TEST(RingRangeTest, IntersectSimple) {
+  auto r = RingRange::OpenClosed(10, 20);
+  auto spans = r.IntersectClosed(Span{5, 15});
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{11, 15}));
+
+  spans = r.IntersectClosed(Span{15, 30});
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{15, 20}));
+
+  EXPECT_TRUE(r.IntersectClosed(Span{21, 30}).empty());
+  EXPECT_TRUE(r.IntersectClosed(Span{0, 10}).empty());
+}
+
+TEST(RingRangeTest, IntersectWrappingProducesTwoSpans) {
+  auto r = RingRange::OpenClosed(kMax - 10, 10);  // wraps past the top
+  auto spans = r.IntersectClosed(Span{0, kMax});
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0], (Span{0, 10}));
+  EXPECT_EQ(spans[1], (Span{kMax - 9, kMax}));
+}
+
+TEST(RingRangeTest, IntersectArcAnchoredAtMax) {
+  // (kMax, 10]: the wrap segment above kMax is empty.
+  auto r = RingRange::OpenClosed(kMax, 10);
+  auto spans = r.IntersectClosed(Span{0, kMax});
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{0, 10}));
+}
+
+TEST(RingRangeTest, IntersectsPredicate) {
+  auto r = RingRange::OpenClosed(10, 20);
+  EXPECT_TRUE(r.Intersects(Span{20, 25}));
+  EXPECT_FALSE(r.Intersects(Span{21, 25}));
+  EXPECT_TRUE(r.Intersects(Span{0, 11}));
+  EXPECT_FALSE(r.Intersects(Span{0, 10}));
+}
+
+TEST(InArcTest, Basic) {
+  EXPECT_TRUE(InArc(10, 15, 20));
+  EXPECT_TRUE(InArc(10, 20, 20));
+  EXPECT_FALSE(InArc(10, 10, 20));
+  EXPECT_FALSE(InArc(10, 25, 20));
+  // Wrapping arc (20, 10]
+  EXPECT_TRUE(InArc(20, 25, 10));
+  EXPECT_TRUE(InArc(20, 5, 10));
+  EXPECT_FALSE(InArc(20, 15, 10));
+  // Full circle
+  EXPECT_TRUE(InArc(7, 1000, 7));
+}
+
+TEST(SpanCoverageTest, CompletesWithAdjacentPieces) {
+  SpanCoverage cov(Span{10, 30});
+  EXPECT_FALSE(cov.Complete());
+  cov.Add(Span{10, 15});
+  EXPECT_FALSE(cov.Complete());
+  cov.Add(Span{21, 30});
+  EXPECT_FALSE(cov.Complete());
+  cov.Add(Span{16, 20});
+  EXPECT_TRUE(cov.Complete());
+  EXPECT_FALSE(cov.saw_overlap());
+}
+
+TEST(SpanCoverageTest, DetectsOverlap) {
+  SpanCoverage cov(Span{0, 100});
+  cov.Add(Span{0, 50});
+  cov.Add(Span{50, 100});  // 50 covered twice
+  EXPECT_TRUE(cov.saw_overlap());
+  EXPECT_TRUE(cov.Complete());
+}
+
+TEST(SpanCoverageTest, HoleNeverCompletes) {
+  SpanCoverage cov(Span{0, 100});
+  cov.Add(Span{0, 40});
+  cov.Add(Span{42, 100});
+  EXPECT_FALSE(cov.Complete());
+  EXPECT_EQ(cov.merged().size(), 2u);
+}
+
+TEST(SpanCoverageTest, TopOfDomainAdjacency) {
+  SpanCoverage cov(Span{kMax - 5, kMax});
+  cov.Add(Span{kMax - 5, kMax - 1});
+  cov.Add(Span{kMax, kMax});
+  EXPECT_TRUE(cov.Complete());
+  EXPECT_FALSE(cov.saw_overlap());
+}
+
+}  // namespace
+}  // namespace pepper

@@ -1,0 +1,85 @@
+#include "datastore/range_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pepper::datastore {
+namespace {
+
+TEST(RangeLockTest, ReadersShare) {
+  RangeLock lock;
+  int granted = 0;
+  lock.AcquireRead([&] { ++granted; });
+  lock.AcquireRead([&] { ++granted; });
+  lock.AcquireRead([&] { ++granted; });
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(lock.readers(), 3u);
+  lock.ReleaseRead();
+  lock.ReleaseRead();
+  lock.ReleaseRead();
+  EXPECT_EQ(lock.readers(), 0u);
+}
+
+TEST(RangeLockTest, WriterExcludesReadersAndWriters) {
+  RangeLock lock;
+  bool w1 = false, w2 = false, r1 = false;
+  lock.AcquireWrite([&] { w1 = true; });
+  EXPECT_TRUE(w1);
+  lock.AcquireWrite([&] { w2 = true; });
+  lock.AcquireRead([&] { r1 = true; });
+  EXPECT_FALSE(w2);
+  EXPECT_FALSE(r1);
+  lock.ReleaseWrite();
+  // Queued readers are released first (read preference), then the writer
+  // would still be blocked by them.
+  EXPECT_TRUE(r1);
+  EXPECT_FALSE(w2);
+  lock.ReleaseRead();
+  EXPECT_TRUE(w2);
+  lock.ReleaseWrite();
+}
+
+TEST(RangeLockTest, WriterWaitsForReaders) {
+  RangeLock lock;
+  bool w = false;
+  lock.AcquireRead([] {});
+  lock.AcquireRead([] {});
+  lock.AcquireWrite([&] { w = true; });
+  EXPECT_FALSE(w);
+  lock.ReleaseRead();
+  EXPECT_FALSE(w);
+  lock.ReleaseRead();
+  EXPECT_TRUE(w);
+}
+
+TEST(RangeLockTest, ReadersPreferredOverQueuedWriters) {
+  // A new reader must be granted while a writer is queued behind existing
+  // readers — this is what keeps ring-spanning scan chains deadlock-free.
+  RangeLock lock;
+  bool w = false, late_reader = false;
+  lock.AcquireRead([] {});
+  lock.AcquireWrite([&] { w = true; });
+  EXPECT_FALSE(w);
+  lock.AcquireRead([&] { late_reader = true; });
+  EXPECT_TRUE(late_reader);
+  lock.ReleaseRead();
+  EXPECT_FALSE(w);
+  lock.ReleaseRead();
+  EXPECT_TRUE(w);
+}
+
+TEST(RangeLockTest, WritersQueueFifo) {
+  RangeLock lock;
+  std::vector<int> order;
+  lock.AcquireWrite([&] { order.push_back(1); });
+  lock.AcquireWrite([&] { order.push_back(2); });
+  lock.AcquireWrite([&] { order.push_back(3); });
+  lock.ReleaseWrite();
+  lock.ReleaseWrite();
+  lock.ReleaseWrite();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace pepper::datastore

@@ -1,0 +1,173 @@
+#include "replication/replication_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.h"
+#include "workload/cluster.h"
+#include "workload/workload.h"
+
+namespace pepper::workload {
+namespace {
+
+constexpr Key kKeySpan = 1000000;
+
+ClusterOptions TestOptions(uint64_t seed) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = seed;
+  return o;
+}
+
+void Populate(Cluster& c, int n_items, uint64_t seed,
+              std::vector<Key>* keys = nullptr) {
+  c.Bootstrap(kKeySpan);
+  for (int i = 0; i < n_items / 5 + 4; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  sim::Rng rng(seed);
+  for (int i = 0; i < n_items; ++i) {
+    Key k = rng.Uniform(0, kKeySpan);
+    if (c.InsertItem(k).ok() && keys != nullptr) keys->push_back(k);
+  }
+  c.RunFor(5 * sim::kSecond);
+}
+
+// Counts, for one key, how many peers hold it (owner or replica).
+size_t CopiesOf(const Cluster& c, Key skv) {
+  size_t copies = 0;
+  for (const auto& p : c.peers()) {
+    if (!p->ring->alive()) continue;
+    if (p->ds->active() && p->ds->items().count(skv) > 0) ++copies;
+    if (p->repl->HoldsReplica(skv)) ++copies;
+  }
+  return copies;
+}
+
+TEST(ReplicationTest, ItemsReachTheConfiguredReplicaCount) {
+  ClusterOptions o = TestOptions(51);
+  o.repl.replication_factor = 3;
+  Cluster c(o);
+  std::vector<Key> keys;
+  Populate(c, 100, 9, &keys);
+  c.RunFor(3 * sim::kSecond);  // several refresh rounds
+  const size_t members = c.LiveMembers().size();
+  ASSERT_GE(members, 6u);
+  for (Key k : keys) {
+    // Owner + up to k successors (k=3), bounded by ring size.
+    EXPECT_GE(CopiesOf(c, k), std::min<size_t>(3, members))
+        << "key " << k << " under-replicated";
+  }
+}
+
+TEST(ReplicationTest, FailedPeersItemsAreRevived) {
+  Cluster c(TestOptions(52));
+  std::vector<Key> keys;
+  Populate(c, 120, 19, &keys);
+  ASSERT_GE(c.LiveMembers().size(), 8u);
+  c.RunFor(3 * sim::kSecond);
+
+  // Kill three peers (fewer than the replication factor 6 between
+  // refreshes) and let the ring repair + revive.
+  auto members = c.LiveMembers();
+  c.FailPeer(members[1]);
+  c.FailPeer(members[4]);
+  c.FailPeer(members[7]);
+  c.RunFor(10 * sim::kSecond);
+
+  auto avail = c.AuditAvailability();
+  EXPECT_TRUE(avail.ok) << avail.lost.size() << " items lost, e.g. key "
+                        << (avail.lost.empty() ? 0 : avail.lost[0]);
+  EXPECT_GT(c.metrics().counters().Get("ds.revived_items"), 0u);
+
+  // And the items are queryable again.
+  auto q = c.RangeQuery(Span{0, kKeySpan});
+  ASSERT_TRUE(q.status.ok());
+  EXPECT_TRUE(q.audit.correct);
+}
+
+TEST(ReplicationTest, SequentialFailuresWithinReplicationSlackLoseNothing) {
+  Cluster c(TestOptions(53));
+  std::vector<Key> keys;
+  Populate(c, 100, 23, &keys);
+  c.RunFor(3 * sim::kSecond);
+  // Kill peers one at a time with recovery gaps: replication factor 6
+  // easily covers this.
+  for (int round = 0; round < 5; ++round) {
+    auto members = c.LiveMembers();
+    if (members.size() <= 4) break;
+    c.FailPeer(members[members.size() / 2]);
+    c.RunFor(5 * sim::kSecond);
+  }
+  auto avail = c.AuditAvailability();
+  EXPECT_TRUE(avail.ok) << avail.lost.size() << " items lost";
+}
+
+// Section 5.2: merges followed by a failure.  With the PEPPER
+// replicate-to-additional-hop no item is lost; with the naive departure
+// (no extra hop) the Figure 17 scenario costs items.
+TEST(ReplicationTest, MergePlusFailureAvailabilityPepperVsNaive) {
+  size_t pepper_lost = 0;
+  size_t naive_lost = 0;
+  for (bool pepper : {true, false}) {
+    size_t lost_total = 0;
+    for (uint64_t seed : {61, 62, 63, 64, 65}) {
+      ClusterOptions o = TestOptions(seed);
+      o.ds.pepper_availability = pepper;
+      // Tight replication (k=1) and slow refresh so the merge-failure
+      // window matters, exactly as in Figure 17.
+      o.repl.replication_factor = 1;
+      o.repl.refresh_period = 20 * sim::kSecond;
+      o.repl.push_delay = 10 * sim::kSecond;
+      Cluster c(o);
+      std::vector<Key> keys;
+      Populate(c, 120, seed, &keys);
+      ASSERT_GE(c.LiveMembers().size(), 8u);
+
+      // Force merges by deleting items, and right after each merge kill the
+      // absorbing successor before any replica refresh.
+      sim::Rng rng(seed);
+      const uint64_t merges_before = c.metrics().counters().Get("ds.merges");
+      size_t deleted = 0;
+      for (Key k : keys) {
+        if (deleted > keys.size() - 30) break;
+        if (c.DeleteItem(k).ok()) ++deleted;
+        const uint64_t merges_now = c.metrics().counters().Get("ds.merges");
+        if (merges_now > merges_before + 1) break;
+      }
+      // Kill a random member immediately (the "single failure").
+      auto members = c.LiveMembers();
+      if (!members.empty()) {
+        c.FailPeer(members[rng.Uniform(0, members.size() - 1)]);
+      }
+      c.RunFor(15 * sim::kSecond);
+      lost_total += c.AuditAvailability().lost.size();
+    }
+    if (pepper) {
+      pepper_lost = lost_total;
+    } else {
+      naive_lost = lost_total;
+    }
+  }
+  // The PEPPER departure must never do worse than the naive one, and with
+  // k=1 the naive one is expected to lose items somewhere across the seeds.
+  EXPECT_LE(pepper_lost, naive_lost);
+  EXPECT_GT(naive_lost, 0u)
+      << "naive merge departure unexpectedly lost nothing";
+  EXPECT_EQ(pepper_lost, 0u);
+}
+
+TEST(ReplicationTest, ExtraHopRunsOnMergeDepartures) {
+  Cluster c(TestOptions(54));
+  std::vector<Key> keys;
+  Populate(c, 120, 29, &keys);
+  size_t deleted = 0;
+  for (size_t i = 0; i + 10 < keys.size(); ++i) {
+    if (c.DeleteItem(keys[i]).ok()) ++deleted;
+  }
+  EXPECT_GE(deleted + 5, keys.size() - 10);
+  c.RunFor(10 * sim::kSecond);
+  const uint64_t merges = c.metrics().counters().Get("ds.merges");
+  ASSERT_GT(merges, 0u);
+  EXPECT_GE(c.metrics().counters().Get("repl.extra_hop_ops"), merges);
+}
+
+}  // namespace
+}  // namespace pepper::workload

@@ -1,0 +1,165 @@
+// Unit-level Replication Manager behaviours: push hop counting, group
+// refresh/aging, seeds to new successors, and revival feeds.
+
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.h"
+#include "replication/replication_manager.h"
+#include "workload/cluster.h"
+
+namespace pepper::workload {
+namespace {
+
+ClusterOptions TestOptions(uint64_t seed, size_t k) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = seed;
+  o.repl.replication_factor = k;
+  return o;
+}
+
+void Grow(Cluster& c, int items, uint64_t seed) {
+  c.Bootstrap(1000000);
+  for (int i = 0; i < items / 5 + 4; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  sim::Rng rng(seed);
+  for (int i = 0; i < items; ++i) {
+    ASSERT_TRUE(c.InsertItem(rng.Uniform(0, 1000000)).ok());
+  }
+  c.RunFor(5 * sim::kSecond);
+}
+
+// Counts how many peers hold a replica group for `owner`.
+size_t GroupHolders(const Cluster& c, sim::NodeId owner) {
+  size_t n = 0;
+  for (const auto& p : c.peers()) {
+    if (p->ring->alive() && p->repl->groups().count(owner) > 0) ++n;
+  }
+  return n;
+}
+
+TEST(ReplicationUnitTest, PushReachesExactlyKSuccessors) {
+  // Former successors (displaced by splits) keep stale copies until the
+  // group TTL prunes them; after quiescing past the TTL, exactly the k
+  // current successors hold each owner's group.
+  ClusterOptions o = TestOptions(1, /*k=*/3);
+  o.repl.group_ttl = 2 * sim::kSecond;
+  Cluster c(o);
+  Grow(c, 100, 3);
+  c.RunFor(6 * sim::kSecond);  // several TTL sweeps
+  const size_t members = c.LiveMembers().size();
+  ASSERT_GE(members, 8u);
+  for (PeerStack* p : c.LiveMembers()) {
+    EXPECT_EQ(GroupHolders(c, p->id()), 3u)
+        << "owner " << p->id() << " group fan-out";
+  }
+}
+
+TEST(ReplicationUnitTest, ReplicationFactorOneMeansOneHolder) {
+  ClusterOptions o = TestOptions(2, /*k=*/1);
+  o.repl.group_ttl = 2 * sim::kSecond;
+  Cluster c(o);
+  Grow(c, 80, 5);
+  c.RunFor(6 * sim::kSecond);
+  for (PeerStack* p : c.LiveMembers()) {
+    EXPECT_EQ(GroupHolders(c, p->id()), 1u);
+  }
+}
+
+TEST(ReplicationUnitTest, GroupsTrackOwnerDeletes) {
+  ClusterOptions opts = TestOptions(3, 3);
+  opts.repl.group_ttl = 2 * sim::kSecond;
+  Cluster c(opts);
+  Grow(c, 60, 7);
+  c.RunFor(6 * sim::kSecond);
+  // Pick an owner and one of its items.
+  PeerStack* owner = c.LiveMembers()[2];
+  ASSERT_FALSE(owner->ds->items().empty());
+  const Key victim = owner->ds->items().begin()->first;
+  ASSERT_TRUE(c.DeleteItem(victim).ok());
+  c.RunFor(2 * sim::kSecond);  // refresh replaces snapshots
+  for (const auto& p : c.peers()) {
+    if (!p->ring->alive()) continue;
+    auto it = p->repl->groups().find(owner->id());
+    if (it != p->repl->groups().end()) {
+      EXPECT_EQ(it->second.items.count(victim), 0u)
+          << "stale replica of deleted item at peer " << p->id();
+    }
+  }
+}
+
+TEST(ReplicationUnitTest, StaleGroupsAgeOut) {
+  ClusterOptions o = TestOptions(4, 3);
+  o.repl.group_ttl = 2 * sim::kSecond;
+  Cluster c(o);
+  Grow(c, 80, 9);
+  c.RunFor(2 * sim::kSecond);
+  auto members = c.LiveMembers();
+  PeerStack* doomed = members[1];
+  const sim::NodeId doomed_id = doomed->id();
+  ASSERT_GT(GroupHolders(c, doomed_id), 0u);
+  c.FailPeer(doomed);
+  // After revival the failed owner never refreshes; its groups age out.
+  c.RunFor(10 * sim::kSecond);
+  EXPECT_EQ(GroupHolders(c, doomed_id), 0u);
+}
+
+TEST(ReplicationUnitTest, NewSuccessorReceivesSeedOnFirstContact) {
+  // When a fresh peer joins (split), its predecessor pushes a replica seed
+  // through the stabilization piggyback — the new peer can revive its
+  // predecessor's items immediately, without waiting for a refresh cycle.
+  ClusterOptions o = TestOptions(5, 2);
+  o.repl.refresh_period = 30 * sim::kSecond;  // no periodic help
+  Cluster c(o);
+  c.Bootstrap(1000000);
+  c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  for (Key k = 1; k <= 11; ++k) {
+    ASSERT_TRUE(c.InsertItem(k * 10).ok());
+  }
+  c.RunFor(5 * sim::kSecond);
+  ASSERT_EQ(c.LiveMembers().size(), 2u);
+  // Each of the two peers should know the other's group via the seed (the
+  // split handoff inserter data plus first-contact stabilization info).
+  PeerStack* a = c.LiveMembers()[0];
+  PeerStack* b = c.LiveMembers()[1];
+  EXPECT_TRUE(a->repl->groups().count(b->id()) > 0 ||
+              b->repl->groups().count(a->id()) > 0);
+  c.RunFor(2 * sim::kSecond);
+}
+
+TEST(ReplicationUnitTest, RevivedItemsServeQueriesWithoutRefreshWindow) {
+  // Kill an owner right after a push: the successor's group is current and
+  // the revival must restore every item.
+  Cluster c(TestOptions(6, 4));
+  Grow(c, 100, 11);
+  c.RunFor(3 * sim::kSecond);
+  PeerStack* victim = c.LiveMembers()[4];
+  const size_t victim_items = victim->ds->items().size();
+  ASSERT_GT(victim_items, 0u);
+  c.FailPeer(victim);
+  c.RunFor(8 * sim::kSecond);
+  EXPECT_TRUE(c.AuditAvailability().ok);
+  auto q = c.RangeQuery(Span{0, 1000000});
+  ASSERT_TRUE(q.status.ok());
+  EXPECT_TRUE(q.audit.correct);
+}
+
+TEST(ReplicationUnitTest, CollectReplicasInFiltersByArc) {
+  Cluster c(TestOptions(7, 3));
+  Grow(c, 80, 13);
+  c.RunFor(3 * sim::kSecond);
+  for (PeerStack* p : c.LiveMembers()) {
+    // Everything collected from a narrow arc must lie inside it.
+    const RingRange arc = RingRange::OpenClosed(100000, 200000);
+    for (const auto& item : p->repl->CollectReplicasIn(arc)) {
+      EXPECT_TRUE(arc.Contains(item.skv));
+    }
+    // Owners listed for an arc must have their values inside it.
+    for (const auto& owner : p->repl->GroupOwnersIn(arc)) {
+      EXPECT_TRUE(arc.Contains(owner.second));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pepper::workload

@@ -1,0 +1,241 @@
+// Edge-case ring behaviours beyond the main protocol suite: value changes
+// (redistribute), departure semantics, rectify, and insert abort paths.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ring/ring_checker.h"
+#include "ring/ring_node.h"
+#include "sim/simulator.h"
+
+namespace pepper::ring {
+namespace {
+
+RingOptions FastOptions() {
+  RingOptions o;
+  o.succ_list_length = 4;
+  o.stabilization_period = 200 * sim::kMillisecond;
+  o.ping_period = 100 * sim::kMillisecond;
+  o.rpc_timeout = 20 * sim::kMillisecond;
+  o.ping_timeout = 20 * sim::kMillisecond;
+  o.insert_ack_timeout = 2 * sim::kSecond;
+  o.leave_ack_timeout = 2 * sim::kSecond;
+  o.pred_ttl = 1 * sim::kSecond;
+  return o;
+}
+
+struct Harness {
+  explicit Harness(uint64_t seed, RingOptions o = FastOptions())
+      : simulator(seed), options(o) {}
+
+  RingNode* Make(Key val) {
+    nodes.push_back(std::make_unique<RingNode>(&simulator, val, options));
+    return nodes.back().get();
+  }
+
+  Status JoinVia(RingNode* inserter, RingNode* peer,
+                 sim::SimTime deadline = 30 * sim::kSecond) {
+    struct St {
+      bool done = false;
+      Status status;
+    };
+    auto st = std::make_shared<St>();
+    inserter->InsertSucc(peer->id(), peer->val(), nullptr,
+                         [st](const Status& s) {
+                           st->done = true;
+                           st->status = s;
+                         });
+    const sim::SimTime give_up = simulator.now() + deadline;
+    while (!st->done && simulator.now() < give_up) {
+      if (!simulator.Step()) break;
+    }
+    return st->done ? st->status : Status::TimedOut("harness");
+  }
+
+  sim::Simulator simulator;
+  RingOptions options;
+  std::vector<std::unique_ptr<RingNode>> nodes;
+};
+
+TEST(RingEdgeTest, ValChangePropagatesThroughStabilization) {
+  Harness h(1);
+  RingNode* a = h.Make(100);
+  a->InitRing();
+  RingNode* b = h.Make(200);
+  ASSERT_TRUE(h.JoinVia(a, b).ok());
+  h.simulator.RunFor(2 * sim::kSecond);
+
+  // b's value grows (Data Store redistribute); a's entry must follow.
+  b->set_val(250);
+  h.simulator.RunFor(2 * sim::kSecond);
+  auto succ = a->GetSucc();
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ(succ->id, b->id());
+  EXPECT_EQ(succ->val, 250u);
+  EXPECT_EQ(a->pred_val(), 250u);  // b is also a's predecessor (n=2)
+}
+
+TEST(RingEdgeTest, DepartedPeerStopsAnsweringAndIsDropped) {
+  Harness h(2);
+  RingNode* a = h.Make(100);
+  a->InitRing();
+  RingNode* b = h.Make(200);
+  RingNode* c = h.Make(300);
+  ASSERT_TRUE(h.JoinVia(a, b).ok());
+  ASSERT_TRUE(h.JoinVia(b, c).ok());
+  h.simulator.RunFor(2 * sim::kSecond);
+
+  struct St {
+    bool done = false;
+    Status status;
+  };
+  auto st = std::make_shared<St>();
+  b->Leave([st](const Status& s) {
+    st->done = true;
+    st->status = s;
+  });
+  while (!st->done) ASSERT_TRUE(h.simulator.Step());
+  ASSERT_TRUE(st->status.ok());
+  b->Depart();
+  EXPECT_EQ(b->state(), PeerState::kFree);
+  h.simulator.RunFor(3 * sim::kSecond);
+
+  // a's successor is now c; b is out of every list.
+  auto succ = a->GetSucc();
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ(succ->id, c->id());
+  EXPECT_FALSE(a->succ_list().Contains(b->id()));
+  EXPECT_FALSE(c->succ_list().Contains(b->id()));
+}
+
+TEST(RingEdgeTest, InsertAbortsWhenJoiningPeerIsDead) {
+  Harness h(3);
+  RingNode* a = h.Make(100);
+  a->InitRing();
+  RingNode* b = h.Make(200);
+  ASSERT_TRUE(h.JoinVia(a, b).ok());
+  h.simulator.RunFor(2 * sim::kSecond);
+
+  RingNode* dead = h.Make(150);
+  dead->Fail();
+  Status got = h.JoinVia(a, dead, 40 * sim::kSecond);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(a->state(), PeerState::kJoined);  // inserter recovered
+  EXPECT_FALSE(a->succ_list().Contains(dead->id()));
+  RingAudit audit = AuditRing({a, b, dead});
+  EXPECT_TRUE(audit.consistent);
+}
+
+TEST(RingEdgeTest, RectifyHealsSkippedSuccessor) {
+  // Force the pathological state: a's list loses knowledge of b (between a
+  // and c) — the ping reply's predecessor hint must bring it back.
+  Harness h(4);
+  RingNode* a = h.Make(100);
+  a->InitRing();
+  RingNode* b = h.Make(200);
+  RingNode* c = h.Make(300);
+  ASSERT_TRUE(h.JoinVia(a, b).ok());
+  ASSERT_TRUE(h.JoinVia(b, c).ok());
+  h.simulator.RunFor(2 * sim::kSecond);
+
+  // Surgery: wipe b from a's list (simulating knowledge destroyed by an
+  // aborted duplicate insert).
+  const_cast<SuccList&>(a->succ_list()).Remove(b->id());
+  ASSERT_FALSE(a->succ_list().Contains(b->id()));
+  h.simulator.RunFor(3 * sim::kSecond);
+
+  RingAudit audit = AuditRing({a, b, c});
+  EXPECT_TRUE(audit.consistent)
+      << (audit.violations.empty() ? "" : audit.violations[0]);
+  auto succ = a->GetSucc();
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ(succ->id, b->id());
+}
+
+TEST(RingEdgeTest, LeaveOnLonePeerCompletesImmediately) {
+  Harness h(5);
+  RingNode* a = h.Make(100);
+  a->InitRing();
+  h.simulator.RunFor(sim::kSecond);
+  bool done = false;
+  Status got;
+  a->Leave([&](const Status& s) {
+    done = true;
+    got = s;
+  });
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(got.ok());
+}
+
+TEST(RingEdgeTest, NaiveLeaveCompletesInstantlyWithoutCoordination) {
+  RingOptions naive = FastOptions();
+  naive.pepper_leave = false;
+  Harness h(6, naive);
+  RingNode* a = h.Make(100);
+  a->InitRing();
+  RingNode* b = h.Make(200);
+  ASSERT_TRUE(h.JoinVia(a, b).ok());
+  h.simulator.RunFor(2 * sim::kSecond);
+  bool done = false;
+  const sim::SimTime before = h.simulator.now();
+  b->Leave([&](const Status& s) {
+    done = true;
+    EXPECT_TRUE(s.ok());
+  });
+  EXPECT_TRUE(done);  // synchronous: no messages at all
+  EXPECT_EQ(h.simulator.now(), before);
+}
+
+TEST(RingEdgeTest, InsertRejectsPeerAlreadyInList) {
+  Harness h(7);
+  RingNode* a = h.Make(100);
+  a->InitRing();
+  RingNode* b = h.Make(200);
+  ASSERT_TRUE(h.JoinVia(a, b).ok());
+  h.simulator.RunFor(sim::kSecond);
+  bool done = false;
+  Status got;
+  a->InsertSucc(b->id(), 150, nullptr, [&](const Status& s) {
+    done = true;
+    got = s;
+  });
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(got.IsAlreadyExists());
+}
+
+TEST(RingEdgeTest, TwoPeerMutualLeaveLeavesOneStanding) {
+  Harness h(8);
+  RingNode* a = h.Make(100);
+  a->InitRing();
+  RingNode* b = h.Make(200);
+  ASSERT_TRUE(h.JoinVia(a, b).ok());
+  h.simulator.RunFor(2 * sim::kSecond);
+
+  struct St {
+    bool done = false;
+    Status status;
+  };
+  auto st = std::make_shared<St>();
+  b->Leave([st](const Status& s) {
+    st->done = true;
+    st->status = s;
+  });
+  const sim::SimTime give_up = h.simulator.now() + 30 * sim::kSecond;
+  while (!st->done && h.simulator.now() < give_up) {
+    ASSERT_TRUE(h.simulator.Step());
+  }
+  ASSERT_TRUE(st->done);
+  EXPECT_TRUE(st->status.ok());
+  b->Depart();
+  h.simulator.RunFor(3 * sim::kSecond);
+
+  // a is alone again: its own successor.
+  auto succ = a->GetSucc();
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ(succ->id, a->id());
+}
+
+}  // namespace
+}  // namespace pepper::ring

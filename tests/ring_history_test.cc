@@ -1,0 +1,118 @@
+// Tests for the abstract-ring-history validator (appendix Sections
+// 10.3-10.4): axiom checking and the induced successor function.
+
+#include "history/ring_history.h"
+
+#include <gtest/gtest.h>
+
+namespace pepper::history {
+namespace {
+
+TEST(RingHistoryTest, WellFormedSequentialGrowth) {
+  AbstractRingHistory h;
+  h.RecordInitRing(1, 0);
+  h.RecordInsert(1, 2, 10, 20);   // ring: 1 -> 2 -> 1
+  h.RecordInsert(2, 3, 30, 40);   // ring: 1 -> 2 -> 3 -> 1
+  h.RecordInsert(1, 4, 50, 60);   // 4 between 1 and 2
+  auto verdict = h.Validate();
+  EXPECT_TRUE(verdict.ok) << verdict.violations[0];
+
+  auto succ = h.InducedSuccessor();
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ((*succ)[1], 4u);
+  EXPECT_EQ((*succ)[4], 2u);
+  EXPECT_EQ((*succ)[2], 3u);
+  EXPECT_EQ((*succ)[3], 1u);
+}
+
+TEST(RingHistoryTest, LeaveAndFailSpliceOut) {
+  AbstractRingHistory h;
+  h.RecordInitRing(1, 0);
+  h.RecordInsert(1, 2, 10, 20);
+  h.RecordInsert(2, 3, 30, 40);
+  h.RecordLeave(2, 50);
+  auto succ = h.InducedSuccessor();
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ(succ->size(), 2u);
+  EXPECT_EQ((*succ)[1], 3u);
+  EXPECT_EQ((*succ)[3], 1u);
+
+  h.RecordFail(3, 60);
+  succ = h.InducedSuccessor();
+  ASSERT_TRUE(succ.has_value());
+  ASSERT_EQ(succ->size(), 1u);
+  EXPECT_EQ((*succ)[1], 1u);  // lone peer: self loop
+}
+
+TEST(RingHistoryTest, TwoFoundersRejected) {
+  AbstractRingHistory h;
+  h.RecordInitRing(1, 0);
+  h.RecordInitRing(2, 5);
+  EXPECT_FALSE(h.Validate().ok);
+  EXPECT_FALSE(h.InducedSuccessor().has_value());
+}
+
+TEST(RingHistoryTest, DoubleInsertRejected) {
+  AbstractRingHistory h;
+  h.RecordInitRing(1, 0);
+  h.RecordInsert(1, 2, 10, 20);
+  h.RecordInsert(1, 2, 30, 40);  // axiom 5: at most once
+  EXPECT_FALSE(h.Validate().ok);
+}
+
+TEST(RingHistoryTest, InserterMustBeJoinedFirst) {
+  AbstractRingHistory h;
+  h.RecordInitRing(1, 0);
+  h.RecordInsert(7, 2, 10, 20);  // 7 never joined
+  EXPECT_FALSE(h.Validate().ok);
+}
+
+TEST(RingHistoryTest, OverlappingInsertsBySamePeerRejected) {
+  AbstractRingHistory h;
+  h.RecordInitRing(1, 0);
+  h.RecordInsert(1, 2, 10, 30);
+  h.RecordInsert(1, 3, 20, 40);  // axiom 6: overlap
+  EXPECT_FALSE(h.Validate().ok);
+}
+
+TEST(RingHistoryTest, AtMostOneTerminalOperation) {
+  AbstractRingHistory h;
+  h.RecordInitRing(1, 0);
+  h.RecordInsert(1, 2, 10, 20);
+  h.RecordLeave(2, 30);
+  h.RecordFail(2, 40);  // axiom 7
+  EXPECT_FALSE(h.Validate().ok);
+}
+
+TEST(RingHistoryTest, TerminalBeforeJoinCompletedRejected) {
+  AbstractRingHistory h;
+  h.RecordInitRing(1, 0);
+  h.RecordInsert(1, 2, 10, 20);
+  AbstractRingHistory bad = h;
+  bad.RecordFail(2, 15);  // fails mid-insertion (axiom 8)
+  EXPECT_FALSE(bad.Validate().ok);
+  h.RecordFail(2, 25);
+  EXPECT_TRUE(h.Validate().ok);
+}
+
+TEST(RingHistoryTest, ConcurrentInsertsByDifferentPeersAreFine) {
+  AbstractRingHistory h;
+  h.RecordInitRing(1, 0);
+  h.RecordInsert(1, 2, 10, 20);
+  // 1 and 2 insert concurrently at different positions.
+  h.RecordInsert(1, 3, 30, 50);
+  h.RecordInsert(2, 4, 35, 45);
+  auto verdict = h.Validate();
+  EXPECT_TRUE(verdict.ok) << verdict.violations[0];
+  auto succ = h.InducedSuccessor();
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ(succ->size(), 4u);
+  // 4 completed first: 2 -> 4; then 3: 1 -> 3 (before 2).
+  EXPECT_EQ((*succ)[2], 4u);
+  EXPECT_EQ((*succ)[1], 3u);
+  EXPECT_EQ((*succ)[3], 2u);
+  EXPECT_EQ((*succ)[4], 1u);
+}
+
+}  // namespace
+}  // namespace pepper::history

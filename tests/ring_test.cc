@@ -1,0 +1,463 @@
+#include "ring/ring_node.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "ring/ring_checker.h"
+#include "sim/simulator.h"
+
+namespace pepper::ring {
+namespace {
+
+RingOptions FastOptions() {
+  RingOptions o;
+  o.succ_list_length = 4;
+  o.stabilization_period = 200 * sim::kMillisecond;
+  o.ping_period = 100 * sim::kMillisecond;
+  o.rpc_timeout = 20 * sim::kMillisecond;
+  o.ping_timeout = 20 * sim::kMillisecond;
+  o.insert_ack_timeout = 10 * sim::kSecond;
+  o.leave_ack_timeout = 10 * sim::kSecond;
+  o.pred_ttl = 2 * sim::kSecond;
+  return o;
+}
+
+// Drives a population of bare ring nodes (no higher layers).
+class RingHarness {
+ public:
+  struct OpState {
+    bool done = false;
+    Status result = Status::Internal("not finished");
+  };
+
+  explicit RingHarness(uint64_t seed, RingOptions options = FastOptions())
+      : sim_(seed), options_(options) {}
+
+  sim::Simulator& sim() { return sim_; }
+
+  RingNode* Make(Key val) {
+    nodes_.push_back(std::make_unique<RingNode>(&sim_, val, options_));
+    return nodes_.back().get();
+  }
+
+  RingNode* Bootstrap(Key val) {
+    RingNode* n = Make(val);
+    n->InitRing();
+    return n;
+  }
+
+  // The live JOINED peer that precedes `val` on the ring.
+  RingNode* PredOf(Key val) {
+    RingNode* best = nullptr;
+    RingNode* max_node = nullptr;
+    for (auto& n : nodes_) {
+      if (!n->alive() || n->state() != PeerState::kJoined) continue;
+      if (max_node == nullptr || n->val() > max_node->val()) max_node = n.get();
+      if (n->val() < val && (best == nullptr || n->val() > best->val())) {
+        best = n.get();
+      }
+    }
+    return best != nullptr ? best : max_node;
+  }
+
+  // Synchronously (in simulated time) joins a new peer at `val`; returns the
+  // final status.  Callback state is heap-allocated so a late-firing
+  // completion (after a deadline bail-out) stays safe.
+  Status Join(RingNode* peer, sim::SimTime deadline = 60 * sim::kSecond) {
+    const sim::SimTime give_up = sim_.now() + deadline;
+    while (sim_.now() < give_up) {
+      RingNode* pred = PredOf(peer->val());
+      if (pred == nullptr) {
+        peer->InitRing();
+        return Status::OK();
+      }
+      auto st = std::make_shared<OpState>();
+      pred->InsertSucc(peer->id(), peer->val(), nullptr,
+                       [st](const Status& s) {
+                         st->done = true;
+                         st->result = s;
+                       });
+      while (!st->done && sim_.now() < give_up) {
+        if (!sim_.Step()) return Status::Internal("simulation drained");
+      }
+      if (st->done && st->result.ok()) return st->result;
+      if (peer->state() == PeerState::kJoined) return Status::OK();
+      sim_.RunFor(50 * sim::kMillisecond);  // busy peer: retry
+    }
+    return Status::TimedOut("join deadline");
+  }
+
+  Status Leave(RingNode* peer, sim::SimTime deadline = 60 * sim::kSecond) {
+    const sim::SimTime give_up = sim_.now() + deadline;
+    auto st = std::make_shared<OpState>();
+    peer->Leave([st](const Status& s) {
+      st->done = true;
+      st->result = s;
+    });
+    while (!st->done && sim_.now() < give_up) {
+      if (!sim_.Step()) break;
+    }
+    return st->done ? st->result : Status::TimedOut("leave deadline");
+  }
+
+  std::vector<const RingNode*> AllNodes() const {
+    std::vector<const RingNode*> out;
+    for (auto& n : nodes_) out.push_back(n.get());
+    return out;
+  }
+
+  RingAudit Audit() const { return AuditRing(AllNodes()); }
+
+ private:
+  sim::Simulator sim_;
+  RingOptions options_;
+  std::vector<std::unique_ptr<RingNode>> nodes_;
+};
+
+TEST(RingNodeTest, SinglePeerIsItsOwnSuccessor) {
+  RingHarness h(1);
+  RingNode* a = h.Bootstrap(100);
+  h.sim().RunFor(sim::kSecond);
+  auto succ = a->GetSucc();
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ(succ->id, a->id());
+  EXPECT_EQ(a->state(), PeerState::kJoined);
+}
+
+TEST(RingNodeTest, TwoPeerRingForms) {
+  RingHarness h(2);
+  RingNode* a = h.Bootstrap(100);
+  RingNode* b = h.Make(200);
+  ASSERT_TRUE(h.Join(b).ok());
+  h.sim().RunFor(2 * sim::kSecond);
+  auto sa = a->GetSucc();
+  auto sb = b->GetSucc();
+  ASSERT_TRUE(sa.has_value());
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sa->id, b->id());
+  EXPECT_EQ(sb->id, a->id());
+  EXPECT_EQ(a->pred_id(), b->id());
+  EXPECT_EQ(b->pred_id(), a->id());
+}
+
+TEST(RingNodeTest, SequentialGrowthStaysConsistentAndConnected) {
+  RingHarness h(3);
+  h.Bootstrap(0);
+  for (int i = 1; i < 12; ++i) {
+    RingNode* n = h.Make(static_cast<Key>(i) * 1000);
+    ASSERT_TRUE(h.Join(n).ok()) << "join " << i;
+  }
+  h.sim().RunFor(3 * sim::kSecond);
+  RingAudit audit = h.Audit();
+  EXPECT_TRUE(audit.consistent)
+      << (audit.violations.empty() ? "" : audit.violations[0]);
+  EXPECT_TRUE(audit.connected);
+  EXPECT_EQ(audit.joined_peers, 12u);
+}
+
+TEST(RingNodeTest, SuccessorListsReachWindowLength) {
+  RingHarness h(4);
+  h.Bootstrap(0);
+  for (int i = 1; i < 10; ++i) {
+    RingNode* n = h.Make(static_cast<Key>(i) * 500);
+    ASSERT_TRUE(h.Join(n).ok());
+  }
+  h.sim().RunFor(5 * sim::kSecond);
+  for (const RingNode* n : h.AllNodes()) {
+    EXPECT_EQ(n->succ_list().JoinedCount(), 4u)
+        << "peer " << n->id() << " list " << n->succ_list().ToString();
+  }
+}
+
+// The central theorem of Section 4.3.1: with the PEPPER insertSucc, the ring
+// has consistent successor pointers at *every* instant, not only at
+// quiescence.  We audit after every simulator event during several inserts.
+TEST(RingNodeTest, ConsistencyHoldsAtEveryStepDuringInserts) {
+  RingHarness h(5);
+  h.Bootstrap(0);
+  for (int i = 1; i < 8; ++i) {
+    RingNode* n = h.Make(static_cast<Key>(i) * 1000);
+    ASSERT_TRUE(h.Join(n).ok());
+  }
+  h.sim().RunFor(2 * sim::kSecond);
+
+  for (int i = 0; i < 4; ++i) {
+    RingNode* n = h.Make(static_cast<Key>(i) * 1000 + 500);
+    RingNode* pred = h.PredOf(n->val());
+    ASSERT_NE(pred, nullptr);
+    bool done = false;
+    Status status;
+    pred->InsertSucc(n->id(), n->val(), nullptr, [&](const Status& s) {
+      done = true;
+      status = s;
+    });
+    while (!done) {
+      ASSERT_TRUE(h.sim().Step());
+      RingAudit audit = h.Audit();
+      ASSERT_TRUE(audit.consistent)
+          << "violation during insert of val " << n->val() << ": "
+          << (audit.violations.empty() ? "" : audit.violations[0]);
+    }
+    ASSERT_TRUE(status.ok());
+  }
+}
+
+// Reconstruction of the Figure 8/9 anomaly: with the naive insertSucc the
+// ring is inconsistent immediately after an insert, and a single failure
+// makes scans skip the new peer.
+TEST(RingNodeTest, NaiveInsertViolatesConsistency) {
+  RingOptions naive = FastOptions();
+  naive.pepper_insert = false;
+  naive.stabilization_period = 60 * sim::kSecond;  // repair never kicks in
+  RingHarness h(6, naive);
+  h.Bootstrap(5);
+  for (Key v : {10, 15, 18, 20}) {
+    RingNode* n = h.Make(v);
+    ASSERT_TRUE(h.Join(n).ok());
+  }
+  // Insert p with value 6 as successor of the peer at value 5.
+  RingNode* p = h.Make(6);
+  ASSERT_TRUE(h.Join(p).ok());
+  EXPECT_EQ(p->state(), PeerState::kJoined);
+
+  RingAudit audit = h.Audit();
+  EXPECT_FALSE(audit.consistent)
+      << "naive insert unexpectedly produced a consistent ring";
+}
+
+TEST(RingNodeTest, PepperInsertKeepsPointersConsistentInSameScenario) {
+  RingOptions opts = FastOptions();
+  opts.stabilization_period = 60 * sim::kSecond;  // rely on proactive path
+  RingHarness h(7, opts);
+  h.Bootstrap(5);
+  for (Key v : {10, 15, 18, 20}) {
+    RingNode* n = h.Make(v);
+    ASSERT_TRUE(h.Join(n).ok());
+  }
+  RingNode* p = h.Make(6);
+  ASSERT_TRUE(h.Join(p).ok());
+  RingAudit audit = h.Audit();
+  EXPECT_TRUE(audit.consistent)
+      << (audit.violations.empty() ? "" : audit.violations[0]);
+}
+
+TEST(RingNodeTest, RingRepairsAfterFailures) {
+  RingHarness h(8);
+  h.Bootstrap(0);
+  std::vector<RingNode*> nodes;
+  for (int i = 1; i < 10; ++i) {
+    RingNode* n = h.Make(static_cast<Key>(i) * 100);
+    ASSERT_TRUE(h.Join(n).ok());
+    nodes.push_back(n);
+  }
+  h.sim().RunFor(3 * sim::kSecond);
+  nodes[2]->Fail();
+  nodes[6]->Fail();
+  h.sim().RunFor(5 * sim::kSecond);
+  RingAudit audit = h.Audit();
+  EXPECT_TRUE(audit.consistent)
+      << (audit.violations.empty() ? "" : audit.violations[0]);
+  EXPECT_TRUE(audit.connected);
+  EXPECT_EQ(audit.joined_peers, 8u);
+}
+
+TEST(RingNodeTest, ConsistentLeaveThenDepart) {
+  RingHarness h(9);
+  h.Bootstrap(0);
+  std::vector<RingNode*> nodes;
+  for (int i = 1; i < 8; ++i) {
+    RingNode* n = h.Make(static_cast<Key>(i) * 100);
+    ASSERT_TRUE(h.Join(n).ok());
+    nodes.push_back(n);
+  }
+  h.sim().RunFor(3 * sim::kSecond);
+
+  RingNode* leaver = nodes[3];
+  ASSERT_TRUE(h.Leave(leaver).ok());
+  leaver->Depart();
+  h.sim().RunFor(3 * sim::kSecond);
+
+  RingAudit audit = h.Audit();
+  EXPECT_TRUE(audit.consistent)
+      << (audit.violations.empty() ? "" : audit.violations[0]);
+  EXPECT_TRUE(audit.connected);
+  EXPECT_EQ(audit.joined_peers, 7u);
+}
+
+// Reconstruction of the Figure 14 anomaly (Section 5.1): with the naive
+// leave, one failure right after a departure disconnects the ring; the
+// consistent leave tolerates it.
+TEST(RingNodeTest, NaiveLeavePlusOneFailureDisconnects) {
+  RingOptions naive = FastOptions();
+  naive.succ_list_length = 2;
+  naive.pepper_leave = false;
+  RingHarness h(10, naive);
+  h.Bootstrap(10);
+  std::vector<RingNode*> nodes;
+  for (Key v : {20, 30, 40, 50}) {
+    RingNode* n = h.Make(v);
+    ASSERT_TRUE(h.Join(n).ok());
+    nodes.push_back(n);
+  }
+  h.sim().RunFor(3 * sim::kSecond);
+
+  RingNode* c = nodes[1];  // val 30
+  RingNode* d = nodes[2];  // val 40: both successors of B(20)
+  ASSERT_TRUE(h.Leave(c).ok());
+  c->Depart();
+  d->Fail();  // the single failure
+  RingAudit audit = h.Audit();
+  EXPECT_FALSE(audit.connected)
+      << "naive leave unexpectedly survived leave+failure";
+}
+
+TEST(RingNodeTest, ConsistentLeaveSurvivesOneFailure) {
+  RingOptions opts = FastOptions();
+  opts.succ_list_length = 2;
+  RingHarness h(11, opts);
+  h.Bootstrap(10);
+  std::vector<RingNode*> nodes;
+  for (Key v : {20, 30, 40, 50}) {
+    RingNode* n = h.Make(v);
+    ASSERT_TRUE(h.Join(n).ok());
+    nodes.push_back(n);
+  }
+  h.sim().RunFor(3 * sim::kSecond);
+
+  RingNode* c = nodes[1];
+  RingNode* d = nodes[2];
+  ASSERT_TRUE(h.Leave(c).ok());
+  c->Depart();
+  d->Fail();
+  RingAudit audit = h.Audit();
+  EXPECT_TRUE(audit.connected)
+      << (audit.violations.empty() ? "" : audit.violations[0]);
+}
+
+TEST(RingNodeTest, BusyInserterRejectsSecondInsert) {
+  RingHarness h(12);
+  RingNode* a = h.Bootstrap(0);
+  for (int i = 1; i < 6; ++i) {
+    RingNode* n = h.Make(static_cast<Key>(i) * 100);
+    ASSERT_TRUE(h.Join(n).ok());
+  }
+  h.sim().RunFor(sim::kSecond);
+  RingNode* x = h.Make(50);
+  RingNode* y = h.Make(60);
+  Status sx, sy = Status::OK();
+  bool done_x = false, got_busy = false;
+  a->InsertSucc(x->id(), x->val(), nullptr, [&](const Status& s) {
+    done_x = true;
+    sx = s;
+  });
+  a->InsertSucc(y->id(), y->val(), nullptr, [&](const Status& s) {
+    sy = s;
+    got_busy = true;
+  });
+  EXPECT_TRUE(got_busy);
+  EXPECT_TRUE(sy.IsFailedPrecondition());
+  while (!done_x) ASSERT_TRUE(h.sim().Step());
+  EXPECT_TRUE(sx.ok());
+}
+
+TEST(RingNodeTest, GetSuccGatedOnStabilization) {
+  RingHarness h(13);
+  RingNode* a = h.Bootstrap(0);
+  for (int i = 1; i < 6; ++i) {
+    RingNode* n = h.Make(static_cast<Key>(i) * 100);
+    ASSERT_TRUE(h.Join(n).ok());
+  }
+  h.sim().RunFor(2 * sim::kSecond);
+  ASSERT_TRUE(a->GetSucc().has_value());
+
+  // Insert a new direct successor of a: until a stabilizes with it, GetSucc
+  // must return nothing (the STAB gate of Algorithm 21), while the relaxed
+  // accessor already exposes it.
+  RingNode* n = h.Make(50);
+  ASSERT_TRUE(h.Join(n).ok());
+  auto strict = a->GetSucc();
+  auto relaxed = a->GetSuccRelaxed();
+  ASSERT_TRUE(relaxed.has_value());
+  EXPECT_EQ(relaxed->id, n->id());
+  EXPECT_FALSE(strict.has_value());
+
+  h.sim().RunFor(2 * sim::kSecond);
+  strict = a->GetSucc();
+  ASSERT_TRUE(strict.has_value());
+  EXPECT_EQ(strict->id, n->id());
+}
+
+TEST(RingNodeTest, PredecessorHintsTrackRingOrder) {
+  RingHarness h(14);
+  h.Bootstrap(0);
+  std::vector<RingNode*> nodes;
+  for (int i = 1; i < 8; ++i) {
+    RingNode* n = h.Make(static_cast<Key>(i) * 100);
+    ASSERT_TRUE(h.Join(n).ok());
+    nodes.push_back(n);
+  }
+  h.sim().RunFor(3 * sim::kSecond);
+  std::vector<const RingNode*> all = h.AllNodes();
+  std::vector<const RingNode*> sorted(all.begin(), all.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RingNode* x, const RingNode* y) {
+              return x->val() < y->val();
+            });
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const RingNode* pred = sorted[(i + sorted.size() - 1) % sorted.size()];
+    EXPECT_EQ(sorted[i]->pred_id(), pred->id())
+        << "peer at val " << sorted[i]->val();
+  }
+}
+
+class RingChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property sweep: random interleavings of joins, graceful leaves and
+// failures must always converge back to a consistent, connected ring.
+TEST_P(RingChurnTest, RandomChurnConvergesToConsistentRing) {
+  const uint64_t seed = GetParam();
+  RingHarness h(seed);
+  h.sim().RunFor(10);
+  h.Bootstrap(0);
+  std::vector<RingNode*> members;
+
+  sim::Rng rng(seed * 7919 + 1);
+  Key next_val = 1;
+  for (int step = 0; step < 40; ++step) {
+    const double roll = rng.NextDouble();
+    size_t member_count = 1 + members.size();
+    if (roll < 0.55 || member_count < 4) {
+      RingNode* n = h.Make(next_val);
+      next_val += 1 + rng.Uniform(0, 999);
+      if (h.Join(n).ok()) members.push_back(n);
+    } else if (roll < 0.8 && !members.empty()) {
+      size_t idx = rng.Uniform(0, members.size() - 1);
+      RingNode* leaver = members[idx];
+      if (h.Leave(leaver).ok()) {
+        leaver->Depart();
+        members.erase(members.begin() + static_cast<long>(idx));
+      }
+    } else if (!members.empty()) {
+      size_t idx = rng.Uniform(0, members.size() - 1);
+      members[idx]->Fail();
+      members.erase(members.begin() + static_cast<long>(idx));
+    }
+    h.sim().RunFor(rng.Uniform(0, 300) * sim::kMillisecond);
+  }
+  h.sim().RunFor(10 * sim::kSecond);  // quiesce: repair completes
+  RingAudit audit = h.Audit();
+  EXPECT_TRUE(audit.consistent)
+      << "seed " << seed << ": "
+      << (audit.violations.empty() ? "" : audit.violations[0]);
+  EXPECT_TRUE(audit.connected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingChurnTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+}  // namespace
+}  // namespace pepper::ring

@@ -1,0 +1,168 @@
+#include "router/hrf_router.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster_test_util.h"
+#include "workload/cluster.h"
+
+namespace pepper::workload {
+namespace {
+
+constexpr Key kKeySpan = 1000000;
+
+void Populate(Cluster& c, int n_items, uint64_t seed) {
+  c.Bootstrap(kKeySpan);
+  for (int i = 0; i < n_items / 5 + 4; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  sim::Rng rng(seed);
+  for (int i = 0; i < n_items; ++i) {
+    ASSERT_TRUE(c.InsertItem(rng.Uniform(0, kKeySpan)).ok());
+  }
+  c.RunFor(5 * sim::kSecond);
+}
+
+struct LookupResult {
+  Status status = Status::Internal("pending");
+  sim::NodeId owner = sim::kNullNode;
+  int hops = 0;
+  bool done = false;
+};
+
+LookupResult LookupSync(Cluster& c, PeerStack* via, Key key) {
+  auto res = std::make_shared<LookupResult>();
+  via->router->Lookup(key, [res](const Status& s, sim::NodeId owner,
+                                 int hops) {
+    res->status = s;
+    res->owner = owner;
+    res->hops = hops;
+    res->done = true;
+  });
+  const sim::SimTime give_up = c.sim().now() + 30 * sim::kSecond;
+  while (!res->done && c.sim().now() < give_up) {
+    if (!c.sim().Step()) break;
+  }
+  return *res;
+}
+
+class RouterKindTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RouterKindTest, LookupsFindTheCurrentOwner) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = 71;
+  o.use_hrf_router = GetParam();
+  Cluster c(o);
+  Populate(c, 150, 7);
+  auto members = c.LiveMembers();
+  ASSERT_GE(members.size(), 10u);
+
+  sim::Rng rng(13);
+  for (int i = 0; i < 40; ++i) {
+    PeerStack* via = members[rng.Uniform(0, members.size() - 1)];
+    const Key key = rng.Uniform(0, kKeySpan);
+    LookupResult res = LookupSync(c, via, key);
+    ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+    PeerStack* owner = c.FindPeer(res.owner);
+    ASSERT_NE(owner, nullptr);
+    EXPECT_TRUE(owner->ds->range().Contains(key))
+        << "lookup " << key << " landed at " << res.owner << " with range "
+        << owner->ds->range().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LinearAndHrf, RouterKindTest,
+                         ::testing::Values(false, true));
+
+TEST(RouterTest, HrfBuildsLogarithmicLevels) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = 72;
+  Cluster c(o);
+  Populate(c, 200, 11);
+  const size_t n = c.LiveMembers().size();
+  ASSERT_GE(n, 15u);
+  c.RunFor(5 * sim::kSecond);  // let levels build
+  size_t total_levels = 0, counted = 0;
+  for (PeerStack* p : c.LiveMembers()) {
+    auto* hrf = dynamic_cast<router::HrfRouter*>(p->router.get());
+    ASSERT_NE(hrf, nullptr);
+    total_levels += hrf->num_levels();
+    ++counted;
+  }
+  const double avg_levels =
+      static_cast<double>(total_levels) / static_cast<double>(counted);
+  // Levels double in reach: expect ~log2(n), certainly far below n.
+  EXPECT_GE(avg_levels, 2.0);
+  EXPECT_LE(avg_levels, 2.0 * std::log2(static_cast<double>(n)) + 2.0);
+}
+
+TEST(RouterTest, HrfUsesFewerHopsThanLinear) {
+  double hrf_hops = 0, linear_hops = 0;
+  size_t n_members = 0;
+  for (bool use_hrf : {true, false}) {
+    ClusterOptions o = ClusterOptions::FastDefaults();
+    o.seed = 73;
+    o.use_hrf_router = use_hrf;
+    Cluster c(o);
+    Populate(c, 200, 17);
+    c.RunFor(5 * sim::kSecond);
+    auto members = c.LiveMembers();
+    n_members = members.size();
+    sim::Rng rng(19);
+    double total = 0;
+    int count = 0;
+    for (int i = 0; i < 40; ++i) {
+      PeerStack* via = members[rng.Uniform(0, members.size() - 1)];
+      LookupResult res = LookupSync(c, via, rng.Uniform(0, kKeySpan));
+      if (res.status.ok()) {
+        total += res.hops;
+        ++count;
+      }
+    }
+    ASSERT_GT(count, 30);
+    if (use_hrf) {
+      hrf_hops = total / count;
+    } else {
+      linear_hops = total / count;
+    }
+  }
+  ASSERT_GE(n_members, 20u);
+  EXPECT_LT(hrf_hops, linear_hops / 2.0)
+      << "hrf=" << hrf_hops << " linear=" << linear_hops;
+  EXPECT_LE(hrf_hops, 2.0 * std::log2(static_cast<double>(n_members)) + 2.0);
+}
+
+TEST(RouterTest, LookupsSurviveOwnerFailure) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = 74;
+  Cluster c(o);
+  Populate(c, 150, 23);
+  auto members = c.LiveMembers();
+  ASSERT_GE(members.size(), 8u);
+
+  const Key probe = 500000;
+  LookupResult before = LookupSync(c, members[0], probe);
+  ASSERT_TRUE(before.status.ok());
+  PeerStack* owner = c.FindPeer(before.owner);
+  ASSERT_NE(owner, nullptr);
+  c.FailPeer(owner);
+  c.RunFor(8 * sim::kSecond);  // repair + revival
+
+  PeerStack* via = nullptr;
+  for (PeerStack* p : c.LiveMembers()) {
+    if (p != owner) {
+      via = p;
+      break;
+    }
+  }
+  ASSERT_NE(via, nullptr);
+  LookupResult after = LookupSync(c, via, probe);
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  EXPECT_NE(after.owner, before.owner);
+  PeerStack* new_owner = c.FindPeer(after.owner);
+  ASSERT_NE(new_owner, nullptr);
+  EXPECT_TRUE(new_owner->ds->range().Contains(probe));
+}
+
+}  // namespace
+}  // namespace pepper::workload

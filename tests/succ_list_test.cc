@@ -1,0 +1,190 @@
+#include "ring/succ_list.h"
+
+#include <gtest/gtest.h>
+
+namespace pepper::ring {
+namespace {
+
+SuccEntry Joined(sim::NodeId id, Key val) {
+  return SuccEntry{id, val, PeerState::kJoined, false};
+}
+SuccEntry Joining(sim::NodeId id, Key val) {
+  return SuccEntry{id, val, PeerState::kJoining, false};
+}
+SuccEntry Leaving(sim::NodeId id, Key val) {
+  return SuccEntry{id, val, PeerState::kLeaving, false};
+}
+
+TEST(SuccListTest, FindRemoveFirstJoined) {
+  SuccList list({Joining(7, 70), Joined(1, 10), Joined(2, 20)});
+  EXPECT_TRUE(list.Contains(7));
+  EXPECT_EQ(list.FirstJoined(), 1u);
+  EXPECT_EQ(list.JoinedCount(), 2u);
+  list.Remove(1);
+  EXPECT_EQ(list.FirstJoined(), 1u);  // now entry id=2
+  EXPECT_EQ(list.entries()[1].id, 2u);
+}
+
+TEST(SuccListTest, StabilizationTargetSkipsJoiningAndPrefersJoined) {
+  SuccList list({Joining(7, 70), Leaving(8, 80), Joined(1, 10)});
+  ASSERT_TRUE(list.StabilizationTarget().has_value());
+  EXPECT_EQ(list.entries()[*list.StabilizationTarget()].id, 1u);
+}
+
+TEST(SuccListTest, StabilizationTargetFallsBackToLeaving) {
+  SuccList list({Leaving(8, 80)});
+  ASSERT_TRUE(list.StabilizationTarget().has_value());
+  EXPECT_EQ(list.entries()[*list.StabilizationTarget()].id, 8u);
+  EXPECT_FALSE(SuccList().StabilizationTarget().has_value());
+}
+
+TEST(SuccListBuildTest, CopiesSuccessorListAndPrepends) {
+  // p stabilizes with s1 whose list is [s2, s3]; window 2.
+  SuccList old({Joined(1, 10), Joined(2, 20)});
+  SuccList received({Joined(2, 20), Joined(3, 30)});
+  SuccList out = SuccList::BuildFromStabilization(
+      old, Joined(1, 10), received, /*self=*/99, /*inserting=*/false, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.entries()[0].id, 1u);
+  EXPECT_TRUE(out.entries()[0].stabilized);
+  EXPECT_EQ(out.entries()[1].id, 2u);
+  EXPECT_FALSE(out.entries()[1].stabilized);
+}
+
+TEST(SuccListBuildTest, CutsAtSelf) {
+  // Small ring: the received list wraps around to us.
+  SuccList old({Joined(1, 10)});
+  SuccList received({Joined(99, 90), Joined(1, 10)});
+  SuccList out = SuccList::BuildFromStabilization(old, Joined(1, 10), received,
+                                                  /*self=*/99,
+                                                  /*inserting=*/false, 4);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.entries()[0].id, 1u);
+}
+
+TEST(SuccListBuildTest, JoiningEntryConsumesAWindowSlot) {
+  // Propagation: the successor's list contains a JOINING peer; it is
+  // retained but displaces the deepest pointer (a JOINING rider must not
+  // extend the window, or a stale rider would let this peer keep a pointer
+  // that skips the peer being inserted).
+  SuccList old({Joined(1, 10), Joined(2, 20)});
+  SuccList received({Joining(7, 15), Joined(2, 20), Joined(3, 30)});
+  SuccList out = SuccList::BuildFromStabilization(old, Joined(1, 10), received,
+                                                  99, false, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.entries()[0].id, 1u);
+  EXPECT_EQ(out.entries()[1].id, 7u);
+  EXPECT_EQ(out.entries()[1].state, PeerState::kJoining);
+}
+
+TEST(SuccListBuildTest, JoiningBeyondWindowIsDropped) {
+  // The JOINING peer sits after the window-th JOINED entry: this
+  // predecessor is "far enough away" and drops it (Algorithm 2 lines 10-11).
+  SuccList old({Joined(1, 10), Joined(2, 20)});
+  SuccList received({Joined(2, 20), Joined(3, 30), Joining(7, 35)});
+  SuccList out = SuccList::BuildFromStabilization(old, Joined(1, 10), received,
+                                                  99, false, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out.Contains(7));
+}
+
+TEST(SuccListBuildTest, InsertingKeepsOwnJoiningFront) {
+  // The inserter's own JOINING front is first-hand knowledge and rides free
+  // of the window (rule 1), so the full window of JOINED entries survives.
+  SuccList old({Joining(7, 15), Joined(1, 10), Joined(2, 20)});
+  SuccList received({Joined(2, 20), Joined(3, 30)});
+  SuccList out = SuccList::BuildFromStabilization(old, Joined(1, 10), received,
+                                                  99, /*inserting=*/true, 2);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.entries()[0].id, 7u);
+  EXPECT_EQ(out.entries()[0].state, PeerState::kJoining);
+  EXPECT_EQ(out.entries()[1].id, 1u);
+  EXPECT_EQ(out.entries()[2].id, 2u);
+}
+
+TEST(SuccListBuildTest, LeavingEntriesBeforeTargetPreserved) {
+  // p5's successor p is LEAVING; stabilizing with p1 keeps p in front —
+  // the list lengthening of Section 5.1 (Figure 15).
+  SuccList old({Leaving(7, 15), Joined(1, 10), Joined(2, 20)});
+  SuccList received({Joined(2, 20), Joined(3, 30)});
+  SuccList out = SuccList::BuildFromStabilization(old, Joined(1, 10), received,
+                                                  99, false, 2);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.entries()[0].id, 7u);
+  EXPECT_EQ(out.entries()[0].state, PeerState::kLeaving);
+  EXPECT_EQ(out.JoinedCount(), 2u);
+}
+
+TEST(SuccListBuildTest, DuplicatesKeepFirstOccurrence) {
+  SuccList old({Joining(7, 15), Joined(1, 10)});
+  // Received already knows about 7 (small ring echo).
+  SuccList received({Joining(7, 15), Joined(1, 10), Joined(3, 30)});
+  SuccList out = SuccList::BuildFromStabilization(old, Joined(1, 10), received,
+                                                  99, true, 4);
+  size_t sevens = 0;
+  for (const auto& e : out.entries()) {
+    if (e.id == 7) ++sevens;
+  }
+  EXPECT_EQ(sevens, 1u);
+  EXPECT_EQ(out.entries()[0].id, 7u);
+}
+
+TEST(SuccListAckTest, FarthestPredecessorSendsJoinAck) {
+  // No JOINED pointer beyond the JOINING peer: this peer is the farthest
+  // predecessor whose window could skip it.
+  SuccList list({Joined(5, 50), Joined(1, 10), Joining(7, 55)});
+  auto acks = list.ComputeAcks();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].kind, AckAction::Kind::kJoinAck);
+  EXPECT_EQ(acks[0].target, 1u);   // the inserter precedes the JOINING peer
+  EXPECT_EQ(acks[0].subject, 7u);
+}
+
+TEST(SuccListAckTest, MidChainPredecessorDoesNotAck) {
+  // A JOINED entry follows the JOINING peer: not the farthest yet.
+  SuccList list({Joined(5, 50), Joining(7, 55), Joined(1, 10)});
+  EXPECT_TRUE(list.ComputeAcks().empty());
+}
+
+TEST(SuccListAckTest, InserterItselfDoesNotSendAckMessage) {
+  // JOINING at the front with nothing after: we are the inserter; handled
+  // by pending-insert bookkeeping, not by an ack message.
+  SuccList list({Joining(7, 55)});
+  EXPECT_TRUE(list.ComputeAcks().empty());
+}
+
+TEST(SuccListAckTest, SmallRingAcksWhenJoiningIsLast) {
+  SuccList list({Joined(5, 50), Joining(7, 55)});
+  auto acks = list.ComputeAcks();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].target, 5u);
+  EXPECT_EQ(acks[0].subject, 7u);
+}
+
+TEST(SuccListAckTest, LeaveAckGoesToLeavingPeer) {
+  // [p5, l(LEAVING), p1]: exactly one JOINED pointer beyond the leaver —
+  // the farthest predecessor acknowledges the leave.
+  SuccList list({Joined(5, 50), Leaving(7, 55), Joined(1, 10)});
+  auto acks = list.ComputeAcks();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].kind, AckAction::Kind::kLeaveAck);
+  EXPECT_EQ(acks[0].target, 7u);
+  EXPECT_EQ(acks[0].subject, 7u);
+}
+
+TEST(SuccListAckTest, ImmediatePredecessorDoesNotLeaveAck) {
+  // [l(LEAVING), p1, p2] at the immediate predecessor: two JOINED entries
+  // follow, so it is not the farthest predecessor.
+  SuccList list({Leaving(7, 55), Joined(1, 10), Joined(2, 20)});
+  EXPECT_TRUE(list.ComputeAcks().empty());
+}
+
+TEST(SuccListTest, BuildWindowedTrimsToWindow) {
+  SuccList list({Joined(1, 10), Joined(2, 20), Joined(3, 30), Joined(4, 40)});
+  SuccList out = SuccList::BuildWindowed(list, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.entries()[1].id, 2u);
+}
+
+}  // namespace
+}  // namespace pepper::ring
