@@ -4,57 +4,31 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "datastore/rebalancer.h"
+#include "datastore/takeover_engine.h"
 
 namespace pepper::datastore {
 
-namespace {
-double Seconds(sim::SimTime d) {
-  return static_cast<double>(d) / static_cast<double>(sim::kSecond);
-}
-}  // namespace
-
 DataStoreNode::DataStoreNode(ring::RingNode* ring, FreePeerPool* pool,
                              DataStoreOptions options)
-    : ring_(ring), pool_(pool), options_(std::move(options)) {
-  RegisterHandlers();
-  maintenance_timer_ = ring_->Every(
-      options_.maintenance_period, [this]() { MaybeRebalance(); },
-      ring_->sim()->rng().Uniform(0, options_.maintenance_period));
-}
-
-void DataStoreNode::RegisterHandlers() {
-  ring_->On<ProcessScanRequest>(
-      [this](const sim::Message& m, const ProcessScanRequest& req) {
-        HandleProcessScan(m, req);
-      });
-  ring_->On<SplitInsertRequest>(
-      [this](const sim::Message& m, const SplitInsertRequest& req) {
-        HandleSplitInsert(m, req);
-      });
-  ring_->On<MergeProposal>(
-      [this](const sim::Message& m, const MergeProposal& req) {
-        HandleMergeProposal(m, req);
-      });
-  ring_->On<MergeTakeover>(
-      [this](const sim::Message& m, const MergeTakeover& req) {
-        HandleMergeTakeover(m, req);
-      });
-  ring_->On<MergeAbort>([this](const sim::Message& m, const MergeAbort& req) {
-    HandleMergeAbort(m, req);
-  });
-  ring_->On<DsInsertRequest>(
+    : sim::ProtocolComponent(ring->node()),
+      ring_(ring),
+      pool_(pool),
+      options_(std::move(options)) {
+  On<DsInsertRequest>(
       [this](const sim::Message& m, const DsInsertRequest& req) {
         HandleInsert(m, req);
       });
-  ring_->On<DsDeleteRequest>(
+  On<DsDeleteRequest>(
       [this](const sim::Message& m, const DsDeleteRequest& req) {
         HandleDelete(m, req);
       });
-  ring_->On<DsMigrateItems>(
-      [this](const sim::Message& m, const DsMigrateItems& req) {
-        HandleMigrate(m, req);
-      });
+  scan_ = std::make_unique<ScanEngine>(this);
+  rebalancer_ = std::make_unique<Rebalancer>(this);
+  takeover_ = std::make_unique<TakeoverEngine>(this);
 }
+
+DataStoreNode::~DataStoreNode() = default;
 
 // --- Lifecycle --------------------------------------------------------------
 
@@ -82,7 +56,7 @@ void DataStoreNode::ActivateFromHandoff(const SplitHandoff& handoff) {
 void DataStoreNode::Deactivate() {
   for (const auto& kv : items_) {
     if (options_.observer != nullptr) {
-      options_.observer->OnDrop(ring_->id(), kv.first);
+      options_.observer->OnDrop(id(), kv.first);
     }
   }
   items_.clear();
@@ -90,19 +64,21 @@ void DataStoreNode::Deactivate() {
   range_ = RingRange::Empty();
 }
 
+void DataStoreNode::OnPredChanged() { takeover_->OnPredChanged(); }
+
 // --- Basic item plumbing ----------------------------------------------------
 
 void DataStoreNode::StoreItem(const Item& item) {
   items_[item.skv] = item;
   if (options_.observer != nullptr) {
-    options_.observer->OnStore(ring_->id(), item.skv);
+    options_.observer->OnStore(id(), item.skv);
   }
 }
 
 void DataStoreNode::DropItem(Key skv) {
   items_.erase(skv);
   if (options_.observer != nullptr) {
-    options_.observer->OnDrop(ring_->id(), skv);
+    options_.observer->OnDrop(id(), skv);
   }
 }
 
@@ -118,10 +94,10 @@ Status DataStoreNode::InsertLocal(const Item& item) {
   if (!range_.Contains(item.skv)) {
     return Status::FailedPrecondition("key not in this peer's range");
   }
-  if (rebalancing_) {
+  if (rebalancer_->rebalancing()) {
     // A split or departure this peer initiated is moving its items; an
     // insert accepted now could be silently left behind.  (A merge takeover
-    // we merely *offered* — merge_busy_ — is safe for item traffic: our
+    // we merely *offered* — merge_busy — is safe for item traffic: our
     // range only grows, atomically, when the transfer arrives.)
     return Status::Unavailable("range reorganization in progress");
   }
@@ -135,7 +111,7 @@ Status DataStoreNode::DeleteLocal(Key skv) {
   if (!range_.Contains(skv)) {
     return Status::FailedPrecondition("key not in this peer's range");
   }
-  if (rebalancing_) {
+  if (rebalancer_->rebalancing()) {
     return Status::Unavailable("range reorganization in progress");
   }
   if (items_.find(skv) == items_.end()) return Status::NotFound();
@@ -180,7 +156,7 @@ void DataStoreNode::AcquireReadTimed(std::function<void(bool)> cb) {
     cb(true);
   });
   if (*state == 1) return;
-  ring_->After(options_.lock_timeout, [state, cb]() {
+  After(options_.lock_timeout, [state, cb]() {
     if (*state == 0) {
       *state = 2;
       cb(false);
@@ -199,7 +175,7 @@ void DataStoreNode::AcquireWriteTimed(std::function<void(bool)> cb) {
     cb(true);
   });
   if (*state == 1) return;
-  ring_->After(options_.lock_timeout, [state, cb]() {
+  After(options_.lock_timeout, [state, cb]() {
     if (*state == 0) {
       *state = 2;
       cb(false);
@@ -207,513 +183,21 @@ void DataStoreNode::AcquireWriteTimed(std::function<void(bool)> cb) {
   });
 }
 
-// --- scanRange (Algorithms 3-5) ---------------------------------------------
+// --- Delegation to the engines ----------------------------------------------
 
 void DataStoreNode::RegisterScanHandler(const std::string& handler_id,
                                         ScanHandler fn) {
-  scan_handlers_[handler_id] = std::move(fn);
+  scan_->RegisterHandler(handler_id, std::move(fn));
 }
 
 void DataStoreNode::ScanRange(Key lb, Key ub, const std::string& handler_id,
                               sim::PayloadPtr param, DoneFn accepted) {
-  AcquireReadTimed([this, lb, ub, handler_id, param = std::move(param),
-                    accepted = std::move(accepted)](bool ok) {
-    if (!ok) {
-      accepted(Status::TimedOut("range lock"));
-      return;
-    }
-    if (!active_ || !range_.Contains(lb)) {
-      // Algorithm 3 lines 1-4: not the first peer of the scan range; abort
-      // and let the caller re-route.
-      lock_.ReleaseRead();
-      if (options_.metrics != nullptr) {
-        options_.metrics->counters().Inc("ds.scan_aborts");
-      }
-      accepted(Status::Aborted("lb not in this peer's range"));
-      return;
-    }
-    accepted(Status::OK());
-    ProcessHandler(lb, ub, handler_id, param, options_.scan_hop_budget);
-  });
+  scan_->ScanRange(lb, ub, handler_id, std::move(param), std::move(accepted));
 }
 
-void DataStoreNode::ProcessHandler(Key lb, Key ub,
-                                   const std::string& handler_id,
-                                   sim::PayloadPtr param, int hops_left) {
-  // Lock is held (read).  Invoke the handler with our slice of [lb, ub]
-  // (Algorithm 4 lines 1-3).
-  auto it = scan_handlers_.find(handler_id);
-  if (it != scan_handlers_.end()) {
-    for (const Span& r : range_.IntersectClosed(Span{lb, ub})) {
-      it->second(r, param);
-    }
-  } else {
-    PEPPER_LOG(Warn) << "no scan handler '" << handler_id << "'";
-  }
-  if (range_.Contains(ub)) {
-    lock_.ReleaseRead();  // scan complete at this peer
-    return;
-  }
-  if (hops_left <= 0) {
-    lock_.ReleaseRead();
-    if (options_.metrics != nullptr) {
-      options_.metrics->counters().Inc("ds.scan_hops_exhausted");
-    }
-    return;
-  }
-  ForwardScan(lb, ub, handler_id, std::move(param), hops_left - 1,
-              options_.scan_succ_retries);
-}
+void DataStoreNode::MaybeRebalance() { rebalancer_->MaybeRebalance(); }
 
-void DataStoreNode::ForwardScan(Key lb, Key ub, const std::string& handler_id,
-                                sim::PayloadPtr param, int hops_left,
-                                int retries_left) {
-  auto succ = ring_->GetSucc();
-  if (!succ.has_value() || succ->id == ring_->id()) {
-    if (succ.has_value() || retries_left <= 0) {
-      // Successor is ourselves (lone peer, but ub not in range — stale), or
-      // the STAB gate never opened: give up; the initiator's coverage
-      // tracker will resume the query.
-      lock_.ReleaseRead();
-      if (options_.metrics != nullptr) {
-        options_.metrics->counters().Inc("ds.scan_stalls");
-      }
-      return;
-    }
-    // getSucc is gated until we stabilize with a fresh successor
-    // (Algorithm 21); hold our lock and retry shortly, exactly the paper's
-    // "block until the successor is usable" semantics.
-    ring_->After(options_.scan_succ_retry_delay,
-                 [this, lb, ub, handler_id, param = std::move(param),
-                  hops_left, retries_left]() {
-                   ForwardScan(lb, ub, handler_id, param, hops_left,
-                               retries_left - 1);
-                 });
-    return;
-  }
-
-  auto req = std::make_shared<ProcessScanRequest>();
-  req->scan_id = next_scan_id_++;
-  req->lb = lb;
-  req->ub = ub;
-  req->handler_id = handler_id;
-  req->param = std::move(param);
-  req->hops_left = hops_left;
-  ring_->Call(
-      succ->id, req,
-      [this](const sim::Message&) {
-        // Successor holds its lock (Algorithm 5); release ours.
-        lock_.ReleaseRead();
-      },
-      options_.lock_timeout + options_.rpc_timeout,
-      [this]() {
-        lock_.ReleaseRead();  // successor died or stalled; initiator resumes
-        if (options_.metrics != nullptr) {
-          options_.metrics->counters().Inc("ds.scan_forward_timeouts");
-        }
-      });
-}
-
-void DataStoreNode::HandleProcessScan(const sim::Message& msg,
-                                      const ProcessScanRequest& req) {
-  if (!active_) {
-    auto resp = std::make_shared<ProcessScanAccepted>();
-    resp->ok = false;
-    ring_->Reply(msg, resp);
-    return;
-  }
-  // Copy what we need; the payload may outlive this handler anyway (shared).
-  const Key lb = req.lb;
-  const Key ub = req.ub;
-  const std::string handler_id = req.handler_id;
-  sim::PayloadPtr param = req.param;
-  const int hops_left = req.hops_left;
-  AcquireReadTimed(
-      [this, msg, lb, ub, handler_id, param, hops_left](bool ok) {
-        if (!ok) return;  // predecessor times out and releases
-        ring_->Reply(msg, sim::MakePayload<ProcessScanAccepted>());
-        ProcessHandler(lb, ub, handler_id, param, hops_left);
-      });
-}
-
-// --- Maintenance: split / merge / redistribute ------------------------------
-
-void DataStoreNode::MaybeRebalance() {
-  if (!active_ || rebalancing_ || merge_busy_) return;
-  // Revival sweep (last resort for items whose re-home failed or whose
-  // takeover raced a failure): promote replica-held items inside our own
-  // range whose owner is confirmed dead.  Owner liveness is verified by the
-  // replication manager so that frozen groups of merged-away peers cannot
-  // resurrect deleted items.
-  if (replication_ != nullptr && !lock_.write_held()) {
-    bool missing = false;
-    for (const Item& it : replication_->CollectReplicasIn(range_)) {
-      if (items_.find(it.skv) == items_.end()) {
-        missing = true;
-        break;
-      }
-    }
-    if (missing) {
-      replication_->StartReviveSweep(range_, [this](const Item& it) {
-        if (!active_ || lock_.write_held() || !range_.Contains(it.skv) ||
-            items_.count(it.skv) > 0) {
-          return;  // next sweep retries if still relevant
-        }
-        StoreItem(it);
-        if (options_.metrics != nullptr) {
-          options_.metrics->counters().Inc("ds.revive_sweep");
-        }
-        ReplicateMovedItems();
-      });
-    }
-  }
-  const size_t sf = options_.storage_factor;
-  if (items_.size() > 2 * sf) {
-    StartSplit();
-  } else if (items_.size() < sf && !range_.full()) {
-    StartUnderflow();
-  }
-}
-
-void DataStoreNode::EndRebalance(bool locked) {
-  if (locked) lock_.ReleaseWrite();
-  rebalancing_ = false;
-}
-
-void DataStoreNode::StartSplit() {
-  rebalancing_ = true;
-  const sim::SimTime started = ring_->now();
-  AcquireWriteTimed([this, started](bool ok) {
-    if (!ok) {
-      rebalancing_ = false;
-      return;
-    }
-    if (!active_ || items_.size() <= 2 * options_.storage_factor) {
-      EndRebalance(true);
-      return;
-    }
-    auto free_peer = pool_->Acquire();
-    if (!free_peer.has_value()) {
-      if (options_.metrics != nullptr) {
-        options_.metrics->counters().Inc("ds.split_no_free_peer");
-      }
-      EndRebalance(true);
-      return;
-    }
-
-    // Split point: the new peer takes the lower half of our range
-    // (Figure 5: p4 overflows, free peer p3 takes over the lower items).
-    std::vector<Item> ordered = ItemsInCircularOrder();
-    const size_t give = ordered.size() / 2;
-    std::vector<Item> handed(ordered.begin(),
-                             ordered.begin() + static_cast<long>(give));
-    const Key split_point = handed.back().skv;
-
-    auto handoff = std::make_shared<SplitHandoff>();
-    handoff->range = range_.full()
-                         ? RingRange::OpenClosed(range_.hi(), split_point)
-                         : RingRange::OpenClosed(range_.lo(), split_point);
-    handoff->items = handed;
-
-    const sim::NodeId new_peer = *free_peer;
-    auto finish = [this, new_peer, split_point, handed,
-                   started](const Status& s) {
-      FinishSplit(new_peer, split_point, handed, s);
-      if (s.ok() && options_.metrics != nullptr) {
-        options_.metrics->RecordLatency("ds.split_time",
-                                        Seconds(ring_->now() - started));
-      }
-    };
-
-    // The new peer must be inserted as the successor of our predecessor.
-    // A lone peer (or one with no predecessor hint yet) is its own
-    // predecessor.
-    if (range_.full() || !ring_->has_pred() ||
-        ring_->pred_id() == ring_->id()) {
-      ring_->InsertSucc(new_peer, split_point, handoff, finish);
-      return;
-    }
-    auto req = std::make_shared<SplitInsertRequest>();
-    req->new_peer = new_peer;
-    req->new_val = split_point;
-    req->handoff = handoff;
-    ring_->Call(
-        ring_->pred_id(), req,
-        [finish](const sim::Message& m) {
-          const auto& ack = static_cast<const DsAck&>(*m.payload);
-          finish(ack.ok ? Status::OK() : Status::Aborted(ack.error));
-        },
-        // The predecessor's insertSucc itself waits for ack propagation.
-        ring_->options().insert_ack_timeout + options_.rpc_timeout,
-        [finish]() { finish(Status::TimedOut("split insert timed out")); });
-  });
-}
-
-void DataStoreNode::FinishSplit(sim::NodeId free_peer, Key split_point,
-                                std::vector<Item> handed,
-                                const Status& status) {
-  if (!status.ok()) {
-    // The free peer was not (observably) inserted; recycle it.  If the
-    // insert actually completed late, the range-shrink detection in
-    // ApplyRangeFromPred re-homes any duplicated items.
-    pool_->Add(free_peer);
-    if (options_.metrics != nullptr) {
-      options_.metrics->counters().Inc("ds.split_failed");
-    }
-    EndRebalance(true);
-    return;
-  }
-  for (const Item& it : handed) {
-    DropItem(it.skv);
-  }
-  range_ = RingRange::OpenClosed(split_point, range_.hi());
-  if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("ds.splits");
-  }
-  if (replication_ != nullptr) replication_->OnLocalItemsChanged();
-  EndRebalance(true);
-}
-
-void DataStoreNode::StartUnderflow() {
-  rebalancing_ = true;
-  const sim::SimTime started = ring_->now();
-  AcquireWriteTimed([this, started](bool ok) {
-    if (!ok) {
-      rebalancing_ = false;
-      return;
-    }
-    if (!active_ || items_.size() >= options_.storage_factor ||
-        range_.full()) {
-      EndRebalance(true);
-      return;
-    }
-    auto succ = ring_->GetSucc();
-    if (!succ.has_value() || succ->id == ring_->id()) {
-      EndRebalance(true);
-      return;
-    }
-    auto proposal = std::make_shared<MergeProposal>();
-    proposal->proposer_val = range_.hi();
-    proposal->count = items_.size();
-    const sim::NodeId succ_id = succ->id;
-    ring_->Call(
-        succ_id, proposal,
-        [this, succ_id, started](const sim::Message& m) {
-          const auto& decision = static_cast<const MergeDecision&>(*m.payload);
-          switch (decision.kind) {
-            case MergeDecision::Kind::kRedistribute: {
-              for (const Item& it : decision.items) StoreItem(it);
-              range_ = RingRange::OpenClosed(range_.lo(), decision.new_val);
-              ring_->set_val(decision.new_val);
-              if (options_.metrics != nullptr) {
-                options_.metrics->counters().Inc("ds.redistributes");
-                options_.metrics->RecordLatency(
-                    "ds.redistribute_time", Seconds(ring_->now() - started));
-              }
-              ReplicateMovedItems();
-              EndRebalance(true);
-              break;
-            }
-            case MergeDecision::Kind::kTakeover:
-              DoMergeLeave(succ_id);
-              break;
-            case MergeDecision::Kind::kRejected:
-              EndRebalance(true);
-              break;
-          }
-        },
-        options_.lock_timeout + options_.rpc_timeout,
-        [this]() { EndRebalance(true); });
-  });
-}
-
-// Merge by departure (Sections 2.3 and 5): replicate one extra hop, leave
-// the ring consistently, then hand everything to the successor.
-void DataStoreNode::DoMergeLeave(sim::NodeId succ_id) {
-  const sim::SimTime merge_started = ring_->now();
-  auto after_replication = [this, succ_id, merge_started](const Status&) {
-    ring_->Leave([this, succ_id, merge_started](const Status& leave_status) {
-      if (!leave_status.ok()) {
-        ring_->Send(succ_id, sim::MakePayload<MergeAbort>());
-        EndRebalance(true);
-        return;
-      }
-      auto takeover = std::make_shared<MergeTakeover>();
-      takeover->range = range_;
-      takeover->items = GetLocalItems();
-      ring_->Call(
-          succ_id, takeover,
-          [this, merge_started](const sim::Message& m) {
-            const auto& ack = static_cast<const DsAck&>(*m.payload);
-            if (options_.metrics != nullptr) {
-              options_.metrics->counters().Inc(
-                  ack.ok ? "ds.merges" : "ds.merge_takeover_failed");
-              if (ack.ok) {
-                options_.metrics->RecordLatency(
-                    "ds.merge_time", Seconds(ring_->now() - merge_started));
-              }
-            }
-            Deactivate();
-            ring_->Depart();
-            pool_->Retire(ring_->id());
-            // The lock dies with the departed peer's Data Store state.
-            EndRebalance(true);
-          },
-          options_.lock_timeout + options_.rpc_timeout,
-          [this]() {
-            // Successor vanished mid-takeover.  We already left the ring;
-            // depart anyway — the extra-hop replication (and the periodic
-            // pushes) let the remaining peers revive our items.
-            if (options_.metrics != nullptr) {
-              options_.metrics->counters().Inc("ds.merge_takeover_failed");
-            }
-            Deactivate();
-            ring_->Depart();
-            pool_->Retire(ring_->id());
-            EndRebalance(true);
-          });
-    });
-  };
-  if (options_.pepper_availability && replication_ != nullptr) {
-    replication_->ReplicateExtraHop(after_replication);
-  } else {
-    after_replication(Status::OK());
-  }
-}
-
-void DataStoreNode::HandleSplitInsert(const sim::Message& msg,
-                                      const SplitInsertRequest& req) {
-  ring_->InsertSucc(req.new_peer, req.new_val, req.handoff,
-                    [this, msg](const Status& s) {
-                      auto ack = std::make_shared<DsAck>();
-                      ack->ok = s.ok();
-                      ack->error = s.message();
-                      ring_->Reply(msg, ack);
-                    });
-}
-
-void DataStoreNode::HandleMergeProposal(const sim::Message& msg,
-                                        const MergeProposal& req) {
-  auto reject = [this, msg](const std::string& why) {
-    auto decision = std::make_shared<MergeDecision>();
-    decision->kind = MergeDecision::Kind::kRejected;
-    decision->error = why;
-    ring_->Reply(msg, decision);
-  };
-  if (!active_ || merge_busy_ || rebalancing_) {
-    reject("busy");
-    return;
-  }
-  merge_busy_ = true;
-  const size_t proposer_count = req.count;
-  AcquireWriteTimed([this, msg, proposer_count, reject](bool ok) {
-    if (!ok) {
-      merge_busy_ = false;
-      reject("lock timeout");
-      return;
-    }
-    if (!active_) {
-      merge_busy_ = false;
-      lock_.ReleaseWrite();
-      reject("inactive");
-      return;
-    }
-    const size_t sf = options_.storage_factor;
-    const size_t total = items_.size() + proposer_count;
-    if (total >= 2 * sf && items_.size() > sf) {
-      // Redistribute: hand the proposer our low-side items so both end up
-      // near total/2 (Section 2.3).
-      size_t target_give = items_.size() - total / 2;
-      target_give = std::max<size_t>(target_give, 1);
-      target_give = std::min(target_give, items_.size() - 1);
-      std::vector<Item> ordered = ItemsInCircularOrder();
-      std::vector<Item> given(ordered.begin(),
-                              ordered.begin() + static_cast<long>(target_give));
-      auto decision = std::make_shared<MergeDecision>();
-      decision->kind = MergeDecision::Kind::kRedistribute;
-      decision->items = given;
-      decision->new_val = given.back().skv;
-      for (const Item& it : given) DropItem(it.skv);
-      range_ = RingRange::OpenClosed(decision->new_val, range_.hi());
-      ring_->Reply(msg, decision);
-      ReplicateMovedItems();
-      lock_.ReleaseWrite();
-      merge_busy_ = false;
-      return;
-    }
-    // Full takeover: keep our write lock until the leaver transfers its
-    // state (or we give up).  The expiry timer is epoch-guarded so a stale
-    // timer from an earlier offer cannot release a later offer's lock.
-    takeover_from_ = msg.from;
-    const uint64_t epoch = ++takeover_epoch_;
-    auto decision = std::make_shared<MergeDecision>();
-    decision->kind = MergeDecision::Kind::kTakeover;
-    ring_->Reply(msg, decision);
-    ring_->After(options_.takeover_timeout, [this, epoch]() {
-      if (merge_busy_ && takeover_from_ != sim::kNullNode &&
-          takeover_epoch_ == epoch) {
-        takeover_from_ = sim::kNullNode;
-        merge_busy_ = false;
-        lock_.ReleaseWrite();
-        if (options_.metrics != nullptr) {
-          options_.metrics->counters().Inc("ds.takeover_expired");
-        }
-      }
-    });
-  });
-}
-
-void DataStoreNode::HandleMergeTakeover(const sim::Message& msg,
-                                        const MergeTakeover& req) {
-  auto absorb = [this, msg, req]() {
-    for (const Item& it : req.items) StoreItem(it);
-    const Key new_lo = req.range.full() ? range_.hi() : req.range.lo();
-    range_ = (new_lo == range_.hi())
-                 ? RingRange::Full(range_.hi())
-                 : RingRange::OpenClosed(new_lo, range_.hi());
-    lock_.ReleaseWrite();
-    ring_->Reply(msg, sim::MakePayload<DsAck>());
-    ReplicateMovedItems();
-    ring_->After(0, [this]() { MaybeRebalance(); });
-  };
-  if (merge_busy_ && takeover_from_ == msg.from) {
-    takeover_from_ = sim::kNullNode;
-    merge_busy_ = false;
-    absorb();  // our write lock is already held
-    return;
-  }
-  // Late takeover (our offer expired): the leaver has already left the
-  // ring, so absorbing is still the right thing — re-acquire the lock.
-  if (!active_) {
-    auto ack = std::make_shared<DsAck>();
-    ack->ok = false;
-    ack->error = "inactive";
-    ring_->Reply(msg, ack);
-    return;
-  }
-  if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("ds.takeover_late");
-  }
-  AcquireWriteTimed([this, msg, absorb](bool ok) {
-    if (!ok) {
-      auto ack = std::make_shared<DsAck>();
-      ack->ok = false;
-      ack->error = "lock timeout";
-      ring_->Reply(msg, ack);
-      return;
-    }
-    absorb();
-  });
-}
-
-void DataStoreNode::HandleMergeAbort(const sim::Message& msg,
-                                     const MergeAbort&) {
-  if (merge_busy_ && takeover_from_ == msg.from) {
-    takeover_from_ = sim::kNullNode;
-    merge_busy_ = false;
-    lock_.ReleaseWrite();
-  }
-}
+bool DataStoreNode::rebalancing() const { return rebalancer_->rebalancing(); }
 
 // --- Item traffic -----------------------------------------------------------
 
@@ -723,9 +207,9 @@ void DataStoreNode::HandleInsert(const sim::Message& msg,
   auto ack = std::make_shared<DsAck>();
   ack->ok = s.ok();
   ack->error = s.message();
-  ring_->Reply(msg, ack);
+  Reply(msg, ack);
   if (s.ok()) {
-    ring_->After(0, [this]() { MaybeRebalance(); });
+    After(0, [this]() { MaybeRebalance(); });
   }
 }
 
@@ -735,28 +219,10 @@ void DataStoreNode::HandleDelete(const sim::Message& msg,
   auto ack = std::make_shared<DsAck>();
   ack->ok = s.ok();
   ack->error = s.message();
-  ring_->Reply(msg, ack);
+  Reply(msg, ack);
   if (s.ok()) {
-    ring_->After(0, [this]() { MaybeRebalance(); });
+    After(0, [this]() { MaybeRebalance(); });
   }
-}
-
-void DataStoreNode::HandleMigrate(const sim::Message&,
-                                  const DsMigrateItems& req) {
-  for (const Item& it : req.items) {
-    if (active_ && range_.Contains(it.skv)) {
-      if (items_.find(it.skv) == items_.end()) StoreItem(it);
-      continue;
-    }
-    if (req.hops_left > 0 && ring_->has_pred()) {
-      // Still not ours; keep walking backwards.
-      auto fwd = std::make_shared<DsMigrateItems>();
-      fwd->items = {it};
-      fwd->hops_left = req.hops_left - 1;
-      ring_->Send(ring_->pred_id(), fwd);
-    }
-  }
-  if (replication_ != nullptr) replication_->OnLocalItemsChanged();
 }
 
 void DataStoreNode::ReplicateMovedItems() {
@@ -769,175 +235,6 @@ void DataStoreNode::ReplicateMovedItems() {
     // Naive baseline: the original CFS manager only refreshes periodically.
     replication_->OnLocalItemsChanged();
   }
-}
-
-// --- Range tracking ---------------------------------------------------------
-
-void DataStoreNode::OnPredChanged() {
-  if (!active_ || pending_range_update_) return;
-  pending_range_update_ = true;
-  ApplyRangeFromPred();
-}
-
-void DataStoreNode::ApplyRangeFromPred() {
-  AcquireWriteTimed([this](bool ok) {
-    if (!ok) {
-      // The lock is tied up (e.g. a merge proposal waiting out a dead
-      // successor).  The range boundary MUST eventually follow the ring —
-      // a dropped extension would leave an ownerless gap — so retry.
-      ring_->After(options_.maintenance_period,
-                   [this]() { ApplyRangeFromPred(); });
-      return;
-    }
-    pending_range_update_ = false;
-    if (!active_ || !ring_->has_pred() || ring_->pred_id() == ring_->id()) {
-      lock_.ReleaseWrite();
-      return;
-    }
-    const Key new_lo = ring_->pred_val();
-    const Key cur_lo = range_.full() ? range_.hi() : range_.lo();
-    const Key hi = range_.full() ? range_.hi() : range_.hi();
-    if (new_lo == cur_lo || new_lo == hi) {
-      lock_.ReleaseWrite();
-      return;
-    }
-    if (range_.Contains(new_lo)) {
-      // Shrink: a peer now owns (cur_lo, new_lo].  Normal splits update the
-      // range before this fires (no-op above); getting here means our
-      // knowledge was stale — defensively re-home any orphaned items to the
-      // new predecessor.
-      std::vector<Item> orphans;
-      const RingRange lost = RingRange::OpenClosed(cur_lo, new_lo);
-      for (const auto& kv : items_) {
-        if (lost.Contains(kv.first)) orphans.push_back(kv.second);
-      }
-      if (!orphans.empty()) {
-        if (rehome_) {
-          // Routed re-insert with retries: survives the new owner being
-          // mid-reorganization or departed.
-          for (const Item& it : orphans) rehome_(it);
-        } else {
-          auto msg = std::make_shared<DsMigrateItems>();
-          msg->items = orphans;
-          ring_->Send(ring_->pred_id(), msg);
-        }
-        for (const Item& it : orphans) DropItem(it.skv);
-        if (options_.metrics != nullptr) {
-          options_.metrics->counters().Inc("ds.orphans_rehomed",
-                                           orphans.size());
-        }
-      }
-      range_ = RingRange::OpenClosed(new_lo, hi);
-      lock_.ReleaseWrite();
-      ring_->After(0, [this]() { MaybeRebalance(); });
-      return;
-    }
-    // Extend: our predecessor moved backwards (the old one failed or merged
-    // away).  A confused far-back claimant must not let us absorb the
-    // ranges of *live* peers between it and our old predecessor — scans
-    // would then cover their keys without their items.  Probe the known
-    // former predecessors (replica-group owners) in the gained arc, closest
-    // first, and extend only past the confirmed-dead prefix.
-    auto candidates =
-        replication_ != nullptr
-            ? replication_->GroupOwnersIn(RingRange::OpenClosed(new_lo, cur_lo))
-            : std::vector<std::pair<sim::NodeId, Key>>{};
-    if (candidates.empty()) {
-      // We hold no replica group from anyone in the gained arc, so we
-      // cannot probe for live peers there.  A real predecessor failure
-      // normally leaves us its group; an evidence-less claim is adopted
-      // only after it has persisted for a confirmation delay (the window a
-      // genuinely confused claimant needs to rectify itself).
-      const sim::NodeId claimant = ring_->pred_id();
-      if (claimant != unconfirmed_claimant_) {
-        unconfirmed_claimant_ = claimant;
-        claim_first_seen_ = ring_->now();
-      }
-      if (ring_->now() - claim_first_seen_ <
-          2 * ring_->options().stabilization_period) {
-        lock_.ReleaseWrite();
-        pending_range_update_ = true;
-        ring_->After(options_.maintenance_period,
-                     [this]() { ApplyRangeFromPred(); });
-        return;
-      }
-    } else {
-      unconfirmed_claimant_ = sim::kNullNode;
-    }
-    // Closest (largest clockwise distance from new_lo) first.
-    std::sort(candidates.begin(), candidates.end(),
-              [new_lo](const auto& a, const auto& b) {
-                return (a.second - new_lo) > (b.second - new_lo);
-              });
-    ProbeExtensionBoundary(
-        std::move(candidates), RingRange::OpenClosed(new_lo, cur_lo), new_lo,
-        [this, cur_lo, hi](Key effective_lo) {
-          if (!active_) {
-            lock_.ReleaseWrite();
-            return;
-          }
-          if (effective_lo != cur_lo) {
-            const RingRange gained =
-                RingRange::OpenClosed(effective_lo, cur_lo);
-            range_ = RingRange::OpenClosed(effective_lo, hi);
-            if (replication_ != nullptr) {
-              size_t revived = 0;
-              for (const Item& it : replication_->CollectReplicasIn(gained)) {
-                if (items_.find(it.skv) == items_.end()) {
-                  StoreItem(it);
-                  ++revived;
-                }
-              }
-              if (revived > 0 && options_.metrics != nullptr) {
-                options_.metrics->counters().Inc("ds.revived_items", revived);
-              }
-            }
-            ReplicateMovedItems();
-          }
-          lock_.ReleaseWrite();
-          // A probe may have stopped at a stale boundary (a live former
-          // predecessor whose value has since moved on).  Until our lower
-          // bound agrees with the ring's predecessor hint, keep
-          // re-evaluating — group refreshes correct stale owner values
-          // within a refresh period, letting the extension complete.
-          if (ring_->has_pred() && effective_lo != ring_->pred_val()) {
-            pending_range_update_ = true;
-            ring_->After(2 * options_.maintenance_period,
-                         [this]() { ApplyRangeFromPred(); });
-          }
-          ring_->After(0, [this]() { MaybeRebalance(); });
-        });
-  });
-}
-
-void DataStoreNode::ProbeExtensionBoundary(
-    std::vector<std::pair<sim::NodeId, Key>> candidates, RingRange arc,
-    Key fallback, std::function<void(Key)> done) {
-  if (candidates.empty()) {
-    done(fallback);
-    return;
-  }
-  const sim::NodeId peer = candidates.front().first;
-  candidates.erase(candidates.begin());
-  ring_->Call(
-      peer, sim::MakePayload<ring::PingRequest>(),
-      [this, candidates, arc, fallback, done](const sim::Message& m) mutable {
-        const auto& reply = static_cast<const ring::PingReply&>(*m.payload);
-        // Cap at the responder's *current* value — recorded group values go
-        // stale when a former predecessor redistributes or moves on.  A
-        // responder whose value left the gained arc no longer bounds us.
-        if (reply.state != ring::PeerState::kFree &&
-            arc.Contains(reply.val)) {
-          done(reply.val);
-          return;
-        }
-        ProbeExtensionBoundary(std::move(candidates), arc, fallback, done);
-      },
-      ring_->options().ping_timeout,
-      [this, candidates = std::move(candidates), arc, fallback,
-       done]() mutable {
-        ProbeExtensionBoundary(std::move(candidates), arc, fallback, done);
-      });
 }
 
 }  // namespace pepper::datastore

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,9 +15,14 @@
 #include "datastore/item.h"
 #include "datastore/observer.h"
 #include "datastore/range_lock.h"
+#include "datastore/scan_engine.h"
 #include "ring/ring_node.h"
+#include "sim/component.h"
 
 namespace pepper::datastore {
+
+class Rebalancer;
+class TakeoverEngine;
 
 // What the Data Store needs from the Replication Manager (Section 5.2);
 // an interface so the modules stay independently testable.
@@ -77,23 +83,31 @@ struct DataStoreOptions {
   DataStoreObserver* observer = nullptr;  // optional, not owned
 };
 
-// The PEPPER Data Store (Figure 1).  Owns the peer's assigned range
-// (pred.val, val], the items mapped into it, the range lock, the scanRange
-// primitive of Section 4.3.2, and the storage-balance maintenance (split /
-// merge / redistribute) of Section 2.3 with the availability-preserving
-// departure of Section 5.  It shares the peer's sim node with the ring
-// layer, registering its own message handlers.
-class DataStoreNode {
+// The PEPPER Data Store facade (Figure 1).  Owns the peer's assigned range
+// (pred.val, val], the items mapped into it, and the range lock; the three
+// protocol engines stacked on the same host node do the actual work:
+//
+//   ScanEngine      — the scanRange accept/process/forward chain
+//                     (Section 4.3.2, Algorithms 3-5)
+//   Rebalancer      — storage-balance maintenance: split / merge /
+//                     redistribute with free-peer recruitment (Section 2.3)
+//                     and the availability-preserving departure (Section 5)
+//   TakeoverEngine  — predecessor-failure arc reclaim: claimant
+//                     confirmation, extension-boundary probing, replica
+//                     revival through ReplicationHooks (Section 5)
+//
+// The facade exposes the paper's Data Store API unchanged, handles plain
+// item traffic itself, and provides the engines a narrow core surface
+// (StoreItem/DropItem/set_range/locks) so every range or item mutation is
+// observable in one place.
+class DataStoreNode : public sim::ProtocolComponent {
  public:
-  // A scan handler invoked at each peer with the sub-range r of [lb, ub]
-  // that this peer owns (Definition 6 condition 2) and the caller-supplied
-  // parameter.
-  using ScanHandler =
-      std::function<void(const Span& r, const sim::PayloadPtr& param)>;
+  using ScanHandler = ScanEngine::ScanHandler;
   using DoneFn = std::function<void(const Status&)>;
 
   DataStoreNode(ring::RingNode* ring, FreePeerPool* pool,
                 DataStoreOptions options);
+  ~DataStoreNode() override;
 
   DataStoreNode(const DataStoreNode&) = delete;
   DataStoreNode& operator=(const DataStoreNode&) = delete;
@@ -129,10 +143,7 @@ class DataStoreNode {
 
   void RegisterScanHandler(const std::string& handler_id, ScanHandler fn);
 
-  // scanRange (Algorithm 3): must be invoked at the peer owning lb; aborts
-  // otherwise.  `accepted` fires with OK once the local handler ran and the
-  // scan was forwarded (or finished); the chain then proceeds autonomously
-  // with hand-over-hand locking.
+  // scanRange (Algorithm 3); see ScanEngine::ScanRange.
   void ScanRange(Key lb, Key ub, const std::string& handler_id,
                  sim::PayloadPtr param, DoneFn accepted);
 
@@ -149,58 +160,42 @@ class DataStoreNode {
   void set_rehome(RehomeFn fn) { rehome_ = std::move(fn); }
 
   // Test/bench observability.
-  bool rebalancing() const { return rebalancing_; }
+  bool rebalancing() const;
+  Rebalancer& rebalancer() { return *rebalancer_; }
+  ScanEngine& scan_engine() { return *scan_; }
 
- private:
-  void RegisterHandlers();
-  void Activate(RingRange range, std::vector<Item> items);
+  // --- Engine-facing core --------------------------------------------------
+  // The narrow surface ScanEngine / Rebalancer / TakeoverEngine build on;
+  // every item or range mutation funnels through here so the observer hooks
+  // fire exactly once per placement change.
+
+  FreePeerPool* pool() { return pool_; }
+  ReplicationHooks* replication() { return replication_; }
+  const RehomeFn& rehome() const { return rehome_; }
+  MetricsHub* metrics() const { return options_.metrics; }
+
+  void StoreItem(const Item& item);
+  void DropItem(Key skv);
+  void set_range(const RingRange& range) { range_ = range; }
   void Deactivate();
+
+  // Items of our range in circular order starting just past the range's
+  // low end; used to pick split/redistribute boundaries.
+  std::vector<Item> ItemsInCircularOrder() const;
 
   // Lock helpers: cb(false) on timeout (the grant, if it later fires, is
   // released automatically).
   void AcquireReadTimed(std::function<void(bool)> cb);
   void AcquireWriteTimed(std::function<void(bool)> cb);
 
-  // Items of our range in circular order starting just past the range's
-  // low end; used to pick split/redistribute boundaries.
-  std::vector<Item> ItemsInCircularOrder() const;
-
-  void StoreItem(const Item& item);
-  void DropItem(Key skv);
-
-  // --- scanRange internals (Algorithms 4-5) -------------------------------
-  void ProcessHandler(Key lb, Key ub, const std::string& handler_id,
-                      sim::PayloadPtr param, int hops_left);
-  void ForwardScan(Key lb, Key ub, const std::string& handler_id,
-                   sim::PayloadPtr param, int hops_left, int retries_left);
-  void HandleProcessScan(const sim::Message& msg,
-                         const ProcessScanRequest& req);
-
-  // --- Maintenance --------------------------------------------------------
-  void StartSplit();
-  void FinishSplit(sim::NodeId free_peer, Key split_point,
-                   std::vector<Item> handed, const Status& status);
-  void StartUnderflow();
-  void DoMergeLeave(sim::NodeId succ_id);
-  void HandleSplitInsert(const sim::Message& msg,
-                         const SplitInsertRequest& req);
-  void HandleMergeProposal(const sim::Message& msg, const MergeProposal& req);
-  void HandleMergeTakeover(const sim::Message& msg, const MergeTakeover& req);
-  void HandleMergeAbort(const sim::Message& msg, const MergeAbort& req);
-  void HandleInsert(const sim::Message& msg, const DsInsertRequest& req);
-  void HandleDelete(const sim::Message& msg, const DsDeleteRequest& req);
-  void HandleMigrate(const sim::Message& msg, const DsMigrateItems& req);
-  void ApplyRangeFromPred();
   // Replicates moved items: immediately under the PEPPER availability
   // protocol, debounced under the naive CFS baseline.
   void ReplicateMovedItems();
-  // Pings `candidates` (closest first); calls done(val) with the *current*
-  // ring value of the first live one still inside `arc`, or `fallback` if
-  // none qualifies.
-  void ProbeExtensionBoundary(
-      std::vector<std::pair<sim::NodeId, Key>> candidates, RingRange arc,
-      Key fallback, std::function<void(Key)> done);
-  void EndRebalance(bool locked);
+
+ private:
+  void Activate(RingRange range, std::vector<Item> items);
+  void HandleInsert(const sim::Message& msg, const DsInsertRequest& req);
+  void HandleDelete(const sim::Message& msg, const DsDeleteRequest& req);
 
   ring::RingNode* ring_;
   FreePeerPool* pool_;
@@ -212,19 +207,10 @@ class DataStoreNode {
   RingRange range_;
   std::map<Key, Item> items_;
   RangeLock lock_;
-  std::map<std::string, ScanHandler> scan_handlers_;
 
-  bool rebalancing_ = false;
-  bool merge_busy_ = false;  // successor side of a proposed merge
-  uint64_t takeover_epoch_ = 0;  // guards stale takeover-expiry timers
-  // Pending range-extension claim awaiting confirmation (no replica-group
-  // evidence for the gained arc yet).
-  sim::NodeId unconfirmed_claimant_ = sim::kNullNode;
-  sim::SimTime claim_first_seen_ = 0;
-  sim::NodeId takeover_from_ = sim::kNullNode;
-  bool pending_range_update_ = false;
-  uint64_t next_scan_id_ = 1;
-  uint64_t maintenance_timer_ = 0;
+  std::unique_ptr<ScanEngine> scan_;
+  std::unique_ptr<Rebalancer> rebalancer_;
+  std::unique_ptr<TakeoverEngine> takeover_;
 };
 
 }  // namespace pepper::datastore

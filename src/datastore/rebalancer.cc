@@ -1,0 +1,419 @@
+#include "datastore/rebalancer.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "datastore/data_store_node.h"
+#include "ring/ring_node.h"
+
+namespace pepper::datastore {
+
+Rebalancer::Rebalancer(DataStoreNode* ds)
+    : sim::ProtocolComponent(ds->node()), ds_(ds) {
+  On<SplitInsertRequest>(
+      [this](const sim::Message& m, const SplitInsertRequest& req) {
+        HandleSplitInsert(m, req);
+      });
+  On<MergeProposal>([this](const sim::Message& m, const MergeProposal& req) {
+    HandleMergeProposal(m, req);
+  });
+  On<MergeTakeover>([this](const sim::Message& m, const MergeTakeover& req) {
+    HandleMergeTakeover(m, req);
+  });
+  On<MergeAbort>([this](const sim::Message& m, const MergeAbort& req) {
+    HandleMergeAbort(m, req);
+  });
+  maintenance_timer_ =
+      Every(ds_->options().maintenance_period, [this]() { MaybeRebalance(); },
+            RandomPhase(ds_->options().maintenance_period));
+}
+
+void Rebalancer::MaybeRebalance() {
+  if (!ds_->active() || rebalancing_ || merge_busy_) return;
+  MaybeStartReviveSweep();
+  const size_t sf = ds_->options().storage_factor;
+  if (ds_->items().size() > 2 * sf) {
+    StartSplit();
+  } else if (ds_->items().size() < sf && !ds_->range().full()) {
+    StartUnderflow();
+  }
+}
+
+// Revival sweep (last resort for items whose re-home failed or whose
+// takeover raced a failure): promote replica-held items inside our own
+// range whose owner is confirmed dead.  Owner liveness is verified by the
+// replication manager so that frozen groups of merged-away peers cannot
+// resurrect deleted items.
+void Rebalancer::MaybeStartReviveSweep() {
+  ReplicationHooks* replication = ds_->replication();
+  if (replication == nullptr || ds_->lock().write_held()) return;
+  bool missing = false;
+  for (const Item& it : replication->CollectReplicasIn(ds_->range())) {
+    if (ds_->items().find(it.skv) == ds_->items().end()) {
+      missing = true;
+      break;
+    }
+  }
+  if (!missing) return;
+  replication->StartReviveSweep(ds_->range(), [this](const Item& it) {
+    if (!ds_->active() || ds_->lock().write_held() ||
+        !ds_->range().Contains(it.skv) || ds_->items().count(it.skv) > 0) {
+      return;  // next sweep retries if still relevant
+    }
+    ds_->StoreItem(it);
+    if (ds_->metrics() != nullptr) {
+      ds_->metrics()->counters().Inc("ds.revive_sweep");
+    }
+    ds_->ReplicateMovedItems();
+  });
+}
+
+void Rebalancer::EndRebalance(bool locked) {
+  if (locked) ds_->lock().ReleaseWrite();
+  rebalancing_ = false;
+}
+
+void Rebalancer::StartSplit() {
+  rebalancing_ = true;
+  const sim::SimTime started = now();
+  ds_->AcquireWriteTimed([this, started](bool ok) {
+    if (!ok) {
+      rebalancing_ = false;
+      return;
+    }
+    if (!ds_->active() ||
+        ds_->items().size() <= 2 * ds_->options().storage_factor) {
+      EndRebalance(true);
+      return;
+    }
+    auto free_peer = ds_->pool()->Acquire();
+    if (!free_peer.has_value()) {
+      if (ds_->metrics() != nullptr) {
+        ds_->metrics()->counters().Inc("ds.split_no_free_peer");
+      }
+      EndRebalance(true);
+      return;
+    }
+
+    // Split point: the new peer takes the lower half of our range
+    // (Figure 5: p4 overflows, free peer p3 takes over the lower items).
+    std::vector<Item> ordered = ds_->ItemsInCircularOrder();
+    const size_t give = ordered.size() / 2;
+    std::vector<Item> handed(ordered.begin(),
+                             ordered.begin() + static_cast<long>(give));
+    const Key split_point = handed.back().skv;
+
+    const RingRange& range = ds_->range();
+    auto handoff = std::make_shared<SplitHandoff>();
+    handoff->range = range.full()
+                         ? RingRange::OpenClosed(range.hi(), split_point)
+                         : RingRange::OpenClosed(range.lo(), split_point);
+    handoff->items = handed;
+
+    const sim::NodeId new_peer = *free_peer;
+    auto finish = [this, new_peer, split_point, handed,
+                   started](const Status& s) {
+      FinishSplit(new_peer, split_point, handed, s);
+      if (s.ok() && ds_->metrics() != nullptr) {
+        ds_->metrics()->RecordLatency("ds.split_time",
+                                      sim::ToSeconds(now() - started));
+      }
+    };
+
+    // The new peer must be inserted as the successor of our predecessor.
+    // A lone peer (or one with no predecessor hint yet) is its own
+    // predecessor.
+    ring::RingNode* ring = ds_->ring();
+    if (range.full() || !ring->has_pred() || ring->pred_id() == id()) {
+      ring->InsertSucc(new_peer, split_point, handoff, finish);
+      return;
+    }
+    auto req = std::make_shared<SplitInsertRequest>();
+    req->new_peer = new_peer;
+    req->new_val = split_point;
+    req->handoff = handoff;
+    Call(
+        ring->pred_id(), req,
+        [finish](const sim::Message& m) {
+          const auto& ack = static_cast<const DsAck&>(*m.payload);
+          finish(ack.ok ? Status::OK() : Status::Aborted(ack.error));
+        },
+        // The predecessor's insertSucc itself waits for ack propagation.
+        ring->options().insert_ack_timeout + ds_->options().rpc_timeout,
+        [finish]() { finish(Status::TimedOut("split insert timed out")); });
+  });
+}
+
+void Rebalancer::FinishSplit(sim::NodeId free_peer, Key split_point,
+                             std::vector<Item> handed, const Status& status) {
+  if (!status.ok()) {
+    // The free peer was not (observably) inserted; recycle it.  If the
+    // insert actually completed late, the range-shrink detection in the
+    // takeover engine re-homes any duplicated items.
+    ds_->pool()->Add(free_peer);
+    if (ds_->metrics() != nullptr) {
+      ds_->metrics()->counters().Inc("ds.split_failed");
+    }
+    EndRebalance(true);
+    return;
+  }
+  for (const Item& it : handed) {
+    ds_->DropItem(it.skv);
+  }
+  ds_->set_range(RingRange::OpenClosed(split_point, ds_->range().hi()));
+  if (ds_->metrics() != nullptr) {
+    ds_->metrics()->counters().Inc("ds.splits");
+  }
+  if (ds_->replication() != nullptr) ds_->replication()->OnLocalItemsChanged();
+  EndRebalance(true);
+}
+
+void Rebalancer::StartUnderflow() {
+  rebalancing_ = true;
+  const sim::SimTime started = now();
+  ds_->AcquireWriteTimed([this, started](bool ok) {
+    if (!ok) {
+      rebalancing_ = false;
+      return;
+    }
+    if (!ds_->active() ||
+        ds_->items().size() >= ds_->options().storage_factor ||
+        ds_->range().full()) {
+      EndRebalance(true);
+      return;
+    }
+    auto succ = ds_->ring()->GetSucc();
+    if (!succ.has_value() || succ->id == id()) {
+      EndRebalance(true);
+      return;
+    }
+    auto proposal = std::make_shared<MergeProposal>();
+    proposal->proposer_val = ds_->range().hi();
+    proposal->count = ds_->items().size();
+    const sim::NodeId succ_id = succ->id;
+    Call(
+        succ_id, proposal,
+        [this, succ_id, started](const sim::Message& m) {
+          const auto& decision = static_cast<const MergeDecision&>(*m.payload);
+          switch (decision.kind) {
+            case MergeDecision::Kind::kRedistribute: {
+              for (const Item& it : decision.items) ds_->StoreItem(it);
+              ds_->set_range(
+                  RingRange::OpenClosed(ds_->range().lo(), decision.new_val));
+              ds_->ring()->set_val(decision.new_val);
+              if (ds_->metrics() != nullptr) {
+                ds_->metrics()->counters().Inc("ds.redistributes");
+                ds_->metrics()->RecordLatency("ds.redistribute_time",
+                                              sim::ToSeconds(now() - started));
+              }
+              ds_->ReplicateMovedItems();
+              EndRebalance(true);
+              break;
+            }
+            case MergeDecision::Kind::kTakeover:
+              DoMergeLeave(succ_id);
+              break;
+            case MergeDecision::Kind::kRejected:
+              EndRebalance(true);
+              break;
+          }
+        },
+        ds_->options().lock_timeout + ds_->options().rpc_timeout,
+        [this]() { EndRebalance(true); });
+  });
+}
+
+// Merge by departure (Sections 2.3 and 5): replicate one extra hop, leave
+// the ring consistently, then hand everything to the successor.
+void Rebalancer::DoMergeLeave(sim::NodeId succ_id) {
+  const sim::SimTime merge_started = now();
+  auto after_replication = [this, succ_id, merge_started](const Status&) {
+    ds_->ring()->Leave([this, succ_id,
+                        merge_started](const Status& leave_status) {
+      if (!leave_status.ok()) {
+        Send(succ_id, sim::MakePayload<MergeAbort>());
+        EndRebalance(true);
+        return;
+      }
+      auto takeover = std::make_shared<MergeTakeover>();
+      takeover->range = ds_->range();
+      takeover->items = ds_->GetLocalItems();
+      Call(
+          succ_id, takeover,
+          [this, merge_started](const sim::Message& m) {
+            const auto& ack = static_cast<const DsAck&>(*m.payload);
+            if (ds_->metrics() != nullptr) {
+              ds_->metrics()->counters().Inc(ack.ok
+                                                 ? "ds.merges"
+                                                 : "ds.merge_takeover_failed");
+              if (ack.ok) {
+                ds_->metrics()->RecordLatency(
+                    "ds.merge_time", sim::ToSeconds(now() - merge_started));
+              }
+            }
+            ds_->Deactivate();
+            ds_->ring()->Depart();
+            ds_->pool()->Retire(id());
+            // The lock dies with the departed peer's Data Store state.
+            EndRebalance(true);
+          },
+          ds_->options().lock_timeout + ds_->options().rpc_timeout,
+          [this]() {
+            // Successor vanished mid-takeover.  We already left the ring;
+            // depart anyway — the extra-hop replication (and the periodic
+            // pushes) let the remaining peers revive our items.
+            if (ds_->metrics() != nullptr) {
+              ds_->metrics()->counters().Inc("ds.merge_takeover_failed");
+            }
+            ds_->Deactivate();
+            ds_->ring()->Depart();
+            ds_->pool()->Retire(id());
+            EndRebalance(true);
+          });
+    });
+  };
+  if (ds_->options().pepper_availability && ds_->replication() != nullptr) {
+    ds_->replication()->ReplicateExtraHop(after_replication);
+  } else {
+    after_replication(Status::OK());
+  }
+}
+
+void Rebalancer::HandleSplitInsert(const sim::Message& msg,
+                                   const SplitInsertRequest& req) {
+  ds_->ring()->InsertSucc(req.new_peer, req.new_val, req.handoff,
+                          [this, msg](const Status& s) {
+                            auto ack = std::make_shared<DsAck>();
+                            ack->ok = s.ok();
+                            ack->error = s.message();
+                            Reply(msg, ack);
+                          });
+}
+
+void Rebalancer::HandleMergeProposal(const sim::Message& msg,
+                                     const MergeProposal& req) {
+  auto reject = [this, msg](const std::string& why) {
+    auto decision = std::make_shared<MergeDecision>();
+    decision->kind = MergeDecision::Kind::kRejected;
+    decision->error = why;
+    Reply(msg, decision);
+  };
+  if (!ds_->active() || merge_busy_ || rebalancing_) {
+    reject("busy");
+    return;
+  }
+  merge_busy_ = true;
+  const size_t proposer_count = req.count;
+  ds_->AcquireWriteTimed([this, msg, proposer_count, reject](bool ok) {
+    if (!ok) {
+      merge_busy_ = false;
+      reject("lock timeout");
+      return;
+    }
+    if (!ds_->active()) {
+      merge_busy_ = false;
+      ds_->lock().ReleaseWrite();
+      reject("inactive");
+      return;
+    }
+    const size_t sf = ds_->options().storage_factor;
+    const size_t total = ds_->items().size() + proposer_count;
+    if (total >= 2 * sf && ds_->items().size() > sf) {
+      // Redistribute: hand the proposer our low-side items so both end up
+      // near total/2 (Section 2.3).
+      size_t target_give = ds_->items().size() - total / 2;
+      target_give = std::max<size_t>(target_give, 1);
+      target_give = std::min(target_give, ds_->items().size() - 1);
+      std::vector<Item> ordered = ds_->ItemsInCircularOrder();
+      std::vector<Item> given(
+          ordered.begin(), ordered.begin() + static_cast<long>(target_give));
+      auto decision = std::make_shared<MergeDecision>();
+      decision->kind = MergeDecision::Kind::kRedistribute;
+      decision->items = given;
+      decision->new_val = given.back().skv;
+      for (const Item& it : given) ds_->DropItem(it.skv);
+      ds_->set_range(RingRange::OpenClosed(decision->new_val,
+                                           ds_->range().hi()));
+      Reply(msg, decision);
+      ds_->ReplicateMovedItems();
+      ds_->lock().ReleaseWrite();
+      merge_busy_ = false;
+      return;
+    }
+    // Full takeover: keep our write lock until the leaver transfers its
+    // state (or we give up).  The expiry timer is epoch-guarded so a stale
+    // timer from an earlier offer cannot release a later offer's lock.
+    takeover_from_ = msg.from;
+    const uint64_t epoch = ++takeover_epoch_;
+    auto decision = std::make_shared<MergeDecision>();
+    decision->kind = MergeDecision::Kind::kTakeover;
+    Reply(msg, decision);
+    After(ds_->options().takeover_timeout, [this, epoch]() {
+      if (merge_busy_ && takeover_from_ != sim::kNullNode &&
+          takeover_epoch_ == epoch) {
+        takeover_from_ = sim::kNullNode;
+        merge_busy_ = false;
+        ds_->lock().ReleaseWrite();
+        if (ds_->metrics() != nullptr) {
+          ds_->metrics()->counters().Inc("ds.takeover_expired");
+        }
+      }
+    });
+  });
+}
+
+void Rebalancer::HandleMergeTakeover(const sim::Message& msg,
+                                     const MergeTakeover& req) {
+  auto absorb = [this, msg, req]() {
+    for (const Item& it : req.items) ds_->StoreItem(it);
+    const Key hi = ds_->range().hi();
+    const Key new_lo = req.range.full() ? hi : req.range.lo();
+    ds_->set_range((new_lo == hi) ? RingRange::Full(hi)
+                                  : RingRange::OpenClosed(new_lo, hi));
+    ds_->lock().ReleaseWrite();
+    Reply(msg, sim::MakePayload<DsAck>());
+    ds_->ReplicateMovedItems();
+    After(0, [this]() { MaybeRebalance(); });
+  };
+  if (merge_busy_ && takeover_from_ == msg.from) {
+    takeover_from_ = sim::kNullNode;
+    merge_busy_ = false;
+    absorb();  // our write lock is already held
+    return;
+  }
+  // Late takeover (our offer expired): the leaver has already left the
+  // ring, so absorbing is still the right thing — re-acquire the lock.
+  if (!ds_->active()) {
+    auto ack = std::make_shared<DsAck>();
+    ack->ok = false;
+    ack->error = "inactive";
+    Reply(msg, ack);
+    return;
+  }
+  if (ds_->metrics() != nullptr) {
+    ds_->metrics()->counters().Inc("ds.takeover_late");
+  }
+  ds_->AcquireWriteTimed([this, msg, absorb](bool ok) {
+    if (!ok) {
+      auto ack = std::make_shared<DsAck>();
+      ack->ok = false;
+      ack->error = "lock timeout";
+      Reply(msg, ack);
+      return;
+    }
+    absorb();
+  });
+}
+
+void Rebalancer::HandleMergeAbort(const sim::Message& msg,
+                                  const MergeAbort&) {
+  if (merge_busy_ && takeover_from_ == msg.from) {
+    takeover_from_ = sim::kNullNode;
+    merge_busy_ = false;
+    ds_->lock().ReleaseWrite();
+  }
+}
+
+}  // namespace pepper::datastore

@@ -1,0 +1,65 @@
+#ifndef PEPPER_DATASTORE_REBALANCER_H_
+#define PEPPER_DATASTORE_REBALANCER_H_
+
+#include <vector>
+
+#include "common/key_space.h"
+#include "common/status.h"
+#include "datastore/ds_messages.h"
+#include "datastore/item.h"
+#include "sim/component.h"
+
+namespace pepper::datastore {
+
+class DataStoreNode;
+
+// The storage-balance engine (Section 2.3 with the availability-preserving
+// departure of Section 5): a periodic local check splits an overflowing peer
+// (> 2*sf items) with a recruited free peer and resolves an underflowing one
+// (< sf items) by proposing a merge to its successor, which answers with a
+// redistribution (both end near total/2) or a full takeover (the proposer
+// replicates one extra hop, leaves the ring consistently, and transfers its
+// range and items).  The check also triggers the last-resort replica revive
+// sweep for items whose owner is confirmed dead.
+//
+// State machine guards: `rebalancing_` marks an operation this peer
+// initiated (item traffic bounces while set); `merge_busy_` marks the
+// successor side of a proposed takeover, which holds the write lock until
+// the leaver's transfer arrives, aborts, or times out (epoch-guarded).
+class Rebalancer : public sim::ProtocolComponent {
+ public:
+  explicit Rebalancer(DataStoreNode* ds);
+
+  // Triggers the overflow/underflow check now (also runs periodically).
+  void MaybeRebalance();
+
+  // Test/bench observability.
+  bool rebalancing() const { return rebalancing_; }
+  bool merge_busy() const { return merge_busy_; }
+
+ private:
+  void StartSplit();
+  void FinishSplit(sim::NodeId free_peer, Key split_point,
+                   std::vector<Item> handed, const Status& status);
+  void StartUnderflow();
+  void DoMergeLeave(sim::NodeId succ_id);
+  void EndRebalance(bool locked);
+  void MaybeStartReviveSweep();
+
+  void HandleSplitInsert(const sim::Message& msg,
+                         const SplitInsertRequest& req);
+  void HandleMergeProposal(const sim::Message& msg, const MergeProposal& req);
+  void HandleMergeTakeover(const sim::Message& msg, const MergeTakeover& req);
+  void HandleMergeAbort(const sim::Message& msg, const MergeAbort& req);
+
+  DataStoreNode* ds_;
+  bool rebalancing_ = false;
+  bool merge_busy_ = false;  // successor side of a proposed merge
+  uint64_t takeover_epoch_ = 0;  // guards stale takeover-expiry timers
+  sim::NodeId takeover_from_ = sim::kNullNode;
+  uint64_t maintenance_timer_ = 0;
+};
+
+}  // namespace pepper::datastore
+
+#endif  // PEPPER_DATASTORE_REBALANCER_H_

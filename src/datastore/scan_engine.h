@@ -1,0 +1,61 @@
+#ifndef PEPPER_DATASTORE_SCAN_ENGINE_H_
+#define PEPPER_DATASTORE_SCAN_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/key_space.h"
+#include "common/status.h"
+#include "datastore/ds_messages.h"
+#include "sim/component.h"
+
+namespace pepper::datastore {
+
+class DataStoreNode;
+
+// The scanRange engine (Section 4.3.2, Algorithms 3-5): accepts a scan at
+// the peer owning its lower bound, invokes the registered handler with this
+// peer's slice of the range, and forwards the scan to the ring successor
+// hand-over-hand — the successor acquires its read lock before this peer
+// releases its own, so no reorganization can slip between adjacent hops.
+// A hop budget bounds runaway chains on pathological rings.
+//
+// Interface to the rest of the stack:
+//   - RegisterHandler / ScanRange (re-exported by the DataStoreNode facade)
+//   - reads facade state (range, active, lock) and never mutates items.
+class ScanEngine : public sim::ProtocolComponent {
+ public:
+  // Invoked at each peer with the sub-range r of [lb, ub] that this peer
+  // owns (Definition 6 condition 2) and the caller-supplied parameter.
+  using ScanHandler =
+      std::function<void(const Span& r, const sim::PayloadPtr& param)>;
+  using DoneFn = std::function<void(const Status&)>;
+
+  explicit ScanEngine(DataStoreNode* ds);
+
+  void RegisterHandler(const std::string& handler_id, ScanHandler fn);
+
+  // scanRange (Algorithm 3): must be invoked at the peer owning lb; aborts
+  // otherwise.  `accepted` fires with OK once the local handler ran and the
+  // scan was forwarded (or finished); the chain then proceeds autonomously
+  // with hand-over-hand locking.
+  void ScanRange(Key lb, Key ub, const std::string& handler_id,
+                 sim::PayloadPtr param, DoneFn accepted);
+
+ private:
+  void ProcessHandler(Key lb, Key ub, const std::string& handler_id,
+                      sim::PayloadPtr param, int hops_left);
+  void ForwardScan(Key lb, Key ub, const std::string& handler_id,
+                   sim::PayloadPtr param, int hops_left, int retries_left);
+  void HandleProcessScan(const sim::Message& msg,
+                         const ProcessScanRequest& req);
+
+  DataStoreNode* ds_;
+  std::map<std::string, ScanHandler> handlers_;
+  uint64_t next_scan_id_ = 1;
+};
+
+}  // namespace pepper::datastore
+
+#endif  // PEPPER_DATASTORE_SCAN_ENGINE_H_

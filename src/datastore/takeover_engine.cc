@@ -1,0 +1,208 @@
+#include "datastore/takeover_engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "datastore/data_store_node.h"
+#include "ring/ring_node.h"
+
+namespace pepper::datastore {
+
+TakeoverEngine::TakeoverEngine(DataStoreNode* ds)
+    : sim::ProtocolComponent(ds->node()), ds_(ds) {
+  On<DsMigrateItems>([this](const sim::Message& m, const DsMigrateItems& req) {
+    HandleMigrate(m, req);
+  });
+}
+
+void TakeoverEngine::OnPredChanged() {
+  if (!ds_->active() || pending_range_update_) return;
+  pending_range_update_ = true;
+  ApplyRangeFromPred();
+}
+
+void TakeoverEngine::ApplyRangeFromPred() {
+  ds_->AcquireWriteTimed([this](bool ok) {
+    ring::RingNode* ring = ds_->ring();
+    if (!ok) {
+      // The lock is tied up (e.g. a merge proposal waiting out a dead
+      // successor).  The range boundary MUST eventually follow the ring —
+      // a dropped extension would leave an ownerless gap — so retry.
+      After(ds_->options().maintenance_period,
+            [this]() { ApplyRangeFromPred(); });
+      return;
+    }
+    pending_range_update_ = false;
+    if (!ds_->active() || !ring->has_pred() || ring->pred_id() == id()) {
+      ds_->lock().ReleaseWrite();
+      return;
+    }
+    const RingRange& range = ds_->range();
+    const Key new_lo = ring->pred_val();
+    const Key cur_lo = range.full() ? range.hi() : range.lo();
+    const Key hi = range.hi();
+    if (new_lo == cur_lo || new_lo == hi) {
+      ds_->lock().ReleaseWrite();
+      return;
+    }
+    if (range.Contains(new_lo)) {
+      // Shrink: a peer now owns (cur_lo, new_lo].  Normal splits update the
+      // range before this fires (no-op above); getting here means our
+      // knowledge was stale — defensively re-home any orphaned items to the
+      // new predecessor.
+      std::vector<Item> orphans;
+      const RingRange lost = RingRange::OpenClosed(cur_lo, new_lo);
+      for (const auto& kv : ds_->items()) {
+        if (lost.Contains(kv.first)) orphans.push_back(kv.second);
+      }
+      if (!orphans.empty()) {
+        if (ds_->rehome()) {
+          // Routed re-insert with retries: survives the new owner being
+          // mid-reorganization or departed.
+          for (const Item& it : orphans) ds_->rehome()(it);
+        } else {
+          auto msg = std::make_shared<DsMigrateItems>();
+          msg->items = orphans;
+          Send(ring->pred_id(), msg);
+        }
+        for (const Item& it : orphans) ds_->DropItem(it.skv);
+        if (ds_->metrics() != nullptr) {
+          ds_->metrics()->counters().Inc("ds.orphans_rehomed",
+                                         orphans.size());
+        }
+      }
+      ds_->set_range(RingRange::OpenClosed(new_lo, hi));
+      ds_->lock().ReleaseWrite();
+      After(0, [this]() { ds_->MaybeRebalance(); });
+      return;
+    }
+    // Extend: our predecessor moved backwards (the old one failed or merged
+    // away).  A confused far-back claimant must not let us absorb the
+    // ranges of *live* peers between it and our old predecessor — scans
+    // would then cover their keys without their items.  Probe the known
+    // former predecessors (replica-group owners) in the gained arc, closest
+    // first, and extend only past the confirmed-dead prefix.
+    auto candidates =
+        ds_->replication() != nullptr
+            ? ds_->replication()->GroupOwnersIn(
+                  RingRange::OpenClosed(new_lo, cur_lo))
+            : std::vector<std::pair<sim::NodeId, Key>>{};
+    if (candidates.empty()) {
+      // We hold no replica group from anyone in the gained arc, so we
+      // cannot probe for live peers there.  A real predecessor failure
+      // normally leaves us its group; an evidence-less claim is adopted
+      // only after it has persisted for a confirmation delay (the window a
+      // genuinely confused claimant needs to rectify itself).
+      const sim::NodeId claimant = ring->pred_id();
+      if (claimant != unconfirmed_claimant_) {
+        unconfirmed_claimant_ = claimant;
+        claim_first_seen_ = now();
+      }
+      if (now() - claim_first_seen_ <
+          2 * ring->options().stabilization_period) {
+        ds_->lock().ReleaseWrite();
+        pending_range_update_ = true;
+        After(ds_->options().maintenance_period,
+              [this]() { ApplyRangeFromPred(); });
+        return;
+      }
+    } else {
+      unconfirmed_claimant_ = sim::kNullNode;
+    }
+    // Closest (largest clockwise distance from new_lo) first.
+    std::sort(candidates.begin(), candidates.end(),
+              [new_lo](const auto& a, const auto& b) {
+                return (a.second - new_lo) > (b.second - new_lo);
+              });
+    ProbeExtensionBoundary(
+        std::move(candidates), RingRange::OpenClosed(new_lo, cur_lo), new_lo,
+        [this, cur_lo, hi](Key effective_lo) {
+          if (!ds_->active()) {
+            ds_->lock().ReleaseWrite();
+            return;
+          }
+          if (effective_lo != cur_lo) {
+            const RingRange gained =
+                RingRange::OpenClosed(effective_lo, cur_lo);
+            ds_->set_range(RingRange::OpenClosed(effective_lo, hi));
+            if (ds_->replication() != nullptr) {
+              size_t revived = 0;
+              for (const Item& it :
+                   ds_->replication()->CollectReplicasIn(gained)) {
+                if (ds_->items().find(it.skv) == ds_->items().end()) {
+                  ds_->StoreItem(it);
+                  ++revived;
+                }
+              }
+              if (revived > 0 && ds_->metrics() != nullptr) {
+                ds_->metrics()->counters().Inc("ds.revived_items", revived);
+              }
+            }
+            ds_->ReplicateMovedItems();
+          }
+          ds_->lock().ReleaseWrite();
+          // A probe may have stopped at a stale boundary (a live former
+          // predecessor whose value has since moved on).  Until our lower
+          // bound agrees with the ring's predecessor hint, keep
+          // re-evaluating — group refreshes correct stale owner values
+          // within a refresh period, letting the extension complete.
+          ring::RingNode* ring = ds_->ring();
+          if (ring->has_pred() && effective_lo != ring->pred_val()) {
+            pending_range_update_ = true;
+            After(2 * ds_->options().maintenance_period,
+                  [this]() { ApplyRangeFromPred(); });
+          }
+          After(0, [this]() { ds_->MaybeRebalance(); });
+        });
+  });
+}
+
+void TakeoverEngine::ProbeExtensionBoundary(
+    std::vector<std::pair<sim::NodeId, Key>> candidates, RingRange arc,
+    Key fallback, std::function<void(Key)> done) {
+  if (candidates.empty()) {
+    done(fallback);
+    return;
+  }
+  const sim::NodeId peer = candidates.front().first;
+  candidates.erase(candidates.begin());
+  Call(
+      peer, sim::MakePayload<ring::PingRequest>(),
+      [this, candidates, arc, fallback, done](const sim::Message& m) mutable {
+        const auto& reply = static_cast<const ring::PingReply&>(*m.payload);
+        // Cap at the responder's *current* value — recorded group values go
+        // stale when a former predecessor redistributes or moves on.  A
+        // responder whose value left the gained arc no longer bounds us.
+        if (reply.state != ring::PeerState::kFree && arc.Contains(reply.val)) {
+          done(reply.val);
+          return;
+        }
+        ProbeExtensionBoundary(std::move(candidates), arc, fallback, done);
+      },
+      ds_->ring()->options().ping_timeout,
+      [this, candidates = std::move(candidates), arc, fallback,
+       done]() mutable {
+        ProbeExtensionBoundary(std::move(candidates), arc, fallback, done);
+      });
+}
+
+void TakeoverEngine::HandleMigrate(const sim::Message&,
+                                   const DsMigrateItems& req) {
+  for (const Item& it : req.items) {
+    if (ds_->active() && ds_->range().Contains(it.skv)) {
+      if (ds_->items().find(it.skv) == ds_->items().end()) ds_->StoreItem(it);
+      continue;
+    }
+    if (req.hops_left > 0 && ds_->ring()->has_pred()) {
+      // Still not ours; keep walking backwards.
+      auto fwd = std::make_shared<DsMigrateItems>();
+      fwd->items = {it};
+      fwd->hops_left = req.hops_left - 1;
+      Send(ds_->ring()->pred_id(), fwd);
+    }
+  }
+  if (ds_->replication() != nullptr) ds_->replication()->OnLocalItemsChanged();
+}
+
+}  // namespace pepper::datastore

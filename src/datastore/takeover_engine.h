@@ -1,0 +1,54 @@
+#ifndef PEPPER_DATASTORE_TAKEOVER_ENGINE_H_
+#define PEPPER_DATASTORE_TAKEOVER_ENGINE_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/key_space.h"
+#include "datastore/ds_messages.h"
+#include "sim/component.h"
+
+namespace pepper::datastore {
+
+class DataStoreNode;
+
+// The availability-preserving range-tracking engine (Section 5, Figure 9):
+// keeps the peer's Data Store range following its ring predecessor.  A
+// shrink (new peer in front) re-homes orphaned items; an extension (the
+// predecessor failed or merged away) is claimed only after confirming the
+// gained arc is really dead — known former predecessors (replica-group
+// owners) are probed closest-first via ProbeExtensionBoundary, and an
+// evidence-less claim is adopted only after it persists for a confirmation
+// window.  Revived items are promoted from held replica groups through
+// ReplicationHooks.  Also handles the defensive backwards item-migration
+// walk (DsMigrateItems) for items stranded by stale range knowledge.
+class TakeoverEngine : public sim::ProtocolComponent {
+ public:
+  explicit TakeoverEngine(DataStoreNode* ds);
+
+  // Wired to the ring's INFOFROMPRED event: the predecessor (and therefore
+  // the lower end of our range) changed.
+  void OnPredChanged();
+
+ private:
+  void ApplyRangeFromPred();
+  // Pings `candidates` (closest first); calls done(val) with the *current*
+  // ring value of the first live one still inside `arc`, or `fallback` if
+  // none qualifies.
+  void ProbeExtensionBoundary(
+      std::vector<std::pair<sim::NodeId, Key>> candidates, RingRange arc,
+      Key fallback, std::function<void(Key)> done);
+  void HandleMigrate(const sim::Message& msg, const DsMigrateItems& req);
+
+  DataStoreNode* ds_;
+  // Pending range-extension claim awaiting confirmation (no replica-group
+  // evidence for the gained arc yet).
+  sim::NodeId unconfirmed_claimant_ = sim::kNullNode;
+  sim::SimTime claim_first_seen_ = 0;
+  bool pending_range_update_ = false;
+};
+
+}  // namespace pepper::datastore
+
+#endif  // PEPPER_DATASTORE_TAKEOVER_ENGINE_H_

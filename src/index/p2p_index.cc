@@ -9,32 +9,29 @@ namespace pepper::index {
 
 namespace {
 constexpr char kRangeQueryHandler[] = "index.rangeQuery";
-
-double Seconds(sim::SimTime d) {
-  return static_cast<double>(d) / static_cast<double>(sim::kSecond);
-}
 }  // namespace
 
 P2PIndex::P2PIndex(ring::RingNode* ring, datastore::DataStoreNode* ds,
                    router::ContentRouter* router, IndexOptions options)
-    : ring_(ring),
+    : sim::ProtocolComponent(ring->node()),
+      ring_(ring),
       ds_(ds),
       router_(router),
       options_(std::move(options)),
       next_query_id_(static_cast<uint64_t>(ring->id()) << 40) {
-  ring_->On<StartScanRequest>(
+  On<StartScanRequest>(
       [this](const sim::Message& m, const StartScanRequest& req) {
         HandleStartScan(m, req);
       });
-  ring_->On<QueryPartial>(
+  On<QueryPartial>(
       [this](const sim::Message& m, const QueryPartial& part) {
         HandleQueryPartial(m, part);
       });
-  ring_->On<NaiveScanMsg>(
+  On<NaiveScanMsg>(
       [this](const sim::Message& m, const NaiveScanMsg& scan) {
         HandleNaiveScan(m, scan);
       });
-  ring_->On<QueryDoneMsg>(
+  On<QueryDoneMsg>(
       [this](const sim::Message& m, const QueryDoneMsg& done) {
         HandleQueryDone(m, done);
       });
@@ -52,14 +49,14 @@ P2PIndex::P2PIndex(ring::RingNode* ring, datastore::DataStoreNode* ds,
         for (const auto& kv : ds_->items()) {
           if (r.Contains(kv.first)) partial->items.push_back(kv.second);
         }
-        if (p->initiator == ring_->id()) {
+        if (p->initiator == id()) {
           HandleQueryPartial(sim::Message{}, *partial);
         } else {
-          ring_->Send(p->initiator, partial);
+          Send(p->initiator, partial);
         }
       });
 
-  ring_->Every(options_.watchdog_period, [this]() { Watchdog(); },
+  Every(options_.watchdog_period, [this]() { Watchdog(); },
                options_.watchdog_period);
 }
 
@@ -87,7 +84,7 @@ void P2PIndex::AttemptInsert(const datastore::Item& item, int retries_left,
           // takeovers waiting on leave propagation) can hold a range for
           // several stabilization rounds.
           const int attempt = options_.insert_retries - retries_left + 1;
-          ring_->After(options_.retry_delay * attempt,
+          After(options_.retry_delay * attempt,
                        [this, item, retries_left, done]() {
                          AttemptInsert(item, retries_left - 1, done);
                        });
@@ -96,7 +93,7 @@ void P2PIndex::AttemptInsert(const datastore::Item& item, int retries_left,
           retry(s);
           return;
         }
-        if (owner == ring_->id()) {
+        if (owner == id()) {
           Status local = ds_->InsertLocal(item);
           if (local.ok()) {
             done(local);
@@ -107,7 +104,7 @@ void P2PIndex::AttemptInsert(const datastore::Item& item, int retries_left,
         }
         auto req = std::make_shared<datastore::DsInsertRequest>();
         req->item = item;
-        ring_->Call(
+        Call(
             owner, req,
             [done, retry](const sim::Message& m) {
               const auto& ack =
@@ -140,7 +137,7 @@ void P2PIndex::AttemptDelete(Key skv, int retries_left, DoneFn done) {
             return;
           }
           const int attempt = options_.insert_retries - retries_left + 1;
-          ring_->After(options_.retry_delay * attempt,
+          After(options_.retry_delay * attempt,
                        [this, skv, retries_left, done]() {
                          AttemptDelete(skv, retries_left - 1, done);
                        });
@@ -149,7 +146,7 @@ void P2PIndex::AttemptDelete(Key skv, int retries_left, DoneFn done) {
           retry(s);
           return;
         }
-        if (owner == ring_->id()) {
+        if (owner == id()) {
           Status local = ds_->DeleteLocal(skv);
           // NotFound is final: the item is not in the system.
           if (local.ok() || local.IsNotFound()) {
@@ -161,7 +158,7 @@ void P2PIndex::AttemptDelete(Key skv, int retries_left, DoneFn done) {
         }
         auto req = std::make_shared<datastore::DsDeleteRequest>();
         req->skv = skv;
-        ring_->Call(
+        Call(
             owner, req,
             [done, retry](const sim::Message& m) {
               const auto& ack =
@@ -185,7 +182,7 @@ void P2PIndex::RangeQuery(const Span& span, QueryFn done) {
   q.span = span;
   q.coverage = SpanCoverage(span);
   q.done = std::move(done);
-  q.started = ring_->now();
+  q.started = now();
   q.last_progress = q.started;
   q.naive = !options_.pepper_scan;
   queries_.emplace(query_id, std::move(q));
@@ -218,10 +215,10 @@ void P2PIndex::Kick(uint64_t query_id) {
     if (it == queries_.end()) return;
     it->second.kicking = false;
     if (!s.ok()) return;  // watchdog re-kicks
-    if (owner == ring_->id()) {
+    if (owner == id()) {
       auto param = std::make_shared<RangeScanParam>();
       param->query_id = query_id;
-      param->initiator = ring_->id();
+      param->initiator = id();
       ds_->ScanRange(lb, ub, kRangeQueryHandler, param,
                      [](const Status&) {});
       return;
@@ -230,8 +227,8 @@ void P2PIndex::Kick(uint64_t query_id) {
     req->query_id = query_id;
     req->lb = lb;
     req->ub = ub;
-    req->initiator = ring_->id();
-    ring_->Call(
+    req->initiator = id();
+    Call(
         owner, req, [](const sim::Message&) {},
         ds_->options().lock_timeout + options_.rpc_timeout,
         []() { /* watchdog re-kicks */ });
@@ -248,7 +245,7 @@ void P2PIndex::HandleStartScan(const sim::Message& msg,
                  [this, request](const Status& s) {
                    auto ack = std::make_shared<StartScanAck>();
                    ack->ok = s.ok();
-                   ring_->Reply(request, ack);
+                   Reply(request, ack);
                  });
 }
 
@@ -267,7 +264,7 @@ void P2PIndex::HandleQueryPartial(const sim::Message&,
   for (const datastore::Item& item : part.items) {
     q.items[item.skv] = item;
   }
-  q.last_progress = ring_->now();
+  q.last_progress = now();
   if (!q.naive && q.coverage.Complete()) {
     Finish(part.query_id, Status::OK());
   }
@@ -285,12 +282,12 @@ void P2PIndex::KickNaive(uint64_t query_id) {
     scan->query_id = query_id;
     scan->lb = span.lo;
     scan->ub = span.hi;
-    scan->initiator = ring_->id();
+    scan->initiator = id();
     scan->hops_left = options_.naive_hop_budget;
-    if (owner == ring_->id()) {
+    if (owner == id()) {
       HandleNaiveScan(sim::Message{}, *scan);
     } else {
-      ring_->Send(owner, scan);
+      Send(owner, scan);
     }
   });
 }
@@ -307,11 +304,11 @@ void P2PIndex::HandleNaiveScan(const sim::Message&, const NaiveScanMsg& scan) {
   for (const auto& kv : ds_->items()) {
     if (query_span.Contains(kv.first)) partial->items.push_back(kv.second);
   }
-  auto deliver_local = scan.initiator == ring_->id();
+  auto deliver_local = scan.initiator == id();
   if (deliver_local) {
     HandleQueryPartial(sim::Message{}, *partial);
   } else {
-    ring_->Send(scan.initiator, partial);
+    Send(scan.initiator, partial);
   }
 
   if (ds_->range().Contains(scan.ub) || scan.hops_left <= 0) {
@@ -320,16 +317,16 @@ void P2PIndex::HandleNaiveScan(const sim::Message&, const NaiveScanMsg& scan) {
     if (deliver_local) {
       HandleQueryDone(sim::Message{}, *done);
     } else {
-      ring_->Send(scan.initiator, done);
+      Send(scan.initiator, done);
     }
     return;
   }
   auto succ = ring_->GetSuccRelaxed();
-  if (!succ.has_value() || succ->id == ring_->id()) return;
+  if (!succ.has_value() || succ->id == id()) return;
   auto fwd = std::make_shared<NaiveScanMsg>();
   *fwd = scan;
   fwd->hops_left = scan.hops_left - 1;
-  ring_->Send(succ->id, fwd);
+  Send(succ->id, fwd);
 }
 
 void P2PIndex::HandleQueryDone(const sim::Message&, const QueryDoneMsg& done) {
@@ -348,7 +345,7 @@ void P2PIndex::Finish(uint64_t query_id, const Status& status) {
   for (auto& kv : q.items) items.push_back(std::move(kv.second));
   if (options_.metrics != nullptr) {
     options_.metrics->RecordLatency("index.query_time",
-                                    Seconds(ring_->now() - q.started));
+                                    sim::ToSeconds(now() - q.started));
     options_.metrics->counters().Inc(
         status.ok() ? "index.queries_completed" : "index.queries_failed");
   }
@@ -358,13 +355,13 @@ void P2PIndex::Finish(uint64_t query_id, const Status& status) {
 void P2PIndex::Watchdog() {
   std::vector<uint64_t> to_fail;
   std::vector<uint64_t> to_kick;
-  const sim::SimTime now = ring_->now();
+  const sim::SimTime now_us = now();
   for (auto& kv : queries_) {
     ActiveQuery& q = kv.second;
-    if (now - q.started > options_.query_timeout) {
+    if (now_us - q.started > options_.query_timeout) {
       to_fail.push_back(kv.first);
     } else if (!q.naive && !q.kicking &&
-               now - q.last_progress > options_.progress_timeout) {
+               now_us - q.last_progress > options_.progress_timeout) {
       to_kick.push_back(kv.first);
     }
   }

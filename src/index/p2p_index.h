@@ -11,6 +11,7 @@
 #include "index/index_messages.h"
 #include "ring/ring_node.h"
 #include "router/content_router.h"
+#include "sim/component.h"
 
 namespace pepper::index {
 
@@ -37,7 +38,7 @@ struct IndexOptions {
 // peer streams <items, r> to the initiator, which assembles coverage of
 // [lb, ub] — completion of the union is exactly Definition 6 condition 4, so
 // a completed query is a correct query result (Theorem 3).
-class P2PIndex {
+class P2PIndex : public sim::ProtocolComponent {
  public:
   using DoneFn = std::function<void(const Status&)>;
   // done(status, items): items sorted by key.  status OK iff the result is

@@ -8,20 +8,23 @@ namespace pepper::replication {
 ReplicationManager::ReplicationManager(ring::RingNode* ring,
                                        datastore::DataStoreNode* ds,
                                        ReplicationOptions options)
-    : ring_(ring), ds_(ds), options_(std::move(options)) {
-  ring_->On<ReplicaPushMsg>(
+    : sim::ProtocolComponent(ring->node()),
+      ring_(ring),
+      ds_(ds),
+      options_(std::move(options)) {
+  On<ReplicaPushMsg>(
       [this](const sim::Message& m, const ReplicaPushMsg& push) {
         HandlePush(m, push);
       });
-  ring_->Every(options_.refresh_period, [this]() { RefreshTick(); },
-               ring_->sim()->rng().Uniform(0, options_.refresh_period));
+  Every(options_.refresh_period, [this]() { RefreshTick(); },
+        RandomPhase(options_.refresh_period));
 }
 
 void ReplicationManager::RefreshTick() {
   // Age out groups whose owner stopped refreshing long ago.
-  const sim::SimTime now = ring_->now();
+  const sim::SimTime now_us = now();
   for (auto it = groups_.begin(); it != groups_.end();) {
-    if (now - it->second.refreshed_at > options_.group_ttl) {
+    if (now_us - it->second.refreshed_at > options_.group_ttl) {
       it = groups_.erase(it);
     } else {
       ++it;
@@ -33,13 +36,13 @@ void ReplicationManager::RefreshTick() {
 void ReplicationManager::PushNow() {
   if (!ds_->active() || options_.replication_factor == 0) return;
   auto succ = ring_->GetSuccRelaxed();
-  if (!succ.has_value() || succ->id == ring_->id()) return;
+  if (!succ.has_value() || succ->id == id()) return;
   auto push = std::make_shared<ReplicaPushMsg>();
-  push->owner = ring_->id();
+  push->owner = id();
   push->owner_val = ring_->val();
   push->items = ds_->GetLocalItems();
   push->hops_left = static_cast<int>(options_.replication_factor) - 1;
-  ring_->Send(succ->id, push);
+  Send(succ->id, push);
   if (options_.metrics != nullptr) {
     options_.metrics->counters().Inc("repl.pushes");
   }
@@ -48,7 +51,7 @@ void ReplicationManager::PushNow() {
 void ReplicationManager::OnLocalItemsChanged() {
   if (push_scheduled_) return;
   push_scheduled_ = true;
-  ring_->After(options_.push_delay, [this]() {
+  After(options_.push_delay, [this]() {
     push_scheduled_ = false;
     PushNow();
   });
@@ -59,7 +62,7 @@ void ReplicationManager::StoreGroup(
     const std::vector<datastore::Item>& items) {
   ReplicaGroup& group = groups_[owner];
   group.owner_val = owner_val;
-  group.refreshed_at = ring_->now();
+  group.refreshed_at = now();
   group.items.clear();
   for (const datastore::Item& it : items) {
     group.items[it.skv] = it;
@@ -69,7 +72,7 @@ void ReplicationManager::StoreGroup(
 void ReplicationManager::ForwardPush(const ReplicaPushMsg& push) {
   if (push.hops_left <= 0) return;
   auto succ = ring_->GetSuccRelaxed();
-  if (!succ.has_value() || succ->id == ring_->id() ||
+  if (!succ.has_value() || succ->id == id() ||
       succ->id == push.owner) {
     return;  // wrapped around a small ring
   }
@@ -78,14 +81,14 @@ void ReplicationManager::ForwardPush(const ReplicaPushMsg& push) {
   fwd->owner_val = push.owner_val;
   fwd->items = push.items;
   fwd->hops_left = push.hops_left - 1;
-  ring_->Send(succ->id, fwd);
+  Send(succ->id, fwd);
 }
 
 void ReplicationManager::HandlePush(const sim::Message& msg,
                                     const ReplicaPushMsg& push) {
   StoreGroup(push.owner, push.owner_val, push.items);
   if (msg.rpc_id != 0) {
-    ring_->Reply(msg, sim::MakePayload<ReplicaPushAck>());
+    Reply(msg, sim::MakePayload<ReplicaPushAck>());
   }
   ForwardPush(push);
 }
@@ -93,7 +96,7 @@ void ReplicationManager::HandlePush(const sim::Message& msg,
 void ReplicationManager::ReplicateExtraHop(
     std::function<void(const Status&)> done) {
   auto succ = ring_->GetSuccRelaxed();
-  if (!succ.has_value() || succ->id == ring_->id()) {
+  if (!succ.has_value() || succ->id == id()) {
     done(Status::Unavailable("no successor for extra-hop replication"));
     return;
   }
@@ -120,7 +123,7 @@ void ReplicationManager::ReplicateExtraHop(
   }
   {
     auto own = std::make_shared<ReplicaPushMsg>();
-    own->owner = ring_->id();
+    own->owner = id();
     own->owner_val = ring_->val();
     own->items = ds_->GetLocalItems();
     // Our own items already sit on our k successors — and the first of them
@@ -136,7 +139,7 @@ void ReplicationManager::ReplicateExtraHop(
     options_.metrics->counters().Inc("repl.extra_hop_groups", msgs.size());
   }
   for (auto& m : msgs) {
-    ring_->Call(
+    Call(
         succ->id, m,
         [pending](const sim::Message&) {
           if (--pending->remaining == 0) {
@@ -191,15 +194,21 @@ void ReplicationManager::StartReviveSweep(
   }
   if (candidates->empty()) return;
   sweeping_ = true;
+  // The stored lambda captures itself weakly (a strong capture would be a
+  // shared_ptr cycle); the in-flight RPC callbacks hold the strong
+  // reference that keeps the chain alive until it finishes.
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, candidates, range, promote, step]() {
+  *step = [this, candidates, range, promote,
+           weak_step = std::weak_ptr<std::function<void()>>(step)]() {
+    auto step = weak_step.lock();
+    if (step == nullptr) return;
     if (candidates->empty()) {
       sweeping_ = false;
       return;
     }
     const sim::NodeId owner = candidates->back();
     candidates->pop_back();
-    ring_->Call(
+    Call(
         owner, sim::MakePayload<ring::PingRequest>(),
         [this, owner, step](const sim::Message& m) {
           const auto& reply = static_cast<const ring::PingReply&>(*m.payload);
@@ -238,7 +247,7 @@ bool ReplicationManager::HoldsReplica(Key skv) const {
 sim::PayloadPtr ReplicationManager::MakeSeedForSuccessor() {
   if (!ds_->active()) return nullptr;
   auto seed = std::make_shared<ReplicaPushMsg>();
-  seed->owner = ring_->id();
+  seed->owner = id();
   seed->owner_val = ring_->val();
   seed->items = ds_->GetLocalItems();
   seed->hops_left = 0;

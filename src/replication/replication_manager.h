@@ -9,6 +9,7 @@
 #include "datastore/data_store_node.h"
 #include "datastore/item.h"
 #include "ring/ring_node.h"
+#include "sim/component.h"
 
 namespace pepper::replication {
 
@@ -50,10 +51,11 @@ struct ReplicaPushAck : sim::Payload {};
 // replicate-to-additional-hop departure protocol (Section 5.2).  Each owner
 // periodically pushes a snapshot of its Data Store to its k ring successors;
 // when a predecessor fails, the successor revives the lost range from the
-// held replica group (Data Store ApplyRangeFromPred); before a
+// held replica group (the Data Store's takeover engine); before a
 // merge-departure, everything the leaver stores travels one extra hop so the
 // replica count never dips (Figure 18).
-class ReplicationManager : public datastore::ReplicationHooks {
+class ReplicationManager : public sim::ProtocolComponent,
+                           public datastore::ReplicationHooks {
  public:
   ReplicationManager(ring::RingNode* ring, datastore::DataStoreNode* ds,
                      ReplicationOptions options);

@@ -9,14 +9,8 @@
 
 namespace pepper::ring {
 
-namespace {
-double Seconds(sim::SimTime d) {
-  return static_cast<double>(d) / static_cast<double>(sim::kSecond);
-}
-}  // namespace
-
 RingNode::RingNode(sim::Simulator* sim, Key val, RingOptions options)
-    : sim::Node(sim), val_(val), options_(std::move(options)) {
+    : sim::ProtocolComponent(sim), val_(val), options_(std::move(options)) {
   RegisterHandlers();
 }
 
@@ -46,9 +40,8 @@ void RingNode::StartTimers() {
   timers_started_ = true;
   // Deterministic per-node phase offset so peers do not stabilize in
   // lockstep.
-  const sim::SimTime stab_phase =
-      sim()->rng().Uniform(0, options_.stabilization_period);
-  const sim::SimTime ping_phase = sim()->rng().Uniform(0, options_.ping_period);
+  const sim::SimTime stab_phase = RandomPhase(options_.stabilization_period);
+  const sim::SimTime ping_phase = RandomPhase(options_.ping_period);
   stab_timer_ = Every(
       options_.stabilization_period, [this]() { RunStabilization(); },
       stab_phase);
@@ -185,7 +178,7 @@ void RingNode::CompleteInsert() {
       [this, started, done](const sim::Message&) {
         if (options_.metrics != nullptr) {
           options_.metrics->RecordLatency("ring.insert_succ",
-                                          Seconds(now() - started));
+                                          sim::ToSeconds(now() - started));
           options_.metrics->counters().Inc("ring.inserts_completed");
         }
         if (done) done(Status::OK());
@@ -478,7 +471,7 @@ void RingNode::HandleLeaveAck(const sim::Message& /*msg*/,
   pending_leave_.reset();
   if (options_.metrics != nullptr) {
     options_.metrics->RecordLatency("ring.leave",
-                                    Seconds(now() - pending.started));
+                                    sim::ToSeconds(now() - pending.started));
   }
   if (pending.done) pending.done(Status::OK());
 }

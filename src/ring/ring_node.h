@@ -10,7 +10,7 @@
 #include "common/status.h"
 #include "ring/ring_messages.h"
 #include "ring/succ_list.h"
-#include "sim/node.h"
+#include "sim/component.h"
 
 namespace pepper::ring {
 
@@ -53,7 +53,11 @@ struct RingOptions {
 // baselines.  Higher layers (Data Store, Replication Manager) attach through
 // the event hooks, mirroring the events of the framework (INFOFORSUCC,
 // INFOFROMPRED, NEWSUCC, INSERT/INSERTED, LEAVE).
-class RingNode : public sim::Node {
+//
+// The ring is the bottom-most ProtocolComponent of a peer: it creates and
+// owns the peer's host sim::Node, which the upper-layer components (data
+// store engines, replication, router, index) share via node().
+class RingNode : public sim::ProtocolComponent {
  public:
   using DoneFn = std::function<void(const Status&)>;
   // Collects inserter-side data for a peer being inserted as our successor
@@ -110,6 +114,10 @@ class RingNode : public sim::Node {
 
   // Triggers an immediate stabilization round.
   void StabilizeNow();
+
+  // Fail-stop crash of the whole peer process (every component sharing the
+  // host node stops processing messages and timers permanently).
+  void Fail() { node()->Fail(); }
 
   // --- Observers ----------------------------------------------------------
 

@@ -9,17 +9,18 @@ struct LookupForwardAck : sim::Payload {};
 
 RouterBase::RouterBase(ring::RingNode* ring, datastore::DataStoreNode* ds,
                        RouterOptions options, bool greedy)
-    : ring_(ring),
+    : sim::ProtocolComponent(ring->node()),
+      ring_(ring),
       ds_(ds),
       options_(std::move(options)),
       greedy_(greedy),
       // Lookup ids must be globally unique (replies are matched by id).
       next_lookup_id_(static_cast<uint64_t>(ring->id()) << 32) {
-  ring_->On<LookupRequest>(
+  On<LookupRequest>(
       [this](const sim::Message& m, const LookupRequest& req) {
         HandleRequest(m, req);
       });
-  ring_->On<LookupReply>(
+  On<LookupReply>(
       [this](const sim::Message& m, const LookupReply& reply) {
         HandleReply(m, reply);
       });
@@ -39,13 +40,13 @@ void RouterBase::StartAttempt(Key key, uint64_t lookup_id, int retries_left,
   LookupRequest req;
   req.lookup_id = lookup_id;
   req.key = key;
-  req.initiator = ring_->id();
+  req.initiator = id();
   req.hops = 0;
   req.hops_left = options_.hop_budget;
   req.greedy = greedy_;
   RouteOrAnswer(req);
 
-  ring_->After(options_.lookup_timeout,
+  After(options_.lookup_timeout,
                [this, key, lookup_id, retries_left]() {
                  auto it = pending_.find(lookup_id);
                  if (it == pending_.end()) return;  // answered
@@ -66,7 +67,7 @@ void RouterBase::StartAttempt(Key key, uint64_t lookup_id, int retries_left,
 void RouterBase::HandleRequest(const sim::Message& msg,
                                const LookupRequest& req) {
   if (msg.rpc_id != 0) {
-    ring_->Reply(msg, sim::MakePayload<LookupForwardAck>());
+    Reply(msg, sim::MakePayload<LookupForwardAck>());
   }
   RouteOrAnswer(req);
 }
@@ -87,22 +88,22 @@ void RouterBase::RouteOrAnswer(const LookupRequest& req) {
   if (ds_->active() && ds_->range().Contains(req.key)) {
     auto reply = std::make_shared<LookupReply>();
     reply->lookup_id = req.lookup_id;
-    reply->owner = ring_->id();
+    reply->owner = id();
     reply->hops = req.hops;
-    if (req.initiator == ring_->id()) {
+    if (req.initiator == id()) {
       // Local hit: complete without a network round trip.
       HandleReply(sim::Message{}, *reply);
     } else {
-      ring_->Send(req.initiator, reply);
+      Send(req.initiator, reply);
     }
     return;
   }
   if (req.hops_left <= 0) return;  // budget exhausted; initiator retries
 
   sim::NodeId next = req.greedy ? NextHop(req.key) : sim::kNullNode;
-  if (next == sim::kNullNode || next == ring_->id()) {
+  if (next == sim::kNullNode || next == id()) {
     auto succ = ring_->GetSuccRelaxed();
-    if (!succ.has_value() || succ->id == ring_->id()) return;
+    if (!succ.has_value() || succ->id == id()) return;
     next = succ->id;
   }
 
@@ -113,15 +114,15 @@ void RouterBase::RouteOrAnswer(const LookupRequest& req) {
 
   // Acknowledged forwarding: if the chosen hop is dead, fall back to the
   // plain ring successor once.
-  ring_->Call(
+  Call(
       next, fwd, [](const sim::Message&) {}, 4 * ring_->options().ping_timeout,
       [this, fwd, next]() {
         auto succ = ring_->GetSuccRelaxed();
-        if (!succ.has_value() || succ->id == ring_->id() ||
+        if (!succ.has_value() || succ->id == id() ||
             succ->id == next) {
           return;
         }
-        ring_->Call(
+        Call(
             succ->id, fwd, [](const sim::Message&) {},
             4 * ring_->options().ping_timeout, []() {});
       });

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "datastore/data_store_node.h"
 #include "ring/ring_node.h"
+#include "sim/component.h"
 
 namespace pepper::router {
 
@@ -57,7 +58,7 @@ struct RouterOptions {
 
 // Base with the shared request/reply plumbing; subclasses choose the next
 // hop.
-class RouterBase : public ContentRouter {
+class RouterBase : public sim::ProtocolComponent, public ContentRouter {
  public:
   RouterBase(ring::RingNode* ring, datastore::DataStoreNode* ds,
              RouterOptions options, bool greedy);

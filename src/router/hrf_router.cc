@@ -9,7 +9,7 @@ HrfRouter::HrfRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
                      HrfOptions options)
     : RouterBase(ring, ds, options.base, /*greedy=*/true),
       hrf_options_(std::move(options)) {
-  ring_->On<GetEntryRequest>(
+  On<GetEntryRequest>(
       [this](const sim::Message& m, const GetEntryRequest& req) {
         auto reply = std::make_shared<GetEntryReply>();
         if (req.level < levels_.size()) {
@@ -17,10 +17,10 @@ HrfRouter::HrfRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
           reply->id = levels_[req.level].id;
           reply->val = levels_[req.level].val;
         }
-        ring_->Reply(m, reply);
+        Reply(m, reply);
       });
-  ring_->Every(hrf_options_.refresh_period, [this]() { RefreshTick(); },
-               ring_->sim()->rng().Uniform(0, hrf_options_.refresh_period));
+  Every(hrf_options_.refresh_period, [this]() { RefreshTick(); },
+        RandomPhase(hrf_options_.refresh_period));
 }
 
 uint64_t HrfRouter::DistFromSelf(Key to) const {
@@ -34,7 +34,7 @@ void HrfRouter::RefreshTick() {
     return;
   }
   auto succ = ring_->GetSuccRelaxed();
-  if (!succ.has_value() || succ->id == ring_->id()) {
+  if (!succ.has_value() || succ->id == id()) {
     levels_.clear();
     return;
   }
@@ -52,13 +52,13 @@ void HrfRouter::RefreshLevel(size_t level) {
   if (base.id == sim::kNullNode) return;
   auto req = std::make_shared<GetEntryRequest>();
   req->level = level - 1;
-  ring_->Call(
+  Call(
       base.id, req,
       [this, level, base](const sim::Message& m) {
         const auto& reply = static_cast<const GetEntryReply&>(*m.payload);
         // The level-i pointer is the level-(i-1) peer's level-(i-1) pointer
         // (~2^i successors away).  Stop when the hierarchy wraps past us.
-        if (!reply.valid || reply.id == ring_->id() ||
+        if (!reply.valid || reply.id == id() ||
             reply.id == sim::kNullNode ||
             DistFromSelf(reply.val) <= DistFromSelf(base.val)) {
           if (levels_.size() > level) levels_.resize(level);

@@ -16,6 +16,11 @@ inline constexpr SimTime kMicrosecond = 1;
 inline constexpr SimTime kMillisecond = 1000;
 inline constexpr SimTime kSecond = 1000 * 1000;
 
+// SimTime duration → seconds; the unit the latency metrics report in.
+inline double ToSeconds(SimTime d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
 // Base class for every protocol message body.  Concrete payloads are plain
 // structs; dispatch is by typeid (single-process simulation, so no
 // serialization is needed or wanted).

@@ -13,6 +13,10 @@ void Node::Fail() {
   alive_ = false;
   pending_.clear();
   active_timers_.clear();
+  // Fail-stop: this peer never sends again, so its FIFO channel
+  // bookkeeping can be dropped now rather than at destruction (churn runs
+  // keep failed node objects around for the whole simulation).
+  sim_->network().ForgetChannels(id_);
   OnFail();
 }
 

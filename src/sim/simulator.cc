@@ -21,17 +21,48 @@ void Network::Send(Message msg) {
   const SimTime latency =
       sim_->rng().Uniform(options_.min_latency, options_.max_latency);
   SimTime deliver_at = sim_->now() + latency;
-  auto key = std::make_pair(msg.from, msg.to);
-  auto it = last_delivery_.find(key);
-  if (it != last_delivery_.end()) {
-    deliver_at = std::max(deliver_at, it->second);  // FIFO per channel
+  // FIFO bookkeeping only for channels that can still deliver: a message to
+  // a dead or destroyed peer is dropped at delivery time anyway, and
+  // recording it would resurrect bookkeeping ForgetChannels just pruned.
+  if (sim_->IsAlive(msg.to)) {
+    auto& out = last_delivery_[msg.from];
+    auto it = out.find(msg.to);
+    if (it != out.end()) {
+      deliver_at = std::max(deliver_at, it->second);  // FIFO per channel
+      it->second = deliver_at;
+    } else {
+      out.emplace(msg.to, deliver_at);
+      inbound_senders_[msg.to].insert(msg.from);
+      ++channel_count_;
+    }
   }
-  last_delivery_[key] = deliver_at;
   sim_->At(deliver_at, [sim = sim_, msg = std::move(msg)]() {
     Node* target = sim->node(msg.to);
     if (target == nullptr || !target->alive()) return;  // fail-stop drop
     target->Deliver(msg);
   });
+}
+
+void Network::ForgetChannels(NodeId id) {
+  auto out = last_delivery_.find(id);
+  if (out != last_delivery_.end()) {
+    for (const auto& kv : out->second) {
+      auto in = inbound_senders_.find(kv.first);
+      if (in != inbound_senders_.end()) in->second.erase(id);
+    }
+    channel_count_ -= out->second.size();
+    last_delivery_.erase(out);
+  }
+  auto in = inbound_senders_.find(id);
+  if (in != inbound_senders_.end()) {
+    for (NodeId from : in->second) {
+      auto from_out = last_delivery_.find(from);
+      if (from_out != last_delivery_.end()) {
+        channel_count_ -= from_out->second.erase(id);
+      }
+    }
+    inbound_senders_.erase(in);
+  }
 }
 
 Simulator::Simulator(uint64_t seed, NetworkOptions net)
@@ -68,6 +99,7 @@ NodeId Simulator::Register(Node* node) {
 
 void Simulator::Unregister(NodeId id) {
   if (id < nodes_.size()) nodes_[id] = nullptr;
+  network_.ForgetChannels(id);
 }
 
 Node* Simulator::node(NodeId id) const {

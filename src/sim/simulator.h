@@ -2,7 +2,8 @@
 #define PEPPER_SIM_SIMULATOR_H_
 
 #include <functional>
-#include <map>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -32,9 +33,21 @@ class Network {
 
   void Send(Message msg);
 
+  // Drops the per-channel FIFO bookkeeping for channels touching `id`;
+  // called when the peer fails (fail-stop: it never sends again, and sends
+  // *to* it stop being recorded) and when its node is destroyed.  Ids are
+  // never reused, so without this long churn runs grow the bookkeeping
+  // with one entry per channel every dead peer ever used.  O(channels of
+  // `id`) via the inbound-sender index, not a full scan.
+  void ForgetChannels(NodeId id);
+
   const NetworkOptions& options() const { return options_; }
   void set_options(NetworkOptions options) { options_ = options; }
+  // Incremented on every Send — one-way messages, requests and replies all
+  // funnel through Network::Send.
   uint64_t messages_sent() const { return messages_sent_; }
+  // Live per-channel FIFO entries (observability for pruning tests).
+  size_t channel_count() const { return channel_count_; }
 
   // A delay that safely upper-bounds one round trip; protocol timeouts are
   // derived from it.
@@ -44,8 +57,14 @@ class Network {
   Simulator* sim_;
   NetworkOptions options_;
   uint64_t messages_sent_ = 0;
-  // Enforces per-channel FIFO even though per-message latency is random.
-  std::map<std::pair<NodeId, NodeId>, SimTime> last_delivery_;
+  // Enforces per-channel FIFO even though per-message latency is random:
+  // last_delivery_[from][to] is the latest delivery time scheduled on that
+  // channel.  inbound_senders_[to] indexes the reverse direction so
+  // ForgetChannels needs no full scan.
+  std::unordered_map<NodeId, std::unordered_map<NodeId, SimTime>>
+      last_delivery_;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> inbound_senders_;
+  size_t channel_count_ = 0;
 };
 
 // Single-threaded deterministic discrete-event simulator.  Peers are Node

@@ -150,16 +150,23 @@ PeerStack* Cluster::MakeStack() {
   // in transit the item is not live; queries may legitimately miss it
   // (Definition 4 only protects items live throughout the query).
   index::P2PIndex* idx = stack->index.get();
+  // The retry closure captures itself weakly (a strong capture would be a
+  // shared_ptr cycle); the facade's rehome_ hook and any pending retries
+  // hold the strong references.
   auto rehome = std::make_shared<std::function<void(datastore::Item)>>();
-  *rehome = [idx, rehome, this](datastore::Item item) {
-    PeerStack* via = SomeMember();
-    index::P2PIndex* target = via != nullptr ? via->index.get() : idx;
-    target->InsertItem(item, [rehome, item, this](const Status& s) {
-      if (s.ok()) return;
-      metrics_.counters().Inc("cluster.rehome_retries");
-      sim_->After(sim::kSecond, [rehome, item]() { (*rehome)(item); });
-    });
-  };
+  *rehome =
+      [idx, weak = std::weak_ptr<std::function<void(datastore::Item)>>(rehome),
+       this](datastore::Item item) {
+        auto self = weak.lock();
+        if (self == nullptr) return;
+        PeerStack* via = SomeMember();
+        index::P2PIndex* target = via != nullptr ? via->index.get() : idx;
+        target->InsertItem(item, [self, item, this](const Status& s) {
+          if (s.ok()) return;
+          metrics_.counters().Inc("cluster.rehome_retries");
+          sim_->After(sim::kSecond, [self, item]() { (*self)(item); });
+        });
+      };
   dsp->set_rehome([rehome](const datastore::Item& item) { (*rehome)(item); });
 
   peers_.push_back(std::move(stack));

@@ -1,0 +1,169 @@
+// Engine-level Data Store tests: drive the Rebalancer and ScanEngine through
+// a minimal hand-wired stack (Simulator + RingNode + DataStoreNode +
+// FreePeerPool) — no Cluster, no replication, no router, no index.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "datastore/data_store_node.h"
+#include "datastore/ds_messages.h"
+#include "datastore/free_peer_pool.h"
+#include "datastore/rebalancer.h"
+#include "ring/ring_node.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace pepper::datastore {
+namespace {
+
+ring::RingOptions FastRing() {
+  ring::RingOptions o;
+  o.stabilization_period = 200 * sim::kMillisecond;
+  o.ping_period = 100 * sim::kMillisecond;
+  o.rpc_timeout = 20 * sim::kMillisecond;
+  o.ping_timeout = 20 * sim::kMillisecond;
+  return o;
+}
+
+// A two-peer stack built the way Cluster wires it, minus every layer above
+// the Data Store: peer A bootstraps with 11 items and overflows (sf = 5);
+// free peer B is recruited by the split.
+struct TwoPeerFixture {
+  explicit TwoPeerFixture(uint64_t seed, DataStoreOptions dopts)
+      : sim(seed), pool(&sim) {
+    dopts.metrics = &metrics;
+    a_ring = std::make_unique<ring::RingNode>(&sim, 1000000, FastRing());
+    a_ds = std::make_unique<DataStoreNode>(a_ring.get(), &pool, dopts);
+    b_ring = std::make_unique<ring::RingNode>(&sim, 0, FastRing());
+    b_ds = std::make_unique<DataStoreNode>(b_ring.get(), &pool, dopts);
+    b_ring->set_on_joined([this](sim::NodeId, Key, sim::PayloadPtr data,
+                                 sim::PayloadPtr) {
+      const auto* handoff = dynamic_cast<const SplitHandoff*>(data.get());
+      if (handoff != nullptr) b_ds->ActivateFromHandoff(*handoff);
+    });
+
+    a_ring->InitRing();
+    a_ds->ActivateAsFirst();
+    pool.Add(b_ring->id());
+    for (Key k = 1; k <= 11; ++k) {
+      EXPECT_TRUE(a_ds->InsertLocal(Item{k * 10, ""}).ok());
+    }
+    sim.RunFor(10 * sim::kSecond);  // maintenance tick splits, ring settles
+  }
+
+  sim::Simulator sim;
+  MetricsHub metrics;
+  FreePeerPool pool;
+  std::unique_ptr<ring::RingNode> a_ring;
+  std::unique_ptr<DataStoreNode> a_ds;
+  std::unique_ptr<ring::RingNode> b_ring;
+  std::unique_ptr<DataStoreNode> b_ds;
+};
+
+TEST(RebalancerTest, SplitPicksTheMedianBoundary) {
+  TwoPeerFixture f(21, DataStoreOptions{});
+
+  // 11 items with keys 10..110: the free peer takes the lower half (5
+  // items, keys 10..50), so the split boundary is the median key 50.
+  ASSERT_TRUE(f.b_ds->active());
+  EXPECT_EQ(f.b_ds->range().hi(), 50u);
+  EXPECT_EQ(f.b_ds->items().size(), 5u);
+  EXPECT_EQ(f.a_ds->items().size(), 6u);
+  EXPECT_EQ(f.a_ds->range().lo(), 50u);
+  EXPECT_EQ(f.a_ds->range().hi(), 1000000u);
+  EXPECT_EQ(f.metrics.counters().Get("ds.splits"), 1u);
+  for (const auto& kv : f.b_ds->items()) EXPECT_LE(kv.first, 50u);
+  for (const auto& kv : f.a_ds->items()) EXPECT_GT(kv.first, 50u);
+}
+
+TEST(RebalancerTest, MergeProposalRejectedWhileSuccessorIsMergeBusy) {
+  DataStoreOptions dopts;
+  dopts.maintenance_period = 200 * sim::kMillisecond;
+  TwoPeerFixture f(22, dopts);
+  ASSERT_TRUE(f.b_ds->active());
+
+  // A bare test peer offers B a merge it never completes: B answers
+  // kTakeover, grabs its write lock, and sits merge-busy waiting for the
+  // transfer.
+  sim::Node prober(&f.sim);
+  bool got_takeover = false;
+  auto proposal = std::make_shared<MergeProposal>();
+  proposal->proposer_val = 49;
+  proposal->count = 0;
+  prober.Call(
+      f.b_ring->id(), proposal,
+      [&](const sim::Message& m) {
+        const auto& decision = static_cast<const MergeDecision&>(*m.payload);
+        got_takeover = decision.kind == MergeDecision::Kind::kTakeover;
+      },
+      sim::kSecond, [] {});
+  f.sim.RunFor(sim::kSecond);
+  ASSERT_TRUE(got_takeover);
+  ASSERT_TRUE(f.b_ds->rebalancer().merge_busy());
+
+  // Now A underflows (3 < sf).  Its merge proposal to busy B must bounce;
+  // A aborts the underflow cleanly and keeps its range and items.
+  ASSERT_TRUE(f.a_ds->DeleteLocal(60).ok());
+  ASSERT_TRUE(f.a_ds->DeleteLocal(70).ok());
+  ASSERT_TRUE(f.a_ds->DeleteLocal(80).ok());
+  f.sim.RunFor(3 * sim::kSecond);
+
+  EXPECT_TRUE(f.a_ds->active());
+  EXPECT_EQ(f.a_ds->items().size(), 3u);
+  EXPECT_EQ(f.a_ds->range().lo(), 50u);
+  EXPECT_EQ(f.a_ds->range().hi(), 1000000u);
+  EXPECT_TRUE(f.b_ds->rebalancer().merge_busy());
+  EXPECT_EQ(f.metrics.counters().Get("ds.merges"), 0u);
+
+  // The offer is abandoned: B releases its lock and leaves the busy state.
+  prober.Send(f.b_ring->id(), sim::MakePayload<MergeAbort>());
+  f.sim.RunFor(sim::kSecond);
+  EXPECT_FALSE(f.b_ds->rebalancer().merge_busy());
+  EXPECT_FALSE(f.b_ds->lock().write_held());
+}
+
+TEST(ScanEngineTest, HopBudgetExhaustionAbortsCleanly) {
+  DataStoreOptions dopts;
+  dopts.scan_hop_budget = 0;
+  TwoPeerFixture f(23, dopts);
+  ASSERT_TRUE(f.b_ds->active());
+
+  int handler_calls = 0;
+  f.a_ds->RegisterScanHandler(
+      "test.scan", [&](const Span&, const sim::PayloadPtr&) {
+        ++handler_calls;
+      });
+
+  // [60, 2000000] starts in A's range but ends in B's wrapping range, so
+  // the scan would need one forward hop — more than the zero budget allows.
+  bool accepted_called = false;
+  Status accepted;
+  f.a_ds->ScanRange(60, 2000000, "test.scan", nullptr, [&](const Status& s) {
+    accepted_called = true;
+    accepted = s;
+  });
+  f.sim.RunFor(sim::kSecond);
+
+  // The local slice was processed, the scan was accepted, and exhaustion
+  // released the read lock instead of forwarding.
+  EXPECT_TRUE(accepted_called);
+  EXPECT_TRUE(accepted.ok()) << accepted.ToString();
+  EXPECT_EQ(handler_calls, 1);
+  EXPECT_EQ(f.metrics.counters().Get("ds.scan_hops_exhausted"), 1u);
+  EXPECT_EQ(f.a_ds->lock().readers(), 0u);
+
+  // The engine is still fully usable: an in-range scan completes locally.
+  bool second_ok = false;
+  f.a_ds->ScanRange(60, 900000, "test.scan", nullptr,
+                    [&](const Status& s) { second_ok = s.ok(); });
+  f.sim.RunFor(sim::kSecond);
+  EXPECT_TRUE(second_ok);
+  EXPECT_EQ(handler_calls, 2);
+  EXPECT_EQ(f.a_ds->lock().readers(), 0u);
+}
+
+}  // namespace
+}  // namespace pepper::datastore

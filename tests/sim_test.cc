@@ -186,6 +186,45 @@ TEST(NodeTest, LateReplyAfterTimeoutIsIgnored) {
   EXPECT_EQ(b.requests_seen.size(), 1u);  // request was processed
 }
 
+TEST(NetworkTest, EverySendCountsIncludingReplies) {
+  Simulator sim(7);
+  EchoNode a(&sim), b(&sim);
+  const uint64_t before = sim.network().messages_sent();
+  a.Call(
+      b.id(), std::make_shared<EchoRequest>(), [](const Message&) {}, kSecond,
+      [] {});
+  sim.RunFor(kSecond);
+  EXPECT_EQ(sim.network().messages_sent() - before, 2u);  // request + reply
+}
+
+TEST(NetworkTest, ChannelBookkeepingPrunedOnUnregister) {
+  Simulator sim(7);
+  EchoNode a(&sim);
+  {
+    EchoNode b(&sim);
+    auto msg = std::make_shared<OneWay>();
+    msg->value = 1;
+    a.Send(b.id(), msg);
+    b.Send(a.id(), std::make_shared<OneWay>());
+    sim.RunFor(kSecond);
+    EXPECT_EQ(sim.network().channel_count(), 2u);
+  }  // b destroyed: ids are never reused, so its channels are dropped
+  EXPECT_EQ(sim.network().channel_count(), 0u);
+}
+
+TEST(NetworkTest, ChannelBookkeepingPrunedOnFailure) {
+  Simulator sim(7);
+  EchoNode a(&sim), b(&sim);
+  a.Send(b.id(), std::make_shared<OneWay>());
+  b.Send(a.id(), std::make_shared<OneWay>());
+  sim.RunFor(kSecond);
+  EXPECT_EQ(sim.network().channel_count(), 2u);
+  // Churn runs fail peers without ever destroying the node objects; the
+  // bookkeeping must not wait for destruction.
+  b.Fail();
+  EXPECT_EQ(sim.network().channel_count(), 0u);
+}
+
 TEST(SimulatorTest, IdenticalSeedsProduceIdenticalSchedules) {
   auto run = [](uint64_t seed) {
     Simulator sim(seed);
