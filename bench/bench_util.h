@@ -47,7 +47,7 @@ inline std::vector<Key> GrowTo(workload::Cluster& c, size_t target_peers,
 }
 
 inline double MeanLatency(workload::Cluster& c, const std::string& name) {
-  const Summary* s = c.metrics().FindLatency(name);
+  const Histogram* s = c.metrics().FindLatency(name);
   return (s == nullptr || s->count() == 0) ? 0.0 : s->mean();
 }
 

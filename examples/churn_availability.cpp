@@ -2,12 +2,25 @@
 // same churn (merges racing with failures) is applied to a PEPPER cluster
 // and to a naive one (immediate leave, no replicate-to-additional-hop).
 // The PEPPER cluster keeps every item; the naive one loses some.
+//
+// The churn itself is a declarative Scenario (src/scenario/): a seeding
+// phase, six Figure 17 rounds (force a merge, then kill the absorbing
+// successor before any replica refresh), and a settling quiesce.  The
+// ScenarioRunner's oracle probe is exactly the "items LOST" check — the
+// naive run FAILS its probes by design.
 
 #include <cstdio>
+#include <memory>
 
-#include "workload/cluster.h"
+#include "scenario/scenario_runner.h"
 
 using pepper::Key;
+using pepper::scenario::Phase;
+using pepper::scenario::RunnerOptions;
+using pepper::scenario::RunReport;
+using pepper::scenario::Scenario;
+using pepper::scenario::ScenarioBuilder;
+using pepper::scenario::ScenarioRunner;
 using pepper::workload::Cluster;
 using pepper::workload::ClusterOptions;
 namespace sim = pepper::sim;
@@ -18,7 +31,79 @@ struct RunResult {
   size_t merges = 0;
   size_t lost = 0;
   size_t peers_left = 0;
+  size_t probe_violations = 0;
 };
+
+// No background Poisson load: the forced merges and kills are the whole
+// experiment (replication factor 1 makes driver-inserted stragglers
+// legitimately lossy under failures, which would muddy the comparison).
+pepper::workload::WorkloadOptions ZeroLoad() {
+  pepper::workload::WorkloadOptions w;
+  w.insert_rate_per_sec = 0.0;
+  w.delete_rate_per_sec = 0.0;
+  w.peer_add_rate_per_sec = 0.0;
+  w.fail_rate_per_sec = 0.0;
+  w.query_rate_per_sec = 0.0;
+  return w;
+}
+
+// The Figure 17 round: delete items until a merge fires, then kill the
+// successor that absorbed the merged-away range ("the single failure").
+Phase MergeFailureRound(std::shared_ptr<std::vector<Key>> keys,
+                        std::shared_ptr<size_t> cursor) {
+  Phase p;
+  p.name = "merge_then_kill_absorber";
+  p.duration = 8 * sim::kSecond;  // take over the dead peer's arc
+  p.workload = ZeroLoad();
+  p.on_enter = [keys, cursor](Cluster& cluster, sim::Rng&) {
+    const uint64_t merges_before =
+        cluster.metrics().counters().Get("ds.merges");
+    Key last_deleted = 0;
+    while (*cursor < keys->size() &&
+           cluster.metrics().counters().Get("ds.merges") == merges_before) {
+      last_deleted = (*keys)[(*cursor)++];
+      (void)cluster.DeleteItem(last_deleted);
+    }
+    if (*cursor >= keys->size()) return;
+    cluster.RunFor(500 * sim::kMillisecond);
+    // The absorber now owns the merged-away range.
+    pepper::workload::PeerStack* absorber = nullptr;
+    for (auto* peer : cluster.LiveMembers()) {
+      if (peer->ds->range().Contains(last_deleted)) absorber = peer;
+    }
+    if (cluster.LiveMembers().size() <= 5) return;
+    if (absorber != nullptr) cluster.FailPeer(absorber);
+  };
+  return p;
+}
+
+Scenario ChurnScenario() {
+  auto keys = std::make_shared<std::vector<Key>>();
+  auto cursor = std::make_shared<size_t>(0);
+
+  Phase seed;
+  seed.name = "seed_items";
+  seed.duration = 25 * sim::kSecond;  // one full replication pass
+  seed.workload = ZeroLoad();
+  seed.on_enter = [keys](Cluster& cluster, sim::Rng&) {
+    sim::Rng rng(9);
+    for (int i = 0; i < 150; ++i) {
+      Key k = rng.Uniform(0, 1000000);
+      if (cluster.InsertItem(k).ok()) keys->push_back(k);
+    }
+  };
+
+  ScenarioBuilder builder("figure17_churn");
+  builder
+      .Describe("forced merges racing failures: the Figure 17 window, "
+                "six rounds")
+      .AddPhase(std::move(seed));
+  for (int round = 0; round < 6; ++round) {
+    builder.AddPhase(MergeFailureRound(keys, cursor));
+  }
+  builder.Quiesce(25 * sim::kSecond);
+  return builder.Build();
+}
 
 RunResult Run(bool pepper) {
   ClusterOptions options = ClusterOptions::FastDefaults();
@@ -30,49 +115,22 @@ RunResult Run(bool pepper) {
   options.repl.replication_factor = 1;
   options.repl.refresh_period = 20 * sim::kSecond;
   options.repl.push_delay = 10 * sim::kSecond;
-  Cluster cluster(options);
-  cluster.Bootstrap(1000000);
-  for (int i = 0; i < 30; ++i) cluster.AddFreePeer();
-  cluster.RunFor(sim::kSecond);
 
-  sim::Rng rng(9);
-  std::vector<Key> keys;
-  for (int i = 0; i < 150; ++i) {
-    Key k = rng.Uniform(0, 1000000);
-    if (cluster.InsertItem(k).ok()) keys.push_back(k);
-  }
-  cluster.RunFor(25 * sim::kSecond);  // one full replication pass
+  RunnerOptions ropts;
+  ropts.cluster = options;
+  ropts.initial_free_peers = 30;
+  ropts.warmup = sim::kSecond;
+  ropts.probe_settle = 100 * sim::kMillisecond;  // phases already settle
 
-  // The Figure 17 scenario, repeatedly: force a merge, then kill the
-  // absorbing successor before any replica refresh ("the single failure").
-  size_t cursor = 0;
-  for (int round = 0; round < 6; ++round) {
-    const uint64_t merges_before =
-        cluster.metrics().counters().Get("ds.merges");
-    Key last_deleted = 0;
-    while (cursor < keys.size() &&
-           cluster.metrics().counters().Get("ds.merges") == merges_before) {
-      last_deleted = keys[cursor++];
-      (void)cluster.DeleteItem(last_deleted);
-    }
-    if (cursor >= keys.size()) break;
-    cluster.RunFor(500 * sim::kMillisecond);
-    // The absorber now owns the merged-away range.
-    pepper::workload::PeerStack* absorber = nullptr;
-    for (auto* p : cluster.LiveMembers()) {
-      if (p->ds->range().Contains(last_deleted)) absorber = p;
-    }
-    auto members = cluster.LiveMembers();
-    if (members.size() <= 5) break;
-    if (absorber != nullptr) cluster.FailPeer(absorber);
-    cluster.RunFor(8 * sim::kSecond);
-  }
-  cluster.RunFor(25 * sim::kSecond);
+  ScenarioRunner runner(ropts);
+  const RunReport report = runner.Run(ChurnScenario());
 
   RunResult r;
+  Cluster& cluster = *runner.cluster();
   r.merges = cluster.metrics().counters().Get("ds.merges");
   r.lost = cluster.AuditAvailability().lost.size();
   r.peers_left = cluster.LiveMembers().size();
+  r.probe_violations = report.total_violations;
   return r;
 }
 
@@ -83,10 +141,14 @@ int main() {
   RunResult naive = Run(false);
   RunResult pepper = Run(true);
 
-  std::printf("naive departure : %zu merges, %zu peers left, %zu items LOST\n",
-              naive.merges, naive.peers_left, naive.lost);
-  std::printf("PEPPER departure: %zu merges, %zu peers left, %zu items lost\n",
-              pepper.merges, pepper.peers_left, pepper.lost);
+  std::printf("naive departure : %zu merges, %zu peers left, %zu items LOST "
+              "(%zu probe violations)\n",
+              naive.merges, naive.peers_left, naive.lost,
+              naive.probe_violations);
+  std::printf("PEPPER departure: %zu merges, %zu peers left, %zu items lost "
+              "(%zu probe violations)\n",
+              pepper.merges, pepper.peers_left, pepper.lost,
+              pepper.probe_violations);
   std::printf("\nThe consistent leave (Section 5.1) plus the extra "
               "replication hop (Section 5.2)\nkeep every inserted item "
               "recoverable through the same churn that costs the naive\n"

@@ -72,6 +72,114 @@ std::string Summary::ToString() const {
   return os.str();
 }
 
+// --- Histogram ---------------------------------------------------------------
+
+size_t Histogram::BucketIndex(double v) {
+  if (!(v >= kMinBound)) return 0;  // underflow (0, negatives, NaN)
+  const double decades = std::log10(v / kMinBound);
+  const auto idx = static_cast<size_t>(
+      decades * static_cast<double>(kBucketsPerDecade));
+  if (idx >= kDecades * kBucketsPerDecade) return kBucketCount - 1;
+  return idx + 1;
+}
+
+double Histogram::BucketLowerEdge(size_t i) {
+  if (i == 0) return 0.0;
+  return kMinBound *
+         std::pow(10.0, static_cast<double>(i - 1) /
+                            static_cast<double>(kBucketsPerDecade));
+}
+
+double Histogram::BucketUpperEdge(size_t i) {
+  if (i == 0) return kMinBound;
+  if (i == kBucketCount - 1) {
+    // Overflow: report its lower edge as the bound (no meaningful upper).
+    return BucketLowerEdge(i);
+  }
+  return kMinBound * std::pow(10.0, static_cast<double>(i) /
+                                        static_cast<double>(kBucketsPerDecade));
+}
+
+void Histogram::Add(double sample) {
+  ++counts_[BucketIndex(sample)];
+  ++count_;
+  sum_ += sample;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Histogram Histogram::DeltaSince(const Histogram& baseline) const {
+  Histogram d;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    d.counts_[i] = counts_[i] >= baseline.counts_[i]
+                       ? counts_[i] - baseline.counts_[i]
+                       : 0;
+    d.count_ += d.counts_[i];
+  }
+  d.sum_ = sum_ - baseline.sum_;
+  return d;
+}
+
+void Histogram::Clear() {
+  counts_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::min() const {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (counts_[i] > 0) return BucketLowerEdge(i);
+  }
+  return 0.0;
+}
+
+double Histogram::max() const {
+  for (size_t i = kBucketCount; i-- > 0;) {
+    if (counts_[i] > 0) return BucketUpperEdge(i);
+  }
+  return 0.0;
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (counts_[i] == 0) continue;
+    const auto next = seen + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = BucketLowerEdge(i);
+      const double hi = BucketUpperEdge(i);
+      if (i == 0 || i == kBucketCount - 1 || lo <= 0.0) return lo;
+      // Log-linear interpolation by rank within the bucket.
+      const double frac =
+          (target - static_cast<double>(seen)) /
+          static_cast<double>(counts_[i]);
+      return lo * std::pow(hi / lo, frac);
+    }
+    seen = next;
+  }
+  return max();
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " p50=" << Percentile(0.5)
+     << " p95=" << Percentile(0.95) << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+// --- Counters ----------------------------------------------------------------
+
 void Counters::Inc(const std::string& name, uint64_t delta) {
   for (auto& kv : values_) {
     if (kv.first == name) {
@@ -97,23 +205,29 @@ std::vector<std::pair<std::string, uint64_t>> Counters::Snapshot() const {
 
 void Counters::Clear() { values_.clear(); }
 
-}  // namespace pepper
+// --- MetricsHub --------------------------------------------------------------
 
-namespace pepper {
-
-Summary& MetricsHub::Latency(const std::string& name) {
+Histogram& MetricsHub::Latency(const std::string& name) {
   for (auto& kv : latencies_) {
     if (kv.first == name) return *kv.second;
   }
-  latencies_.emplace_back(name, std::make_unique<Summary>());
+  latencies_.emplace_back(name, std::make_unique<Histogram>());
   return *latencies_.back().second;
 }
 
-const Summary* MetricsHub::FindLatency(const std::string& name) const {
+const Histogram* MetricsHub::FindLatency(const std::string& name) const {
   for (const auto& kv : latencies_) {
     if (kv.first == name) return kv.second.get();
   }
   return nullptr;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> MetricsHub::Series()
+    const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(latencies_.size());
+  for (const auto& kv : latencies_) out.emplace_back(kv.first, kv.second.get());
+  return out;
 }
 
 void MetricsHub::Clear() {
@@ -128,6 +242,97 @@ std::string MetricsHub::Report() const {
   }
   for (const auto& kv : counters_.Snapshot()) {
     os << kv.first << " = " << kv.second << "\n";
+  }
+  return os.str();
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+const Histogram* MetricsRegistry::PhaseSnapshot::FindSeries(
+    const std::string& series_name) const {
+  for (const auto& kv : series) {
+    if (kv.first == series_name) return &kv.second;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsRegistry::PhaseSnapshot::Counter(
+    const std::string& counter_name) const {
+  for (const auto& kv : counters) {
+    if (kv.first == counter_name) return kv.second;
+  }
+  return 0;
+}
+
+void MetricsRegistry::BeginPhase(const std::string& name) {
+  if (open_) EndPhase();
+  open_ = true;
+  baseline_ = PhaseSnapshot{};
+  baseline_.name = name;
+  for (const auto& kv : hub_->Series()) {
+    baseline_.series.emplace_back(kv.first, *kv.second);
+  }
+  baseline_.counters = hub_->counters().Snapshot();
+}
+
+void MetricsRegistry::EndPhase(double sim_seconds) {
+  if (!open_) return;
+  open_ = false;
+  PhaseSnapshot snap;
+  snap.name = baseline_.name;
+  snap.sim_seconds = sim_seconds;
+  for (const auto& kv : hub_->Series()) {
+    const Histogram* base = baseline_.FindSeries(kv.first);
+    snap.series.emplace_back(
+        kv.first, base != nullptr ? kv.second->DeltaSince(*base) : *kv.second);
+  }
+  for (const auto& kv : hub_->counters().Snapshot()) {
+    const uint64_t before = baseline_.Counter(kv.first);
+    snap.counters.emplace_back(kv.first, kv.second - before);
+  }
+  phases_.push_back(std::move(snap));
+}
+
+const MetricsRegistry::PhaseSnapshot* MetricsRegistry::FindPhase(
+    const std::string& name) const {
+  for (const auto& p : phases_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::TextOf(
+    const std::vector<PhaseSnapshot>& phases) {
+  std::ostringstream os;
+  for (const auto& p : phases) {
+    os << "== phase " << p.name << " (" << p.sim_seconds << " s)\n";
+    for (const auto& kv : p.series) {
+      if (kv.second.count() == 0) continue;
+      os << "  " << kv.first << ": " << kv.second.ToString() << "\n";
+    }
+    for (const auto& kv : p.counters) {
+      if (kv.second == 0) continue;
+      os << "  " << kv.first << " = " << kv.second << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::CsvOf(
+    const std::vector<PhaseSnapshot>& phases) {
+  std::ostringstream os;
+  os << "phase,metric,kind,count,mean,p50,p95,p99,max,value\n";
+  for (const auto& p : phases) {
+    for (const auto& kv : p.series) {
+      const Histogram& h = kv.second;
+      os << p.name << "," << kv.first << ",histogram," << h.count() << ","
+         << h.mean() << "," << h.Percentile(0.5) << "," << h.Percentile(0.95)
+         << "," << h.Percentile(0.99) << "," << h.max() << ",\n";
+    }
+    for (const auto& kv : p.counters) {
+      os << p.name << "," << kv.first << ",counter,,,,,,," << kv.second
+         << "\n";
+    }
   }
   return os.str();
 }

@@ -1,6 +1,7 @@
 #ifndef PEPPER_COMMON_STATS_H_
 #define PEPPER_COMMON_STATS_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -9,9 +10,10 @@
 
 namespace pepper {
 
-// Accumulates latency/size samples and reports summary statistics.  Used by
-// the experiment harness to reproduce the per-operation averages the paper
-// reports in Figures 19-23.
+// Accumulates latency/size samples and reports summary statistics.  Keeps
+// every sample, so percentiles are exact order statistics — use it for
+// small, bounded sample sets (bench post-processing).  Long-running series
+// go through Histogram below, whose memory does not grow with the run.
 class Summary {
  public:
   void Add(double sample);
@@ -35,9 +37,57 @@ class Summary {
   void EnsureSorted() const;
 };
 
-// Named latency summaries + counters shared by all layers of a cluster;
-// the figure benches read their series out of one of these.
-class MetricsHub;
+// Fixed-bucket log-scale histogram for non-negative samples (latencies in
+// seconds, hop counts, batch sizes).  Memory is O(buckets) — a flat
+// std::array, no heap — regardless of how many samples are added, which is
+// what makes paper-scale long-churn runs measurable.  Histograms over the
+// same (fixed) bucket layout are mergeable and subtractable; subtraction is
+// how MetricsRegistry turns one cumulative series into per-phase series.
+class Histogram {
+ public:
+  // Buckets span [kMinBound, kMaxBound) geometrically; values below
+  // (including 0) land in the underflow bucket, values at or above in the
+  // overflow bucket.  1 µs .. ~10^5 s at 8 buckets/decade keeps the
+  // relative quantile error under ~15%.
+  static constexpr double kMinBound = 1e-6;
+  static constexpr size_t kDecades = 11;
+  static constexpr size_t kBucketsPerDecade = 8;
+  // underflow + kDecades*kBucketsPerDecade + overflow
+  static constexpr size_t kBucketCount = kDecades * kBucketsPerDecade + 2;
+
+  void Add(double sample);
+  void Merge(const Histogram& other);
+  // Bucket-wise difference *this - baseline (caller guarantees `baseline`
+  // is an earlier snapshot of the same series).
+  Histogram DeltaSince(const Histogram& baseline) const;
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  // Lower edge of the first / upper edge of the last non-empty bucket
+  // (0 for the underflow bucket).
+  double min() const;
+  double max() const;
+  // q in [0, 1]; log-interpolated within the bucket holding the rank.
+  double Percentile(double q) const;
+
+  // The whole state is this object: no heap behind it.  A unit test pins
+  // the O(buckets)-not-O(samples) claim on this.
+  size_t MemoryBytes() const { return sizeof(*this); }
+
+  std::string ToString() const;
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+
+ private:
+  static size_t BucketIndex(double v);
+  static double BucketLowerEdge(size_t i);
+  static double BucketUpperEdge(size_t i);
+
+  std::array<uint64_t, kBucketCount> counts_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
 
 // Monotonic named counters for protocol events (messages sent, splits,
 // merges, lock waits, violations detected, ...).
@@ -52,12 +102,16 @@ class Counters {
   std::vector<std::pair<std::string, uint64_t>> values_;
 };
 
+// Named latency histograms + counters shared by all layers of a cluster;
+// the figure benches and the scenario runner read their series out of one
+// of these.  Series memory is bounded (Histogram), so a hub survives
+// arbitrarily long churn runs.
 class MetricsHub {
  public:
-  // Returns the summary for the named latency series, creating it on first
-  // use.  References remain valid for the hub's lifetime.
-  Summary& Latency(const std::string& name);
-  const Summary* FindLatency(const std::string& name) const;
+  // Returns the histogram for the named series, creating it on first use.
+  // References remain valid for the hub's lifetime.
+  Histogram& Latency(const std::string& name);
+  const Histogram* FindLatency(const std::string& name) const;
 
   void RecordLatency(const std::string& name, double value) {
     Latency(name).Add(value);
@@ -66,12 +120,61 @@ class MetricsHub {
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
 
+  // All series, in creation order (the scenario registry snapshots these).
+  std::vector<std::pair<std::string, const Histogram*>> Series() const;
+
   void Clear();
   std::string Report() const;
 
  private:
-  std::vector<std::pair<std::string, std::unique_ptr<Summary>>> latencies_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> latencies_;
   Counters counters_;
+};
+
+// Per-phase view over one cumulative MetricsHub.  BeginPhase snapshots the
+// hub; EndPhase stores the delta (histograms subtract bucket-wise, counters
+// subtract) as that phase's series.  Everything between EndPhase and the
+// next BeginPhase (probe traffic, settle windows) is excluded from both
+// neighbours.  Snapshots are plain values — they outlive the hub.
+class MetricsRegistry {
+ public:
+  struct PhaseSnapshot {
+    std::string name;
+    double sim_seconds = 0.0;  // phase duration, set by the caller
+    std::vector<std::pair<std::string, Histogram>> series;
+    std::vector<std::pair<std::string, uint64_t>> counters;
+
+    const Histogram* FindSeries(const std::string& series_name) const;
+    uint64_t Counter(const std::string& counter_name) const;
+  };
+
+  explicit MetricsRegistry(MetricsHub* hub) : hub_(hub) {}
+
+  void BeginPhase(const std::string& name);
+  // Closes the open phase (no-op without one).  `sim_seconds` is recorded
+  // verbatim into the snapshot.
+  void EndPhase(double sim_seconds = 0.0);
+
+  const std::vector<PhaseSnapshot>& phases() const { return phases_; }
+  const PhaseSnapshot* FindPhase(const std::string& name) const;
+
+  std::string ReportText() const { return TextOf(phases_); }
+  // One row per phase×metric:
+  //   phase,metric,kind,count,mean,p50,p95,p99,max,value
+  // (histogram rows leave `value` empty; counter rows leave the stats
+  // columns empty).  Deterministic: ordered by phase, then series creation
+  // order, then counter name.
+  std::string DumpCsv() const { return CsvOf(phases_); }
+
+  // Formatting over detached snapshots (reports that outlive the hub).
+  static std::string TextOf(const std::vector<PhaseSnapshot>& phases);
+  static std::string CsvOf(const std::vector<PhaseSnapshot>& phases);
+
+ private:
+  MetricsHub* hub_;
+  bool open_ = false;
+  PhaseSnapshot baseline_;  // cumulative values at BeginPhase
+  std::vector<PhaseSnapshot> phases_;
 };
 
 }  // namespace pepper

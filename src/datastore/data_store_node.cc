@@ -1,5 +1,6 @@
 #include "datastore/data_store_node.h"
 
+#include <iterator>
 #include <memory>
 #include <utility>
 
@@ -120,26 +121,86 @@ Status DataStoreNode::DeleteLocal(Key skv) {
   return Status::OK();
 }
 
-std::vector<Item> DataStoreNode::ItemsInCircularOrder() const {
-  std::vector<Item> out;
-  out.reserve(items_.size());
-  if (range_.full() || range_.lo() >= range_.hi()) {
-    // Wrapping (or full) range: keys above lo come first, then the wrapped
-    // tail up to hi.
-    const Key lo = range_.full() ? range_.hi() : range_.lo();
-    for (auto it = items_.upper_bound(lo); it != items_.end(); ++it) {
-      out.push_back(it->second);
+// --- CircularItemView --------------------------------------------------------
+
+bool CircularItemView::wraps() const {
+  return range_.full() || range_.lo() >= range_.hi();
+}
+
+Key CircularItemView::lo_bound() const {
+  return range_.full() ? range_.hi() : range_.lo();
+}
+
+// Turns a raw (pos, wrapped) position into either a valid element or the
+// canonical end state.
+void CircularItemView::Settle(Iterator& it) const {
+  if (wraps()) {
+    if (!it.wrapped_ && it.pos_ == items_->end()) {
+      // Keys above lo exhausted: continue with the wrapped tail, which runs
+      // up to hi (== the anchor for a full range, so the tail then covers
+      // every remaining key).  Items in the uncovered gap (hi, lo] are not
+      // ours and stay out of the view, same as the plain-range branch.
+      it.pos_ = items_->begin();
+      it.wrapped_ = true;
     }
-    for (auto it = items_.begin(); it != items_.end(); ++it) {
-      if (it->first > lo) break;
-      out.push_back(it->second);
-    }
+    it.done_ = it.pos_ == items_->end() ||
+               (it.wrapped_ && it.pos_->first > range_.hi());
   } else {
-    for (auto it = items_.upper_bound(range_.lo()); it != items_.end(); ++it) {
-      if (it->first > range_.hi()) break;
-      out.push_back(it->second);
-    }
+    it.done_ = it.pos_ == items_->end() || it.pos_->first > range_.hi();
   }
+}
+
+CircularItemView::Iterator CircularItemView::begin() const {
+  if (range_.IsEmpty()) return end();
+  Iterator it;
+  it.view_ = this;
+  it.pos_ = items_->upper_bound(lo_bound());
+  it.wrapped_ = false;
+  Settle(it);
+  return it;
+}
+
+CircularItemView::Iterator CircularItemView::end() const {
+  Iterator it;
+  it.view_ = this;
+  it.pos_ = items_->end();
+  it.done_ = true;
+  return it;
+}
+
+CircularItemView::Iterator& CircularItemView::Iterator::operator++() {
+  ++pos_;
+  view_->Settle(*this);
+  return *this;
+}
+
+size_t CircularItemView::size() const {
+  if (range_.IsEmpty()) return 0;
+  if (range_.full()) return items_->size();
+  if (wraps()) {
+    // Keys above lo plus the wrapped tail up to hi.
+    return static_cast<size_t>(
+        std::distance(items_->upper_bound(range_.lo()), items_->end()) +
+        std::distance(items_->begin(), items_->upper_bound(range_.hi())));
+  }
+  return static_cast<size_t>(std::distance(
+      items_->upper_bound(range_.lo()), items_->upper_bound(range_.hi())));
+}
+
+std::vector<Item> CircularItemView::TakePrefix(size_t n) const {
+  std::vector<Item> out;
+  out.reserve(n);
+  for (Iterator it = begin(); out.size() < n && it != end(); ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<Item> DataStoreNode::ItemsInCircularOrder() const {
+  const CircularItemView view = OrderedItems();
+  std::vector<Item> out;
+  out.reserve(view.size());
+  for (const Item& it : view) out.push_back(it);
   return out;
 }
 

@@ -1,7 +1,9 @@
 #ifndef PEPPER_DATASTORE_DATA_STORE_NODE_H_
 #define PEPPER_DATASTORE_DATA_STORE_NODE_H_
 
+#include <cstddef>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,6 +25,63 @@ namespace pepper::datastore {
 
 class Rebalancer;
 class TakeoverEngine;
+
+// Zero-copy ordered view over a peer's items in circular order starting
+// just past its range's low end — the order every split/redistribute
+// decision works in.  Iterating materializes nothing; only the prefix a
+// decision actually hands off gets copied by the caller.  Like any map
+// view, it is invalidated by item or range mutations; consume it before
+// releasing the facade's write lock.
+class CircularItemView {
+ public:
+  class Iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Item;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Item*;
+    using reference = const Item&;
+
+    reference operator*() const { return pos_->second; }
+    pointer operator->() const { return &pos_->second; }
+    Iterator& operator++();
+    bool operator==(const Iterator& o) const {
+      return done_ == o.done_ && (done_ || pos_ == o.pos_);
+    }
+    bool operator!=(const Iterator& o) const { return !(*this == o); }
+
+   private:
+    friend class CircularItemView;
+    const CircularItemView* view_ = nullptr;
+    std::map<Key, Item>::const_iterator pos_;
+    bool wrapped_ = false;
+    bool done_ = true;
+  };
+
+  Iterator begin() const;
+  Iterator end() const;
+  // Number of items the iteration visits; O(size) pointer chasing, no Item
+  // copies.
+  size_t size() const;
+  bool empty() const { return begin() == end(); }
+  // Materializes the first `n` items in view order (the handed-off prefix
+  // of a split/redistribute decision) — the only part that ever copies.
+  std::vector<Item> TakePrefix(size_t n) const;
+
+ private:
+  friend class DataStoreNode;
+  CircularItemView(const std::map<Key, Item>* items, const RingRange& range)
+      : items_(items), range_(range) {}
+
+  // A full or wrapped range visits every item (keys > lo, then the wrapped
+  // tail with keys <= lo); a plain range visits keys in (lo, hi].
+  bool wraps() const;
+  Key lo_bound() const;
+  void Settle(Iterator& it) const;
+
+  const std::map<Key, Item>* items_;
+  RingRange range_;
+};
 
 // What the Data Store needs from the Replication Manager (Section 5.2);
 // an interface so the modules stay independently testable.
@@ -179,8 +238,15 @@ class DataStoreNode : public sim::ProtocolComponent {
   void set_range(const RingRange& range) { range_ = range; }
   void Deactivate();
 
-  // Items of our range in circular order starting just past the range's
-  // low end; used to pick split/redistribute boundaries.
+  // Ordered, copy-free view of our items starting just past the range's
+  // low end; split/redistribute decisions iterate only the prefix they
+  // hand off.
+  CircularItemView OrderedItems() const {
+    return CircularItemView(&items_, range_);
+  }
+
+  // Materialized form of OrderedItems() — O(n) copies; prefer the view on
+  // maintenance paths.
   std::vector<Item> ItemsInCircularOrder() const;
 
   // Lock helpers: cb(false) on timeout (the grant, if it later fires, is

@@ -32,8 +32,16 @@ class FreePeerPool {
 
   void set_replenish(std::function<void()> fn) { replenish_ = std::move(fn); }
 
+  // Scenario harness (FreePeerDrought): while suspended, Acquire answers as
+  // if the directory were empty — splits stall with `ds.split_no_free_peer`
+  // — without forgetting the queued peers, which become available again the
+  // moment the drought lifts.
+  void set_suspended(bool suspended) { suspended_ = suspended; }
+  bool suspended() const { return suspended_; }
+
   // Pops the next *alive* free peer, if any.
   std::optional<sim::NodeId> Acquire() {
+    if (suspended_) return std::nullopt;
     while (!peers_.empty()) {
       sim::NodeId id = peers_.front();
       peers_.pop_front();
@@ -48,6 +56,7 @@ class FreePeerPool {
   sim::Simulator* sim_;
   std::deque<sim::NodeId> peers_;
   std::function<void()> replenish_;
+  bool suspended_ = false;
 };
 
 }  // namespace pepper::datastore

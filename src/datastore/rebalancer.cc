@@ -70,6 +70,29 @@ void Rebalancer::MaybeStartReviveSweep() {
   });
 }
 
+void Rebalancer::RequestLeave() {
+  if (!ds_->active() || rebalancing_ || merge_busy_) return;
+  rebalancing_ = true;
+  ds_->AcquireWriteTimed([this](bool ok) {
+    if (!ok) {
+      rebalancing_ = false;
+      return;
+    }
+    if (!ds_->active() || ds_->range().full()) {
+      EndRebalance(true);  // the last owner cannot hand the circle off
+      return;
+    }
+    auto succ = ds_->ring()->GetSucc();
+    if (!succ.has_value() || succ->id == id()) {
+      EndRebalance(true);
+      return;
+    }
+    // The successor was not primed by a MergeProposal; its
+    // HandleMergeTakeover late-takeover path re-acquires its own lock.
+    DoMergeLeave(succ->id);
+  });
+}
+
 void Rebalancer::EndRebalance(bool locked) {
   if (locked) ds_->lock().ReleaseWrite();
   rebalancing_ = false;
@@ -99,10 +122,15 @@ void Rebalancer::StartSplit() {
 
     // Split point: the new peer takes the lower half of our range
     // (Figure 5: p4 overflows, free peer p3 takes over the lower items).
-    std::vector<Item> ordered = ds_->ItemsInCircularOrder();
-    const size_t give = ordered.size() / 2;
-    std::vector<Item> handed(ordered.begin(),
-                             ordered.begin() + static_cast<long>(give));
+    // Only the handed-off half is materialized; the view copies nothing.
+    const CircularItemView view = ds_->OrderedItems();
+    const size_t give = view.size() / 2;
+    if (give == 0) {  // in-range items lag the raw count mid-transition
+      ds_->pool()->Add(*free_peer);
+      EndRebalance(true);
+      return;
+    }
+    std::vector<Item> handed = view.TakePrefix(give);
     const Key split_point = handed.back().skv;
 
     const RingRange& range = ds_->range();
@@ -323,12 +351,17 @@ void Rebalancer::HandleMergeProposal(const sim::Message& msg,
     if (total >= 2 * sf && ds_->items().size() > sf) {
       // Redistribute: hand the proposer our low-side items so both end up
       // near total/2 (Section 2.3).
+      const CircularItemView view = ds_->OrderedItems();
+      if (view.size() < 2) {
+        merge_busy_ = false;
+        ds_->lock().ReleaseWrite();
+        reject("nothing to redistribute");
+        return;
+      }
       size_t target_give = ds_->items().size() - total / 2;
       target_give = std::max<size_t>(target_give, 1);
-      target_give = std::min(target_give, ds_->items().size() - 1);
-      std::vector<Item> ordered = ds_->ItemsInCircularOrder();
-      std::vector<Item> given(
-          ordered.begin(), ordered.begin() + static_cast<long>(target_give));
+      target_give = std::min(target_give, view.size() - 1);
+      std::vector<Item> given = view.TakePrefix(target_give);
       auto decision = std::make_shared<MergeDecision>();
       decision->kind = MergeDecision::Kind::kRedistribute;
       decision->items = given;

@@ -33,6 +33,13 @@ class Rebalancer : public sim::ProtocolComponent {
   // Triggers the overflow/underflow check now (also runs periodically).
   void MaybeRebalance();
 
+  // Forced graceful departure (scenario harness: MassLeave): the full
+  // availability-preserving exit — replicate one extra hop, leave the ring
+  // consistently, hand range and items to the successor — without waiting
+  // for an underflow.  A peer already mid-reorganization ignores the
+  // request (callers treat departure as best-effort).
+  void RequestLeave();
+
   // Test/bench observability.
   bool rebalancing() const { return rebalancing_; }
   bool merge_busy() const { return merge_busy_; }

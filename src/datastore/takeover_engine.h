@@ -40,6 +40,8 @@ class TakeoverEngine : public sim::ProtocolComponent {
       std::vector<std::pair<sim::NodeId, Key>> candidates, RingRange arc,
       Key fallback, std::function<void(Key)> done);
   void HandleMigrate(const sim::Message& msg, const DsMigrateItems& req);
+  // Telemetry for one batched DsMigrateItems send of `batch_size` items.
+  void CountMigrateBatch(size_t batch_size);
 
   DataStoreNode* ds_;
   // Pending range-extension claim awaiting confirmation (no replica-group

@@ -1,0 +1,156 @@
+#include "scenario/builtin_scenarios.h"
+
+#include <cmath>
+
+namespace pepper::scenario {
+
+namespace {
+
+sim::SimTime Sec(double seconds, const BuiltinParams& p) {
+  return static_cast<sim::SimTime>(seconds * p.scale *
+                                   static_cast<double>(sim::kSecond));
+}
+
+size_t Count(double n, const BuiltinParams& p) {
+  return static_cast<size_t>(std::ceil(n * p.scale));
+}
+
+// The Section 6.1 base load every scenario layers on: two items per second,
+// a trickle of deletes, one free peer per 3 s, never below 4 live members.
+workload::WorkloadOptions BaseLoad() {
+  workload::WorkloadOptions w;
+  w.insert_rate_per_sec = 2.0;
+  w.delete_rate_per_sec = 0.25;
+  w.peer_add_rate_per_sec = 1.0 / 3.0;
+  w.fail_rate_per_sec = 0.0;
+  w.min_live_members = 4;
+  return w;
+}
+
+Scenario SteadyState(const BuiltinParams& p) {
+  return ScenarioBuilder("steady_state")
+      .Describe("baseline Section 6.1 load: Poisson inserts/deletes/joins, "
+                "no failures")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(60, p))
+      .Quiesce(Sec(20, p))
+      .Build();
+}
+
+Scenario JoinWaveScenario(const BuiltinParams& p) {
+  return ScenarioBuilder("join_wave")
+      .Describe("two aggressive free-peer waves split the ring while the "
+                "base load keeps inserting")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(20, p))
+      .JoinWave(Count(15, p), 2.0)
+      .Steady(Sec(20, p))
+      .JoinWave(Count(15, p), 4.0)
+      .Quiesce(Sec(20, p))
+      .Build();
+}
+
+Scenario LongChurn(const BuiltinParams& p) {
+  return ScenarioBuilder("long_churn")
+      .Describe("sustained failure-mode churn (the nightly property run): "
+                "failures race joins, merges and takeovers for a long "
+                "stretch of simulated time")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(30, p))
+      .Churn(/*fail_rate_per_sec=*/0.05, /*join_rate_per_sec=*/1.0 / 3.0,
+             Sec(240, p))
+      .Quiesce(Sec(30, p))
+      .Build();
+}
+
+Scenario FailureStorm(const BuiltinParams& p) {
+  return ScenarioBuilder("failure_storm")
+      .Describe("a burst of failures faster than replacements arrive, then "
+                "a recovery wave")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(30, p))
+      .Churn(/*fail_rate_per_sec=*/0.2, /*join_rate_per_sec=*/0.1,
+             Sec(60, p))
+      .JoinWave(Count(10, p), 1.0)
+      .Quiesce(Sec(30, p))
+      .Build();
+}
+
+Scenario FlashCrowdScenario(const BuiltinParams& p) {
+  return ScenarioBuilder("flash_crowd")
+      .Describe("zipf-skewed inserts plus an oracle-audited range-query "
+                "burst against the hot arc")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(30, p))
+      .FlashCrowd(/*zipf_theta=*/0.95, /*query_rate_per_sec=*/2.0,
+                  Sec(60, p))
+      .Quiesce(Sec(20, p))
+      .Build();
+}
+
+Scenario MassLeaveScenario(const BuiltinParams& p) {
+  return ScenarioBuilder("mass_leave")
+      .Describe("40% of the membership departs gracefully at once; the "
+                "survivors absorb every range and item")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(40, p))
+      .MassLeave(/*fraction=*/0.4, Sec(60, p))
+      .Quiesce(Sec(20, p))
+      .Build();
+}
+
+Scenario FreePeerDroughtScenario(const BuiltinParams& p) {
+  return ScenarioBuilder("free_peer_drought")
+      .Describe("the free-peer directory runs dry while inserts keep "
+                "landing: overflows stall, then clear when peers return")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(20, p))
+      .FreePeerDrought(Sec(60, p))
+      .Steady(Sec(30, p))
+      .Quiesce(Sec(20, p))
+      .Build();
+}
+
+Scenario HotspotShiftScenario(const BuiltinParams& p) {
+  return ScenarioBuilder("hotspot_shift")
+      .Describe("the zipf hotspot jumps across the ring twice; storage "
+                "balance chases it")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(20, p))
+      .HotspotShift(/*hotspot_offset=*/0, Sec(40, p))
+      .HotspotShift(/*hotspot_offset=*/500000, Sec(40, p))
+      .HotspotShift(/*hotspot_offset=*/250000, Sec(40, p))
+      .Quiesce(Sec(20, p))
+      .Build();
+}
+
+}  // namespace
+
+const std::vector<BuiltinScenario>& BuiltinScenarios() {
+  static const std::vector<BuiltinScenario> kScenarios = {
+      {"steady_state", "baseline Poisson load, no failures", &SteadyState},
+      {"join_wave", "aggressive join waves under load", &JoinWaveScenario},
+      {"long_churn", "sustained failure-mode churn (nightly property run)",
+       &LongChurn},
+      {"failure_storm", "failure burst outpacing replacements, then recovery",
+       &FailureStorm},
+      {"flash_crowd", "zipf hotspot + audited range-query burst",
+       &FlashCrowdScenario},
+      {"mass_leave", "40% graceful mass departure", &MassLeaveScenario},
+      {"free_peer_drought", "no free peers while overflows pile up",
+       &FreePeerDroughtScenario},
+      {"hotspot_shift", "zipf hotspot migrating across the ring",
+       &HotspotShiftScenario},
+  };
+  return kScenarios;
+}
+
+std::optional<Scenario> MakeBuiltin(const std::string& name,
+                                    const BuiltinParams& params) {
+  for (const auto& s : BuiltinScenarios()) {
+    if (s.name == name) return s.make(params);
+  }
+  return std::nullopt;
+}
+
+}  // namespace pepper::scenario

@@ -1,0 +1,35 @@
+#ifndef PEPPER_SCENARIO_BUILTIN_SCENARIOS_H_
+#define PEPPER_SCENARIO_BUILTIN_SCENARIOS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace pepper::scenario {
+
+// Knobs shared by every built-in scenario.  `scale` stretches phase
+// durations and wave sizes together: 1.0 is a quick CI-sized run on
+// FastDefaults timers; the nightly paper-scale run uses a large scale on
+// PaperDefaults timers.
+struct BuiltinParams {
+  double scale = 1.0;
+};
+
+struct BuiltinScenario {
+  std::string name;
+  std::string description;
+  Scenario (*make)(const BuiltinParams&);
+};
+
+// The built-in catalogue, in a stable order (`scenario_runner --list`).
+const std::vector<BuiltinScenario>& BuiltinScenarios();
+
+// Builds the named scenario; nullopt for an unknown name.
+std::optional<Scenario> MakeBuiltin(const std::string& name,
+                                    const BuiltinParams& params);
+
+}  // namespace pepper::scenario
+
+#endif  // PEPPER_SCENARIO_BUILTIN_SCENARIOS_H_

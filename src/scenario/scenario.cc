@@ -1,0 +1,104 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pepper::scenario {
+
+Phase ScenarioBuilder::FromBase(std::string name,
+                                sim::SimTime duration) const {
+  Phase p;
+  p.name = std::move(name);
+  p.duration = duration;
+  p.workload = base_;
+  return p;
+}
+
+ScenarioBuilder& ScenarioBuilder::Steady(sim::SimTime duration) {
+  return AddPhase(FromBase("steady", duration));
+}
+
+ScenarioBuilder& ScenarioBuilder::JoinWave(size_t peers,
+                                           double rate_per_sec) {
+  const auto duration = static_cast<sim::SimTime>(
+      std::ceil(static_cast<double>(peers) / rate_per_sec *
+                static_cast<double>(sim::kSecond)));
+  Phase p = FromBase("join_wave", duration);
+  p.workload.peer_add_rate_per_sec = rate_per_sec;
+  p.workload.fail_rate_per_sec = 0.0;
+  return AddPhase(std::move(p));
+}
+
+ScenarioBuilder& ScenarioBuilder::Churn(double fail_rate_per_sec,
+                                        double join_rate_per_sec,
+                                        sim::SimTime duration) {
+  Phase p = FromBase("churn", duration);
+  p.workload.fail_rate_per_sec = fail_rate_per_sec;
+  p.workload.peer_add_rate_per_sec = join_rate_per_sec;
+  return AddPhase(std::move(p));
+}
+
+ScenarioBuilder& ScenarioBuilder::FlashCrowd(double zipf_theta,
+                                             double query_rate_per_sec,
+                                             sim::SimTime duration) {
+  Phase p = FromBase("flash_crowd", duration);
+  p.workload.zipf_keys = true;
+  p.workload.zipf_theta = zipf_theta;
+  p.workload.query_rate_per_sec = query_rate_per_sec;
+  return AddPhase(std::move(p));
+}
+
+ScenarioBuilder& ScenarioBuilder::MassLeave(double fraction,
+                                            sim::SimTime duration) {
+  Phase p = FromBase("mass_leave", duration);
+  p.workload.fail_rate_per_sec = 0.0;
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  p.on_enter = [f](workload::Cluster& cluster, sim::Rng& rng) {
+    auto members = cluster.LiveMembers();
+    // Never ask the last two owners to leave: a takeover needs a distinct
+    // live successor.
+    const size_t keep = 2;
+    if (members.size() <= keep) return;
+    size_t departures = static_cast<size_t>(
+        std::floor(static_cast<double>(members.size()) * f));
+    departures = std::min(departures, members.size() - keep);
+    // Deterministic selection: shuffle by the scenario stream.
+    for (size_t i = members.size(); i > 1; --i) {
+      std::swap(members[i - 1], members[rng.Uniform(0, i - 1)]);
+    }
+    for (size_t i = 0; i < departures; ++i) {
+      cluster.DepartPeer(members[i]);
+    }
+  };
+  return AddPhase(std::move(p));
+}
+
+ScenarioBuilder& ScenarioBuilder::FreePeerDrought(sim::SimTime duration) {
+  Phase p = FromBase("free_peer_drought", duration);
+  p.workload.peer_add_rate_per_sec = 0.0;
+  p.suspend_free_peers = true;
+  return AddPhase(std::move(p));
+}
+
+ScenarioBuilder& ScenarioBuilder::HotspotShift(Key hotspot_offset,
+                                               sim::SimTime duration) {
+  Phase p = FromBase("hotspot_shift", duration);
+  p.workload.zipf_keys = true;
+  p.workload.zipf_hotspot_offset = hotspot_offset;
+  return AddPhase(std::move(p));
+}
+
+ScenarioBuilder& ScenarioBuilder::Quiesce(sim::SimTime duration) {
+  Phase p;
+  p.name = "quiesce";
+  p.duration = duration;
+  p.workload = workload::WorkloadOptions{};
+  p.workload.insert_rate_per_sec = 0.0;
+  p.workload.delete_rate_per_sec = 0.0;
+  p.workload.peer_add_rate_per_sec = 0.0;
+  p.workload.fail_rate_per_sec = 0.0;
+  p.workload.query_rate_per_sec = 0.0;
+  return AddPhase(std::move(p));
+}
+
+}  // namespace pepper::scenario

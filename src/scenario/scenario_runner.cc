@@ -1,0 +1,190 @@
+#include "scenario/scenario_runner.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace pepper::scenario {
+
+namespace {
+
+std::vector<MetricsRegistry::PhaseSnapshot> Snapshots(
+    const RunReport& report) {
+  std::vector<MetricsRegistry::PhaseSnapshot> out;
+  out.reserve(report.phases.size());
+  for (const auto& p : report.phases) out.push_back(p.metrics);
+  return out;
+}
+
+}  // namespace
+
+std::string RunReport::Text() const {
+  std::ostringstream os;
+  os << "scenario " << scenario << " seed=" << seed << " "
+     << (ok ? "OK" : "VIOLATIONS") << " (" << total_violations
+     << " violations across " << phases.size() << " phases)\n";
+  for (const auto& p : phases) {
+    os << "-- " << p.name << ": "
+       << (p.probes.ok ? "probes ok" : "PROBES FAILED") << "\n";
+    for (const auto& v : p.probes.violations) os << "   ! " << v << "\n";
+  }
+  os << MetricsRegistry::TextOf(Snapshots(*this));
+  return os.str();
+}
+
+std::string RunReport::Csv() const {
+  return MetricsRegistry::CsvOf(Snapshots(*this));
+}
+
+ScenarioRunner::ScenarioRunner(RunnerOptions options)
+    : options_(std::move(options)) {}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+RunReport ScenarioRunner::Run(const Scenario& scenario) {
+  RunReport report;
+  report.scenario = scenario.name();
+  report.seed = options_.cluster.seed;
+
+  driver_.reset();  // before the cluster its timers point into
+  reported_lost_.clear();
+  reported_query_violations_ = 0;
+  cluster_ = std::make_unique<workload::Cluster>(options_.cluster);
+  workload::Cluster& cluster = *cluster_;
+  cluster.Bootstrap(options_.bootstrap_val);
+  for (size_t i = 0; i < options_.initial_free_peers; ++i) {
+    cluster.AddFreePeer();
+  }
+  cluster.RunFor(options_.warmup);
+
+  // Pre-run seed items (synchronous: the ring grows via splits before the
+  // first phase opens, exactly like the figure benches' GrowTo helper).
+  if (options_.seed_items > 0) {
+    sim::Rng seed_rng(options_.cluster.seed ^ 0x5eedULL);
+    for (size_t i = 0; i < options_.seed_items; ++i) {
+      (void)cluster.InsertItem(seed_rng.Uniform(0, options_.bootstrap_val));
+    }
+    cluster.RunFor(options_.probe_settle);
+  }
+
+  // One driver for the whole run: phases re-arm it (epoch-guarded), so
+  // inserted-key state survives phase boundaries and deletes keep targets.
+  driver_ = std::make_unique<workload::WorkloadDriver>(
+      &cluster, workload::WorkloadOptions{},
+      options_.cluster.seed ^ 0xd01cULL);
+  workload::WorkloadDriver& driver = *driver_;
+  sim::Rng scenario_rng(options_.cluster.seed ^ 0x5ce0ULL);
+  MetricsRegistry registry(&cluster.metrics());
+
+  size_t index = 0;
+  for (const Phase& phase : scenario.phases()) {
+    ++index;
+    std::ostringstream label;
+    label << (index < 10 ? "0" : "") << index << "_" << phase.name;
+
+    const uint64_t msgs_before = cluster.sim().network().messages_sent();
+    registry.BeginPhase(label.str());
+    cluster.pool().set_suspended(phase.suspend_free_peers);
+    if (phase.on_enter) phase.on_enter(cluster, scenario_rng);
+    driver.Stop();
+    driver.set_options(phase.workload);
+    driver.Start();
+    cluster.RunFor(phase.duration);
+    driver.Stop();
+    cluster.metrics().counters().Inc(
+        "net.messages_sent",
+        cluster.sim().network().messages_sent() - msgs_before);
+    registry.EndPhase(sim::ToSeconds(phase.duration));
+    cluster.pool().set_suspended(false);
+
+    PhaseOutcome outcome;
+    outcome.name = label.str();
+    outcome.metrics = registry.phases().back();
+    if (options_.run_probes) {
+      // Drain in-flight reorganizations (driver stopped, metrics closed) so
+      // transient states don't read as violations.
+      cluster.RunFor(options_.probe_settle);
+      outcome.probes = RunProbes();
+      if (!outcome.probes.ok) {
+        report.ok = false;
+        report.total_violations += outcome.probes.violations.size();
+      }
+    }
+    report.phases.push_back(std::move(outcome));
+    if (!report.ok && options_.fatal_probes) break;
+  }
+  return report;
+}
+
+ProbeOutcome ScenarioRunner::RunProbes() {
+  ProbeOutcome out;
+  workload::Cluster& cluster = *cluster_;
+
+  // --- Ring probe (Definition 5 + the Section 5.1 survival property) ------
+  const ring::RingAudit ring_audit = cluster.AuditRing();
+  out.ring_consistent = ring_audit.consistent;
+  out.ring_connected = ring_audit.connected;
+  for (const auto& v : ring_audit.violations) {
+    out.violations.push_back("ring: " + v);
+  }
+
+  // --- History-oracle availability probe (Definition 7) -------------------
+  // The audit is cumulative over the run; report only the keys newly lost
+  // since the previous probe round, so one loss is one violation, not one
+  // per remaining phase.
+  const auto avail = cluster.AuditAvailability();
+  std::vector<Key> newly_lost;
+  for (Key k : avail.lost) {
+    if (reported_lost_.find(k) == reported_lost_.end()) newly_lost.push_back(k);
+  }
+  reported_lost_ = std::set<Key>(avail.lost.begin(), avail.lost.end());
+  out.lost_items = newly_lost.size();
+  if (!newly_lost.empty() && options_.availability_fatal) {
+    std::ostringstream os;
+    os << "oracle: " << newly_lost.size()
+       << " inserted item(s) no longer live, first key " << newly_lost[0];
+    out.violations.push_back(os.str());
+  }
+
+  // --- Item-conservation probe --------------------------------------------
+  // Every stored item lies in its holder's range and no key is owned twice:
+  // together with the availability probe this says reorganizations moved
+  // items without duplicating or stranding them.
+  std::set<Key> seen;
+  for (const auto& p : cluster.peers()) {
+    if (!p->ring->alive() || !p->ds->active()) continue;
+    for (const auto& kv : p->ds->items()) {
+      if (!p->ds->range().Contains(kv.first)) {
+        ++out.conservation_errors;
+        out.violations.push_back(
+            "conservation: peer " + std::to_string(p->id()) +
+            " holds out-of-range key " + std::to_string(kv.first));
+      }
+      if (!seen.insert(kv.first).second) {
+        ++out.conservation_errors;
+        out.violations.push_back("conservation: key " +
+                                 std::to_string(kv.first) +
+                                 " owned by two peers");
+      }
+    }
+  }
+
+  // --- Query audits (Definition 4) ----------------------------------------
+  // Diff the driver's cumulative count rather than the phase's metrics
+  // delta: a query completing inside the settle window would fall between
+  // two snapshots and silently vanish from both.
+  const size_t total_qv =
+      driver_ != nullptr ? driver_->query_violations() : 0;
+  out.query_violations = total_qv - reported_query_violations_;
+  reported_query_violations_ = total_qv;
+  if (out.query_violations > 0) {
+    out.violations.push_back(
+        "oracle: " + std::to_string(out.query_violations) +
+        " range-query result(s) failed the Definition 4 audit");
+  }
+
+  out.ok = out.violations.empty();
+  return out;
+}
+
+}  // namespace pepper::scenario

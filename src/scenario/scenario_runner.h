@@ -1,0 +1,109 @@
+#ifndef PEPPER_SCENARIO_SCENARIO_RUNNER_H_
+#define PEPPER_SCENARIO_SCENARIO_RUNNER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "workload/cluster.h"
+#include "workload/workload.h"
+
+namespace pepper::scenario {
+
+struct RunnerOptions {
+  // The cluster configuration (including the run seed) every execution
+  // starts from; Run() builds a fresh cluster, so the same options + the
+  // same scenario replay bit-identically.
+  workload::ClusterOptions cluster = workload::ClusterOptions::FastDefaults();
+  Key bootstrap_val = 1000000;
+  size_t initial_free_peers = 8;
+  // Items inserted synchronously before the first phase (grows the ring via
+  // splits, exactly like the figure benches' GrowTo).
+  size_t seed_items = 0;
+  sim::SimTime warmup = sim::kSecond;
+  // Drained (driver stopped) before each probe round so transient
+  // in-transit items don't read as violations; excluded from phase metrics.
+  sim::SimTime probe_settle = 10 * sim::kSecond;
+  bool run_probes = true;
+  // Stop at the first violating probe instead of finishing the scenario.
+  bool fatal_probes = false;
+  // Count Definition 7 availability loss as a violation.  True for every
+  // scenario built on graceful reorganization (the Section 5 guarantee is
+  // absolute there).  Benches driving *failure-mode* churn at extreme rates
+  // may set it false: with CFS-style replication, availability under
+  // fail-stop crashes is probabilistic (a peer can die before its successor
+  // ever held its replica group), and the audit is then informational —
+  // `lost_items` stays populated either way.
+  bool availability_fatal = true;
+};
+
+// What the invariant probes found after one phase (all audits are pure
+// observation — no simulated messages).
+struct ProbeOutcome {
+  bool ok = true;
+  bool ring_consistent = true;  // Definition 5 successor-list consistency
+  bool ring_connected = true;   // Section 5.1 ring-survival property
+  size_t lost_items = 0;        // Definition 7 availability violations
+  size_t conservation_errors = 0;  // duplicates / out-of-range placements
+  size_t query_violations = 0;  // Definition 4 audits failed mid-phase
+  std::vector<std::string> violations;
+};
+
+struct PhaseOutcome {
+  std::string name;  // "<index>_<phase name>", unique within the run
+  ProbeOutcome probes;
+  MetricsRegistry::PhaseSnapshot metrics;  // per-phase deltas, plain values
+};
+
+struct RunReport {
+  std::string scenario;
+  uint64_t seed = 0;
+  bool ok = true;
+  size_t total_violations = 0;
+  std::vector<PhaseOutcome> phases;
+
+  std::string Text() const;
+  std::string Csv() const;
+};
+
+// Executes a Scenario against a freshly built Cluster: per phase it re-arms
+// one WorkloadDriver with the phase's workload, runs simulated time, then
+// (between phases) stops the load, lets reorganizations drain, and runs the
+// invariant probes.  Per-phase telemetry comes from a MetricsRegistry over
+// the cluster's MetricsHub; network message counts are folded in as the
+// `net.messages_sent` counter so scenarios expose per-phase message series.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(RunnerOptions options);
+  ~ScenarioRunner();
+
+  RunReport Run(const Scenario& scenario);
+
+  // The cluster of the most recent (or in-progress) Run; null before the
+  // first run.  Exposed for tests and for benches that read extra state.
+  workload::Cluster* cluster() { return cluster_.get(); }
+
+ private:
+  ProbeOutcome RunProbes();
+
+  RunnerOptions options_;
+  std::unique_ptr<workload::Cluster> cluster_;
+  // Member (not a Run() local): slow Poisson streams can still have a
+  // pending arrival timer queued in the simulator when Run() returns, and
+  // cluster() hands the simulator out — the driver must stay alive as long
+  // as the cluster so a late timer finds a stopped driver, not freed
+  // memory.  Destroyed before the cluster it points at on the next Run
+  // (queued closures are dropped, never executed, during teardown).
+  std::unique_ptr<workload::WorkloadDriver> driver_;
+  // Keys already reported lost in an earlier probe round of this run; the
+  // Definition 7 audit is cumulative, the per-phase report is not.
+  std::set<Key> reported_lost_;
+  // Same cumulative->per-phase bookkeeping for Definition 4 query audits.
+  size_t reported_query_violations_ = 0;
+};
+
+}  // namespace pepper::scenario
+
+#endif  // PEPPER_SCENARIO_SCENARIO_RUNNER_H_

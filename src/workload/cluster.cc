@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "datastore/ds_messages.h"
+#include "datastore/rebalancer.h"
 
 namespace pepper::workload {
 
@@ -232,6 +233,12 @@ void Cluster::FailPeer(PeerStack* peer) {
   if (peer == nullptr || !peer->ring->alive()) return;
   peer->ring->Fail();
   oracle_->OnPeerFailed(peer->id());
+}
+
+void Cluster::DepartPeer(PeerStack* peer) {
+  if (peer == nullptr || !peer->ring->alive() || !peer->ds->active()) return;
+  metrics_.counters().Inc("cluster.departures_requested");
+  peer->ds->rebalancer().RequestLeave();
 }
 
 namespace {

@@ -90,6 +90,11 @@ class Cluster {
   // Fail-stop crash of a peer (notifies the oracle).
   void FailPeer(PeerStack* peer);
 
+  // Requests a *graceful* departure (the Section 5 availability-preserving
+  // exit: extra-hop replication, consistent leave, takeover by the
+  // successor).  Best-effort: a peer mid-reorganization ignores it.
+  void DepartPeer(PeerStack* peer);
+
   void RunFor(sim::SimTime d) { sim_->RunFor(d); }
 
   // --- Observation ---------------------------------------------------------

@@ -1,5 +1,6 @@
 #include "workload/workload.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace pepper::workload {
@@ -36,12 +37,29 @@ WorkloadDriver::WorkloadDriver(Cluster* cluster, WorkloadOptions options,
   }
 }
 
+void WorkloadDriver::set_options(WorkloadOptions options) {
+  const bool rebuild_zipf =
+      options.zipf_keys &&
+      (!options_.zipf_keys || options.zipf_theta != options_.zipf_theta ||
+       zipf_ == nullptr);
+  options_ = options;
+  if (rebuild_zipf) {
+    zipf_ = std::make_unique<ZipfGenerator>(100000, options_.zipf_theta,
+                                            rng_.Next());
+  }
+  if (!options_.zipf_keys) zipf_.reset();
+}
+
 void WorkloadDriver::Start() {
   running_ = true;
-  if (options_.insert_rate_per_sec > 0) ArmInsert();
-  if (options_.delete_rate_per_sec > 0) ArmDelete();
-  if (options_.peer_add_rate_per_sec > 0) ArmPeerAdd();
-  if (options_.fail_rate_per_sec > 0) ArmFail();
+  // New epoch: pending arrival timers from an earlier Start() see a stale
+  // epoch and die, so a phase re-arm never doubles a stream.
+  const uint64_t epoch = ++epoch_;
+  if (options_.insert_rate_per_sec > 0) ArmInsert(epoch);
+  if (options_.delete_rate_per_sec > 0) ArmDelete(epoch);
+  if (options_.peer_add_rate_per_sec > 0) ArmPeerAdd(epoch);
+  if (options_.fail_rate_per_sec > 0) ArmFail(epoch);
+  if (options_.query_rate_per_sec > 0) ArmQuery(epoch);
 }
 
 sim::SimTime WorkloadDriver::Arrival(double rate_per_sec) {
@@ -54,71 +72,134 @@ Key WorkloadDriver::NextKey() {
   const Key span = options_.key_max - options_.key_min;
   if (zipf_ != nullptr) {
     // Map zipf ranks onto scattered key-space buckets so popular ranks
-    // cluster (skew) without colliding.
+    // cluster (skew) without colliding; the hotspot offset rotates which
+    // arc of the ring carries the popular mass.
     const size_t rank = zipf_->Next();
-    const Key bucket = options_.key_min +
-                       (static_cast<Key>(rank) * 2654435761u) % span;
+    const Key bucket =
+        options_.key_min +
+        (static_cast<Key>(rank) * 2654435761u + options_.zipf_hotspot_offset) %
+            span;
     return bucket;
   }
   return options_.key_min + rng_.Uniform(0, span);
 }
 
-void WorkloadDriver::ArmInsert() {
-  cluster_->sim().After(Arrival(options_.insert_rate_per_sec), [this]() {
-    if (!running_) return;
+void WorkloadDriver::ArmInsert(uint64_t epoch) {
+  cluster_->sim().After(Arrival(options_.insert_rate_per_sec),
+                        [this, epoch]() {
+    if (!running_ || epoch != epoch_) return;
     PeerStack* via = cluster_->SomeMember();
     if (via != nullptr) {
       const Key key = NextKey();
       ++inserts_issued_;
       inserted_keys_.push_back(key);
+      metrics().counters().Inc("wl.inserts_issued");
       datastore::Item item;
       item.skv = key;
       item.data = "w";
       auto* oracle = &cluster_->oracle();
-      via->index->InsertItem(item, [oracle, key](const Status& s) {
-        if (s.ok()) oracle->RegisterInsert(key);
+      const sim::SimTime issued = cluster_->sim().now();
+      via->index->InsertItem(item, [this, oracle, key,
+                                    issued](const Status& s) {
+        if (s.ok()) {
+          oracle->RegisterInsert(key);
+          metrics().RecordLatency(
+              "wl.insert_time",
+              sim::ToSeconds(cluster_->sim().now() - issued));
+        } else {
+          metrics().counters().Inc("wl.insert_failures");
+        }
       });
     }
-    ArmInsert();
+    ArmInsert(epoch);
   });
 }
 
-void WorkloadDriver::ArmDelete() {
-  cluster_->sim().After(Arrival(options_.delete_rate_per_sec), [this]() {
-    if (!running_) return;
+void WorkloadDriver::ArmDelete(uint64_t epoch) {
+  cluster_->sim().After(Arrival(options_.delete_rate_per_sec),
+                        [this, epoch]() {
+    if (!running_ || epoch != epoch_) return;
     PeerStack* via = cluster_->SomeMember();
     if (via != nullptr && !inserted_keys_.empty()) {
       const size_t idx = rng_.Uniform(0, inserted_keys_.size() - 1);
       const Key key = inserted_keys_[idx];
       inserted_keys_.erase(inserted_keys_.begin() + static_cast<long>(idx));
       ++deletes_issued_;
+      metrics().counters().Inc("wl.deletes_issued");
       auto* oracle = &cluster_->oracle();
       via->index->DeleteItem(key, [oracle, key](const Status& s) {
         if (s.ok()) oracle->RegisterDelete(key);
       });
     }
-    ArmDelete();
+    ArmDelete(epoch);
   });
 }
 
-void WorkloadDriver::ArmPeerAdd() {
-  cluster_->sim().After(Arrival(options_.peer_add_rate_per_sec), [this]() {
-    if (!running_) return;
+void WorkloadDriver::ArmPeerAdd(uint64_t epoch) {
+  cluster_->sim().After(Arrival(options_.peer_add_rate_per_sec),
+                        [this, epoch]() {
+    if (!running_ || epoch != epoch_) return;
     cluster_->AddFreePeer();
-    ArmPeerAdd();
+    metrics().counters().Inc("wl.peers_added");
+    ArmPeerAdd(epoch);
   });
 }
 
-void WorkloadDriver::ArmFail() {
-  cluster_->sim().After(Arrival(options_.fail_rate_per_sec), [this]() {
-    if (!running_) return;
+void WorkloadDriver::ArmFail(uint64_t epoch) {
+  cluster_->sim().After(Arrival(options_.fail_rate_per_sec),
+                        [this, epoch]() {
+    if (!running_ || epoch != epoch_) return;
     auto members = cluster_->LiveMembers();
     if (members.size() > options_.min_live_members) {
       const size_t idx = rng_.Uniform(0, members.size() - 1);
       cluster_->FailPeer(members[idx]);
       ++failures_injected_;
+      metrics().counters().Inc("wl.failures_injected");
+    } else {
+      metrics().counters().Inc("wl.failures_skipped_min_live");
     }
-    ArmFail();
+    ArmFail(epoch);
+  });
+}
+
+void WorkloadDriver::ArmQuery(uint64_t epoch) {
+  cluster_->sim().After(Arrival(options_.query_rate_per_sec),
+                        [this, epoch]() {
+    if (!running_ || epoch != epoch_) return;
+    PeerStack* via = cluster_->SomeMember();
+    if (via != nullptr) {
+      const Key lo = NextKey();
+      const Key hi = std::min(lo + options_.query_span_width,
+                              options_.key_max);
+      const Span span{lo, hi};
+      ++queries_issued_;
+      metrics().counters().Inc("wl.queries_issued");
+      auto* oracle = &cluster_->oracle();
+      const sim::SimTime started = cluster_->sim().now();
+      via->index->RangeQuery(
+          span, [this, oracle, span, started](
+                    const Status& s, std::vector<datastore::Item> items) {
+            metrics().RecordLatency(
+                "wl.query_time",
+                sim::ToSeconds(cluster_->sim().now() - started));
+            if (!s.ok()) {
+              metrics().counters().Inc("wl.query_failures");
+              return;  // incomplete results carry no correctness claim
+            }
+            std::vector<Key> keys;
+            keys.reserve(items.size());
+            for (const auto& it : items) keys.push_back(it.skv);
+            const auto audit = oracle->CheckQuery(
+                span, started, cluster_->sim().now(), keys);
+            if (audit.correct) {
+              metrics().counters().Inc("wl.queries_ok");
+            } else {
+              ++query_violations_;
+              metrics().counters().Inc("wl.query_violations");
+            }
+          });
+    }
+    ArmQuery(epoch);
   });
 }
 

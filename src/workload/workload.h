@@ -26,19 +26,31 @@ class ZipfGenerator {
 // Open-loop workload driver reproducing the paper's Section 6.1 load: items
 // arrive at a fixed rate (default 2/s), peers arrive as free peers (default
 // 1 per 3 s), and in failure mode peers are killed at a configurable rate.
-// All arrivals are Poisson with the configured means.
+// All arrivals are Poisson with the configured means.  Range queries (the
+// flash-crowd load) are issued open-loop too and audited against the
+// liveness oracle on completion.
 struct WorkloadOptions {
   double insert_rate_per_sec = 2.0;
   double delete_rate_per_sec = 0.0;
   double peer_add_rate_per_sec = 1.0 / 3.0;
-  double fail_rate_per_sec = 0.0;  // failures per second (failure mode)
-  size_t min_live_members = 2;     // never fail below this population
+  double fail_rate_per_sec = 0.0;   // failures per second (failure mode)
+  double query_rate_per_sec = 0.0;  // oracle-audited range queries
+  size_t min_live_members = 2;      // never fail below this population
   Key key_min = 0;
   Key key_max = 1000000;
+  Key query_span_width = 50000;  // width of issued range predicates
   bool zipf_keys = false;
   double zipf_theta = 0.8;
+  // Shifts the rank->key bucket mapping so the popular mass lands on a
+  // different arc of the ring (HotspotShift phases).
+  Key zipf_hotspot_offset = 0;
 };
 
+// Re-armable: Stop() + set_options() + Start() retargets the driver to a
+// new phase.  Each Start() opens a new epoch; arrival timers from earlier
+// epochs die silently, so re-arming never double-schedules a stream.
+// Telemetry (wl.* counters, wl.insert_time / wl.query_time series) lands in
+// the cluster's MetricsHub.
 class WorkloadDriver {
  public:
   WorkloadDriver(Cluster* cluster, WorkloadOptions options, uint64_t seed);
@@ -47,29 +59,38 @@ class WorkloadDriver {
   // the cluster's simulator until Stop().
   void Start();
   void Stop() { running_ = false; }
+  void set_options(WorkloadOptions options);
+  const WorkloadOptions& options() const { return options_; }
 
   const std::vector<Key>& inserted_keys() const { return inserted_keys_; }
   size_t inserts_issued() const { return inserts_issued_; }
   size_t deletes_issued() const { return deletes_issued_; }
   size_t failures_injected() const { return failures_injected_; }
+  size_t queries_issued() const { return queries_issued_; }
+  size_t query_violations() const { return query_violations_; }
 
  private:
-  void ArmInsert();
-  void ArmDelete();
-  void ArmPeerAdd();
-  void ArmFail();
+  void ArmInsert(uint64_t epoch);
+  void ArmDelete(uint64_t epoch);
+  void ArmPeerAdd(uint64_t epoch);
+  void ArmFail(uint64_t epoch);
+  void ArmQuery(uint64_t epoch);
   sim::SimTime Arrival(double rate_per_sec);
   Key NextKey();
+  MetricsHub& metrics() { return cluster_->metrics(); }
 
   Cluster* cluster_;
   WorkloadOptions options_;
   sim::Rng rng_;
   std::unique_ptr<ZipfGenerator> zipf_;
   bool running_ = false;
+  uint64_t epoch_ = 0;
   std::vector<Key> inserted_keys_;
   size_t inserts_issued_ = 0;
   size_t deletes_issued_ = 0;
   size_t failures_injected_ = 0;
+  size_t queries_issued_ = 0;
+  size_t query_violations_ = 0;
 };
 
 }  // namespace pepper::workload

@@ -54,7 +54,7 @@ TEST(CountersTest, IncrementAndSnapshot) {
 
 TEST(MetricsHubTest, LatencySeriesAreStableReferences) {
   MetricsHub hub;
-  Summary& s = hub.Latency("op");
+  Histogram& s = hub.Latency("op");
   s.Add(1.0);
   hub.RecordLatency("op", 3.0);
   // Creating other series must not invalidate the first.

@@ -165,5 +165,58 @@ TEST(ScanEngineTest, HopBudgetExhaustionAbortsCleanly) {
   EXPECT_EQ(f.a_ds->lock().readers(), 0u);
 }
 
+// The zero-copy ordered view must visit exactly what ItemsInCircularOrder
+// materializes, in the same order, across full, wrapped and plain ranges.
+TEST(CircularItemViewTest, MatchesMaterializedCircularOrder) {
+  sim::Simulator sim(3);
+  FreePeerPool pool(&sim);
+  auto ring = std::make_unique<ring::RingNode>(&sim, 100, FastRing());
+  auto ds = std::make_unique<DataStoreNode>(ring.get(), &pool,
+                                            DataStoreOptions{});
+  ring->InitRing();
+  ds->ActivateAsFirst();  // full circle anchored at val 100
+  for (Key k : {10u, 50u, 100u, 150u, 200u}) {
+    ASSERT_TRUE(ds->InsertLocal(Item{k, ""}).ok());
+  }
+
+  auto expect_view_matches = [&](const std::vector<Key>& want) {
+    const std::vector<Item> materialized = ds->ItemsInCircularOrder();
+    ASSERT_EQ(materialized.size(), want.size());
+    const CircularItemView view = ds->OrderedItems();
+    EXPECT_EQ(view.size(), want.size());
+    size_t i = 0;
+    for (const Item& it : view) {
+      ASSERT_LT(i, want.size());
+      EXPECT_EQ(it.skv, want[i]);
+      EXPECT_EQ(materialized[i].skv, want[i]);
+      ++i;
+    }
+    EXPECT_EQ(i, want.size());
+  };
+
+  // Full range anchored at 100: order starts just past 100 and wraps.
+  expect_view_matches({150, 200, 10, 50, 100});
+
+  // Plain (non-wrapping) range (50, 200]: out-of-range items 10 and 50
+  // remain in the map but are not part of the view.
+  ds->set_range(RingRange::OpenClosed(50, 200));
+  expect_view_matches({100, 150, 200});
+
+  // Wrapped range (200, 50]: keys above 200 first, then the tail up to 50;
+  // out-of-range keys in the gap (100, 150, 200) are filtered exactly like
+  // the plain-range branch filters them.
+  ds->set_range(RingRange::OpenClosed(200, 50));
+  expect_view_matches({10, 50});
+  EXPECT_EQ(ds->OrderedItems().TakePrefix(1).front().skv, 10u);
+
+  // Empty range and empty map edge cases.
+  ds->set_range(RingRange::Empty());
+  EXPECT_EQ(ds->OrderedItems().size(), 0u);
+  ds->set_range(RingRange::Full(100));
+  for (Key k : {10u, 50u, 100u, 150u, 200u}) ds->DropItem(k);
+  EXPECT_EQ(ds->OrderedItems().size(), 0u);
+  EXPECT_TRUE(ds->OrderedItems().empty());
+}
+
 }  // namespace
 }  // namespace pepper::datastore

@@ -1,0 +1,129 @@
+// Workload-driver tests: ZipfGenerator distribution sanity and the
+// min_live_members floor of the failure stream.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "workload/cluster.h"
+#include "workload/workload.h"
+
+namespace pepper::workload {
+namespace {
+
+TEST(ZipfGeneratorTest, ThetaZeroIsUniform) {
+  constexpr size_t kN = 10;
+  constexpr size_t kDraws = 100000;
+  ZipfGenerator zipf(kN, /*theta=*/0.0, /*seed=*/7);
+  std::array<size_t, kN> freq{};
+  for (size_t i = 0; i < kDraws; ++i) {
+    const size_t rank = zipf.Next();
+    ASSERT_LT(rank, kN);
+    ++freq[rank];
+  }
+  // Every rank within 20% of the uniform expectation.
+  const double expected = static_cast<double>(kDraws) / kN;
+  for (size_t r = 0; r < kN; ++r) {
+    EXPECT_NEAR(static_cast<double>(freq[r]), expected, 0.2 * expected)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfGeneratorTest, SkewedRankFrequenciesDecreaseMonotonically) {
+  constexpr size_t kN = 100;
+  constexpr size_t kDraws = 200000;
+  ZipfGenerator zipf(kN, /*theta=*/0.9, /*seed=*/11);
+  std::vector<size_t> freq(kN, 0);
+  for (size_t i = 0; i < kDraws; ++i) ++freq[zipf.Next()];
+  // The head dominates...
+  EXPECT_GT(freq[0], freq[9]);
+  EXPECT_GT(freq[9], freq[49]);
+  // ...and smoothed decile mass is monotone down the tail (per-rank counts
+  // are too noisy for a strict per-rank check at this sample size).
+  double prev = 1e18;
+  for (size_t decile = 0; decile < 10; ++decile) {
+    double mass = 0;
+    for (size_t r = decile * 10; r < (decile + 1) * 10; ++r) mass += freq[r];
+    EXPECT_LT(mass, prev) << "decile " << decile;
+    prev = mass;
+  }
+  // Zipf(0.9) head: rank 0 alone carries a double-digit share.
+  EXPECT_GT(freq[0], kDraws / 20);
+}
+
+TEST(WorkloadDriverTest, FailureStreamRespectsMinLiveMembers) {
+  ClusterOptions copts = ClusterOptions::FastDefaults();
+  copts.seed = 77;
+  Cluster cluster(copts);
+  cluster.Bootstrap(1000000);
+  for (int i = 0; i < 12; ++i) cluster.AddFreePeer();
+  cluster.RunFor(sim::kSecond);
+  sim::Rng rng(5);
+  // Advance time between inserts: a local insert completes without
+  // stepping the simulator, and splits only happen on maintenance ticks.
+  size_t attempts = 0;
+  while (cluster.LiveMembers().size() < 8 && attempts < 500) {
+    ++attempts;
+    ASSERT_TRUE(cluster.InsertItem(rng.Uniform(0, 1000000)).ok());
+    cluster.RunFor(100 * sim::kMillisecond);
+  }
+  cluster.RunFor(2 * sim::kSecond);
+  const size_t population = cluster.LiveMembers().size();
+  ASSERT_GE(population, 8u);
+
+  // An aggressive failure stream with the floor at 6: the population must
+  // shrink to the floor and stop there — the driver never kills through it.
+  WorkloadOptions w;
+  w.insert_rate_per_sec = 0.0;
+  w.delete_rate_per_sec = 0.0;
+  w.peer_add_rate_per_sec = 0.0;
+  w.fail_rate_per_sec = 2.0;
+  w.min_live_members = 6;
+  WorkloadDriver driver(&cluster, w, /*seed=*/99);
+  driver.Start();
+  cluster.RunFor(30 * sim::kSecond);
+  driver.Stop();
+
+  // The population may bounce (splits recruit the remaining free peers and
+  // failures cull again), but the floor holds throughout: a kill only ever
+  // happens above min_live_members, so membership can never end below it.
+  EXPECT_GE(cluster.LiveMembers().size(), 6u);
+  EXPECT_GE(driver.failures_injected(), population - 6);
+  EXPECT_GT(cluster.metrics().counters().Get("wl.failures_skipped_min_live"),
+            0u);
+}
+
+TEST(WorkloadDriverTest, RestartOpensNewEpochWithoutDoublingStreams) {
+  ClusterOptions copts = ClusterOptions::FastDefaults();
+  copts.seed = 31;
+  Cluster cluster(copts);
+  cluster.Bootstrap(1000000);
+  for (int i = 0; i < 4; ++i) cluster.AddFreePeer();
+  cluster.RunFor(sim::kSecond);
+
+  WorkloadOptions w;
+  w.insert_rate_per_sec = 10.0;
+  w.peer_add_rate_per_sec = 0.0;
+  w.delete_rate_per_sec = 0.0;
+  WorkloadDriver driver(&cluster, w, /*seed=*/3);
+  driver.Start();
+  cluster.RunFor(10 * sim::kSecond);
+  // Re-arm mid-flight several times; pending timers from stale epochs must
+  // die instead of doubling the insert stream.
+  for (int i = 0; i < 3; ++i) {
+    driver.Stop();
+    driver.set_options(w);
+    driver.Start();
+  }
+  cluster.RunFor(10 * sim::kSecond);
+  driver.Stop();
+
+  // ~10/s over ~20 s; a doubled stream would show ~2x.  Generous bounds
+  // keep the check robust to Poisson noise at this fixed seed.
+  EXPECT_GT(driver.inserts_issued(), 150u);
+  EXPECT_LT(driver.inserts_issued(), 260u);
+}
+
+}  // namespace
+}  // namespace pepper::workload

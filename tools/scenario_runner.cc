@@ -1,0 +1,146 @@
+// scenario_runner: executes the declarative stress scenarios of
+// src/scenario/ against a simulated PEPPER cluster, with the invariant
+// probes (ring audit, liveness-oracle audits, item conservation) between
+// phases and per-phase telemetry dumped as text or CSV.
+//
+//   scenario_runner --list
+//   scenario_runner --scenario=long_churn [--seed=N] [--scale=F] [--paper]
+//                   [--csv=FILE] [--fatal-audits] [--quiet]
+//
+// Exit status: 0 on a clean run, 1 on probe violations, 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "scenario/builtin_scenarios.h"
+#include "scenario/scenario_runner.h"
+
+namespace {
+
+using pepper::scenario::BuiltinParams;
+using pepper::scenario::BuiltinScenarios;
+using pepper::scenario::MakeBuiltin;
+using pepper::scenario::RunnerOptions;
+using pepper::scenario::RunReport;
+using pepper::scenario::ScenarioRunner;
+namespace sim = pepper::sim;
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: scenario_runner --list | --scenario=NAME [options]\n"
+      "  --list          list built-in scenarios\n"
+      "  --scenario=NAME run the named scenario\n"
+      "  --seed=N        cluster seed (default 42)\n"
+      "  --scale=F       duration/wave scale factor (default 1.0)\n"
+      "  --paper         paper-scale cluster timers (Section 6.1 defaults)\n"
+      "  --csv=FILE      write the per-phase metrics dump as CSV\n"
+      "  --fatal-audits  stop at the first violating probe\n"
+      "  --availability-informational\n"
+      "                  report Definition 7 item loss without failing the\n"
+      "                  run (failure-mode churn: availability under crashes\n"
+      "                  is probabilistic, see ROADMAP)\n"
+      "  --quiet         suppress the text report\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool paper = false;
+  bool fatal = false;
+  bool availability_fatal = true;
+  bool quiet = false;
+  std::string scenario_name;
+  std::string csv_path;
+  uint64_t seed = 42;
+  double scale = 1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(argv[i], "--paper") == 0) {
+      paper = true;
+    } else if (std::strcmp(argv[i], "--fatal-audits") == 0) {
+      fatal = true;
+    } else if (std::strcmp(argv[i], "--availability-informational") == 0) {
+      availability_fatal = false;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (ParseFlag(argv[i], "--scenario", &value)) {
+      scenario_name = value;
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--scale", &value)) {
+      scale = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--csv", &value)) {
+      csv_path = value;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  if (list) {
+    std::printf("built-in scenarios:\n");
+    for (const auto& s : BuiltinScenarios()) {
+      std::printf("  %-18s %s\n", s.name.c_str(), s.description.c_str());
+    }
+    return 0;
+  }
+  if (scenario_name.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  BuiltinParams params;
+  params.scale = scale;
+  auto scenario = MakeBuiltin(scenario_name, params);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "unknown scenario: %s (try --list)\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+
+  RunnerOptions options;
+  options.cluster = paper ? pepper::workload::ClusterOptions::PaperDefaults()
+                          : pepper::workload::ClusterOptions::FastDefaults();
+  options.cluster.seed = seed;
+  options.initial_free_peers = 10;
+  options.seed_items = 40;
+  options.fatal_probes = fatal;
+  options.availability_fatal = availability_fatal;
+  if (paper) {
+    // Paper timers are ~20x slower than FastDefaults; give reorganizations
+    // a commensurate drain window before each probe round.
+    options.probe_settle = 40 * sim::kSecond;
+  }
+
+  ScenarioRunner runner(options);
+  const RunReport report = runner.Run(*scenario);
+
+  if (!quiet) std::printf("%s", report.Text().c_str());
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    if (!csv) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 2;
+    }
+    csv << report.Csv();
+    std::printf("metrics CSV written to %s\n", csv_path.c_str());
+  }
+  std::printf("scenario %s: %s\n", report.scenario.c_str(),
+              report.ok ? "OK" : "PROBE VIOLATIONS");
+  return report.ok ? 0 : 1;
+}
