@@ -21,6 +21,9 @@ Outcome RunOnce(bool pepper, size_t replication_factor, uint64_t seed) {
   o.seed = seed;
   o.ring.pepper_leave = pepper;
   o.ds.pepper_availability = pepper;
+  // The naive arm is the original CFS manager end to end: no pull-based
+  // revive and no reactive chain re-push either.
+  o.repl.pull_revive = pepper;
   o.repl.replication_factor = replication_factor;
   // Slow refresh: the merge/failure window matters, as in Figure 17.
   o.repl.refresh_period = 20 * sim::kSecond;

@@ -110,6 +110,8 @@ RunResult Run(bool pepper) {
   options.seed = 4242;
   options.ring.pepper_leave = pepper;
   options.ds.pepper_availability = pepper;
+  // The naive run is the original CFS manager: no pull-based revive either.
+  options.repl.pull_revive = pepper;
   // Tight replication and slow refresh: the merge/failure window is exposed
   // (Figure 17's setting).
   options.repl.replication_factor = 1;
@@ -121,6 +123,10 @@ RunResult Run(bool pepper) {
   ropts.initial_free_peers = 30;
   ropts.warmup = sim::kSecond;
   ropts.probe_settle = 100 * sim::kMillisecond;  // phases already settle
+  // Item loss is a fatal audit for both runs: the PEPPER cluster must pass
+  // it outright, and the naive cluster is *supposed* to fail it — the
+  // violation count below is the demonstration.
+  ropts.availability_fatal = true;
 
   ScenarioRunner runner(ropts);
   const RunReport report = runner.Run(ChurnScenario());

@@ -167,7 +167,11 @@ int main(int argc, char** argv) {
     if (!outcome.audit.correct) ++incorrect;
   }
   driver.Stop();
-  cluster.RunFor(5 * sim::kSecond);
+  // Let reorganizations and revivals drain before auditing: paper-scale
+  // timers need a commensurate settle (pred TTL + takeover confirmation +
+  // revive collection add up to tens of seconds), same as the scenario
+  // runner's paper probe_settle.
+  cluster.RunFor(args.fast ? 5 * sim::kSecond : 40 * sim::kSecond);
 
   auto ring_audit = cluster.AuditRing();
   auto avail = cluster.AuditAvailability();

@@ -37,6 +37,12 @@ void DataStoreNode::Activate(RingRange range, std::vector<Item> items) {
   active_ = true;
   range_ = range;
   items_.clear();
+  item_epochs_.clear();
+  // Deletion memory is per incarnation: answering "recently deleted" for a
+  // key this store only deleted in a previous life would wrongly ack a
+  // fresh delete as idempotent.
+  recent_delete_epochs_.clear();
+  recent_delete_order_.clear();
   for (const Item& it : items) {
     StoreItem(it);
   }
@@ -61,6 +67,7 @@ void DataStoreNode::Deactivate() {
     }
   }
   items_.clear();
+  item_epochs_.clear();
   active_ = false;
   range_ = RingRange::Empty();
 }
@@ -71,16 +78,45 @@ void DataStoreNode::OnPredChanged() { takeover_->OnPredChanged(); }
 
 void DataStoreNode::StoreItem(const Item& item) {
   items_[item.skv] = item;
+  item_epochs_[item.skv] = ++mutation_epoch_;
   if (options_.observer != nullptr) {
     options_.observer->OnStore(id(), item.skv);
   }
 }
 
 void DataStoreNode::DropItem(Key skv) {
-  items_.erase(skv);
+  if (items_.erase(skv) > 0) {
+    // A drop advances the group version too: replica manifests must
+    // diverge from any copy still holding the item.
+    item_epochs_.erase(skv);
+    ++mutation_epoch_;
+  }
   if (options_.observer != nullptr) {
     options_.observer->OnDrop(id(), skv);
   }
+}
+
+// Records a CLIENT deletion (and only that): DropItem is also the handoff
+// path for splits/redistributes/orphans, and an item that merely moved must
+// neither satisfy a later delete as "already deleted" nor block its own
+// revival through DeletedSince.
+void DataStoreNode::RecordRecentDelete(Key skv) {
+  constexpr size_t kRecentDeleteCap = 1024;
+  recent_delete_epochs_[skv] = mutation_epoch_;
+  recent_delete_order_.emplace_back(skv, mutation_epoch_);
+  while (recent_delete_order_.size() > kRecentDeleteCap) {
+    const auto& oldest = recent_delete_order_.front();
+    auto it = recent_delete_epochs_.find(oldest.first);
+    if (it != recent_delete_epochs_.end() && it->second == oldest.second) {
+      recent_delete_epochs_.erase(it);
+    }
+    recent_delete_order_.pop_front();
+  }
+}
+
+bool DataStoreNode::DeletedSince(Key skv, uint64_t since_epoch) const {
+  auto it = recent_delete_epochs_.find(skv);
+  return it != recent_delete_epochs_.end() && it->second > since_epoch;
 }
 
 std::vector<Item> DataStoreNode::GetLocalItems() const {
@@ -115,8 +151,17 @@ Status DataStoreNode::DeleteLocal(Key skv) {
   if (rebalancer_->rebalancing()) {
     return Status::Unavailable("range reorganization in progress");
   }
-  if (items_.find(skv) == items_.end()) return Status::NotFound();
+  if (items_.find(skv) == items_.end()) {
+    // Idempotent retry: a delete that already applied here — its ack lost
+    // to a failure, or delayed past the caller's timeout by the durable-ack
+    // replication wait — must succeed, not NotFound.  The caller's oracle
+    // bookkeeping follows the acknowledgement; answering NotFound for a
+    // delete we performed ourselves desynchronizes it permanently.
+    if (recent_delete_epochs_.count(skv) > 0) return Status::OK();
+    return Status::NotFound();
+  }
   DropItem(skv);
+  RecordRecentDelete(skv);
   if (replication_ != nullptr) replication_->OnLocalItemsChanged();
   return Status::OK();
 }
@@ -264,25 +309,96 @@ bool DataStoreNode::rebalancing() const { return rebalancer_->rebalancing(); }
 
 void DataStoreNode::HandleInsert(const sim::Message& msg,
                                  const DsInsertRequest& req) {
-  Status s = InsertLocal(req.item);
+  ReplyWhenDurable(msg, InsertLocal(req.item));
+}
+
+void DataStoreNode::HandleDelete(const sim::Message& msg,
+                                 const DsDeleteRequest& req) {
+  ReplyWhenDurable(msg, DeleteLocal(req.skv));
+}
+
+// Acknowledges an item mutation.  Under the PEPPER availability protocol a
+// successful mutation is acked only after the first replica hop holds it
+// (PushDurable): without this, an owner crashing inside the replica-push
+// debounce window takes a freshly *acknowledged* item with it — a
+// Definition 7 violation no revival can undo, because no copy ever
+// existed.  The naive CFS baseline acks immediately and keeps that window.
+void DataStoreNode::ReplyWhenDurable(const sim::Message& msg,
+                                     const Status& s) {
   auto ack = std::make_shared<DsAck>();
   ack->ok = s.ok();
   ack->error = s.message();
+  if (s.ok() && options_.pepper_availability && replication_ != nullptr) {
+    AttemptDurableAck(msg, ack, /*retries_left=*/2);
+    return;
+  }
   Reply(msg, ack);
   if (s.ok()) {
     After(0, [this]() { MaybeRebalance(); });
   }
 }
 
-void DataStoreNode::HandleDelete(const sim::Message& msg,
-                                 const DsDeleteRequest& req) {
-  Status s = DeleteLocal(req.skv);
-  auto ack = std::make_shared<DsAck>();
-  ack->ok = s.ok();
-  ack->error = s.message();
-  Reply(msg, ack);
-  if (s.ok()) {
+void DataStoreNode::AttemptDurableAck(const sim::Message& msg,
+                                      std::shared_ptr<DsAck> ack,
+                                      int retries_left) {
+  replication_->PushDurable([this, msg, ack, retries_left](bool replicated) {
+    if (!replicated && retries_left > 0) {
+      // The first replica hop never acked — most likely it just died.
+      // Wait one ping period for the ring to repair the chain, then push
+      // again to the repaired successor; acking now would reopen the
+      // acked-item-dies-with-owner window.
+      After(ring_->options().ping_period, [this, msg, ack, retries_left]() {
+        AttemptDurableAck(msg, ack, retries_left - 1);
+      });
+      return;
+    }
+    Reply(msg, ack);
     After(0, [this]() { MaybeRebalance(); });
+  });
+}
+
+void DataStoreNode::PullReviveArc(const RingRange& arc) {
+  if (replication_ == nullptr || arc.IsEmpty()) return;
+  // Snapshot the epoch: answers arriving later must not resurrect anything
+  // deleted here after the query went out.
+  const uint64_t revive_epoch = mutation_epoch_;
+  replication_->StartPullRevive(arc, [this, revive_epoch](const Item& item) {
+    PromotePulled(item, revive_epoch);
+  });
+}
+
+void DataStoreNode::PromotePulled(const Item& item, uint64_t revive_epoch) {
+  // An acked delete that raced the revive's collection window must win:
+  // the answering holder's copy predates it.
+  if (DeletedSince(item.skv, revive_epoch)) return;
+  if (active_ && range_.Contains(item.skv) && !lock_.write_held()) {
+    if (items_.find(item.skv) != items_.end()) return;
+    StoreItem(item);
+    if (options_.metrics != nullptr) {
+      options_.metrics->counters().Inc("ds.pull_revived_items");
+    }
+    // One push per promoted batch, not per item: a whole group's answers
+    // arrive in the same event, so the zero-delay timer coalesces them.
+    if (!pull_push_pending_) {
+      pull_push_pending_ = true;
+      After(0, [this]() {
+        pull_push_pending_ = false;
+        ReplicateMovedItems();
+      });
+    }
+    return;
+  }
+  // The answers raced a reorganization: between the query and this answer
+  // the arc (or part of it) moved on — a split handed the lower half to a
+  // recruit, or this peer deactivated (merge departure).  The item is
+  // still dead without us; route it to whoever owns the key now
+  // (idempotent routed insert with retries), the same path stale-range
+  // orphans take.
+  if (rehome_) {
+    rehome_(item);
+    if (options_.metrics != nullptr) {
+      options_.metrics->counters().Inc("ds.pull_revived_rehomed");
+    }
   }
 }
 

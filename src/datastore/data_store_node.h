@@ -2,11 +2,13 @@
 #define PEPPER_DATASTORE_DATA_STORE_NODE_H_
 
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <iterator>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/key_space.h"
@@ -112,8 +114,28 @@ class ReplicationHooks {
   virtual void StartReviveSweep(const RingRange& range,
                                 std::function<void(const Item&)> promote) = 0;
 
+  // Pull-based revive (the Definition 7 gap closer): broadcast a bounded
+  // "who holds replicas for `arc`?" query along the successor chain.  Peers
+  // holding replica groups with items inside the arc answer directly; the
+  // freshest copy of each dead owner's group is handed to `promote`,
+  // item by item, after the owner's death is verified by ping (a departed
+  // owner's frozen group must not resurrect deleted items).  Used by the
+  // takeover engine when it extends over an arc for which this peer holds
+  // no replica group — e.g. the owner died before ever pushing to us.
+  virtual void StartPullRevive(const RingRange& arc,
+                               std::function<void(const Item&)> promote) = 0;
+
   // The local item set changed; schedule a (debounced) replica push.
   virtual void OnLocalItemsChanged() = 0;
+
+  // Push now and report the outcome.  The durable-ack path for client item
+  // mutations: an insert or delete is acknowledged only once a second copy
+  // exists, so an acked operation survives the immediate crash of its
+  // owner.  settled(true) when the first replica hop acked — or when
+  // replication is moot (lone peer, replication factor 0); settled(false)
+  // when the first hop never acked, i.e. the caller may retry after the
+  // ring repairs.
+  virtual void PushDurable(std::function<void(bool)> settled) = 0;
 
   // Items changed hands (redistribute, takeover, revival): push replicas
   // NOW — a failure inside a debounce window must not orphan moved items.
@@ -195,6 +217,23 @@ class DataStoreNode : public sim::ProtocolComponent {
   // getLocalItems(): the items currently in this peer's Data Store.
   std::vector<Item> GetLocalItems() const;
 
+  // --- Mutation epochs (versioned delta replication) -----------------------
+  // Every item mutation through the facade core stamps the item with a
+  // fresh, strictly increasing epoch; the counter is monotonic for the
+  // peer's whole lifetime (never reset on activation), so replica-group
+  // versions from one owner are always comparable.  The Replication
+  // Manager's delta pushes and manifests are built from these.
+
+  // The epoch of the most recent mutation (0 before the first one).
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+  // Per-item epochs for the items currently stored (same keys as items()).
+  const std::map<Key, uint64_t>& item_epochs() const { return item_epochs_; }
+  // True if `skv` was deleted here after `since_epoch` (bounded memory of
+  // recent deletions).  Asynchronous revival paths snapshot the epoch when
+  // they start and refuse to resurrect anything deleted since — a revive
+  // answer must not undo an acked delete that raced its collection window.
+  bool DeletedSince(Key skv, uint64_t since_epoch) const;
+
   // Owner-side insert/delete; fails if this peer does not own the key or a
   // reorganization is in flight (callers retry through the router).
   Status InsertLocal(const Item& item);
@@ -258,10 +297,29 @@ class DataStoreNode : public sim::ProtocolComponent {
   // protocol, debounced under the naive CFS baseline.
   void ReplicateMovedItems();
 
+  // Pull-based revive over an arc this peer just came to own without
+  // holding (all of) its items: a takeover extension past arcs we have no
+  // replica group for, or a redistribute whose value jump bridged a dead
+  // peer's territory.  Broadcasts the replica query (ReplicationHooks::
+  // StartPullRevive) and promotes answers through the guarded path below.
+  void PullReviveArc(const RingRange& arc);
+
  private:
   void Activate(RingRange range, std::vector<Item> items);
   void HandleInsert(const sim::Message& msg, const DsInsertRequest& req);
   void HandleDelete(const sim::Message& msg, const DsDeleteRequest& req);
+  // Acks a mutation once it is replicated (PEPPER) or immediately (naive).
+  void ReplyWhenDurable(const sim::Message& msg, const Status& s);
+  // Pushes, and on a dead first hop waits out a ring-repair window and
+  // retries before acking.
+  void AttemptDurableAck(const sim::Message& msg, std::shared_ptr<DsAck> ack,
+                         int retries_left);
+  // Guarded promotion of a pull-revive answer: ownership, presence, and
+  // deletions since `revive_epoch` are re-checked at arrival time; items
+  // whose sub-arc moved on mid-revive are re-homed via the routed insert.
+  void PromotePulled(const Item& item, uint64_t revive_epoch);
+  // Tombstones a client deletion (DeleteLocal only — never handoff drops).
+  void RecordRecentDelete(Key skv);
 
   ring::RingNode* ring_;
   FreePeerPool* pool_;
@@ -272,6 +330,13 @@ class DataStoreNode : public sim::ProtocolComponent {
   bool active_ = false;
   RingRange range_;
   std::map<Key, Item> items_;
+  std::map<Key, uint64_t> item_epochs_;
+  uint64_t mutation_epoch_ = 0;
+  // Epochs of recent deletions, FIFO-bounded (see DeletedSince).
+  std::map<Key, uint64_t> recent_delete_epochs_;
+  std::deque<std::pair<Key, uint64_t>> recent_delete_order_;
+  // Coalesces the replica pushes of one promoted revive batch.
+  bool pull_push_pending_ = false;
   RangeLock lock_;
 
   std::unique_ptr<ScanEngine> scan_;

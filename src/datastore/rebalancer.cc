@@ -227,6 +227,7 @@ void Rebalancer::StartUnderflow() {
           const auto& decision = static_cast<const MergeDecision&>(*m.payload);
           switch (decision.kind) {
             case MergeDecision::Kind::kRedistribute: {
+              const Key old_hi = ds_->range().hi();
               for (const Item& it : decision.items) ds_->StoreItem(it);
               ds_->set_range(
                   RingRange::OpenClosed(ds_->range().lo(), decision.new_val));
@@ -237,6 +238,14 @@ void Rebalancer::StartUnderflow() {
                                               sim::ToSeconds(now() - started));
               }
               ds_->ReplicateMovedItems();
+              // The value jump (old_hi, new_val] may have bridged more than
+              // the partner's handoff: if a peer between us and the partner
+              // died un-revived (we, its predecessor, never held its
+              // group), its arc just became ours with no items.  Pull its
+              // replicas from the successor chain; answers for keys the
+              // handoff already covered are skipped as present.
+              ds_->PullReviveArc(
+                  RingRange::OpenClosed(old_hi, decision.new_val));
               EndRebalance(true);
               break;
             }

@@ -139,6 +139,14 @@ void TakeoverEngine::ApplyRangeFromPred() {
               if (revived > 0 && ds_->metrics() != nullptr) {
                 ds_->metrics()->counters().Inc("ds.revived_items", revived);
               }
+              // Pull-based revive: our held groups may not cover the whole
+              // gained arc — its owner can have died before its first push
+              // or seed ever reached us, while farther successors still
+              // hold the group.  Broadcast "who holds replicas for this
+              // arc?" along the chain; the facade promotes the freshest
+              // answers through its guarded path (answers land after the
+              // lock below is released).
+              ds_->PullReviveArc(gained);
             }
             ds_->ReplicateMovedItems();
           }

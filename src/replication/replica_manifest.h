@@ -1,0 +1,53 @@
+#ifndef PEPPER_REPLICATION_REPLICA_MANIFEST_H_
+#define PEPPER_REPLICATION_REPLICA_MANIFEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/key_space.h"
+#include "datastore/item.h"
+
+namespace pepper::replication {
+
+// Compact identity of one replica group's contents: the owner's mutation
+// epoch when it was built, the item count, and an order-sensitive hash over
+// the (skv, epoch) pairs in key order.  The facade stamps a fresh epoch on
+// every item mutation — including a re-insert of an existing key with new
+// data — so two parties whose manifests match hold byte-identical item
+// sets, and a manifest comparison replaces shipping the snapshot.
+struct ReplicaManifest {
+  uint64_t version = 0;  // owner mutation epoch at build time
+  uint64_t count = 0;    // items in the group
+  uint64_t hash = 0;     // FNV-1a over (skv, epoch) pairs in key order
+
+  friend bool operator==(const ReplicaManifest& a, const ReplicaManifest& b) {
+    return a.version == b.version && a.count == b.count && a.hash == b.hash;
+  }
+  friend bool operator!=(const ReplicaManifest& a, const ReplicaManifest& b) {
+    return !(a == b);
+  }
+
+  std::string ToString() const;
+};
+
+// Builds the manifest of an epoch-stamped item set as of owner mutation
+// epoch `version`.
+ReplicaManifest BuildManifest(const std::map<Key, uint64_t>& epochs,
+                              uint64_t version);
+
+// The byte cost model shared by the push-size accounting: what shipping an
+// item (key + epoch + payload), a delete (key + epoch), or a manifest would
+// cost on a real wire.  The simulator never serializes, but `repl.push_bytes`
+// / `repl.bytes_saved` are computed with these so the delta-vs-snapshot
+// comparison is meaningful.
+inline size_t WireBytes(const datastore::Item& item) {
+  return sizeof(Key) + sizeof(uint64_t) + item.data.size();
+}
+inline constexpr size_t kDeleteWireBytes = sizeof(Key) + sizeof(uint64_t);
+inline constexpr size_t kManifestWireBytes = sizeof(ReplicaManifest);
+
+}  // namespace pepper::replication
+
+#endif  // PEPPER_REPLICATION_REPLICA_MANIFEST_H_

@@ -1,7 +1,11 @@
 #include "replication/replication_manager.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
+
+#include "replication/revive_protocol.h"
+#include "ring/ring_messages.h"
 
 namespace pepper::replication {
 
@@ -16,16 +20,75 @@ ReplicationManager::ReplicationManager(ring::RingNode* ring,
       [this](const sim::Message& m, const ReplicaPushMsg& push) {
         HandlePush(m, push);
       });
+  On<ReplicaDeltaMsg>(
+      [this](const sim::Message& m, const ReplicaDeltaMsg& delta) {
+        HandleDelta(m, delta);
+      });
+  On<ReplicaStatusMsg>(
+      [this](const sim::Message& m, const ReplicaStatusMsg& status) {
+        HandleStatus(m, status);
+      });
+  On<ManifestProbeMsg>(
+      [this](const sim::Message& m, const ManifestProbeMsg& probe) {
+        HandleProbe(m, probe);
+      });
+  revive_ = std::make_unique<ReviveProtocol>(this);
   Every(options_.refresh_period, [this]() { RefreshTick(); },
         RandomPhase(options_.refresh_period));
+  Every(anti_entropy_period(), [this]() { AntiEntropyTick(); },
+        RandomPhase(anti_entropy_period()));
+}
+
+ReplicationManager::~ReplicationManager() = default;
+
+sim::SimTime ReplicationManager::anti_entropy_period() const {
+  return options_.anti_entropy_period != 0 ? options_.anti_entropy_period
+                                           : 8 * options_.refresh_period;
 }
 
 void ReplicationManager::RefreshTick() {
-  // Age out groups whose owner stopped refreshing long ago.
+  // Age out groups whose owner stopped refreshing long ago — but never
+  // blindly: an expired group whose owner is DEAD may hold the last copies
+  // of an arc the ring has not yet repaired its way back to (a successor
+  // pointer that skipped a peer can stall the takeover for minutes).  Ping
+  // the owner: an answer (alive, or departed FREE) means the copy is
+  // disposable bookkeeping; silence means revival may still need it, so it
+  // survives another TTL period, up to the strike budget.
   const sim::SimTime now_us = now();
   for (auto it = groups_.begin(); it != groups_.end();) {
-    if (now_us - it->second.refreshed_at > options_.group_ttl) {
-      it = groups_.erase(it);
+    ReplicaGroup& group = it->second;
+    if (now_us - group.refreshed_at > options_.group_ttl) {
+      if (group.ttl_strikes >= options_.dead_owner_ttl_strikes) {
+        it = groups_.erase(it);
+        continue;
+      }
+      ++group.ttl_strikes;
+      group.refreshed_at = now_us;  // re-arm one TTL while the ping settles
+      const sim::NodeId owner = it->first;
+      Call(
+          owner, sim::MakePayload<ring::PingRequest>(),
+          [this, owner](const sim::Message&) {
+            // The owner answered: whatever it is now (live and displaced
+            // us, or departed after handing off), this copy is obsolete.
+            // A push since the ping (strikes reset) keeps the group.
+            auto group_it = groups_.find(owner);
+            if (group_it != groups_.end() &&
+                group_it->second.ttl_strikes > 0) {
+              groups_.erase(group_it);
+              Inc("repl.groups_expired");
+            }
+          },
+          ring_->options().ping_timeout,
+          [this]() { Inc("repl.dead_groups_retained"); });
+    }
+    ++it;
+  }
+  // And holders without *chain* confirmation equally long (dead, or
+  // displaced from our successor chain — repair and probe acks alone must
+  // not keep a displaced holder booked forever).
+  for (auto it = holders_.begin(); it != holders_.end();) {
+    if (now_us - it->second.last_chain_ack > options_.group_ttl) {
+      it = holders_.erase(it);
     } else {
       ++it;
     }
@@ -33,19 +96,140 @@ void ReplicationManager::RefreshTick() {
   PushNow();
 }
 
-void ReplicationManager::PushNow() {
-  if (!ds_->active() || options_.replication_factor == 0) return;
-  auto succ = ring_->GetSuccRelaxed();
-  if (!succ.has_value() || succ->id == id()) return;
+const ReplicaManifest& ReplicationManager::OwnManifest() {
+  if (!own_manifest_valid_ ||
+      own_manifest_.version != ds_->mutation_epoch()) {
+    own_manifest_ = BuildManifest(ds_->item_epochs(), ds_->mutation_epoch());
+    own_manifest_valid_ = true;
+  }
+  return own_manifest_;
+}
+
+std::shared_ptr<ReplicaPushMsg> ReplicationManager::MakeSnapshot(
+    int hops_left, bool direct) {
   auto push = std::make_shared<ReplicaPushMsg>();
   push->owner = id();
   push->owner_val = ring_->val();
-  push->items = ds_->GetLocalItems();
-  push->hops_left = static_cast<int>(options_.replication_factor) - 1;
-  Send(succ->id, push);
-  if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("repl.pushes");
+  const auto& epochs = ds_->item_epochs();
+  push->items.reserve(epochs.size());
+  push->epochs.reserve(epochs.size());
+  for (const auto& kv : ds_->items()) {
+    push->items.push_back(kv.second);
+    push->epochs.push_back(epochs.at(kv.first));
   }
+  push->manifest = OwnManifest();
+  push->hops_left = hops_left;
+  push->direct = direct;
+  return push;
+}
+
+// --- Audited push hops -------------------------------------------------------
+// Every ReplicaPushMsg / ReplicaDeltaMsg hop is an RPC: acked, resent
+// `push_retries` times, or finally counted in repl.push_timeouts.  The
+// bookkeeping invariant (checked by tests after a crash-free quiesce):
+//   repl.push_msgs == repl.push_acked + repl.push_attempt_timeouts
+// with outstanding_pushes() == 0.
+
+void ReplicationManager::SendPushHop(sim::NodeId to, sim::PayloadPtr payload,
+                                     std::function<void(bool)> on_settled) {
+  PushAttempt(to, std::move(payload), options_.push_retries,
+              std::move(on_settled));
+}
+
+void ReplicationManager::PushAttempt(sim::NodeId to, sim::PayloadPtr payload,
+                                     int retries_left,
+                                     std::function<void(bool)> on_settled) {
+  ++outstanding_pushes_;
+  Inc("repl.push_msgs");
+  Call(
+      to, payload,
+      [this, on_settled](const sim::Message& m) {
+        --outstanding_pushes_;
+        Inc("repl.push_acked");
+        // Delivered; `applied` distinguishes a hop that also absorbed the
+        // content from one that needs a snapshot first (durable acks care).
+        const auto& ack = static_cast<const ReplicaPushAck&>(*m.payload);
+        if (on_settled) on_settled(ack.applied);
+      },
+      options_.rpc_timeout,
+      [this, to, payload, retries_left, on_settled]() {
+        --outstanding_pushes_;
+        Inc("repl.push_attempt_timeouts");
+        if (retries_left > 0) {
+          PushAttempt(to, payload, retries_left - 1, on_settled);
+          return;
+        }
+        Inc("repl.push_timeouts");
+        if (on_settled) on_settled(false);
+      });
+}
+
+// --- Owner side: refresh pushes ---------------------------------------------
+
+void ReplicationManager::PushNow(std::function<void(bool)> settled) {
+  if (!ds_->active() || options_.replication_factor == 0) {
+    // Nothing to replicate (or nowhere meaningful): moot, not a failure.
+    if (settled) settled(true);
+    return;
+  }
+  auto succ = ring_->GetSuccRelaxed();
+  if (!succ.has_value() || succ->id == id()) {
+    if (settled) settled(true);  // lone peer: as durable as it can get
+    return;
+  }
+  const uint64_t version = ds_->mutation_epoch();
+  const ReplicaManifest manifest = OwnManifest();
+  const auto& current = ds_->item_epochs();
+  const int hops = static_cast<int>(options_.replication_factor) - 1;
+
+  size_t snapshot_cost = kManifestWireBytes;
+  for (const auto& kv : ds_->items()) snapshot_cost += WireBytes(kv.second);
+
+  bool sent_delta = false;
+  if (options_.delta_pushes && chain_warm_) {
+    auto delta = std::make_shared<ReplicaDeltaMsg>();
+    delta->owner = id();
+    delta->owner_val = ring_->val();
+    delta->from_version = last_push_version_;
+    delta->manifest = manifest;
+    delta->hops_left = hops;
+    const auto& items = ds_->items();
+    for (const auto& kv : current) {
+      auto base = last_push_epochs_.find(kv.first);
+      if (base == last_push_epochs_.end() || base->second != kv.second) {
+        delta->upserts.push_back(items.at(kv.first));
+        delta->upsert_epochs.push_back(kv.second);
+      }
+    }
+    for (const auto& kv : last_push_epochs_) {
+      if (current.find(kv.first) == current.end()) {
+        delta->deletes.push_back(kv.first);
+      }
+    }
+    size_t delta_cost =
+        kManifestWireBytes + delta->deletes.size() * kDeleteWireBytes;
+    for (const auto& it : delta->upserts) delta_cost += WireBytes(it);
+    if (delta_cost < snapshot_cost) {
+      SendPushHop(succ->id, delta, std::move(settled));
+      settled = nullptr;
+      Inc("repl.delta_pushes");
+      Inc("repl.push_bytes", delta_cost);
+      Inc("repl.bytes_saved", snapshot_cost - delta_cost);
+      sent_delta = true;
+    }
+    // A delta as large as the snapshot (total rewrite) falls through to the
+    // snapshot push below — same bytes, unconditional apply.
+  }
+  if (!sent_delta) {
+    SendPushHop(succ->id, MakeSnapshot(hops, /*direct=*/false),
+                std::move(settled));
+    Inc("repl.snapshot_pushes");
+    Inc("repl.push_bytes", snapshot_cost);
+  }
+  Inc("repl.pushes");
+  last_push_epochs_ = current;
+  last_push_version_ = version;
+  chain_warm_ = true;
 }
 
 void ReplicationManager::OnLocalItemsChanged() {
@@ -53,20 +237,145 @@ void ReplicationManager::OnLocalItemsChanged() {
   push_scheduled_ = true;
   After(options_.push_delay, [this]() {
     push_scheduled_ = false;
+    // The durable-ack path often pushes the same mutation synchronously
+    // before this debounce fires; an extra empty heartbeat down k acked
+    // hops per mutation adds nothing (the periodic refresh handles
+    // keep-alive).
+    if (chain_warm_ && ds_->mutation_epoch() == last_push_version_) {
+      Inc("repl.pushes_coalesced");
+      return;
+    }
     PushNow();
   });
 }
 
-void ReplicationManager::StoreGroup(
-    sim::NodeId owner, Key owner_val,
-    const std::vector<datastore::Item>& items) {
-  ReplicaGroup& group = groups_[owner];
-  group.owner_val = owner_val;
-  group.refreshed_at = now();
-  group.items.clear();
-  for (const datastore::Item& it : items) {
-    group.items[it.skv] = it;
+void ReplicationManager::OnSuccessorFailed(sim::NodeId succ) {
+  holders_.erase(succ);
+  if (!ds_->active()) return;
+  // The chain's first hop changed under crash suspicion: the next push must
+  // be a full snapshot along the repaired chain.
+  chain_warm_ = false;
+  Inc("repl.chain_resets");
+  // Re-pushing *immediately* (instead of waiting for the next refresh) is
+  // part of the PEPPER availability protocol; the naive CFS baseline the
+  // ablations compare against reacts to nothing.  The window where a fresh
+  // first holder lacks our group is exactly the Definition 7 gap.
+  if (ds_->options().pepper_availability) PushNow();
+}
+
+// --- Holder side: applying pushes -------------------------------------------
+
+void ReplicationManager::ApplySnapshot(const ReplicaPushMsg& push) {
+  ReplicaGroup& group = groups_[push.owner];
+  if (group.version > push.manifest.version) {
+    // Stale copy (an extra-hop forward or a reordered retry racing a direct
+    // refresh): never regress a fresher group.
+    Inc("repl.stale_snapshots");
+    return;
   }
+  group.owner_val = push.owner_val;
+  group.items.clear();
+  group.epochs.clear();
+  for (size_t i = 0; i < push.items.size(); ++i) {
+    group.items[push.items[i].skv] = push.items[i];
+    group.epochs[push.items[i].skv] = push.epochs[i];
+  }
+  group.version = push.manifest.version;
+  group.refreshed_at = now();
+  group.ttl_strikes = 0;
+}
+
+void ReplicationManager::HandlePush(const sim::Message& msg,
+                                    const ReplicaPushMsg& push) {
+  ApplySnapshot(push);
+  if (msg.rpc_id != 0) {
+    Reply(msg, sim::MakePayload<ReplicaPushAck>());
+  }
+  if (push.owner != id()) {
+    auto it = groups_.find(push.owner);
+    SendStatus(push.owner, it != groups_.end() ? it->second.version : 0,
+               /*need_full=*/false, /*from_chain=*/!push.direct);
+  }
+  if (!push.direct) ForwardPush(push);
+}
+
+void ReplicationManager::HandleDelta(const sim::Message& msg,
+                                     const ReplicaDeltaMsg& delta) {
+  bool need_full = false;
+  uint64_t version = 0;
+  auto it = groups_.find(delta.owner);
+  if (it == groups_.end()) {
+    // Never seen this owner (new holder, or the group aged out): only a
+    // snapshot can seed us.
+    need_full = true;
+    Inc("repl.delta_misses");
+  } else {
+    ReplicaGroup& group = it->second;
+    if (group.version == delta.manifest.version) {
+      // Already current (a retried hop, or the owner went quiet): the delta
+      // doubles as a heartbeat.
+      group.owner_val = delta.owner_val;
+      group.refreshed_at = now();
+      group.ttl_strikes = 0;
+      version = group.version;
+    } else if (group.version > delta.manifest.version) {
+      // Stale delta (channels are FIFO only per sender pair: a forwarded
+      // chain delta can trail a direct repair snapshot).  Our copy is
+      // fresher — same never-regress rule as ApplySnapshot, and no
+      // need_full: a repair would just re-send what we already hold.
+      version = group.version;
+      Inc("repl.stale_deltas");
+    } else if (group.version == delta.from_version) {
+      for (size_t i = 0; i < delta.upserts.size(); ++i) {
+        group.items[delta.upserts[i].skv] = delta.upserts[i];
+        group.epochs[delta.upserts[i].skv] = delta.upsert_epochs[i];
+      }
+      for (Key k : delta.deletes) {
+        group.items.erase(k);
+        group.epochs.erase(k);
+      }
+      group.version = delta.manifest.version;
+      group.owner_val = delta.owner_val;
+      group.refreshed_at = now();
+      group.ttl_strikes = 0;
+      // End-to-end check: applying the exact diff must land on the owner's
+      // manifest; anything else is divergence and gets the snapshot path.
+      if (BuildManifest(group.epochs, group.version) != delta.manifest) {
+        need_full = true;
+        Inc("repl.manifest_mismatches");
+      } else {
+        Inc("repl.delta_applies");
+        version = group.version;
+      }
+    } else {
+      // Our copy is off the chain (missed a push, or was point-repaired at
+      // an off-chain version).  Keep the stale group — it still serves
+      // revival — and ask for a snapshot.
+      need_full = true;
+      version = group.version;
+      Inc("repl.delta_misses");
+    }
+  }
+  if (msg.rpc_id != 0) {
+    auto ack = std::make_shared<ReplicaPushAck>();
+    ack->applied = !need_full;
+    Reply(msg, ack);
+  }
+  if (delta.owner != id()) {
+    SendStatus(delta.owner, version, need_full, /*from_chain=*/true);
+  }
+  ForwardDelta(delta);
+}
+
+void ReplicationManager::SendStatus(sim::NodeId owner, uint64_t version,
+                                    bool need_full, bool from_chain) {
+  if (owner == id()) return;
+  auto status = std::make_shared<ReplicaStatusMsg>();
+  status->holder = id();
+  status->version = version;
+  status->need_full = need_full;
+  status->from_chain = from_chain;
+  Send(owner, status);
 }
 
 void ReplicationManager::ForwardPush(const ReplicaPushMsg& push) {
@@ -76,22 +385,117 @@ void ReplicationManager::ForwardPush(const ReplicaPushMsg& push) {
       succ->id == push.owner) {
     return;  // wrapped around a small ring
   }
-  auto fwd = std::make_shared<ReplicaPushMsg>();
-  fwd->owner = push.owner;
-  fwd->owner_val = push.owner_val;
-  fwd->items = push.items;
+  auto fwd = std::make_shared<ReplicaPushMsg>(push);
   fwd->hops_left = push.hops_left - 1;
-  Send(succ->id, fwd);
+  SendPushHop(succ->id, fwd);
 }
 
-void ReplicationManager::HandlePush(const sim::Message& msg,
-                                    const ReplicaPushMsg& push) {
-  StoreGroup(push.owner, push.owner_val, push.items);
-  if (msg.rpc_id != 0) {
-    Reply(msg, sim::MakePayload<ReplicaPushAck>());
+void ReplicationManager::ForwardDelta(const ReplicaDeltaMsg& delta) {
+  if (delta.hops_left <= 0) return;
+  auto succ = ring_->GetSuccRelaxed();
+  if (!succ.has_value() || succ->id == id() ||
+      succ->id == delta.owner) {
+    return;
   }
-  ForwardPush(push);
+  auto fwd = std::make_shared<ReplicaDeltaMsg>(delta);
+  fwd->hops_left = delta.hops_left - 1;
+  SendPushHop(succ->id, fwd);
 }
+
+// --- Owner side: holder book, repair, anti-entropy --------------------------
+
+void ReplicationManager::HandleStatus(const sim::Message&,
+                                      const ReplicaStatusMsg& status) {
+  if (!ds_->active()) return;
+  auto booked = holders_.find(status.holder);
+  if (booked == holders_.end()) {
+    // New book entry: grant the chain-confirmation grace window from now.
+    booked = holders_.emplace(status.holder, HolderState{}).first;
+    booked->second.last_chain_ack = now();
+  }
+  HolderState& holder = booked->second;
+  holder.last_ack = now();
+  if (status.from_chain) holder.last_chain_ack = now();
+  if (!status.need_full) {
+    holder.acked_version = std::max(holder.acked_version, status.version);
+    holder.repair_in_flight = false;
+    return;
+  }
+  if (holder.repair_in_flight) return;
+  RepairHolder(status.holder, "repl.snapshot_repairs");
+  // A repaired holder sits at an off-chain version until the next snapshot
+  // round; re-sync the whole chain instead of re-repairing it every delta.
+  chain_warm_ = false;
+}
+
+void ReplicationManager::RepairHolder(sim::NodeId holder,
+                                      const char* counter) {
+  holders_[holder].repair_in_flight = true;
+  Inc(counter);
+  SendPushHop(holder, MakeSnapshot(0, /*direct=*/true),
+              [this, holder](bool acked) {
+                auto it = holders_.find(holder);
+                if (it == holders_.end()) return;
+                it->second.repair_in_flight = false;
+                if (!acked) holders_.erase(it);  // dead holder
+              });
+}
+
+void ReplicationManager::AntiEntropyTick() {
+  if (!ds_->active() || options_.replication_factor == 0) return;
+  const sim::SimTime idle = 3 * options_.refresh_period + options_.rpc_timeout;
+  const ReplicaManifest manifest = OwnManifest();
+  for (const auto& kv : holders_) {
+    const sim::NodeId holder = kv.first;
+    const HolderState& state = kv.second;
+    if (state.repair_in_flight || now() - state.last_ack <= idle) continue;
+    // This holder acked once but has gone quiet: the forward chain no
+    // longer reaches it (dead intermediate hop, ring rewiring).  Compare
+    // manifests directly and repair divergence with a snapshot.
+    Inc("repl.anti_entropy_probes");
+    auto probe = std::make_shared<ManifestProbeMsg>();
+    probe->owner = id();
+    probe->manifest = manifest;
+    Call(
+        holder, probe,
+        [this, holder](const sim::Message& m) {
+          const auto& reply =
+              static_cast<const ManifestProbeReply&>(*m.payload);
+          auto it = holders_.find(holder);
+          if (it == holders_.end()) return;
+          it->second.last_ack = now();
+          if (reply.divergent && !it->second.repair_in_flight) {
+            RepairHolder(holder, "repl.anti_entropy_repairs");
+          }
+        },
+        options_.rpc_timeout,
+        [this, holder]() {
+          // Quiet and unreachable: dead or moved on.  It re-enters the
+          // book with its next status ack if it ever comes back.
+          holders_.erase(holder);
+          Inc("repl.holders_dropped");
+        });
+  }
+}
+
+void ReplicationManager::HandleProbe(const sim::Message& msg,
+                                     const ManifestProbeMsg& probe) {
+  auto reply = std::make_shared<ManifestProbeReply>();
+  auto it = groups_.find(probe.owner);
+  if (it == groups_.end()) {
+    reply->divergent = true;
+  } else {
+    // Deliberately no refreshed_at bump: only pushes keep a group alive.
+    // If this holder was displaced from the owner's chain, its copy must
+    // still age out even while probes find it current.
+    const ReplicaGroup& group = it->second;
+    reply->divergent =
+        BuildManifest(group.epochs, group.version) != probe.manifest;
+  }
+  Reply(msg, reply);
+}
+
+// --- Departure (Section 5.2) -------------------------------------------------
 
 void ReplicationManager::ReplicateExtraHop(
     std::function<void(const Status&)> done) {
@@ -117,45 +521,36 @@ void ReplicationManager::ReplicateExtraHop(
     m->owner_val = kv.second.owner_val;
     for (const auto& item_kv : kv.second.items) {
       m->items.push_back(item_kv.second);
+      m->epochs.push_back(kv.second.epochs.at(item_kv.first));
     }
+    m->manifest = BuildManifest(kv.second.epochs, kv.second.version);
     m->hops_left = 0;
     msgs.push_back(std::move(m));
   }
   {
-    auto own = std::make_shared<ReplicaPushMsg>();
-    own->owner = id();
-    own->owner_val = ring_->val();
-    own->items = ds_->GetLocalItems();
     // Our own items already sit on our k successors — and the first of them
     // is about to *own* them (merge takeover), which silently removes one
     // copy.  Push the extra replica one hop beyond the current holders
     // (Figure 18): k forwarding hops reach successor k+1.
-    own->hops_left = static_cast<int>(options_.replication_factor);
-    msgs.push_back(std::move(own));
+    msgs.push_back(MakeSnapshot(static_cast<int>(options_.replication_factor),
+                                /*direct=*/false));
   }
   pending->remaining = static_cast<int>(msgs.size());
-  if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("repl.extra_hop_ops");
-    options_.metrics->counters().Inc("repl.extra_hop_groups", msgs.size());
-  }
+  Inc("repl.extra_hop_ops");
+  Inc("repl.extra_hop_groups", msgs.size());
   for (auto& m : msgs) {
-    Call(
-        succ->id, m,
-        [pending](const sim::Message&) {
-          if (--pending->remaining == 0) {
-            pending->done(pending->failed ? Status::Unavailable("partial")
-                                          : Status::OK());
-          }
-        },
-        options_.rpc_timeout,
-        [pending]() {
-          pending->failed = true;
-          if (--pending->remaining == 0) {
-            pending->done(Status::Unavailable("extra-hop push timed out"));
-          }
-        });
+    SendPushHop(succ->id, m, [pending](bool acked) {
+      if (!acked) pending->failed = true;
+      if (--pending->remaining == 0) {
+        pending->done(pending->failed
+                          ? Status::Unavailable("extra-hop push timed out")
+                          : Status::OK());
+      }
+    });
   }
 }
+
+// --- Revival feeds -----------------------------------------------------------
 
 std::vector<datastore::Item> ReplicationManager::CollectReplicasIn(
     const RingRange& arc) {
@@ -177,6 +572,13 @@ std::vector<std::pair<sim::NodeId, Key>> ReplicationManager::GroupOwnersIn(
     }
   }
   return out;
+}
+
+void ReplicationManager::StartPullRevive(
+    const RingRange& arc,
+    std::function<void(const datastore::Item&)> promote) {
+  if (!options_.pull_revive) return;
+  revive_->StartRevive(arc, std::move(promote));
 }
 
 void ReplicationManager::StartReviveSweep(
@@ -216,9 +618,7 @@ void ReplicationManager::StartReviveSweep(
             // Departed owner: its items were handed over at departure; this
             // frozen snapshot can only resurrect since-deleted items.
             groups_.erase(owner);
-            if (options_.metrics != nullptr) {
-              options_.metrics->counters().Inc("repl.groups_purged");
-            }
+            Inc("repl.groups_purged");
           }
           (*step)();
         },
@@ -246,12 +646,11 @@ bool ReplicationManager::HoldsReplica(Key skv) const {
 
 sim::PayloadPtr ReplicationManager::MakeSeedForSuccessor() {
   if (!ds_->active()) return nullptr;
-  auto seed = std::make_shared<ReplicaPushMsg>();
-  seed->owner = id();
-  seed->owner_val = ring_->val();
-  seed->items = ds_->GetLocalItems();
-  seed->hops_left = 0;
-  return seed;
+  // Align the chain base with the seed: the new successor's copy sits at
+  // exactly the version the next delta will diff from, so it joins the
+  // delta chain without a snapshot repair round.
+  PushNow();
+  return MakeSnapshot(0, /*direct=*/true);
 }
 
 void ReplicationManager::OnInfoFromPred(sim::NodeId /*pred*/,
@@ -259,7 +658,13 @@ void ReplicationManager::OnInfoFromPred(sim::NodeId /*pred*/,
   if (info == nullptr) return;
   const auto* seed = dynamic_cast<const ReplicaPushMsg*>(info.get());
   if (seed == nullptr) return;
-  StoreGroup(seed->owner, seed->owner_val, seed->items);
+  ApplySnapshot(*seed);
+  if (seed->owner != id()) {
+    // The seed makes us the owner's first chain hop: a chain-confirmed ack.
+    auto it = groups_.find(seed->owner);
+    SendStatus(seed->owner, it != groups_.end() ? it->second.version : 0,
+               /*need_full=*/false, /*from_chain=*/true);
+  }
 }
 
 }  // namespace pepper::replication

@@ -2,16 +2,21 @@
 #define PEPPER_REPLICATION_REPLICATION_MANAGER_H_
 
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/status.h"
 #include "datastore/data_store_node.h"
 #include "datastore/item.h"
+#include "replication/replica_manifest.h"
 #include "ring/ring_node.h"
 #include "sim/component.h"
 
 namespace pepper::replication {
+
+class ReviveProtocol;
 
 struct ReplicationOptions {
   // k: number of successors holding a copy of each item (CFS replication,
@@ -23,42 +28,135 @@ struct ReplicationOptions {
   sim::SimTime push_delay = 50 * sim::kMillisecond;
   sim::SimTime rpc_timeout = 250 * sim::kMillisecond;
   // Drop replica groups not refreshed for this long (their owner is gone
-  // and the range was revived elsewhere).
+  // and the range was revived elsewhere).  Expiry is ping-verified: a
+  // group whose owner answers (alive, or departed-FREE) is discarded; a
+  // group whose owner is unreachable — dead, its arc possibly unrevived —
+  // is retained for another TTL period, up to `dead_owner_ttl_strikes`
+  // times, so slow ring repair cannot outlive the last copies of an arc.
   sim::SimTime group_ttl = 60 * sim::kSecond;
+  int dead_owner_ttl_strikes = 32;
+  // Versioned delta replication: a refresh sends only the mutations since
+  // the last push (plus the full-group manifest); holders that cannot apply
+  // the delta (missed a push, or diverged) are repaired with a direct full
+  // snapshot.  false reproduces the snapshot-every-refresh baseline.
+  bool delta_pushes = true;
+  // Every push hop is an RPC; a timed-out hop is resent this many times
+  // before the drop is recorded in `repl.push_timeouts`.
+  int push_retries = 1;
+  // Anti-entropy: low-rate owner-side probe of holders that have gone
+  // quiet (no ack for > ~3 refresh periods); divergent manifests are
+  // repaired with a direct snapshot.  0 derives 8 * refresh_period.
+  sim::SimTime anti_entropy_period = 0;
+  // How long a pull-based revive collects answers before reconstructing
+  // from the freshest responder.  0 derives a bound from the network
+  // round-trip and the query's hop budget.
+  sim::SimTime revive_wait = 0;
+  // Pull-based revive on range extension.  false reproduces the pre-revive
+  // availability gap (a peer whose successor joined less than one refresh
+  // ago dies, and the survivors never reconstruct its arc) — kept as a
+  // switch so the regression tests can demonstrate the gap is real.
+  bool pull_revive = true;
   MetricsHub* metrics = nullptr;  // optional, not owned
 };
 
 // A snapshot of one owner's items held as replicas (the box above each peer
-// in Figure 7).
+// in Figure 7), together with the owner-side epochs that version it.
 struct ReplicaGroup {
   Key owner_val = 0;
   std::map<Key, datastore::Item> items;
+  // Owner mutation epoch of each item; keys mirror `items`.
+  std::map<Key, uint64_t> epochs;
+  // Owner mutation epoch this copy reflects (the manifest version acked
+  // back to the owner).
+  uint64_t version = 0;
   sim::SimTime refreshed_at = 0;
+  // TTL expirations survived because the owner was unreachable (presumed
+  // dead).  A dead owner's group may be the arc's LAST copy — it is
+  // retained for revival, no matter how slowly the ring repairs, until the
+  // strike budget runs out; any push from the owner resets the count.
+  int ttl_strikes = 0;
 };
 
-// Replica push: `origin` owner's current item snapshot, forwarded
-// `hops_left` more times along the ring.
+// Full-snapshot replica push: `owner`'s current item set, forwarded
+// `hops_left` more times along the ring.  Also the point-repair payload
+// (direct=true: addressed to one holder, never forwarded).
 struct ReplicaPushMsg : sim::Payload {
   sim::NodeId owner = sim::kNullNode;
   Key owner_val = 0;
   std::vector<datastore::Item> items;
+  std::vector<uint64_t> epochs;  // parallel to items
+  ReplicaManifest manifest;
+  int hops_left = 0;
+  bool direct = false;
+};
+
+// Delta push: the mutations between two owner epochs, plus the manifest of
+// the full group at the target version.  A holder whose copy sits exactly
+// at `from_version` applies it and lands, verifiably, at
+// `manifest.version`; any other holder acks `need_full` and is repaired
+// with a direct snapshot.
+struct ReplicaDeltaMsg : sim::Payload {
+  sim::NodeId owner = sim::kNullNode;
+  Key owner_val = 0;
+  uint64_t from_version = 0;
+  std::vector<datastore::Item> upserts;
+  std::vector<uint64_t> upsert_epochs;  // parallel to upserts
+  std::vector<Key> deletes;
+  ReplicaManifest manifest;
   int hops_left = 0;
 };
 
-struct ReplicaPushAck : sim::Payload {};
+// Hop-level delivery ack (the push-audit contract: every push hop is an RPC
+// that is acked, retried, or counted in `repl.push_timeouts`).  `applied`
+// is false when the hop was delivered but the content could not be applied
+// (a delta whose base the holder does not have) — the durable-ack path
+// treats that as not-yet-replicated and retries with a snapshot.
+struct ReplicaPushAck : sim::Payload {
+  bool applied = true;
+};
+
+// Holder -> owner, one-way: the holder's group state after (not) applying a
+// push.  Feeds the owner's per-holder version book (delta bases, the
+// anti-entropy quiet-holder scan) and triggers direct snapshot repair.
+// `from_chain` marks acks triggered by the forwarded push chain (or the
+// first-contact seed) — evidence the holder still sits among the owner's k
+// successors; repair and probe acks do not carry it, so displaced holders
+// age out of the book instead of being repaired forever.
+struct ReplicaStatusMsg : sim::Payload {
+  sim::NodeId holder = sim::kNullNode;
+  uint64_t version = 0;
+  bool need_full = false;
+  bool from_chain = false;
+};
+
+// Owner -> holder (anti-entropy): "is your copy of my group current?"
+struct ManifestProbeMsg : sim::Payload {
+  sim::NodeId owner = sim::kNullNode;
+  ReplicaManifest manifest;
+};
+
+struct ManifestProbeReply : sim::Payload {
+  bool divergent = false;
+};
 
 // CFS-style Replication Manager (Section 2.3) with the PEPPER
-// replicate-to-additional-hop departure protocol (Section 5.2).  Each owner
-// periodically pushes a snapshot of its Data Store to its k ring successors;
-// when a predecessor fails, the successor revives the lost range from the
-// held replica group (the Data Store's takeover engine); before a
-// merge-departure, everything the leaver stores travels one extra hop so the
-// replica count never dips (Figure 18).
+// replicate-to-additional-hop departure protocol (Section 5.2), grown into
+// the replica lifecycle subsystem: versioned delta pushes (per-item
+// mutation epochs + per-group manifests, full-snapshot fallback on
+// mismatch), pull-based revive (ReviveProtocol: reconstruct a dead owner's
+// arc from the freshest replica holder along the successor chain), and
+// low-rate anti-entropy repair (manifest probes of quiet holders).  Each
+// owner periodically pushes along its k ring successors; when a
+// predecessor fails, the successor revives the lost range from the held
+// replica group (or pulls it from farther holders); before a
+// merge-departure, everything the leaver stores travels one extra hop so
+// the replica count never dips (Figure 18).
 class ReplicationManager : public sim::ProtocolComponent,
                            public datastore::ReplicationHooks {
  public:
   ReplicationManager(ring::RingNode* ring, datastore::DataStoreNode* ds,
                      ReplicationOptions options);
+  ~ReplicationManager() override;
 
   ReplicationManager(const ReplicationManager&) = delete;
   ReplicationManager& operator=(const ReplicationManager&) = delete;
@@ -71,11 +169,30 @@ class ReplicationManager : public sim::ProtocolComponent,
       const RingRange& arc) override;
   void StartReviveSweep(const RingRange& range,
                         std::function<void(const datastore::Item&)> promote) override;
+  void StartPullRevive(const RingRange& arc,
+                       std::function<void(const datastore::Item&)> promote)
+      override;
   void OnLocalItemsChanged() override;
   void PushImmediate() override { PushNow(); }
+  void PushDurable(std::function<void(bool)> settled) override {
+    PushNow(std::move(settled));
+  }
 
-  // Pushes this peer's items to its successors now.
-  void PushNow();
+  // Pushes this peer's items to its successors now (delta when the chain is
+  // warm, snapshot otherwise).  `settled`, if given, fires once the first
+  // hop acked-and-applied (true), or with false after the final delivery
+  // timeout / a hop that could not apply.  The nothing-to-send cases —
+  // inactive store, replication factor 0, lone peer — settle true: the
+  // mutation is as durable as it can possibly be.
+  void PushNow() { PushNow(nullptr); }
+  void PushNow(std::function<void(bool)> settled);
+
+  // Wired to the ring's successor-failure notification (a believed
+  // successor stopped answering pings): the push chain's first hop is gone,
+  // so the chain state is reset and the items re-pushed immediately — the
+  // window where a new first holder lacks our group is what the Definition 7
+  // gap was made of.
+  void OnSuccessorFailed(sim::NodeId succ);
 
   // The piggyback payload shipped to a brand-new successor on first
   // stabilization contact (INFOFORSUCCEVENT): our current snapshot.
@@ -90,17 +207,69 @@ class ReplicationManager : public sim::ProtocolComponent,
   // True if a replica of `skv` is held here for any owner.
   bool HoldsReplica(Key skv) const;
 
+  const ReplicationOptions& options() const { return options_; }
+  ring::RingNode* ring() { return ring_; }
+
+  // Push-delivery audit observability: pushes sent minus (acked +
+  // attempt-timeouts); 0 when every hop has been accounted for.
+  size_t outstanding_pushes() const { return outstanding_pushes_; }
+
  private:
+  friend class ReviveProtocol;
+
+  struct HolderState {
+    uint64_t acked_version = 0;
+    sim::SimTime last_ack = 0;
+    // Last ack that came off the forwarded push chain; holders with no
+    // chain confirmation for a group_ttl are presumed displaced and leave
+    // the book (their stale copy then ages out on their side too).
+    sim::SimTime last_chain_ack = 0;
+    bool repair_in_flight = false;
+  };
+
   void HandlePush(const sim::Message& msg, const ReplicaPushMsg& push);
-  void StoreGroup(sim::NodeId owner, Key owner_val,
-                  const std::vector<datastore::Item>& items);
+  void HandleDelta(const sim::Message& msg, const ReplicaDeltaMsg& delta);
+  void HandleStatus(const sim::Message& msg, const ReplicaStatusMsg& status);
+  void HandleProbe(const sim::Message& msg, const ManifestProbeMsg& probe);
+
+  // Stores a full snapshot, guarding against regressing a fresher copy.
+  void ApplySnapshot(const ReplicaPushMsg& push);
   void ForwardPush(const ReplicaPushMsg& push);
+  void ForwardDelta(const ReplicaDeltaMsg& delta);
+  void SendStatus(sim::NodeId owner, uint64_t version, bool need_full,
+                  bool from_chain);
+  // One audited push hop: RPC with `push_retries` resends, then a counted
+  // drop.  `on_settled(acked)` is optional.
+  void SendPushHop(sim::NodeId to, sim::PayloadPtr payload,
+                   std::function<void(bool)> on_settled = nullptr);
+  void PushAttempt(sim::NodeId to, sim::PayloadPtr payload, int retries_left,
+                   std::function<void(bool)> on_settled);
+  // Direct full snapshot to one holder (need_full repair / anti-entropy).
+  void RepairHolder(sim::NodeId holder, const char* counter);
+  std::shared_ptr<ReplicaPushMsg> MakeSnapshot(int hops_left, bool direct);
+  const ReplicaManifest& OwnManifest();
   void RefreshTick();
+  void AntiEntropyTick();
+  sim::SimTime anti_entropy_period() const;
+  void Inc(const char* name, uint64_t delta = 1) {
+    if (options_.metrics != nullptr) options_.metrics->counters().Inc(name, delta);
+  }
 
   ring::RingNode* ring_;
   datastore::DataStoreNode* ds_;
   ReplicationOptions options_;
+  std::unique_ptr<ReviveProtocol> revive_;
   std::map<sim::NodeId, ReplicaGroup> groups_;
+  // Owner-side book of holders that acked a push, keyed by peer id: the
+  // delta base, the quiet-holder scan, and the repair-in-flight guard.
+  std::map<sim::NodeId, HolderState> holders_;
+  // Epochs as of the last push (the delta base snapshot).
+  std::map<Key, uint64_t> last_push_epochs_;
+  uint64_t last_push_version_ = 0;
+  bool chain_warm_ = false;  // a push went out since the last chain reset
+  ReplicaManifest own_manifest_;
+  bool own_manifest_valid_ = false;
+  size_t outstanding_pushes_ = 0;
   bool push_scheduled_ = false;
   bool sweeping_ = false;
 };

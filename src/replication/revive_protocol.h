@@ -1,0 +1,100 @@
+#ifndef PEPPER_REPLICATION_REVIVE_PROTOCOL_H_
+#define PEPPER_REPLICATION_REVIVE_PROTOCOL_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/key_space.h"
+#include "datastore/item.h"
+#include "sim/component.h"
+
+namespace pepper::replication {
+
+class ReplicationManager;
+
+// One dead owner's group as seen by one replica holder, trimmed to the
+// queried arc.
+struct ReviveGroupInfo {
+  sim::NodeId owner = sim::kNullNode;
+  Key owner_val = 0;
+  uint64_t version = 0;          // owner mutation epoch of the copy
+  sim::SimTime refreshed_at = 0;  // when the holder last heard the owner
+  std::vector<datastore::Item> items;
+};
+
+// "Who holds replicas for `arc`?" — forwarded hop by hop along the live
+// successor chain (`hops_left` bound), so it reaches replica holders the
+// origin's d-entry successor list cannot name (k may exceed d).
+struct ReviveQueryMsg : sim::Payload {
+  sim::NodeId origin = sim::kNullNode;
+  uint64_t token = 0;
+  RingRange arc;
+  int hops_left = 0;
+};
+
+// Holder -> origin, direct: every group this holder keeps whose items
+// intersect the queried arc.
+struct ReviveAnswerMsg : sim::Payload {
+  sim::NodeId responder = sim::kNullNode;
+  uint64_t token = 0;
+  std::vector<ReviveGroupInfo> groups;
+};
+
+// Pull-based revive (closes the Definition 7 availability gap): when a peer
+// extends its range over a dead predecessor's arc but holds no replica
+// group for it — the owner died before its first push or seed reached us —
+// the push-based revival has nothing to promote, while farther successors
+// may still hold the group (they only ever sweep their *own* range).  The
+// new owner broadcasts a bounded query along the successor chain, collects
+// answers for a delivery-bounded window, verifies each candidate owner is
+// really dead (a departed owner's frozen group must not resurrect deleted
+// items — same contract as the revive sweep), and promotes the freshest
+// copy of each group.
+//
+// Runs as its own ProtocolComponent on the shared host node; it owns the
+// ReviveQueryMsg / ReviveAnswerMsg message types.
+class ReviveProtocol : public sim::ProtocolComponent {
+ public:
+  using PromoteFn = std::function<void(const datastore::Item&)>;
+
+  explicit ReviveProtocol(ReplicationManager* repl);
+
+  ReviveProtocol(const ReviveProtocol&) = delete;
+  ReviveProtocol& operator=(const ReviveProtocol&) = delete;
+
+  // Broadcasts the query and schedules reconstruction from the answers.
+  // `promote` is invoked once per recovered item (the caller re-checks
+  // ownership and presence — answers arrive after the range change).
+  void StartRevive(const RingRange& arc, PromoteFn promote);
+
+  size_t active_revives() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    RingRange arc;
+    PromoteFn promote;
+    // Freshest answer seen per owner.
+    std::map<sim::NodeId, ReviveGroupInfo> best;
+  };
+
+  void HandleQuery(const sim::Message& msg, const ReviveQueryMsg& query);
+  void HandleAnswer(const sim::Message& msg, const ReviveAnswerMsg& answer);
+  // Forwards (or initiates, for the origin) the query to the first live
+  // successor not in `tried`, adding each timed-out hop to `tried` so a
+  // dead hop does not sever the broadcast.  Identity-based (not
+  // index-based): the successor list shifts under concurrent ping repair
+  // while the hop RPC is in flight.
+  void ForwardQuery(const ReviveQueryMsg& query,
+                    std::vector<sim::NodeId> tried);
+  void Finalize(uint64_t token);
+  void PromoteGroup(const ReviveGroupInfo& group, const Pending& pending);
+
+  ReplicationManager* repl_;
+  std::map<uint64_t, Pending> pending_;
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace pepper::replication
+
+#endif  // PEPPER_REPLICATION_REVIVE_PROTOCOL_H_

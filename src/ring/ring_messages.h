@@ -22,6 +22,11 @@ struct StabResponse : sim::Payload {
   Key responder_val = 0;
   PeerState responder_state = PeerState::kJoined;  // kJoined or kLeaving
   std::vector<SuccEntry> list;
+  // The responder's predecessor hint: if it names a peer strictly between
+  // the requester and the responder, the requester has skipped that peer —
+  // the stab-path counterpart of the ping-reply rectify.
+  sim::NodeId pred_id = sim::kNullNode;
+  Key pred_val = 0;
 };
 
 // Sent to the inserter when the JOINING peer's pointer has propagated to

@@ -347,6 +347,14 @@ void RingNode::ApplyStabResponse(const SuccEntry& target,
 
   MaybeRaiseNewSucc();
 
+  // Stab-path rectify: the response's predecessor hint names any peer we
+  // skipped between ourselves and the target.  Repairing here (ping-
+  // verified, same contract as the ping-reply rectify) converges within a
+  // stabilization round — important for replication, whose push chain
+  // starts at whatever getSucc returns, and for the takeover chain of a
+  // skipped peer, whose arc nobody would otherwise claim.
+  MaybeAdoptPredHint(resp.pred_id, resp.pred_val, fresh.val);
+
   // Join / leave acknowledgements (Algorithm 2 lines 10-14, Section 5.1).
   for (const AckAction& ack : succ_list_.ComputeAcks()) {
     if (ack.kind == AckAction::Kind::kJoinAck) {
@@ -399,6 +407,8 @@ void RingNode::HandleStabRequest(const sim::Message& msg,
   resp->responder_state = state_ == PeerState::kLeaving ? PeerState::kLeaving
                                                         : PeerState::kJoined;
   resp->list = succ_list_.entries();
+  resp->pred_id = pred_id_;
+  resp->pred_val = pred_val_;
   Reply(msg, resp);
 }
 
@@ -558,34 +568,8 @@ void RingNode::RunPing() {
           // Chord-style rectify: if our believed successor reports a
           // predecessor strictly between us and it, we missed a peer
           // (e.g. knowledge destroyed by an aborted duplicate insert).
-          // The hint may be STALE — the reported predecessor may itself be
-          // dead (the successor has not noticed yet), and adopting a dead
-          // peer would livelock with the ping-removal loop.  Verify by
-          // pinging the hinted peer; adopt only on answer.
           const auto& reply = static_cast<const PingReply&>(*m.payload);
-          if (!rectifying_ && reply.pred_id != sim::kNullNode &&
-              reply.pred_id != id() && !succ_list_.Contains(reply.pred_id) &&
-              reply.pred_val != target_val && reply.pred_val != val_ &&
-              InArc(val_, reply.pred_val, target_val)) {
-            rectifying_ = true;
-            const sim::NodeId hinted = reply.pred_id;
-            Call(
-                hinted, sim::MakePayload<PingRequest>(),
-                [this, hinted, target_val](const sim::Message& m2) {
-                  rectifying_ = false;
-                  const auto& alive =
-                      static_cast<const PingReply&>(*m2.payload);
-                  if (alive.state == PeerState::kFree) return;
-                  if (succ_list_.Contains(hinted) || alive.val == val_ ||
-                      !InArc(val_, alive.val, target_val)) {
-                    return;  // stale or already known
-                  }
-                  succ_list_.PushFront(
-                      SuccEntry{hinted, alive.val, PeerState::kJoined, false});
-                  StabilizeNow();
-                },
-                options_.ping_timeout, [this]() { rectifying_ = false; });
-          }
+          MaybeAdoptPredHint(reply.pred_id, reply.pred_val, target_val);
         },
         options_.ping_timeout,
         [this, target]() {
@@ -599,6 +583,7 @@ void RingNode::RunPing() {
             options_.metrics->counters().Inc("ring.succ_removed");
           }
           const size_t at = *pos;
+          const Key failed_val = succ_list_.entries()[at].val;
           succ_list_.Remove(target);
           // JOINING entries directly behind the failed peer were being
           // inserted *by* it; their join can no longer complete, so drop
@@ -610,6 +595,9 @@ void RingNode::RunPing() {
           }
           MaybeRaiseNewSucc();
           StabilizeNow();  // re-stabilize with the repaired successor
+          if (on_successor_failed_) {
+            on_successor_failed_(target, failed_val);
+          }
         });
   }
 
@@ -637,6 +625,40 @@ void RingNode::RunPing() {
         },
         options_.ping_timeout, drop);
   }
+}
+
+void RingNode::MaybeAdoptPredHint(sim::NodeId hinted, Key hinted_val,
+                                  Key upper_val) {
+  // A peer strictly between us and `upper_val` (a successor's reported
+  // predecessor) that we do not point at means our successor pointer
+  // skipped it.  The hint may be STALE — the reported predecessor may
+  // itself be dead (the successor has not noticed yet), and adopting a
+  // dead peer would livelock with the ping-removal loop.  Verify by
+  // pinging the hinted peer; adopt only on answer.
+  if (rectifying_ || hinted == sim::kNullNode || hinted == id() ||
+      succ_list_.Contains(hinted) || hinted_val == upper_val ||
+      hinted_val == val_ || !InArc(val_, hinted_val, upper_val)) {
+    return;
+  }
+  rectifying_ = true;
+  Call(
+      hinted, sim::MakePayload<PingRequest>(),
+      [this, hinted, upper_val](const sim::Message& m) {
+        rectifying_ = false;
+        const auto& alive = static_cast<const PingReply&>(*m.payload);
+        if (alive.state == PeerState::kFree) return;
+        if (succ_list_.Contains(hinted) || alive.val == val_ ||
+            !InArc(val_, alive.val, upper_val)) {
+          return;  // stale or already known
+        }
+        succ_list_.PushFront(
+            SuccEntry{hinted, alive.val, PeerState::kJoined, false});
+        if (options_.metrics != nullptr) {
+          options_.metrics->counters().Inc("ring.rectify_adopts");
+        }
+        StabilizeNow();
+      },
+      options_.ping_timeout, [this]() { rectifying_ = false; });
 }
 
 void RingNode::MaybeRaiseNewSucc() {

@@ -73,6 +73,12 @@ class RingNode : public sim::ProtocolComponent {
       std::function<void(sim::NodeId pred, Key pred_val, sim::PayloadPtr info)>;
   // First stabilized successor changed (NEWSUCCEVENT).
   using NewSuccessorFn = std::function<void(sim::NodeId succ, Key succ_val)>;
+  // A believed successor stopped answering pings and was dropped from the
+  // list (crash suspicion; graceful departures are not reported).  Fired
+  // after the list is repaired, so handlers observing getSucc see the new
+  // chain.  The replication layer uses it to re-push along the repaired
+  // chain immediately.
+  using SuccessorFailedFn = std::function<void(sim::NodeId succ, Key succ_val)>;
   // Fired at the joining peer once it transitions to JOINED (INSERTED
   // event); `data` / `inserter_data` are the payloads from JoinPeerMsg.
   using JoinedFn = std::function<void(sim::NodeId pred, Key pred_val,
@@ -145,6 +151,9 @@ class RingNode : public sim::ProtocolComponent {
   void set_on_new_successor(NewSuccessorFn fn) {
     on_new_successor_ = std::move(fn);
   }
+  void set_on_successor_failed(SuccessorFailedFn fn) {
+    on_successor_failed_ = std::move(fn);
+  }
   void set_on_joined(JoinedFn fn) { on_joined_ = std::move(fn); }
 
  private:
@@ -164,6 +173,10 @@ class RingNode : public sim::ProtocolComponent {
   void CompleteInsert();
   void AbortInsert(const Status& status);
   void RunPing();
+  // Ping-verified adoption of a successor's predecessor hint (a peer our
+  // successor pointer skipped); shared by the ping-reply and stab-response
+  // rectify paths.
+  void MaybeAdoptPredHint(sim::NodeId hinted, Key hinted_val, Key upper_val);
   void MaybeRaiseNewSucc();
   void MaybeUpdatePred(sim::NodeId sender, Key sender_val,
                        sim::PayloadPtr info);
@@ -178,6 +191,7 @@ class RingNode : public sim::ProtocolComponent {
   InfoForSuccProvider info_for_succ_;
   PredChangedFn on_pred_changed_;
   NewSuccessorFn on_new_successor_;
+  SuccessorFailedFn on_successor_failed_;
   JoinedFn on_joined_;
 
   sim::NodeId pred_id_ = sim::kNullNode;

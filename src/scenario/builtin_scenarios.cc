@@ -124,6 +124,41 @@ Scenario HotspotShiftScenario(const BuiltinParams& p) {
       .Build();
 }
 
+Scenario RollingUpgrade(const BuiltinParams& p) {
+  ScenarioBuilder builder("rolling_upgrade");
+  builder
+      .Describe("a rolling fleet restart under load: three graceful "
+                "departure waves, each followed by a replacement join wave "
+                "— every wave re-chains the replica groups")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(30, p));
+  for (int wave = 0; wave < 3; ++wave) {
+    builder.MassLeave(/*fraction=*/0.25, Sec(30, p))
+        .JoinWave(Count(8, p), 1.0)
+        .Steady(Sec(10, p));
+  }
+  builder.Quiesce(Sec(20, p));
+  return builder.Build();
+}
+
+Scenario ReplicaStorm(const BuiltinParams& p) {
+  return ScenarioBuilder("replica_storm")
+      .Describe("failure bursts racing the replication refresh: rapid "
+                "successor churn stresses delta pushes, chain resets, "
+                "pull-based revive and anti-entropy repair; availability "
+                "stays a fatal audit")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(30, p))
+      .Churn(/*fail_rate_per_sec=*/0.1, /*join_rate_per_sec=*/0.5,
+             Sec(45, p))
+      .Steady(Sec(10, p))
+      .Churn(/*fail_rate_per_sec=*/0.15, /*join_rate_per_sec=*/0.5,
+             Sec(45, p))
+      .JoinWave(Count(8, p), 2.0)
+      .Quiesce(Sec(30, p))
+      .Build();
+}
+
 }  // namespace
 
 const std::vector<BuiltinScenario>& BuiltinScenarios() {
@@ -141,6 +176,11 @@ const std::vector<BuiltinScenario>& BuiltinScenarios() {
        &FreePeerDroughtScenario},
       {"hotspot_shift", "zipf hotspot migrating across the ring",
        &HotspotShiftScenario},
+      {"rolling_upgrade", "three graceful leave waves with replacement joins",
+       &RollingUpgrade},
+      {"replica_storm",
+       "failure bursts racing the replication refresh (revive stress)",
+       &ReplicaStorm},
   };
   return kScenarios;
 }

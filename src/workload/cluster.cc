@@ -57,6 +57,7 @@ ClusterOptions ClusterOptions::FastDefaults() {
   o.repl.refresh_period = 200 * sim::kMillisecond;
   o.repl.push_delay = 10 * sim::kMillisecond;
   o.repl.group_ttl = 20 * sim::kSecond;
+  o.repl.anti_entropy_period = 2 * sim::kSecond;
   o.index.query_timeout = 20 * sim::kSecond;
   o.index.progress_timeout = 500 * sim::kMillisecond;
   o.index.watchdog_period = 100 * sim::kMillisecond;
@@ -142,6 +143,8 @@ PeerStack* Cluster::MakeStack() {
       });
   rn->set_on_new_successor(
       [rp](sim::NodeId /*succ*/, Key /*val*/) { rp->PushNow(); });
+  rn->set_on_successor_failed(
+      [rp](sim::NodeId succ, Key /*val*/) { rp->OnSuccessorFailed(succ); });
   rn->set_collect_join_data([rp](sim::NodeId /*peer*/, Key /*val*/) {
     return rp->MakeSeedForSuccessor();
   });

@@ -1,0 +1,194 @@
+// Versioned delta replication: manifest identity, the delta-reconstruction
+// equivalence property (a group assembled from any interleaving of deltas is
+// byte-identical to a fresh snapshot of the owner), the push-delivery audit
+// (every push hop acked or counted), and the byte savings the deltas exist
+// for.
+
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.h"
+#include "replication/replica_manifest.h"
+#include "replication/replication_manager.h"
+#include "workload/cluster.h"
+
+namespace pepper::workload {
+namespace {
+
+using replication::BuildManifest;
+using replication::ReplicaGroup;
+using replication::ReplicaManifest;
+
+constexpr Key kKeySpan = 1000000;
+
+ClusterOptions TestOptions(uint64_t seed, size_t k) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = seed;
+  o.repl.replication_factor = k;
+  return o;
+}
+
+TEST(ReplicaManifestTest, IdentityAndSensitivity) {
+  std::map<Key, uint64_t> epochs{{10, 1}, {20, 2}, {30, 5}};
+  const ReplicaManifest a = BuildManifest(epochs, 5);
+  EXPECT_EQ(a, BuildManifest(epochs, 5));  // deterministic
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.version, 5u);
+
+  // A version bump alone diverges (the == covers version).
+  EXPECT_NE(a, BuildManifest(epochs, 6));
+  // An epoch change diverges even with identical keys and count.
+  std::map<Key, uint64_t> touched = epochs;
+  touched[20] = 7;
+  EXPECT_NE(a.hash, BuildManifest(touched, 5).hash);
+  // A membership change diverges.
+  std::map<Key, uint64_t> extra = epochs;
+  extra[40] = 9;
+  EXPECT_NE(a.hash, BuildManifest(extra, 5).hash);
+}
+
+// The facade stamps a fresh epoch on every mutation, so re-inserting a key
+// with different data is visible to manifests.
+TEST(ReplicaManifestTest, FacadeEpochsAdvanceOnEveryMutation) {
+  Cluster c(TestOptions(90, 2));
+  c.Bootstrap(kKeySpan);
+  c.RunFor(sim::kSecond);
+  PeerStack* p = c.LiveMembers()[0];
+  ASSERT_TRUE(c.InsertItem(100, "v1").ok());
+  const uint64_t e1 = p->ds->item_epochs().at(100);
+  ASSERT_TRUE(c.InsertItem(100, "v2").ok());
+  const uint64_t e2 = p->ds->item_epochs().at(100);
+  EXPECT_GT(e2, e1);
+  const uint64_t before = p->ds->mutation_epoch();
+  ASSERT_TRUE(c.DeleteItem(100).ok());
+  EXPECT_GT(p->ds->mutation_epoch(), before);  // deletes advance the version
+  EXPECT_EQ(p->ds->item_epochs().count(100), 0u);
+}
+
+// The delta-push equivalence property: after any interleaving of inserts,
+// deletes and the splits/redistributes they trigger, every replica group a
+// holder still keeps (once stale copies aged out) is byte-identical to a
+// fresh snapshot of its owner — same keys, same data, same manifest.
+TEST(ReplicationDeltaTest, DeltaReconstructedGroupsMatchFreshSnapshots) {
+  for (uint64_t seed : {11, 12, 13, 14}) {
+    ClusterOptions o = TestOptions(seed, 3);
+    o.repl.group_ttl = 2 * sim::kSecond;
+    Cluster c(o);
+    c.Bootstrap(kKeySpan);
+    for (int i = 0; i < 30; ++i) c.AddFreePeer();
+    c.RunFor(sim::kSecond);
+
+    // Random interleaving of inserts and deletes; inserts overflow peers
+    // into splits, deletes underflow them into merges/redistributes.
+    sim::Rng rng(seed * 977);
+    std::vector<Key> live;
+    for (int op = 0; op < 220; ++op) {
+      if (live.empty() || rng.Uniform(0, 9) < 7) {
+        Key k = rng.Uniform(0, kKeySpan);
+        if (c.InsertItem(k).ok()) live.push_back(k);
+      } else {
+        size_t at = rng.Uniform(0, live.size() - 1);
+        (void)c.DeleteItem(live[at]);
+        live.erase(live.begin() + static_cast<long>(at));
+      }
+    }
+
+    // Quiesce: the last deltas propagate, displaced holders' copies age
+    // out, every surviving group converges on its owner's current state.
+    c.RunFor(6 * sim::kSecond);
+
+    size_t groups_checked = 0;
+    for (PeerStack* owner : c.LiveMembers()) {
+      const ReplicaManifest fresh = BuildManifest(
+          owner->ds->item_epochs(), owner->ds->mutation_epoch());
+      for (const auto& holder : c.peers()) {
+        if (!holder->ring->alive() || holder->id() == owner->id()) continue;
+        auto it = holder->repl->groups().find(owner->id());
+        if (it == holder->repl->groups().end()) continue;
+        const ReplicaGroup& group = it->second;
+        EXPECT_EQ(group.items, owner->ds->items())
+            << "holder " << holder->id() << " of owner " << owner->id()
+            << " diverged (seed " << seed << ")";
+        EXPECT_EQ(BuildManifest(group.epochs, group.version), fresh)
+            << "manifest mismatch at holder " << holder->id() << " of owner "
+            << owner->id() << " (seed " << seed << ")";
+        ++groups_checked;
+      }
+    }
+    EXPECT_GT(groups_checked, 10u) << "seed " << seed;
+    // The equivalence must have been reached through deltas, not snapshots
+    // alone.
+    EXPECT_GT(c.metrics().counters().Get("repl.delta_pushes"), 0u);
+  }
+}
+
+// The push-delivery audit: in a crash-free run (graceful departures only),
+// every ReplicaPushMsg / ReplicaDeltaMsg hop is eventually acked or counted
+// as an attempt timeout, and nothing stays outstanding after a quiesce.
+TEST(ReplicationDeltaTest, EveryPushHopIsAckedOrCounted) {
+  Cluster c(TestOptions(21, 3));
+  c.Bootstrap(kKeySpan);
+  for (int i = 0; i < 20; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  sim::Rng rng(55);
+  std::vector<Key> live;
+  for (int op = 0; op < 150; ++op) {
+    if (live.empty() || rng.Uniform(0, 9) < 7) {
+      Key k = rng.Uniform(0, kKeySpan);
+      if (c.InsertItem(k).ok()) live.push_back(k);
+    } else {
+      size_t at = rng.Uniform(0, live.size() - 1);
+      (void)c.DeleteItem(live[at]);
+      live.erase(live.begin() + static_cast<long>(at));
+    }
+    // A trickle of graceful departures keeps takeover/extra-hop pushes in
+    // the mix without ever crashing a sender mid-push.
+    if (op % 40 == 39) {
+      auto members = c.LiveMembers();
+      if (members.size() > 6) c.DepartPeer(members[members.size() / 2]);
+    }
+  }
+  c.RunFor(6 * sim::kSecond);
+
+  const auto& counters = c.metrics().counters();
+  const uint64_t sent = counters.Get("repl.push_msgs");
+  const uint64_t acked = counters.Get("repl.push_acked");
+  const uint64_t attempt_timeouts = counters.Get("repl.push_attempt_timeouts");
+  ASSERT_GT(sent, 0u);
+  EXPECT_EQ(sent, acked + attempt_timeouts)
+      << "push hops unaccounted for (sent=" << sent << " acked=" << acked
+      << " timeouts=" << attempt_timeouts << ")";
+  size_t outstanding = 0;
+  for (const auto& p : c.peers()) outstanding += p->repl->outstanding_pushes();
+  EXPECT_EQ(outstanding, 0u);
+  // Final drops are a subset of attempt timeouts.
+  EXPECT_LE(counters.Get("repl.push_timeouts"), attempt_timeouts);
+}
+
+// What the deltas are for: steady refreshes re-send almost nothing.
+TEST(ReplicationDeltaTest, DeltasCutPushBytesAgainstSnapshots) {
+  Cluster c(TestOptions(31, 3));
+  c.Bootstrap(kKeySpan);
+  for (int i = 0; i < 10; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  sim::Rng rng(77);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(c.InsertItem(rng.Uniform(0, kKeySpan), "payload-payload").ok());
+  }
+  // Many refresh periods with no further mutation: every refresh would have
+  // re-sent the full snapshot; deltas send manifests.
+  c.RunFor(10 * sim::kSecond);
+
+  const auto& counters = c.metrics().counters();
+  const uint64_t saved = counters.Get("repl.bytes_saved");
+  const uint64_t sent = counters.Get("repl.push_bytes");
+  ASSERT_GT(saved + sent, 0u);
+  EXPECT_GT(counters.Get("repl.delta_pushes"),
+            counters.Get("repl.snapshot_pushes"));
+  // The acceptance bar: at least half the snapshot-only bytes saved.
+  EXPECT_GE(saved * 2, saved + sent)
+      << "delta pushes saved " << saved << " of " << (saved + sent)
+      << " snapshot-equivalent bytes";
+}
+
+}  // namespace
+}  // namespace pepper::workload

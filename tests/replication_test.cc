@@ -121,22 +121,29 @@ TEST(ReplicationTest, MergePlusFailureAvailabilityPepperVsNaive) {
       Populate(c, 120, seed, &keys);
       ASSERT_GE(c.LiveMembers().size(), 8u);
 
-      // Force merges by deleting items, and right after each merge kill the
-      // absorbing successor before any replica refresh.
-      sim::Rng rng(seed);
+      // Force merges by deleting items, and right after a merge kill the
+      // absorbing successor before any replica refresh (the Figure 17
+      // window: the absorbed items' only live copy dies with it).
       const uint64_t merges_before = c.metrics().counters().Get("ds.merges");
       size_t deleted = 0;
+      Key last_deleted = 0;
       for (Key k : keys) {
         if (deleted > keys.size() - 30) break;
-        if (c.DeleteItem(k).ok()) ++deleted;
+        if (c.DeleteItem(k).ok()) {
+          ++deleted;
+          last_deleted = k;
+        }
         const uint64_t merges_now = c.metrics().counters().Get("ds.merges");
-        if (merges_now > merges_before + 1) break;
+        if (merges_now > merges_before) break;
       }
-      // Kill a random member immediately (the "single failure").
-      auto members = c.LiveMembers();
-      if (!members.empty()) {
-        c.FailPeer(members[rng.Uniform(0, members.size() - 1)]);
+      // The absorber now owns the merged-away range; kill it (the "single
+      // failure") before any refresh can copy what it absorbed.
+      c.RunFor(500 * sim::kMillisecond);
+      PeerStack* absorber = nullptr;
+      for (auto* peer : c.LiveMembers()) {
+        if (peer->ds->range().Contains(last_deleted)) absorber = peer;
       }
+      if (absorber != nullptr) c.FailPeer(absorber);
       c.RunFor(15 * sim::kSecond);
       lost_total += c.AuditAvailability().lost.size();
     }

@@ -90,6 +90,10 @@ TEST(ReplicationUnitTest, GroupsTrackOwnerDeletes) {
 TEST(ReplicationUnitTest, StaleGroupsAgeOut) {
   ClusterOptions o = TestOptions(4, 3);
   o.repl.group_ttl = 2 * sim::kSecond;
+  // A dead owner's group is deliberately retained past the TTL (it may be
+  // the arc's last copy while the ring repairs); the strike budget bounds
+  // the retention.  Small budget here so the aging-out path is testable.
+  o.repl.dead_owner_ttl_strikes = 2;
   Cluster c(o);
   Grow(c, 80, 9);
   c.RunFor(2 * sim::kSecond);
@@ -98,7 +102,10 @@ TEST(ReplicationUnitTest, StaleGroupsAgeOut) {
   const sim::NodeId doomed_id = doomed->id();
   ASSERT_GT(GroupHolders(c, doomed_id), 0u);
   c.FailPeer(doomed);
-  // After revival the failed owner never refreshes; its groups age out.
+  // The dead owner never refreshes again: its groups survive the strike
+  // budget's worth of TTL periods (covering the revival), then age out.
+  c.RunFor(4 * sim::kSecond);
+  EXPECT_GT(c.metrics().counters().Get("repl.dead_groups_retained"), 0u);
   c.RunFor(10 * sim::kSecond);
   EXPECT_EQ(GroupHolders(c, doomed_id), 0u);
 }

@@ -1,0 +1,194 @@
+// Pull-based revive: regression tests for the Definition 7 availability gap
+// documented after PR 2 — a peer whose successor joined less than one
+// replication refresh ago dies before that successor ever held its replica
+// group, and the survivors never reconstruct the arc (far replica holders
+// only sweep their own range).  The construction below engineers exactly
+// that window deterministically, shows items are lost with pull revive
+// disabled, and recovered with it enabled.
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.h"
+#include "replication/replication_manager.h"
+#include "workload/cluster.h"
+
+namespace pepper::workload {
+namespace {
+
+constexpr Key kKeySpan = 1000000;
+
+// Replication that only ever reacts to change-triggered pushes: the
+// periodic refresh, the anti-entropy probe and the group TTL are pushed far
+// beyond the test horizon, so the only group copies in play are the ones
+// the construction placed deliberately.
+ClusterOptions GapOptions(uint64_t seed, bool pull_revive) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = seed;
+  o.repl.replication_factor = 2;
+  o.repl.refresh_period = 600 * sim::kSecond;
+  o.repl.anti_entropy_period = 600 * sim::kSecond;
+  o.repl.group_ttl = 3600 * sim::kSecond;
+  o.repl.push_delay = 10 * sim::kMillisecond;
+  o.repl.pull_revive = pull_revive;
+  return o;
+}
+
+std::vector<PeerStack*> MembersByVal(const Cluster& c) {
+  std::vector<PeerStack*> members = c.LiveMembers();
+  std::sort(members.begin(), members.end(), [](PeerStack* a, PeerStack* b) {
+    return a->ring->val() < b->ring->val();
+  });
+  return members;
+}
+
+// Builds the gap: ring ... P, O, T, U0 ... where U0 splits, inserting a
+// brand-new peer U between T and U0 (U is seeded with group(T) only); then
+// O and T die in the same instant.  U becomes the owner of O's arc while
+// holding no replica group for O — but U0, two hops back, still does.
+// Returns the number of items O owned (the stake), or 0 if the topology
+// never offered a usable trio (caller skips the seed).
+size_t BuildGapAndKill(Cluster& c, uint64_t seed) {
+  c.Bootstrap(kKeySpan);
+  for (int i = 0; i < 24; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  sim::Rng rng(seed * 31);
+  for (int i = 0; i < 80; ++i) {
+    if (!c.InsertItem(rng.Uniform(0, kKeySpan)).ok()) return 0;
+  }
+  c.RunFor(2 * sim::kSecond);
+
+  // Place every owner's group on its *current* k successors.
+  for (PeerStack* p : c.LiveMembers()) p->repl->PushNow();
+  c.RunFor(2 * sim::kSecond);
+
+  // A trio O -> T -> U0 where U0's range is linear and wide enough to aim
+  // inserts into, and O has items at stake.
+  auto members = MembersByVal(c);
+  if (members.size() < 8) return 0;
+  PeerStack* o_peer = nullptr;
+  PeerStack* t_peer = nullptr;
+  PeerStack* u0_peer = nullptr;
+  for (size_t i = 0; i < members.size(); ++i) {
+    PeerStack* a = members[i];
+    PeerStack* b = members[(i + 1) % members.size()];
+    PeerStack* d = members[(i + 2) % members.size()];
+    const RingRange& r = d->ds->range();
+    if (!r.full() && r.lo() < r.hi() && r.hi() - r.lo() > 1000 &&
+        !a->ds->items().empty() && a->ds->range().lo() < a->ds->range().hi()) {
+      o_peer = a;
+      t_peer = b;
+      u0_peer = d;
+      break;
+    }
+  }
+  if (o_peer == nullptr) return 0;
+  // U0 must hold O's group (it is O's second successor, k=2).
+  if (u0_peer->repl->groups().count(o_peer->id()) == 0) return 0;
+
+  // Overflow U0 so it splits: the recruit U is inserted between T and U0,
+  // seeded with group(T) — and nothing of O's.
+  const uint64_t splits_before = c.metrics().counters().Get("ds.splits");
+  const Key lo = u0_peer->ds->range().lo();
+  const Key hi = u0_peer->ds->range().hi();
+  const Key width = hi - lo;
+  for (Key j = 1; j <= 14; ++j) {
+    (void)c.InsertItem(lo + (width * j) / 16);
+    if (c.metrics().counters().Get("ds.splits") > splits_before) break;
+  }
+  if (c.metrics().counters().Get("ds.splits") == splits_before) return 0;
+  c.RunFor(sim::kSecond);
+
+  // Find U: live, joined after the split, squeezed between T and U0.
+  PeerStack* u_peer = nullptr;
+  for (PeerStack* p : c.LiveMembers()) {
+    if (p == u0_peer || p == t_peer) continue;
+    const RingRange& r = p->ds->range();
+    if (!r.full() && r.lo() >= t_peer->ring->val() && r.hi() <= hi &&
+        r.lo() < r.hi()) {
+      u_peer = p;
+    }
+  }
+  if (u_peer == nullptr) return 0;
+  // The gap precondition: the brand-new successor holds nothing of O.
+  if (u_peer->repl->groups().count(o_peer->id()) > 0) return 0;
+
+  const size_t at_stake = o_peer->ds->items().size();
+  if (at_stake == 0) return 0;
+  // O and T die in the same simulated instant — before O ever stabilizes
+  // with U or refreshes its chain.  Group(O) now lives only on U0, two
+  // hops behind the new owner U.
+  c.FailPeer(t_peer);
+  c.FailPeer(o_peer);
+  return at_stake;
+}
+
+TEST(ReviveTest, RecentSuccessorGapLosesItemsWithoutPullRevive) {
+  size_t constructed = 0;
+  size_t lost_total = 0;
+  for (uint64_t seed : {101, 102, 103, 104, 105}) {
+    Cluster c(GapOptions(seed, /*pull_revive=*/false));
+    const size_t at_stake = BuildGapAndKill(c, seed);
+    if (at_stake == 0) continue;  // topology did not offer the trio
+    ++constructed;
+    c.RunFor(20 * sim::kSecond);
+    lost_total += c.AuditAvailability().lost.size();
+  }
+  ASSERT_GT(constructed, 0u) << "gap construction never succeeded";
+  // The pre-revive protocol loses the arc: this is the PR 2 gap, alive.
+  EXPECT_GT(lost_total, 0u)
+      << "expected the engineered Definition 7 gap to lose items with "
+         "pull revive disabled";
+}
+
+TEST(ReviveTest, PullReviveClosesRecentSuccessorGap) {
+  size_t constructed = 0;
+  for (uint64_t seed : {101, 102, 103, 104, 105}) {
+    Cluster c(GapOptions(seed, /*pull_revive=*/true));
+    const size_t at_stake = BuildGapAndKill(c, seed);
+    if (at_stake == 0) continue;
+    ++constructed;
+    c.RunFor(20 * sim::kSecond);
+    const auto avail = c.AuditAvailability();
+    EXPECT_TRUE(avail.ok)
+        << avail.lost.size() << " item(s) lost despite pull revive (seed "
+        << seed << ", " << at_stake << " at stake)";
+    EXPECT_GT(c.metrics().counters().Get("repl.revives_triggered"), 0u);
+  }
+  ASSERT_GT(constructed, 0u) << "gap construction never succeeded";
+}
+
+// Rapid successor churn at the replication slack boundary: adjacent pairs
+// die in the same instant (exactly k=2 consecutive holders), repeatedly,
+// with recovery gaps.  The subsystem must keep every item live.
+TEST(ReviveTest, AdjacentPairFailuresWithinSlackLoseNothing) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = 61;
+  o.repl.replication_factor = 3;
+  Cluster c(o);
+  c.Bootstrap(kKeySpan);
+  for (int i = 0; i < 24; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  sim::Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c.InsertItem(rng.Uniform(0, kKeySpan)).ok());
+  }
+  c.RunFor(3 * sim::kSecond);
+
+  for (int round = 0; round < 4; ++round) {
+    auto members = MembersByVal(c);
+    if (members.size() <= 6) break;
+    const size_t at = rng.Uniform(0, members.size() - 1);
+    c.FailPeer(members[at]);
+    c.FailPeer(members[(at + 1) % members.size()]);
+    c.RunFor(6 * sim::kSecond);
+  }
+  const auto avail = c.AuditAvailability();
+  EXPECT_TRUE(avail.ok) << avail.lost.size() << " item(s) lost";
+  auto q = c.RangeQuery(Span{0, kKeySpan});
+  ASSERT_TRUE(q.status.ok());
+  EXPECT_TRUE(q.audit.correct);
+}
+
+}  // namespace
+}  // namespace pepper::workload
