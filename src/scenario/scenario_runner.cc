@@ -1,5 +1,7 @@
 #include "scenario/scenario_runner.h"
 
+#include <chrono>
+#include <iomanip>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -25,7 +27,16 @@ std::string RunReport::Text() const {
      << " violations across " << phases.size() << " phases)\n";
   for (const auto& p : phases) {
     os << "-- " << p.name << ": "
-       << (p.probes.ok ? "probes ok" : "PROBES FAILED") << "\n";
+       << (p.probes.ok ? "probes ok" : "PROBES FAILED");
+    if (p.wall_seconds > 0.0) {
+      os << " [wall " << std::fixed << std::setprecision(2) << p.wall_seconds
+         << "s, "
+         << static_cast<uint64_t>(static_cast<double>(p.events) /
+                                  p.wall_seconds)
+         << " events/s]";
+      os.unsetf(std::ios_base::floatfield);
+    }
+    os << "\n";
     for (const auto& v : p.probes.violations) os << "   ! " << v << "\n";
   }
   os << MetricsRegistry::TextOf(Snapshots(*this));
@@ -83,6 +94,8 @@ RunReport ScenarioRunner::Run(const Scenario& scenario) {
     label << (index < 10 ? "0" : "") << index << "_" << phase.name;
 
     const uint64_t msgs_before = cluster.sim().network().messages_sent();
+    const uint64_t events_before = cluster.sim().events_executed();
+    const auto wall_start = std::chrono::steady_clock::now();
     registry.BeginPhase(label.str());
     cluster.pool().set_suspended(phase.suspend_free_peers);
     if (phase.on_enter) phase.on_enter(cluster, scenario_rng);
@@ -94,12 +107,32 @@ RunReport ScenarioRunner::Run(const Scenario& scenario) {
     cluster.metrics().counters().Inc(
         "net.messages_sent",
         cluster.sim().network().messages_sent() - msgs_before);
+    // Deterministic per-phase event count (the events/sec numerator).
+    const uint64_t phase_events =
+        cluster.sim().events_executed() - events_before;
+    cluster.metrics().counters().Inc("sim.events", phase_events);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (options_.timing && wall_seconds > 0.0) {
+      // Wall-clock rows are opt-in: they vary run to run and would break
+      // the same-seed CSV-identity contract if always present.
+      cluster.metrics().counters().Inc(
+          "perf.wall_us", static_cast<uint64_t>(wall_seconds * 1e6));
+      cluster.metrics().counters().Inc(
+          "perf.events_per_sec",
+          static_cast<uint64_t>(static_cast<double>(phase_events) /
+                                wall_seconds));
+    }
     registry.EndPhase(sim::ToSeconds(phase.duration));
     cluster.pool().set_suspended(false);
 
     PhaseOutcome outcome;
     outcome.name = label.str();
     outcome.metrics = registry.phases().back();
+    outcome.events = phase_events;
+    if (options_.timing) outcome.wall_seconds = wall_seconds;
     if (options_.run_probes) {
       // Drain in-flight reorganizations (driver stopped, metrics closed) so
       // transient states don't read as violations.

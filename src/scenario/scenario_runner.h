@@ -37,6 +37,13 @@ struct RunnerOptions {
   // ever held its replica group), and the audit is then informational —
   // `lost_items` stays populated either way.
   bool availability_fatal = true;
+  // Record per-phase wall-clock and fold `perf.wall_us` /
+  // `perf.events_per_sec` counters into the phase metrics (they appear in
+  // the text and CSV dumps).  OFF by default: wall-clock is
+  // non-deterministic, and with timing off the CSV dump stays bit-identical
+  // across same-seed runs — the replay contract the determinism tests pin.
+  // The deterministic `sim.events` counter is folded in unconditionally.
+  bool timing = false;
 };
 
 // What the invariant probes found after one phase (all audits are pure
@@ -55,6 +62,8 @@ struct PhaseOutcome {
   std::string name;  // "<index>_<phase name>", unique within the run
   ProbeOutcome probes;
   MetricsRegistry::PhaseSnapshot metrics;  // per-phase deltas, plain values
+  uint64_t events = 0;         // simulator events executed during the phase
+  double wall_seconds = 0.0;   // host wall-clock; only set with timing on
 };
 
 struct RunReport {

@@ -51,8 +51,8 @@ class ProtocolComponent {
  protected:
   // Registers this component as the handler for payloads of type T arriving
   // at the shared node.
-  template <typename T>
-  void On(std::function<void(const Message&, const T&)> handler) {
+  template <typename T, typename F>
+  void On(F handler) {
     node_->On<T>(std::move(handler));
   }
 

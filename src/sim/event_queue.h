@@ -3,41 +3,95 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/message.h"
 
 namespace pepper::sim {
 
-// Time-ordered event queue.  Ties are broken by insertion sequence so runs
-// are fully deterministic.
+// What a pooled event does when it fires.  The common simulator traffic
+// (message deliveries, periodic-timer ticks) uses dedicated kinds that carry
+// their data by value inside the fixed-size record, so the steady-state hot
+// path allocates nothing; kClosure is the generic fallback for everything
+// else.
+enum class EventKind : uint8_t {
+  kFree = 0,     // recycled record sitting on the free list
+  kClosure,      // run fn unconditionally (Simulator::At / After)
+  kNodeClosure,  // run fn iff `node` is still registered and alive
+  kMessage,      // deliver msg to msg.to iff registered and alive
+  kTimerFire,    // periodic-timer tick; timer_idx indexes the TimerWheel pool
+};
+
+// One fixed-size event record.  Records live in the EventQueue's arena and
+// are recycled through a free list; in steady state no event ever touches
+// the heap (the std::function is only engaged for closure kinds, and the
+// Message's payload pointer is created by the sender either way).
+struct Event {
+  SimTime at = 0;
+  uint64_t seq = 0;
+  EventKind kind = EventKind::kFree;
+  NodeId node = kNullNode;    // kNodeClosure: alive-guard target
+  uint32_t timer_idx = 0;     // kTimerFire: TimerWheel record index
+  Message msg;                // kMessage: carried by value, no per-send lambda
+  std::function<void()> fn;   // kClosure / kNodeClosure
+};
+
+// Time-ordered pooled event queue.  Ordering is by (at, seq) where seq is a
+// global insertion sequence, so ties break by insertion order and runs are
+// fully deterministic — the same contract the old priority_queue kept, now
+// enforced by a 4-ary index heap over arena slots (heap entries are small
+// PODs; the fat records never move during sifts).
 class EventQueue {
  public:
-  void Push(SimTime at, std::function<void()> fn);
+  void PushClosure(SimTime at, std::function<void()> fn);
+  void PushNodeClosure(SimTime at, NodeId node, std::function<void()> fn);
+  void PushMessage(SimTime at, Message msg);
+  // Timer fires keep the seq assigned when the timer was (re)armed — see
+  // TimerWheel — so a tick orders against same-instant events exactly as if
+  // it had been pushed at arm time, matching the pre-wheel behavior.
+  void PushTimerFire(SimTime at, uint64_t seq, uint32_t timer_idx);
+
+  // Hands out the next insertion sequence number.  The TimerWheel draws
+  // from the same counter as direct pushes so (at, seq) is a total order
+  // across both structures.
+  uint64_t AllocateSeq() { return next_seq_++; }
 
   bool Empty() const { return heap_.empty(); }
   SimTime NextTime() const;
 
-  // Pops and returns the earliest event's action.
-  std::function<void()> Pop();
+  // Pops the earliest event, MOVING it out of the arena (the slot is
+  // recycled before return).  The old implementation const_cast the
+  // priority_queue's const top() to steal its closure — the pool makes the
+  // move-out legitimate, and tests/event_core_test.cc pins that no copy of
+  // the event state survives in the queue afterwards.
+  Event PopEvent();
 
   size_t size() const { return heap_.size(); }
+  // Arena introspection for bench_sim_core: steady state is reached when
+  // pool_capacity stops growing (every push is served from the free list).
+  size_t pool_capacity() const { return pool_.capacity(); }
+  size_t free_count() const { return free_.size(); }
 
  private:
-  struct Event {
+  struct HeapEntry {
     SimTime at;
     uint64_t seq;
-    std::function<void()> fn;
+    uint32_t idx;  // arena slot
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Grabs an arena slot, stamps (at, seq) and links it into the heap.
+  Event& Allocate(SimTime at, uint64_t seq);
+  void HeapPush(HeapEntry e);
+  HeapEntry HeapPop();
+
+  std::vector<Event> pool_;
+  std::vector<uint32_t> free_;
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap on (at, seq)
   uint64_t next_seq_ = 0;
 };
 

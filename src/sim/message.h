@@ -1,8 +1,12 @@
 #ifndef PEPPER_SIM_MESSAGE_H_
 #define PEPPER_SIM_MESSAGE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace pepper::sim {
 
@@ -22,17 +26,129 @@ inline double ToSeconds(SimTime d) {
 }
 
 // Base class for every protocol message body.  Concrete payloads are plain
-// structs; dispatch is by typeid (single-process simulation, so no
-// serialization is needed or wanted).
+// structs; dispatch is by a dense per-type id captured when the payload
+// pointer is created (single-process simulation, so no serialization is
+// needed or wanted).
 struct Payload {
   virtual ~Payload() = default;
 };
 
-using PayloadPtr = std::shared_ptr<const Payload>;
+namespace detail {
+// Ids are assigned on first use within a run: process-local and
+// deterministic for a fixed binary + execution path; they index dispatch
+// tables and are never serialized or compared across runs.  Id 0 is the
+// null payload.
+inline uint32_t AllocatePayloadTypeId() {
+  static uint32_t next = 1;
+  return next++;
+}
+}  // namespace detail
+
+template <typename T>
+uint32_t PayloadTypeId() {
+  static const uint32_t id = detail::AllocatePayloadTypeId();
+  return id;
+}
+
+// Shared pointer to an immutable payload plus the dense id of its concrete
+// type.  The id is taken from the STATIC type at construction — always the
+// concrete struct, enforced below — so Node::Deliver dispatches with one
+// indexed load instead of a typeid hash lookup.  Forwarding a received
+// payload (scan params, split handoffs, replica seeds) preserves the id.
+class PayloadPtr {
+ public:
+  PayloadPtr() = default;
+  PayloadPtr(std::nullptr_t) {}  // NOLINT(runtime/explicit)
+  template <typename T,
+            typename = std::enable_if_t<std::is_base_of_v<Payload, T>>>
+  PayloadPtr(std::shared_ptr<T> p)  // NOLINT(runtime/explicit)
+      : type_id_(p == nullptr
+                     ? 0
+                     : PayloadTypeId<std::remove_const_t<T>>()),
+        ptr_(std::move(p)) {
+    static_assert(!std::is_same_v<std::remove_const_t<T>, Payload>,
+                  "construct PayloadPtr from the concrete payload type; an "
+                  "upcast shared_ptr<Payload> would lose the dispatch id");
+  }
+
+  const Payload& operator*() const { return *ptr_; }
+  const Payload* operator->() const { return ptr_.get(); }
+  const Payload* get() const { return ptr_.get(); }
+  explicit operator bool() const { return ptr_ != nullptr; }
+  friend bool operator==(const PayloadPtr& a, std::nullptr_t) {
+    return a.ptr_ == nullptr;
+  }
+  friend bool operator!=(const PayloadPtr& a, std::nullptr_t) {
+    return a.ptr_ != nullptr;
+  }
+
+  uint32_t type_id() const { return type_id_; }
+
+ private:
+  uint32_t type_id_ = 0;
+  std::shared_ptr<const Payload> ptr_;
+};
+
+namespace detail {
+// Size-bucketed free lists for payload control blocks (16-byte buckets, up
+// to 1 KB — larger nodes fall through to operator new).  A paper-scale run
+// creates ~100M payloads; recycling the shared_ptr-with-object nodes keeps
+// the hot path off malloc and reuses cache-warm blocks.  Single-threaded
+// by design, like the simulator.  Buckets are heap-allocated and never
+// destroyed (reachable from the static pointer, so not a leak) to dodge
+// static-destruction-order issues with payloads freed at exit.
+inline std::vector<void*>* PayloadPoolBuckets() {
+  static auto* buckets = new std::array<std::vector<void*>, 64>();
+  return buckets->data();
+}
+}  // namespace detail
+
+template <typename U>
+struct PayloadPoolAllocator {
+  using value_type = U;
+  PayloadPoolAllocator() = default;
+  template <typename V>
+  PayloadPoolAllocator(const PayloadPoolAllocator<V>&) {}  // NOLINT
+
+  static constexpr size_t Bucket() { return (sizeof(U) + 15) / 16; }
+
+  U* allocate(size_t n) {
+    constexpr size_t b = Bucket();
+    if (n == 1 && b < 64) {
+      std::vector<void*>& bucket = detail::PayloadPoolBuckets()[b];
+      if (!bucket.empty()) {
+        void* p = bucket.back();
+        bucket.pop_back();
+        return static_cast<U*>(p);
+      }
+      // Allocate the full bucket width so any same-bucket type can reuse
+      // the block.
+      return static_cast<U*>(::operator new(b * 16));
+    }
+    return static_cast<U*>(::operator new(n * sizeof(U)));
+  }
+  void deallocate(U* p, size_t n) {
+    constexpr size_t b = Bucket();
+    if (n == 1 && b < 64) {
+      detail::PayloadPoolBuckets()[b].push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+  template <typename V>
+  bool operator==(const PayloadPoolAllocator<V>&) const {
+    return true;
+  }
+  template <typename V>
+  bool operator!=(const PayloadPoolAllocator<V>&) const {
+    return false;
+  }
+};
 
 template <typename T, typename... Args>
 PayloadPtr MakePayload(Args&&... args) {
-  return std::make_shared<const T>(T{std::forward<Args>(args)...});
+  return PayloadPtr(std::allocate_shared<const T>(
+      PayloadPoolAllocator<const T>{}, T{std::forward<Args>(args)...}));
 }
 
 // A network message.  rpc_id == 0 marks a one-way message; otherwise the

@@ -1,22 +1,30 @@
 #include "sim/node.h"
 
+#include <typeinfo>
+
 #include "common/logging.h"
 
 namespace pepper::sim {
 
 Node::Node(Simulator* sim) : sim_(sim), id_(sim->Register(this)) {}
 
-Node::~Node() { sim_->Unregister(id_); }
+Node::~Node() {
+  // Wheel records would otherwise linger until their (possibly far) expiry.
+  CancelPendingRpcTimers();
+  CancelAllTimers();
+  sim_->Unregister(id_);
+}
 
 void Node::Fail() {
   if (!alive_) return;
   alive_ = false;
+  CancelPendingRpcTimers();
   pending_.clear();
-  active_timers_.clear();
+  CancelAllTimers();
   // Fail-stop: this peer never sends again, so its FIFO channel
   // bookkeeping can be dropped now rather than at destruction (churn runs
   // keep failed node objects around for the whole simulation).
-  sim_->network().ForgetChannels(id_);
+  sim_->network().ReleaseNode(id_);
   OnFail();
 }
 
@@ -29,18 +37,32 @@ void Node::Send(NodeId to, PayloadPtr payload) {
   sim_->network().Send(std::move(msg));
 }
 
+Node::PendingCall* Node::FindPending(uint64_t rpc_id) {
+  for (PendingCall& call : pending_) {
+    if (call.rpc_id == rpc_id) return &call;
+  }
+  return nullptr;
+}
+
+void Node::ErasePending(PendingCall* call) {
+  if (call != &pending_.back()) *call = std::move(pending_.back());
+  pending_.pop_back();
+}
+
 void Node::Call(NodeId to, PayloadPtr payload, ReplyFn on_reply,
                 SimTime timeout, TimeoutFn on_timeout) {
   if (!alive_) return;
   const uint64_t rpc_id = next_rpc_id_++;
-  pending_[rpc_id] = PendingCall{std::move(on_reply), std::move(on_timeout)};
-  After(timeout, [this, rpc_id]() {
-    auto it = pending_.find(rpc_id);
-    if (it == pending_.end()) return;  // already answered
-    TimeoutFn cb = std::move(it->second.on_timeout);
-    pending_.erase(it);
-    if (cb) cb();
-  });
+  const uint32_t timer_idx = sim_->ArmTimer(
+      id_, sim_->now() + timeout, /*period=*/0, [this, rpc_id]() {
+        PendingCall* call = FindPending(rpc_id);
+        if (call == nullptr) return;  // already answered
+        TimeoutFn cb = std::move(call->on_timeout);
+        ErasePending(call);
+        if (cb) cb();
+      });
+  pending_.push_back(PendingCall{rpc_id, timer_idx, std::move(on_reply),
+                                 std::move(on_timeout)});
   Message msg;
   msg.from = id_;
   msg.to = to;
@@ -62,56 +84,64 @@ void Node::Reply(const Message& request, PayloadPtr payload) {
 }
 
 void Node::After(SimTime delay, std::function<void()> fn) {
-  // The closure is only invoked if this node is still registered (ids are
-  // never reused) and alive, so callbacks cannot touch a destroyed node.
-  sim_->After(delay, [sim = sim_, id = id_, fn = std::move(fn)]() {
-    Node* self = sim->node(id);
-    if (self != nullptr && self->alive_) fn();
-  });
+  // The alive guard (node still registered — ids are never reused — and
+  // alive) lives in the event record itself; no wrapper closure.
+  sim_->AfterOnNode(id_, delay, std::move(fn));
 }
 
 uint64_t Node::Every(SimTime period, std::function<void()> fn,
                      SimTime initial_delay) {
+  PEPPER_CHECK(period > 0);  // period 0 marks one-shot wheel records
+  // A timer armed after failure would map a wheel record the already-ran
+  // CancelAllTimers never sees; when it fizzles and its slot is recycled,
+  // this node's destructor would cancel whoever reused the slot.  The old
+  // core's post-fail ticks merely fizzled — keep that harmlessness.
+  if (!alive_) return next_timer_id_++;  // never fires, cancel is a no-op
   const uint64_t timer_id = next_timer_id_++;
-  active_timers_.insert(timer_id);
-  ScheduleTick(timer_id, period, initial_delay, std::move(fn));
+  const uint32_t idx =
+      sim_->ArmTimer(id_, sim_->now() + initial_delay, period, std::move(fn));
+  active_timers_.emplace(timer_id, idx);
   return timer_id;
 }
 
-void Node::ScheduleTick(uint64_t timer_id, SimTime period, SimTime delay,
-                        std::function<void()> fn) {
-  sim_->After(delay, [sim = sim_, id = id_, timer_id, period,
-                      fn = std::move(fn)]() mutable {
-    Node* self = sim->node(id);
-    if (self == nullptr || !self->alive_ ||
-        self->active_timers_.count(timer_id) == 0) {
-      return;
-    }
-    fn();
-    if (!self->alive_ || self->active_timers_.count(timer_id) == 0) return;
-    self->ScheduleTick(timer_id, period, period, std::move(fn));
-  });
+void Node::CancelTimer(uint64_t timer_id) {
+  auto it = active_timers_.find(timer_id);
+  if (it == active_timers_.end()) return;
+  sim_->CancelWheelTimer(it->second);
+  active_timers_.erase(it);
 }
 
-void Node::CancelTimer(uint64_t timer_id) { active_timers_.erase(timer_id); }
+void Node::CancelAllTimers() {
+  for (const auto& entry : active_timers_) {
+    sim_->CancelWheelTimer(entry.second);
+  }
+  active_timers_.clear();
+}
+
+void Node::CancelPendingRpcTimers() {
+  for (const PendingCall& call : pending_) {
+    sim_->CancelWheelTimer(call.timeout_timer);
+  }
+}
 
 void Node::Deliver(const Message& msg) {
   if (!alive_) return;
   if (msg.is_response) {
-    auto it = pending_.find(msg.rpc_id);
-    if (it == pending_.end()) return;  // late reply after timeout: ignore
-    ReplyFn cb = std::move(it->second.on_reply);
-    pending_.erase(it);
+    PendingCall* call = FindPending(msg.rpc_id);
+    if (call == nullptr) return;  // late reply after timeout: ignore
+    sim_->CancelWheelTimer(call->timeout_timer);
+    ReplyFn cb = std::move(call->on_reply);
+    ErasePending(call);
     if (cb) cb(msg);
     return;
   }
-  auto it = handlers_.find(std::type_index(typeid(*msg.payload)));
-  if (it == handlers_.end()) {
-    PEPPER_LOG(Warn) << "node " << id_ << ": unhandled payload type "
-                     << typeid(*msg.payload).name();
+  const uint32_t tid = msg.payload.type_id();
+  if (tid < handlers_.size() && handlers_[tid]) {
+    handlers_[tid](msg);
     return;
   }
-  it->second(msg);
+  PEPPER_LOG(Warn) << "node " << id_ << ": unhandled payload type "
+                   << typeid(*msg.payload).name();
 }
 
 }  // namespace pepper::sim

@@ -2,10 +2,9 @@
 #define PEPPER_SIM_NODE_H_
 
 #include <functional>
-#include <typeindex>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "sim/message.h"
 #include "sim/simulator.h"
@@ -45,19 +44,26 @@ class Node {
   // Responds to a request received via a registered handler.
   void Reply(const Message& request, PayloadPtr payload);
 
-  // Registers the handler for payloads of concrete type T.
-  template <typename T>
-  void On(std::function<void(const Message&, const T&)> handler) {
-    handlers_[std::type_index(typeid(T))] =
-        [handler = std::move(handler)](const Message& m) {
-          handler(m, static_cast<const T&>(*m.payload));
-        };
+  // Registers the handler for payloads of concrete type T.  Handlers live
+  // in a table indexed by the dense payload type id, so delivery is one
+  // load — last registration wins, same as the old typeid map.  The
+  // callable is stored directly (no inner std::function layer): delivery
+  // is a single indirect call into the registered lambda.
+  template <typename T, typename F>
+  void On(F handler) {
+    const uint32_t tid = PayloadTypeId<T>();
+    if (handlers_.size() <= tid) handlers_.resize(tid + 1);
+    handlers_[tid] = [handler = std::move(handler)](const Message& m) {
+      handler(m, static_cast<const T&>(*m.payload));
+    };
   }
 
   // Runs fn after the delay unless this node has failed by then.
   void After(SimTime delay, std::function<void()> fn);
 
   // Periodic timer with a deterministic id; stops on failure or cancel.
+  // Backed by the simulator's TimerWheel: the callback is allocated once
+  // here and reused for every tick, and arm/cancel/rearm are O(1).
   uint64_t Every(SimTime period, std::function<void()> fn,
                  SimTime initial_delay);
   void CancelTimer(uint64_t timer_id);
@@ -70,8 +76,7 @@ class Node {
   virtual void OnFail() {}
 
  private:
-  void ScheduleTick(uint64_t timer_id, SimTime period, SimTime delay,
-                    std::function<void()> fn);
+  void CancelAllTimers();
 
   Simulator* sim_;
   NodeId id_;
@@ -79,14 +84,26 @@ class Node {
 
   uint64_t next_rpc_id_ = 1;
   struct PendingCall {
+    uint64_t rpc_id;
+    // One-shot TimerWheel record for the timeout.  Canceled O(1) when the
+    // reply arrives, so the common completed-RPC case never pushes a
+    // far-future event through the heap at all (the old queue-resident
+    // timeout closure sat deep in the heap and fizzled at pop time).
+    uint32_t timeout_timer;
     ReplyFn on_reply;
     TimeoutFn on_timeout;
   };
-  std::unordered_map<uint64_t, PendingCall> pending_;
-  std::unordered_map<std::type_index, std::function<void(const Message&)>>
-      handlers_;
+  PendingCall* FindPending(uint64_t rpc_id);
+  void ErasePending(PendingCall* call);
+  void CancelPendingRpcTimers();
+  // Flat: a node rarely has more than a handful of RPCs in flight, and the
+  // linear probe beats hashing at that size.
+  std::vector<PendingCall> pending_;
+  std::vector<std::function<void(const Message&)>> handlers_;  // by type id
   uint64_t next_timer_id_ = 1;
-  std::unordered_set<uint64_t> active_timers_;
+  // timer id -> TimerWheel record.  Erasing an entry (cancel / fail /
+  // destruction) lazy-cancels the wheel record; its pending tick fizzles.
+  std::unordered_map<uint64_t, uint32_t> active_timers_;
 };
 
 }  // namespace pepper::sim

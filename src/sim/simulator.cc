@@ -1,7 +1,6 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-
 #include <cstdio>
 #include <typeinfo>
 
@@ -18,51 +17,75 @@ void Network::Send(Message msg) {
   }
   PEPPER_CHECK(msg.from != kNullNode && msg.to != kNullNode);
   ++messages_sent_;
+  // Fixed-latency configs (min == max) skip the per-message RNG draw.
+  // NOTE: the RNG stream position is part of the determinism contract — a
+  // run's schedule is a function of every draw ever made — so whether a
+  // config draws here changes its schedule relative to configs that do.
+  // (Rng::Uniform already consumed no state for a degenerate span, so this
+  // fast path does not change any existing schedule, it only skips the
+  // call.)  Runs remain bit-identical against themselves either way.
   const SimTime latency =
-      sim_->rng().Uniform(options_.min_latency, options_.max_latency);
+      options_.min_latency == options_.max_latency
+          ? options_.min_latency
+          : sim_->rng().Uniform(options_.min_latency, options_.max_latency);
   SimTime deliver_at = sim_->now() + latency;
   // FIFO bookkeeping only for channels that can still deliver: a message to
   // a dead or destroyed peer is dropped at delivery time anyway, and
-  // recording it would resurrect bookkeeping ForgetChannels just pruned.
+  // recording it would resurrect bookkeeping ReleaseNode just pruned.
   if (sim_->IsAlive(msg.to)) {
-    auto& out = last_delivery_[msg.from];
-    auto it = out.find(msg.to);
-    if (it != out.end()) {
-      deliver_at = std::max(deliver_at, it->second);  // FIFO per channel
-      it->second = deliver_at;
+    const NodeId hi = std::max(msg.from, msg.to);
+    if (channels_.size() <= hi) channels_.resize(hi + 1);
+    NodeChannels& nc = channels_[msg.from];
+    if (nc.last_out < nc.out.size() && nc.out[nc.last_out].peer == msg.to) {
+      Channel& ch = nc.out[nc.last_out];  // bursty same-destination hit
+      deliver_at = std::max(deliver_at, ch.last_delivery);  // FIFO
+      ch.last_delivery = deliver_at;
     } else {
-      out.emplace(msg.to, deliver_at);
-      inbound_senders_[msg.to].insert(msg.from);
-      ++channel_count_;
-    }
-  }
-  sim_->At(deliver_at, [sim = sim_, msg = std::move(msg)]() {
-    Node* target = sim->node(msg.to);
-    if (target == nullptr || !target->alive()) return;  // fail-stop drop
-    target->Deliver(msg);
-  });
-}
-
-void Network::ForgetChannels(NodeId id) {
-  auto out = last_delivery_.find(id);
-  if (out != last_delivery_.end()) {
-    for (const auto& kv : out->second) {
-      auto in = inbound_senders_.find(kv.first);
-      if (in != inbound_senders_.end()) in->second.erase(id);
-    }
-    channel_count_ -= out->second.size();
-    last_delivery_.erase(out);
-  }
-  auto in = inbound_senders_.find(id);
-  if (in != inbound_senders_.end()) {
-    for (NodeId from : in->second) {
-      auto from_out = last_delivery_.find(from);
-      if (from_out != last_delivery_.end()) {
-        channel_count_ -= from_out->second.erase(id);
+      auto it = std::lower_bound(
+          nc.out.begin(), nc.out.end(), msg.to,
+          [](const Channel& ch, NodeId id) { return ch.peer < id; });
+      if (it != nc.out.end() && it->peer == msg.to) {
+        nc.last_out = static_cast<uint32_t>(it - nc.out.begin());
+        deliver_at = std::max(deliver_at, it->last_delivery);  // FIFO
+        it->last_delivery = deliver_at;
+      } else {
+        // Sorted insert; creation is once per distinct channel ever.
+        nc.out.insert(it, Channel{msg.to, deliver_at});
+        channels_[msg.to].in_senders.push_back(msg.from);
+        ++channel_count_;
       }
     }
-    inbound_senders_.erase(in);
   }
+  sim_->ScheduleMessage(deliver_at, std::move(msg));
+}
+
+void Network::ReleaseNode(NodeId id) {
+  if (id >= channels_.size()) return;
+  NodeChannels& nc = channels_[id];
+  channel_count_ -= nc.out.size();
+  for (const Channel& ch : nc.out) {
+    auto& senders = channels_[ch.peer].in_senders;
+    for (size_t i = 0; i < senders.size(); ++i) {
+      if (senders[i] == id) {
+        senders[i] = senders.back();
+        senders.pop_back();
+        break;
+      }
+    }
+  }
+  for (NodeId from : nc.in_senders) {
+    auto& out = channels_[from].out;
+    // Ordered erase: `out` stays sorted for the binary search.
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (out[i].peer == id) {
+        out.erase(out.begin() + i);
+        --channel_count_;
+        break;
+      }
+    }
+  }
+  nc.out.clear();
+  nc.in_senders.clear();
 }
 
 Simulator::Simulator(uint64_t seed, NetworkOptions net)
@@ -70,24 +93,137 @@ Simulator::Simulator(uint64_t seed, NetworkOptions net)
 
 void Simulator::At(SimTime t, std::function<void()> fn) {
   PEPPER_CHECK(t >= now_);
-  queue_.Push(t, std::move(fn));
+  queue_.PushClosure(t, std::move(fn));
 }
 
 void Simulator::After(SimTime delay, std::function<void()> fn) {
-  queue_.Push(now_ + delay, std::move(fn));
+  if (delay >= kFarFuture) {
+    // Far-future one-shots (workload arrivals, slow retries) park in the
+    // wheel so the heap stays shallow for the near-future message traffic;
+    // they inject with the seq allocated here, so ordering is unchanged.
+    wheel_.Arm(kNullNode, now_ + delay, /*period=*/0, std::move(fn), &queue_,
+               /*has_guard=*/false);
+    return;
+  }
+  queue_.PushClosure(now_ + delay, std::move(fn));
 }
 
-bool Simulator::Step() {
+void Simulator::AfterOnNode(NodeId id, SimTime delay,
+                            std::function<void()> fn) {
+  if (delay >= kFarFuture) {
+    wheel_.Arm(id, now_ + delay, /*period=*/0, std::move(fn), &queue_);
+    return;
+  }
+  queue_.PushNodeClosure(now_ + delay, id, std::move(fn));
+}
+
+uint32_t Simulator::ArmTimer(NodeId id, SimTime expiry, SimTime period,
+                             std::function<void()> fn) {
+  return wheel_.Arm(id, expiry, period, std::move(fn), &queue_);
+}
+
+void Simulator::ScheduleMessage(SimTime deliver_at, Message msg) {
+  queue_.PushMessage(deliver_at, std::move(msg));
+}
+
+void Simulator::DrainDueTimers() {
+  while (wheel_.HasSlottedTimers()) {
+    const SimTime slot_start = wheel_.EarliestSlotStart();
+    // The slot start lower-bounds every expiry in the slot, so anything the
+    // queue would run first can safely run first; equality must drain (a
+    // slotted tick can carry an older seq than the queue head).
+    if (!queue_.Empty() && queue_.NextTime() < slot_start) break;
+    wheel_.ProcessEarliestSlot(&queue_);
+  }
+}
+
+bool Simulator::PeekNextTime(SimTime* t) {
+  DrainDueTimers();
   if (queue_.Empty()) return false;
-  now_ = std::max(now_, queue_.NextTime());
-  auto fn = queue_.Pop();
-  fn();
+  *t = queue_.NextTime();
   return true;
 }
 
+void Simulator::ExecuteTimerFire(uint32_t idx) {
+  {
+    TimerWheel::Timer& t = wheel_.timer(idx);
+    if (t.canceled) {
+      wheel_.Free(idx);
+      return;
+    }
+    if (!t.has_guard) {
+      // Unguarded one-shot (plain Simulator::After parked in the wheel):
+      // runs regardless of node state.
+      std::function<void()> fn = std::move(t.fn);
+      fn();
+      wheel_.Free(idx);
+      return;
+    }
+    Node* n = node(t.node);
+    if (n == nullptr || !n->alive()) {
+      wheel_.Free(idx);
+      return;
+    }
+  }
+  // Run the callback from a local: it may arm new timers and grow the wheel
+  // pool, which would invalidate any reference (or SBO buffer) inside it.
+  std::function<void()> fn = std::move(wheel_.timer(idx).fn);
+  fn();
+  TimerWheel::Timer& t = wheel_.timer(idx);  // re-lookup after execution
+  Node* n = node(t.node);
+  // period == 0 marks a one-shot record (RPC timeouts, far-future After
+  // closures): fire once, free.
+  if (t.period == 0 || t.canceled || n == nullptr || !n->alive()) {
+    wheel_.Free(idx);
+    return;
+  }
+  t.fn = std::move(fn);
+  wheel_.Rearm(idx, now_ + t.period, &queue_);
+}
+
+bool Simulator::Step() {
+  SimTime next;
+  if (!PeekNextTime(&next)) return false;
+  ExecuteNext(next);
+  return true;
+}
+
+void Simulator::ExecuteNext(SimTime next) {
+  now_ = std::max(now_, next);
+  Event ev = queue_.PopEvent();
+  ++events_executed_;
+  switch (ev.kind) {
+    case EventKind::kClosure:
+      ev.fn();
+      break;
+    case EventKind::kNodeClosure: {
+      // The closure only runs if the node is still registered (ids are
+      // never reused) and alive, so callbacks cannot touch a destroyed or
+      // failed node — the guard the old per-call wrapper lambda enforced.
+      Node* n = node(ev.node);
+      if (n != nullptr && n->alive()) ev.fn();
+      break;
+    }
+    case EventKind::kMessage: {
+      Node* target = node(ev.msg.to);
+      if (target != nullptr && target->alive()) {  // fail-stop drop
+        target->Deliver(ev.msg);
+      }
+      break;
+    }
+    case EventKind::kTimerFire:
+      ExecuteTimerFire(ev.timer_idx);
+      break;
+    case EventKind::kFree:
+      PEPPER_CHECK(false);
+      break;
+  }
+}
+
 void Simulator::RunUntil(SimTime t) {
-  while (!queue_.Empty() && queue_.NextTime() <= t) {
-    Step();
+  SimTime next;
+  while (PeekNextTime(&next) && next <= t) {
+    ExecuteNext(next);
   }
   now_ = std::max(now_, t);
 }
@@ -99,7 +235,7 @@ NodeId Simulator::Register(Node* node) {
 
 void Simulator::Unregister(NodeId id) {
   if (id < nodes_.size()) nodes_[id] = nullptr;
-  network_.ForgetChannels(id);
+  network_.ReleaseNode(id);
 }
 
 Node* Simulator::node(NodeId id) const {

@@ -2,8 +2,6 @@
 #define PEPPER_SIM_SIMULATOR_H_
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -11,6 +9,7 @@
 #include "sim/event_queue.h"
 #include "sim/message.h"
 #include "sim/rng.h"
+#include "sim/timer_wheel.h"
 
 namespace pepper::sim {
 
@@ -33,14 +32,6 @@ class Network {
 
   void Send(Message msg);
 
-  // Drops the per-channel FIFO bookkeeping for channels touching `id`;
-  // called when the peer fails (fail-stop: it never sends again, and sends
-  // *to* it stop being recorded) and when its node is destroyed.  Ids are
-  // never reused, so without this long churn runs grow the bookkeeping
-  // with one entry per channel every dead peer ever used.  O(channels of
-  // `id`) via the inbound-sender index, not a full scan.
-  void ForgetChannels(NodeId id);
-
   const NetworkOptions& options() const { return options_; }
   void set_options(NetworkOptions options) { options_ = options; }
   // Incremented on every Send — one-way messages, requests and replies all
@@ -54,16 +45,40 @@ class Network {
   SimTime RoundTripBound() const { return 2 * options_.max_latency + 2; }
 
  private:
+  friend class Simulator;
+  friend class Node;
+
+  // Channel teardown is part of node teardown: Node::Fail and
+  // Simulator::Unregister call this (fail-stop: the peer never sends again,
+  // and sends *to* it stop being recorded).  Ids are never reused, so
+  // without this long churn runs grow the bookkeeping with one entry per
+  // channel every dead peer ever used.  O(channels of `id`) via the
+  // inbound-sender index, not a full scan.
+  void ReleaseNode(NodeId id);
+
+  // Per-node flat channel tables, indexed by the dense NodeId.  `out` is
+  // kept sorted by peer id: lookup is a binary search over a contiguous
+  // 16-byte-entry array (a long-lived router accumulates hundreds of
+  // channels at paper scale, where a linear probe was the top cost of the
+  // whole run), with a last-hit cache for the bursty case (push chains,
+  // stabilize/ping to the same successor).  Inserts memmove, but a channel
+  // is created once per distinct (from, to) pair ever — vanishing next to
+  // the sends crossing it.  The old nested unordered_map<from,
+  // unordered_map<to, SimTime>> cost two hash lookups per send.
+  struct Channel {
+    NodeId peer;
+    SimTime last_delivery;  // latest delivery scheduled on this channel
+  };
+  struct NodeChannels {
+    std::vector<Channel> out;        // channels this node sends on, sorted
+    std::vector<NodeId> in_senders;  // nodes holding an out-channel to us
+    uint32_t last_out = 0;           // index of the most recent lookup hit
+  };
+
   Simulator* sim_;
   NetworkOptions options_;
   uint64_t messages_sent_ = 0;
-  // Enforces per-channel FIFO even though per-message latency is random:
-  // last_delivery_[from][to] is the latest delivery time scheduled on that
-  // channel.  inbound_senders_[to] indexes the reverse direction so
-  // ForgetChannels needs no full scan.
-  std::unordered_map<NodeId, std::unordered_map<NodeId, SimTime>>
-      last_delivery_;
-  std::unordered_map<NodeId, std::unordered_set<NodeId>> inbound_senders_;
+  std::vector<NodeChannels> channels_;
   size_t channel_count_ = 0;
 };
 
@@ -71,8 +86,19 @@ class Network {
 // actors; every handler runs atomically at a virtual instant, and all
 // concurrency between protocol steps is expressed as interleaving of events,
 // exactly the granularity at which the paper's histories are defined.
+//
+// The hot path is allocation-free in steady state: message deliveries and
+// timer ticks are fixed-size records recycled through the EventQueue arena
+// and the TimerWheel pool; only generic At/After closures still engage a
+// std::function.
 class Simulator {
  public:
+  // One-shot delays at or beyond this park in the timer wheel instead of
+  // the event heap: the heap stays shallow for near-future message
+  // traffic, and far-future closures cost O(1) until they come due.
+  // Ordering is unaffected — everything merges by (time, seq).
+  static constexpr SimTime kFarFuture = 8 * kMillisecond;
+
   explicit Simulator(uint64_t seed, NetworkOptions net = NetworkOptions());
 
   SimTime now() const { return now_; }
@@ -80,7 +106,7 @@ class Simulator {
   void At(SimTime t, std::function<void()> fn);
   void After(SimTime delay, std::function<void()> fn);
 
-  // Executes the next event; returns false if the queue is empty.
+  // Executes the next event; returns false if nothing is scheduled.
   bool Step();
   void RunFor(SimTime duration) { RunUntil(now_ + duration); }
   void RunUntil(SimTime t);
@@ -95,12 +121,41 @@ class Simulator {
   bool IsAlive(NodeId id) const;
   size_t num_registered() const { return nodes_.size(); }
 
+  // Total events executed (messages, ticks, closures); deterministic for a
+  // given seed, and the numerator of the scenario runner's events/sec.
+  uint64_t events_executed() const { return events_executed_; }
+  const EventQueue& queue() const { return queue_; }
+  const TimerWheel& wheel() const { return wheel_; }
+
  private:
+  friend class Network;
+  friend class Node;
+
+  // Node::After without the old per-call wrapper closure: the alive guard
+  // lives in the event record, not a capturing lambda.
+  void AfterOnNode(NodeId id, SimTime delay, std::function<void()> fn);
+  // Timer plumbing for Node::Every / CancelTimer.
+  uint32_t ArmTimer(NodeId id, SimTime expiry, SimTime period,
+                    std::function<void()> fn);
+  void CancelWheelTimer(uint32_t idx) { wheel_.Cancel(idx); }
+  // Message scheduling for Network::Send (by value, no closure).
+  void ScheduleMessage(SimTime deliver_at, Message msg);
+
+  // Moves every wheel slot due at or before the queue head into the queue,
+  // so the heap top is the globally earliest event by (time, seq).
+  void DrainDueTimers();
+  bool PeekNextTime(SimTime* t);
+  // Pops and runs the queue head (caller already drained and peeked).
+  void ExecuteNext(SimTime next);
+  void ExecuteTimerFire(uint32_t idx);
+
   SimTime now_ = 0;
   EventQueue queue_;
+  TimerWheel wheel_;
   Rng rng_;
   Network network_;
   Counters counters_;
+  uint64_t events_executed_ = 0;
   std::vector<Node*> nodes_;  // index == NodeId; nullptr when destroyed
 };
 

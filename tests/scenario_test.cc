@@ -65,6 +65,38 @@ TEST(ScenarioRunnerTest, SameSeedReplaysIdenticalPhaseMetrics) {
   EXPECT_NE(a.Csv(), c.Csv());
 }
 
+TEST(ScenarioRunnerTest, TimingRowsAreOptIn) {
+  const auto scenario = MakeBuiltin("long_churn", QuickParams());
+  ASSERT_TRUE(scenario.has_value());
+
+  // Default: no wall-clock rows, so same-seed CSV identity holds (pinned
+  // by SameSeedReplaysIdenticalPhaseMetrics above); the deterministic
+  // sim.events counter is always present.
+  ScenarioRunner plain(QuickRunner(606));
+  const RunReport a = plain.Run(*scenario);
+  EXPECT_NE(a.Csv().find("sim.events"), std::string::npos);
+  EXPECT_EQ(a.Csv().find("perf.wall_us"), std::string::npos);
+  for (const auto& phase : a.phases) {
+    EXPECT_GT(phase.events, 0u) << phase.name;
+    EXPECT_EQ(phase.wall_seconds, 0.0) << phase.name;
+  }
+
+  // --timing: per-phase wall-clock and events/sec rows appear in the CSV
+  // dump and the text report.
+  RunnerOptions timed = QuickRunner(606);
+  timed.timing = true;
+  ScenarioRunner with_timing(timed);
+  const RunReport b = with_timing.Run(*scenario);
+  EXPECT_NE(b.Csv().find("perf.wall_us"), std::string::npos);
+  EXPECT_NE(b.Csv().find("perf.events_per_sec"), std::string::npos);
+  EXPECT_NE(b.Text().find("events/s]"), std::string::npos);
+  // Timing rows must not perturb the simulated execution itself.
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].events, b.phases[i].events) << a.phases[i].name;
+  }
+}
+
 TEST(ScenarioRunnerTest, ChurnScenarioPassesAllProbes) {
   const auto scenario = MakeBuiltin("long_churn", QuickParams());
   ASSERT_TRUE(scenario.has_value());

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_report against the committed BENCH_simcore.json.
+
+Usage: check_perf_regression.py BASELINE.json FRESH.json [--max-regress=0.20]
+
+Gates on the micro events/sec (and the other micro throughputs) dropping
+more than --max-regress below the baseline.  Scenario wall-clock is printed
+for context but never gates: CI machines vary too much for a hard wall-time
+bound, while the micro throughputs are stable enough for a 20% band.
+Exit status: 0 ok, 1 regression, 2 usage/schema error.
+"""
+
+import json
+import sys
+
+GATED = [
+    "events_per_sec",
+    "sends_per_sec",
+    "timer_fires_per_sec",
+    "timer_arm_cancel_per_sec",
+]
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = [a for a in argv[1:] if a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    max_regress = 0.20
+    for o in opts:
+        if o.startswith("--max-regress="):
+            max_regress = float(o.split("=", 1)[1])
+        else:
+            print(f"unknown option {o}")
+            return 2
+
+    with open(args[0]) as f:
+        baseline = json.load(f)
+    with open(args[1]) as f:
+        fresh = json.load(f)
+
+    try:
+        base_micro = baseline["micro"]
+        fresh_micro = fresh["micro"]
+    except KeyError:
+        print("missing 'micro' block in one of the reports")
+        return 2
+
+    failed = False
+    for key in GATED:
+        base = base_micro.get(key)
+        new = fresh_micro.get(key)
+        if not base or new is None:
+            print(f"  {key:28s} (missing, skipped)")
+            continue
+        ratio = new / base
+        status = "OK"
+        if ratio < 1.0 - max_regress:
+            status = "REGRESSED"
+            failed = True
+        print(f"  {key:28s} {base:>14,.0f} -> {new:>14,.0f}"
+              f"  ({ratio:6.2%})  {status}")
+
+    for report, label in ((baseline, "baseline"), (fresh, "fresh")):
+        scn = report.get("scenario")
+        if scn:
+            print(f"  scenario wall ({label:8s})      {scn['wall_seconds']:.1f}s"
+                  f"  audits_ok={scn.get('fatal_audits_ok')}")
+
+    fresh_scn = fresh.get("scenario")
+    if fresh_scn and fresh_scn.get("fatal_audits_ok") is False:
+        print("fresh scenario run had audit violations")
+        failed = True
+
+    print("perf check:", "FAILED" if failed else "passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

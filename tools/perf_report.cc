@@ -1,0 +1,157 @@
+// perf_report: emits BENCH_simcore.json — the repo's tracked simulator-core
+// perf baseline.  Runs the sim-core micro-benchmarks (events/sec, sends/sec,
+// timer throughput, peak RSS) and, unless --skip-scenario, the paper-scale
+// wall-clock probe: long_churn --paper --scale=N with all audits fatal.
+//
+//   perf_report [--out=BENCH_simcore.json] [--scale=20] [--seed=42]
+//               [--quick] [--skip-scenario]
+//
+// CI compares a fresh report against the committed BENCH_simcore.json with
+// tools/check_perf_regression.py and fails on a >20% events/sec regression.
+// Exit status: 0 on success, 1 if the scenario probe found violations,
+// 2 on usage errors.
+
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim_core_microbench.h"
+
+#include "scenario/builtin_scenarios.h"
+#include "scenario/scenario_runner.h"
+
+namespace {
+
+using pepper::bench::SimCoreMicroResults;
+using pepper::scenario::BuiltinParams;
+using pepper::scenario::MakeBuiltin;
+using pepper::scenario::RunnerOptions;
+using pepper::scenario::RunReport;
+using pepper::scenario::ScenarioRunner;
+namespace sim = pepper::sim;
+
+struct ScenarioProbe {
+  bool ran = false;
+  bool ok = false;
+  double scale = 0.0;
+  uint64_t seed = 0;
+  double wall_seconds = 0.0;
+  uint64_t events = 0;
+  uint64_t messages = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_simcore.json";
+  double scale = 20.0;
+  uint64_t seed = 42;
+  bool quick = false;
+  bool skip_scenario = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::strtod(argv[i] + 8, nullptr);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--skip-scenario") == 0) {
+      skip_scenario = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_report [--out=FILE] [--scale=F] [--seed=N] "
+                   "[--quick] [--skip-scenario]\n");
+      return 2;
+    }
+  }
+
+  std::printf("running sim-core micro-benchmarks%s...\n",
+              quick ? " (quick)" : "");
+  const SimCoreMicroResults micro = pepper::bench::RunSimCoreMicrobench(quick);
+  std::printf("  events/sec %.0f  sends/sec %.0f  timer fires/sec %.0f\n",
+              micro.events_per_sec, micro.sends_per_sec,
+              micro.timer_fires_per_sec);
+
+  ScenarioProbe probe;
+  if (!skip_scenario) {
+    std::printf("running long_churn --paper --scale=%g --seed=%llu "
+                "(fatal audits)...\n",
+                scale, static_cast<unsigned long long>(seed));
+    BuiltinParams params;
+    params.scale = scale;
+    const auto scenario = MakeBuiltin("long_churn", params);
+    if (!scenario.has_value()) {
+      std::fprintf(stderr, "long_churn missing from the catalogue\n");
+      return 2;
+    }
+    RunnerOptions options;
+    options.cluster = pepper::workload::ClusterOptions::PaperDefaults();
+    options.cluster.seed = seed;
+    options.initial_free_peers = 10;
+    options.seed_items = 40;
+    options.fatal_probes = true;
+    options.probe_settle = 40 * sim::kSecond;
+    options.timing = true;
+    ScenarioRunner runner(options);
+    const auto start = std::chrono::steady_clock::now();
+    const RunReport report = runner.Run(*scenario);
+    probe.ran = true;
+    probe.ok = report.ok;
+    probe.scale = scale;
+    probe.seed = seed;
+    probe.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    probe.events = runner.cluster()->sim().events_executed();
+    probe.messages = runner.cluster()->sim().network().messages_sent();
+    std::printf("  wall %.1fs, %llu events (%.0f events/sec), audits %s\n",
+                probe.wall_seconds,
+                static_cast<unsigned long long>(probe.events),
+                static_cast<double>(probe.events) / probe.wall_seconds,
+                probe.ok ? "green" : "VIOLATED");
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": 1,\n  \"micro\": {\n";
+  json << "    \"events_per_sec\": " << static_cast<uint64_t>(
+              micro.events_per_sec) << ",\n";
+  json << "    \"sends_per_sec\": " << static_cast<uint64_t>(
+              micro.sends_per_sec) << ",\n";
+  json << "    \"timer_fires_per_sec\": " << static_cast<uint64_t>(
+              micro.timer_fires_per_sec) << ",\n";
+  json << "    \"timer_arm_cancel_per_sec\": " << static_cast<uint64_t>(
+              micro.timer_arm_cancel_per_sec) << ",\n";
+  json << "    \"peak_rss_kb\": " << micro.peak_rss_kb << "\n  }";
+  if (probe.ran) {
+    json << ",\n  \"scenario\": {\n";
+    json << "    \"name\": \"long_churn\",\n    \"paper\": true,\n";
+    json << "    \"scale\": " << probe.scale << ",\n";
+    json << "    \"seed\": " << probe.seed << ",\n";
+    json << "    \"fatal_audits_ok\": " << (probe.ok ? "true" : "false")
+         << ",\n";
+    json << "    \"wall_seconds\": " << probe.wall_seconds << ",\n";
+    json << "    \"events\": " << probe.events << ",\n";
+    json << "    \"events_per_sec\": "
+         << static_cast<uint64_t>(static_cast<double>(probe.events) /
+                                  probe.wall_seconds) << ",\n";
+    json << "    \"messages\": " << probe.messages << ",\n";
+    json << "    \"peak_rss_kb\": " << pepper::bench::PeakRssKb()
+         << "\n  }";
+  }
+  json << "\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  out << json.str();
+  std::printf("report written to %s\n", out_path.c_str());
+  return probe.ran && !probe.ok ? 1 : 0;
+}

@@ -49,6 +49,10 @@ void PrintUsage() {
       "                  report Definition 7 item loss without failing the\n"
       "                  run (failure-mode churn: availability under crashes\n"
       "                  is probabilistic, see ROADMAP)\n"
+      "  --timing        per-phase wall-clock and events/sec in the text\n"
+      "                  report and as perf.* counters in the CSV dump\n"
+      "                  (non-deterministic rows; leave off for replay\n"
+      "                  comparisons)\n"
       "  --quiet         suppress the text report\n");
 }
 
@@ -59,6 +63,7 @@ int main(int argc, char** argv) {
   bool paper = false;
   bool fatal = false;
   bool availability_fatal = true;
+  bool timing = false;
   bool quiet = false;
   std::string scenario_name;
   std::string csv_path;
@@ -75,6 +80,8 @@ int main(int argc, char** argv) {
       fatal = true;
     } else if (std::strcmp(argv[i], "--availability-informational") == 0) {
       availability_fatal = false;
+    } else if (std::strcmp(argv[i], "--timing") == 0) {
+      timing = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (ParseFlag(argv[i], "--scenario", &value)) {
@@ -121,6 +128,7 @@ int main(int argc, char** argv) {
   options.seed_items = 40;
   options.fatal_probes = fatal;
   options.availability_fatal = availability_fatal;
+  options.timing = timing;
   if (paper) {
     // Paper timers are ~20x slower than FastDefaults; give reorganizations
     // a commensurate drain window before each probe round.
