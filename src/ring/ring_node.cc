@@ -595,8 +595,8 @@ void RingNode::RunPing() {
           }
           MaybeRaiseNewSucc();
           StabilizeNow();  // re-stabilize with the repaired successor
-          if (on_successor_failed_) {
-            on_successor_failed_(target, failed_val);
+          for (const auto& fn : on_successor_failed_) {
+            fn(target, failed_val);
           }
         });
   }
@@ -668,7 +668,7 @@ void RingNode::MaybeRaiseNewSucc() {
     if (!e.stabilized) return;  // successor known but not yet stabilized
     if (e.id != last_new_succ_) {
       last_new_succ_ = e.id;
-      if (on_new_successor_) on_new_successor_(e.id, e.val);
+      for (const auto& fn : on_new_successor_) fn(e.id, e.val);
     }
     return;
   }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/key_space.h"
 #include "common/stats.h"
@@ -148,11 +149,16 @@ class RingNode : public sim::ProtocolComponent {
   void set_on_pred_changed(PredChangedFn fn) {
     on_pred_changed_ = std::move(fn);
   }
-  void set_on_new_successor(NewSuccessorFn fn) {
-    on_new_successor_ = std::move(fn);
+  // NEWSUCC / successor-failed are multi-subscriber: both the replication
+  // layer (re-push along the repaired chain) and the HRF router (snap the
+  // refresh cadence back to its base period) listen.  Subscribers fire in
+  // registration order; they must outlive the ring's last activity (the
+  // ProtocolComponent lifetime contract).
+  void add_on_new_successor(NewSuccessorFn fn) {
+    on_new_successor_.push_back(std::move(fn));
   }
-  void set_on_successor_failed(SuccessorFailedFn fn) {
-    on_successor_failed_ = std::move(fn);
+  void add_on_successor_failed(SuccessorFailedFn fn) {
+    on_successor_failed_.push_back(std::move(fn));
   }
   void set_on_joined(JoinedFn fn) { on_joined_ = std::move(fn); }
 
@@ -190,8 +196,8 @@ class RingNode : public sim::ProtocolComponent {
   JoinDataProvider collect_join_data_;
   InfoForSuccProvider info_for_succ_;
   PredChangedFn on_pred_changed_;
-  NewSuccessorFn on_new_successor_;
-  SuccessorFailedFn on_successor_failed_;
+  std::vector<NewSuccessorFn> on_new_successor_;
+  std::vector<SuccessorFailedFn> on_successor_failed_;
   JoinedFn on_joined_;
 
   sim::NodeId pred_id_ = sim::kNullNode;

@@ -27,6 +27,12 @@ RouterBase::RouterBase(ring::RingNode* ring, datastore::DataStoreNode* ds,
 }
 
 void RouterBase::Lookup(Key key, LookupFn done) {
+  // `router.lookups` counts user-facing calls; retries only show up in
+  // `router.attempts` / `router.retries`, so success-rate math over
+  // lookups is not inflated by retried attempts.
+  if (options_.metrics != nullptr) {
+    options_.metrics->counters().Inc("router.lookups");
+  }
   const uint64_t lookup_id = ++next_lookup_id_;
   StartAttempt(key, lookup_id, options_.max_retries, std::move(done));
 }
@@ -34,7 +40,7 @@ void RouterBase::Lookup(Key key, LookupFn done) {
 void RouterBase::StartAttempt(Key key, uint64_t lookup_id, int retries_left,
                               LookupFn done) {
   if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("router.lookups");
+    options_.metrics->counters().Inc("router.attempts");
   }
   pending_[lookup_id] = PendingLookup{std::move(done)};
   LookupRequest req;
@@ -56,7 +62,12 @@ void RouterBase::StartAttempt(Key key, uint64_t lookup_id, int retries_left,
                    if (options_.metrics != nullptr) {
                      options_.metrics->counters().Inc("router.retries");
                    }
-                   StartAttempt(key, lookup_id + (1ull << 20), retries_left - 1,
+                   // The retry id must come from the same allocator as fresh
+                   // ids: a derived id (the old lookup_id + (1<<20) scheme)
+                   // eventually collides with a fresh lookup, whose pending_
+                   // insert then silently overwrites the live retry entry
+                   // and drops its callback.
+                   StartAttempt(key, ++next_lookup_id_, retries_left - 1,
                                 std::move(done));
                  } else {
                    done(Status::TimedOut("lookup failed"), sim::kNullNode, 0);
@@ -98,12 +109,26 @@ void RouterBase::RouteOrAnswer(const LookupRequest& req) {
     }
     return;
   }
-  if (req.hops_left <= 0) return;  // budget exhausted; initiator retries
+  if (req.hops_left <= 0) {
+    // Budget exhausted (typically a lookup circling a ring whose owner
+    // check transiently fails mid-takeover); the initiator retries.
+    if (options_.metrics != nullptr) {
+      options_.metrics->counters().Inc("router.hop_budget_exhausted");
+    }
+    return;
+  }
 
   sim::NodeId next = req.greedy ? NextHop(req.key) : sim::kNullNode;
   if (next == sim::kNullNode || next == id()) {
     auto succ = ring_->GetSuccRelaxed();
-    if (!succ.has_value() || succ->id == id()) return;
+    if (!succ.has_value() || succ->id == id()) {
+      // Nowhere to forward at all — the same silent stall as an
+      // unreachable hop, so it counts toward the same bounded event.
+      if (options_.metrics != nullptr) {
+        options_.metrics->counters().Inc("router.fwd_dead_end");
+      }
+      return;
+    }
     next = succ->id;
   }
 
@@ -113,18 +138,28 @@ void RouterBase::RouteOrAnswer(const LookupRequest& req) {
   fwd->hops_left = req.hops_left - 1;
 
   // Acknowledged forwarding: if the chosen hop is dead, fall back to the
-  // plain ring successor once.
+  // ring successor, re-consulting the ring once more after that (the chain
+  // repairs between consults) before the lookup is allowed to dead-end.
+  ForwardLookup(std::move(fwd), next, /*ring_consults_left=*/2);
+}
+
+void RouterBase::ForwardLookup(std::shared_ptr<LookupRequest> fwd,
+                               sim::NodeId next, int ring_consults_left) {
   Call(
       next, fwd, [](const sim::Message&) {}, 4 * ring_->options().ping_timeout,
-      [this, fwd, next]() {
+      [this, fwd, next, ring_consults_left]() {
         auto succ = ring_->GetSuccRelaxed();
-        if (!succ.has_value() || succ->id == id() ||
-            succ->id == next) {
+        if (ring_consults_left <= 0 || !succ.has_value() ||
+            succ->id == id() || succ->id == next) {
+          // No fresh hop to try: the lookup silently stalls until the
+          // initiator-side retry.  Counted so scenario probes can see and
+          // bound the event instead of misattributing it as a timeout.
+          if (options_.metrics != nullptr) {
+            options_.metrics->counters().Inc("router.fwd_dead_end");
+          }
           return;
         }
-        Call(
-            succ->id, fwd, [](const sim::Message&) {},
-            4 * ring_->options().ping_timeout, []() {});
+        ForwardLookup(fwd, succ->id, ring_consults_left - 1);
       });
 }
 

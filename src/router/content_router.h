@@ -2,6 +2,7 @@
 #define PEPPER_ROUTER_CONTENT_ROUTER_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,11 @@ class RouterBase : public sim::ProtocolComponent, public ContentRouter {
 
   void Lookup(Key key, LookupFn done) override;
 
+  // Test-only: positions the id allocator so tests can provoke historical
+  // id-reuse schemes deterministically (see router_refresh_test.cc).
+  void set_next_lookup_id_for_test(uint64_t v) { next_lookup_id_ = v; }
+  size_t pending_lookups_for_test() const { return pending_.size(); }
+
  protected:
   // Picks the next hop for `key`; kNullNode if no progress is possible.
   virtual sim::NodeId NextHop(Key key) = 0;
@@ -79,6 +85,13 @@ class RouterBase : public sim::ProtocolComponent, public ContentRouter {
   void HandleRequest(const sim::Message& msg, const LookupRequest& req);
   void HandleReply(const sim::Message& msg, const LookupReply& reply);
   void RouteOrAnswer(const LookupRequest& req);
+  // Acked forwarding with ring fallback: if `next` never acks, re-consult
+  // the ring up to `ring_consults_left` times (the successor chain repairs
+  // itself between consults); a chain that ends with no live hop is counted
+  // as `router.fwd_dead_end` (the lookup then stalls until the
+  // initiator-side retry).
+  void ForwardLookup(std::shared_ptr<LookupRequest> fwd, sim::NodeId next,
+                     int ring_consults_left);
 
   bool greedy_;
   uint64_t next_lookup_id_;

@@ -1,17 +1,65 @@
 #ifndef PEPPER_ROUTER_HRF_ROUTER_H_
 #define PEPPER_ROUTER_HRF_ROUTER_H_
 
+#include <utility>
 #include <vector>
 
 #include "router/content_router.h"
 
 namespace pepper::router {
 
+// One routing-hierarchy pointer: a peer roughly 2^level ring successors
+// away.  Shared by the level vector and the refresh messages.
+struct LevelEntry {
+  sim::NodeId id = sim::kNullNode;
+  Key val = 0;
+
+  bool operator==(const LevelEntry& o) const {
+    return id == o.id && val == o.val;
+  }
+  bool operator!=(const LevelEntry& o) const { return !(*this == o); }
+};
+
+// Legacy per-level refresh probe: "what is your level-`level` pointer?".
+// Kept (behind HrfOptions::batched_refresh = false) as the A/B baseline for
+// the batched scheme below.
+struct GetEntryRequest : sim::Payload {
+  size_t level = 0;
+};
+struct GetEntryReply : sim::Payload {
+  bool valid = false;
+  sim::NodeId id = sim::kNullNode;
+  Key val = 0;
+};
+
+// Batched refresh probe: one RPC returns the remote peer's entire level
+// vector, so a refresh pass reads each chain peer once instead of doing a
+// per-level GetEntry round trip per tick.
+struct GetLevelsRequest : sim::Payload {};
+struct GetLevelsReply : sim::Payload {
+  bool valid = false;  // remote is ring-joined and answered with its vector
+  std::vector<LevelEntry> entries;
+};
+
 struct HrfOptions {
   RouterOptions base;
-  // How often routing levels are rebuilt from the ring.
+  // Base cadence: how often routing levels are rebuilt from the ring.
   sim::SimTime refresh_period = 2 * sim::kSecond;
   size_t max_levels = 48;
+  // Batched refresh (GetLevels full-vector chain) vs the legacy per-level
+  // GetEntry chain.  The legacy path also runs at a fixed cadence — it is
+  // the paper-figure baseline the A/B bench compares against.
+  bool batched_refresh = true;
+  // Stability-adaptive cadence (batched path only): the refresh period
+  // doubles after every pass that observes no change — same level-0
+  // successor, every returned vector entry identical to the assembled
+  // hierarchy — up to this cap.  It snaps back to `refresh_period` on any
+  // hard ring event (successor failure, new successor, peer state change,
+  // a timed-out chain peer, a hierarchy cleared under a pass), and halves
+  // after two consecutive passes that observed remote vector deltas (a
+  // one-off distant delta is tolerated — pointers are hints).  Set equal
+  // to `refresh_period` to disable.
+  sim::SimTime max_refresh_period = 16 * sim::kSecond;
 };
 
 // Order-preserving hierarchical router in the spirit of the P-Ring Content
@@ -23,6 +71,10 @@ struct HrfOptions {
 // correctness never depends on them (the Data Store range test at each hop
 // decides, and the final hops follow the fault-tolerant ring), matching the
 // paper's premise that router concurrency is handled elsewhere [2, 6].
+//
+// That staleness license is what makes maintenance cheap: level refresh is
+// batched (one GetLevels RPC per chain peer returns its whole vector) and
+// the refresh cadence backs off while the ring is stable (see HrfOptions).
 class HrfRouter : public RouterBase {
  public:
   HrfRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
@@ -31,26 +83,44 @@ class HrfRouter : public RouterBase {
   // Number of currently valid levels (for tests/benches).
   size_t num_levels() const { return levels_.size(); }
 
+  // --- Test-only hooks (deterministic race orchestration) ------------------
+  // Current adaptive refresh period.
+  sim::SimTime refresh_period_for_test() const { return current_period_; }
+  // Starts a refresh pass now (whichever path is configured).
+  void refresh_now_for_test() { Tick(); }
+  // Simulates the hierarchy being cleared / truncated while a refresh RPC
+  // is in flight (ring state change racing a slow reply).
+  void clear_levels_for_test() { levels_.clear(); }
+  void truncate_levels_for_test(size_t n) {
+    if (levels_.size() > n) levels_.resize(n);
+  }
+  std::vector<LevelEntry> levels_for_test() const { return levels_; }
+
  protected:
   sim::NodeId NextHop(Key key) override;
 
  private:
-  struct LevelEntry {
-    sim::NodeId id = sim::kNullNode;
-    Key val = 0;
-  };
+  void Tick();
 
-  struct GetEntryRequest : sim::Payload {
-    size_t level = 0;
-  };
-  struct GetEntryReply : sim::Payload {
-    bool valid = false;
-    sim::NodeId id = sim::kNullNode;
-    Key val = 0;
-  };
-
+  // Legacy per-level path (A/B baseline, fixed cadence).
   void RefreshTick();
   void RefreshLevel(size_t level);
+
+  // Batched path: one pass walks the chain with GetLevels RPCs.
+  void BatchedTick();
+  void ChainStep(size_t level, uint64_t pass_epoch);
+  void TruncateAndFinish(size_t level, uint64_t pass_epoch);
+  // `hard` = instability observed right here (chain timeout, hierarchy
+  // cleared/rebuilt under the pass): snap to the base period.  Soft remote
+  // vector deltas (pass_changed_) halve the period instead; a clean pass
+  // doubles it up to the cap.
+  void FinishPass(uint64_t pass_epoch, bool hard);
+
+  // Cadence control (batched path).
+  void SetPeriod(sim::SimTime period);
+  void OnRingEvent();
+
+  void CountRefreshRpc();
 
   // Clockwise distance from this peer's value to `to` (modular Key
   // arithmetic).
@@ -58,6 +128,15 @@ class HrfRouter : public RouterBase {
 
   HrfOptions hrf_options_;
   std::vector<LevelEntry> levels_;
+
+  // Adaptive-cadence state.
+  sim::SimTime current_period_;
+  uint64_t refresh_timer_ = 0;
+  ring::PeerState last_state_;
+  uint64_t pass_epoch_ = 0;
+  bool pass_active_ = false;
+  bool pass_changed_ = false;
+  int soft_delta_streak_ = 0;
 };
 
 }  // namespace pepper::router

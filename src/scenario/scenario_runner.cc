@@ -60,6 +60,8 @@ RunReport ScenarioRunner::Run(const Scenario& scenario) {
   driver_.reset();  // before the cluster its timers point into
   reported_lost_.clear();
   reported_query_violations_ = 0;
+  reported_dead_ends_ = 0;
+  reported_attempts_ = 0;
   cluster_ = std::make_unique<workload::Cluster>(options_.cluster);
   workload::Cluster& cluster = *cluster_;
   cluster.Bootstrap(options_.bootstrap_val);
@@ -200,6 +202,36 @@ ProbeOutcome ScenarioRunner::RunProbes() {
                                  " owned by two peers");
       }
     }
+  }
+
+  // --- Router dead-end probe ----------------------------------------------
+  // A forwarding hop that dies mid-lookup is tolerated (the initiator-side
+  // retry completes the lookup), but it must stay a rare event: if the
+  // forward path dead-ends for more than 2% of a round's attempts, lookups
+  // are systematically stalling a full lookup-timeout each — a
+  // routing-layer pathology the timeout statistics alone would
+  // misattribute.  Diffed per probe round (like the Definition 7 probe
+  // above) so one bad phase is one violation, not one per remaining phase,
+  // and a late phase-local burst is not averaged away under a long run's
+  // earlier clean attempts.  The handful-per-round floor skips settle-
+  // window stragglers; paper-scale long_churn measures ~0.8% from
+  // transient takeover windows, while the pathology this bounds is tens
+  // of percent.
+  const auto& router_counters = cluster.metrics().counters();
+  const uint64_t total_dead_ends =
+      router_counters.Get("router.fwd_dead_end");
+  const uint64_t total_attempts = router_counters.Get("router.attempts");
+  const uint64_t round_dead_ends = total_dead_ends - reported_dead_ends_;
+  const uint64_t round_attempts = total_attempts - reported_attempts_;
+  reported_dead_ends_ = total_dead_ends;
+  reported_attempts_ = total_attempts;
+  out.router_dead_ends = round_dead_ends;
+  if (round_dead_ends > 5 && round_dead_ends * 50 > round_attempts) {
+    std::ostringstream os;
+    os << "router: " << round_dead_ends
+       << " forwarding dead-end(s) across " << round_attempts
+       << " attempts this round (>2%)";
+    out.violations.push_back(os.str());
   }
 
   // --- Query audits (Definition 4) ----------------------------------------

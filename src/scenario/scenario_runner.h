@@ -55,6 +55,11 @@ struct ProbeOutcome {
   size_t lost_items = 0;        // Definition 7 availability violations
   size_t conservation_errors = 0;  // duplicates / out-of-range placements
   size_t query_violations = 0;  // Definition 4 audits failed mid-phase
+  // Router forwarding dead-ends this probe round (a forward hop died and
+  // the ring fallback had nowhere fresh to go; the lookup stalled until
+  // the initiator retry).  Bounded: more than 2% of the round's attempts
+  // is a violation.
+  uint64_t router_dead_ends = 0;
   std::vector<std::string> violations;
 };
 
@@ -111,6 +116,9 @@ class ScenarioRunner {
   std::set<Key> reported_lost_;
   // Same cumulative->per-phase bookkeeping for Definition 4 query audits.
   size_t reported_query_violations_ = 0;
+  // And for the router dead-end probe (counters are run-cumulative).
+  uint64_t reported_dead_ends_ = 0;
+  uint64_t reported_attempts_ = 0;
 };
 
 }  // namespace pepper::scenario

@@ -1,5 +1,6 @@
 #include "workload/cluster.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -66,6 +67,7 @@ ClusterOptions ClusterOptions::FastDefaults() {
   o.index.insert_retries = 10;
   o.router.lookup_timeout = 500 * sim::kMillisecond;
   o.hrf_refresh_period = 200 * sim::kMillisecond;
+  o.hrf_max_refresh_period = 1600 * sim::kMillisecond;  // same 8x cap as paper
   return o;
 }
 
@@ -106,6 +108,9 @@ PeerStack* Cluster::MakeStack() {
     router::HrfOptions hopts;
     hopts.base = routopts;
     hopts.refresh_period = options_.hrf_refresh_period;
+    hopts.batched_refresh = options_.hrf_batched_refresh;
+    hopts.max_refresh_period =
+        std::max(options_.hrf_max_refresh_period, options_.hrf_refresh_period);
     stack->router = std::make_unique<router::HrfRouter>(
         stack->ring.get(), stack->ds.get(), hopts);
   } else {
@@ -141,9 +146,9 @@ PeerStack* Cluster::MakeStack() {
         rp->OnInfoFromPred(pred, info);
         dsp->OnPredChanged();
       });
-  rn->set_on_new_successor(
+  rn->add_on_new_successor(
       [rp](sim::NodeId /*succ*/, Key /*val*/) { rp->PushNow(); });
-  rn->set_on_successor_failed(
+  rn->add_on_successor_failed(
       [rp](sim::NodeId succ, Key /*val*/) { rp->OnSuccessorFailed(succ); });
   rn->set_collect_join_data([rp](sim::NodeId /*peer*/, Key /*val*/) {
     return rp->MakeSeedForSuccessor();

@@ -41,6 +41,11 @@ struct ClusterOptions {
   router::RouterOptions router;
   bool use_hrf_router = true;
   sim::SimTime hrf_refresh_period = 2 * sim::kSecond;
+  // Batched GetLevels refresh with stability-adaptive cadence (period backs
+  // off to hrf_max_refresh_period while the ring is stable).  false = the
+  // legacy per-level GetEntry chain at a fixed cadence — the A/B baseline.
+  bool hrf_batched_refresh = true;
+  sim::SimTime hrf_max_refresh_period = 16 * sim::kSecond;
 
   // Paper defaults (Section 6.1): successor list 4, stabilization 4 s,
   // sf = 5, replication factor 6.

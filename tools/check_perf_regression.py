@@ -7,6 +7,15 @@ Gates on the micro events/sec (and the other micro throughputs) dropping
 more than --max-regress below the baseline.  Scenario wall-clock is printed
 for context but never gates: CI machines vary too much for a hard wall-time
 bound, while the micro throughputs are stable enough for a 20% band.
+
+Also gates the router refresh-traffic figures of the scenario probe (both
+deterministic, so CI machine variance does not apply):
+  * router.refresh_share (HRF refresh msgs / total msgs) must not grow more
+    than --max-regress above the committed baseline share, and
+  * router_hops_ratio (batched vs per-level lookup hop mean, the in-report
+    A/B) must not exceed 1.0 + --max-hops-drift,
+so refresh-traffic regressions fail the nightly job like throughput
+regressions do.
 Exit status: 0 ok, 1 regression, 2 usage/schema error.
 """
 
@@ -28,9 +37,12 @@ def main(argv):
         print(__doc__)
         return 2
     max_regress = 0.20
+    max_hops_drift = 0.05
     for o in opts:
         if o.startswith("--max-regress="):
             max_regress = float(o.split("=", 1)[1])
+        elif o.startswith("--max-hops-drift="):
+            max_hops_drift = float(o.split("=", 1)[1])
         else:
             print(f"unknown option {o}")
             return 2
@@ -72,6 +84,38 @@ def main(argv):
     if fresh_scn and fresh_scn.get("fatal_audits_ok") is False:
         print("fresh scenario run had audit violations")
         failed = True
+    if fresh_scn and fresh_scn.get("router_baseline_audits_ok") is False:
+        print("fresh router-baseline (A/B) run had audit violations")
+        failed = True
+
+    # --- Router refresh-traffic gates (deterministic figures) ---------------
+    base_share = (baseline.get("scenario") or {}).get("router", {}).get(
+        "refresh_share")
+    fresh_share = (fresh_scn or {}).get("router", {}).get("refresh_share")
+    if base_share and fresh_share is not None:
+        # Small absolute epsilon so a near-zero baseline share doesn't turn
+        # rounding noise into a failure.
+        bound = base_share * (1.0 + max_regress) + 0.005
+        status = "OK"
+        if fresh_share > bound:
+            status = "REGRESSED"
+            failed = True
+        print(f"  router.refresh_share         {base_share:14.4f} -> "
+              f"{fresh_share:14.4f}  (bound {bound:.4f})  {status}")
+    elif fresh_share is not None:
+        print(f"  router.refresh_share         (no baseline)  "
+              f"{fresh_share:.4f}")
+
+    hops_ratio = (fresh_scn or {}).get("router_hops_ratio")
+    if hops_ratio is not None:
+        # One-sided: fewer hops than the per-level baseline is fine; the
+        # gate exists so cheap refresh never quietly buys worse routing.
+        status = "OK"
+        if hops_ratio > 1.0 + max_hops_drift:
+            status = "REGRESSED"
+            failed = True
+        print(f"  router_hops_ratio (A/B)      {hops_ratio:14.3f}"
+              f"  (bound {1.0 + max_hops_drift:.2f})  {status}")
 
     print("perf check:", "FAILED" if failed else "passed")
     return 1 if failed else 0

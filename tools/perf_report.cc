@@ -41,7 +41,69 @@ struct ScenarioProbe {
   double wall_seconds = 0.0;
   uint64_t events = 0;
   uint64_t messages = 0;
+  // Router refresh-traffic probe: HRF level-maintenance messages (GetLevels
+  // / GetEntry requests + replies) against total network messages, plus the
+  // lookup hop distribution — the figure-level A/B evidence for the batched
+  // refresh scheme.
+  uint64_t refresh_msgs = 0;
+  double refresh_share = 0.0;
+  double hops_mean = 0.0;
+  uint64_t hops_count = 0;
+  uint64_t fwd_dead_ends = 0;
 };
+
+ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
+                               bool batched_refresh) {
+  ScenarioProbe probe;
+  BuiltinParams params;
+  params.scale = scale;
+  const auto scenario = MakeBuiltin("long_churn", params);
+  if (!scenario.has_value()) return probe;
+  RunnerOptions options;
+  options.cluster = pepper::workload::ClusterOptions::PaperDefaults();
+  options.cluster.seed = seed;
+  options.cluster.hrf_batched_refresh = batched_refresh;
+  options.initial_free_peers = 10;
+  options.seed_items = 40;
+  options.fatal_probes = true;
+  options.probe_settle = 40 * sim::kSecond;
+  options.timing = true;
+  ScenarioRunner runner(options);
+  const auto start = std::chrono::steady_clock::now();
+  const RunReport report = runner.Run(*scenario);
+  probe.ran = true;
+  probe.ok = report.ok;
+  probe.scale = scale;
+  probe.seed = seed;
+  probe.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  probe.events = runner.cluster()->sim().events_executed();
+  probe.messages = runner.cluster()->sim().network().messages_sent();
+  const auto& counters = runner.cluster()->metrics().counters();
+  probe.refresh_msgs = counters.Get("router.refresh_rpcs") +
+                       counters.Get("router.refresh_replies");
+  if (probe.messages > 0) {
+    probe.refresh_share = static_cast<double>(probe.refresh_msgs) /
+                          static_cast<double>(probe.messages);
+  }
+  probe.fwd_dead_ends = counters.Get("router.fwd_dead_end");
+  const auto* hops =
+      runner.cluster()->metrics().FindLatency("router.hops");
+  if (hops != nullptr) {
+    probe.hops_mean = hops->mean();
+    probe.hops_count = hops->count();
+  }
+  return probe;
+}
+
+void AppendRouterJson(std::ostringstream& json, const ScenarioProbe& p) {
+  json << "      \"refresh_msgs\": " << p.refresh_msgs << ",\n";
+  json << "      \"refresh_share\": " << p.refresh_share << ",\n";
+  json << "      \"hops_mean\": " << p.hops_mean << ",\n";
+  json << "      \"hops_count\": " << p.hops_count << ",\n";
+  json << "      \"fwd_dead_ends\": " << p.fwd_dead_ends << "\n";
+}
 
 }  // namespace
 
@@ -51,6 +113,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   bool quick = false;
   bool skip_scenario = false;
+  bool skip_router_ab = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -63,10 +126,12 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "--skip-scenario") == 0) {
       skip_scenario = true;
+    } else if (std::strcmp(argv[i], "--skip-router-ab") == 0) {
+      skip_router_ab = true;
     } else {
       std::fprintf(stderr,
                    "usage: perf_report [--out=FILE] [--scale=F] [--seed=N] "
-                   "[--quick] [--skip-scenario]\n");
+                   "[--quick] [--skip-scenario] [--skip-router-ab]\n");
       return 2;
     }
   }
@@ -79,42 +144,46 @@ int main(int argc, char** argv) {
               micro.timer_fires_per_sec);
 
   ScenarioProbe probe;
+  ScenarioProbe baseline;
   if (!skip_scenario) {
     std::printf("running long_churn --paper --scale=%g --seed=%llu "
                 "(fatal audits)...\n",
                 scale, static_cast<unsigned long long>(seed));
-    BuiltinParams params;
-    params.scale = scale;
-    const auto scenario = MakeBuiltin("long_churn", params);
-    if (!scenario.has_value()) {
+    probe = RunScenarioProbe(scale, seed, /*batched_refresh=*/true);
+    if (!probe.ran) {
       std::fprintf(stderr, "long_churn missing from the catalogue\n");
       return 2;
     }
-    RunnerOptions options;
-    options.cluster = pepper::workload::ClusterOptions::PaperDefaults();
-    options.cluster.seed = seed;
-    options.initial_free_peers = 10;
-    options.seed_items = 40;
-    options.fatal_probes = true;
-    options.probe_settle = 40 * sim::kSecond;
-    options.timing = true;
-    ScenarioRunner runner(options);
-    const auto start = std::chrono::steady_clock::now();
-    const RunReport report = runner.Run(*scenario);
-    probe.ran = true;
-    probe.ok = report.ok;
-    probe.scale = scale;
-    probe.seed = seed;
-    probe.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    probe.events = runner.cluster()->sim().events_executed();
-    probe.messages = runner.cluster()->sim().network().messages_sent();
     std::printf("  wall %.1fs, %llu events (%.0f events/sec), audits %s\n",
                 probe.wall_seconds,
                 static_cast<unsigned long long>(probe.events),
                 static_cast<double>(probe.events) / probe.wall_seconds,
                 probe.ok ? "green" : "VIOLATED");
+    std::printf("  router refresh msgs %llu (%.1f%% of %llu total), "
+                "hops mean %.2f over %llu lookups\n",
+                static_cast<unsigned long long>(probe.refresh_msgs),
+                probe.refresh_share * 100.0,
+                static_cast<unsigned long long>(probe.messages),
+                probe.hops_mean,
+                static_cast<unsigned long long>(probe.hops_count));
+    if (!skip_router_ab) {
+      // The per-level fixed-cadence baseline, same seed/scale: the A/B pair
+      // pins the refresh-traffic reduction and the hop-distribution parity
+      // figure-style (check_perf_regression.py gates both).
+      std::printf("running the per-level refresh baseline (A/B)...\n");
+      baseline = RunScenarioProbe(scale, seed, /*batched_refresh=*/false);
+      std::printf("  baseline refresh msgs %llu (%.1f%%), hops mean %.2f; "
+                  "reduction %.2fx, hops ratio %.3f\n",
+                  static_cast<unsigned long long>(baseline.refresh_msgs),
+                  baseline.refresh_share * 100.0, baseline.hops_mean,
+                  probe.refresh_msgs > 0
+                      ? static_cast<double>(baseline.refresh_msgs) /
+                            static_cast<double>(probe.refresh_msgs)
+                      : 0.0,
+                  baseline.hops_mean > 0.0 ? probe.hops_mean /
+                                                 baseline.hops_mean
+                                           : 0.0);
+    }
   }
 
   std::ostringstream json;
@@ -141,6 +210,25 @@ int main(int argc, char** argv) {
          << static_cast<uint64_t>(static_cast<double>(probe.events) /
                                   probe.wall_seconds) << ",\n";
     json << "    \"messages\": " << probe.messages << ",\n";
+    json << "    \"router\": {\n";
+    AppendRouterJson(json, probe);
+    json << "    },\n";
+    if (baseline.ran) {
+      json << "    \"router_baseline\": {\n";
+      AppendRouterJson(json, baseline);
+      json << "    },\n";
+      json << "    \"router_baseline_audits_ok\": "
+           << (baseline.ok ? "true" : "false") << ",\n";
+      if (probe.refresh_msgs > 0) {
+        json << "    \"router_refresh_reduction\": "
+             << static_cast<double>(baseline.refresh_msgs) /
+                    static_cast<double>(probe.refresh_msgs) << ",\n";
+      }
+      if (baseline.hops_mean > 0.0) {
+        json << "    \"router_hops_ratio\": "
+             << probe.hops_mean / baseline.hops_mean << ",\n";
+      }
+    }
     json << "    \"peak_rss_kb\": " << pepper::bench::PeakRssKb()
          << "\n  }";
   }
@@ -153,5 +241,7 @@ int main(int argc, char** argv) {
   }
   out << json.str();
   std::printf("report written to %s\n", out_path.c_str());
-  return probe.ran && !probe.ok ? 1 : 0;
+  const bool violations =
+      (probe.ran && !probe.ok) || (baseline.ran && !baseline.ok);
+  return violations ? 1 : 0;
 }

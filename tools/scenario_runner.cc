@@ -53,6 +53,10 @@ void PrintUsage() {
       "                  report and as perf.* counters in the CSV dump\n"
       "                  (non-deterministic rows; leave off for replay\n"
       "                  comparisons)\n"
+      "  --legacy-router-refresh\n"
+      "                  per-level GetEntry refresh at a fixed cadence (the\n"
+      "                  pre-batching baseline) instead of batched GetLevels\n"
+      "                  with stability-adaptive cadence — for A/B runs\n"
       "  --quiet         suppress the text report\n");
 }
 
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
   bool fatal = false;
   bool availability_fatal = true;
   bool timing = false;
+  bool legacy_router_refresh = false;
   bool quiet = false;
   std::string scenario_name;
   std::string csv_path;
@@ -82,6 +87,8 @@ int main(int argc, char** argv) {
       availability_fatal = false;
     } else if (std::strcmp(argv[i], "--timing") == 0) {
       timing = true;
+    } else if (std::strcmp(argv[i], "--legacy-router-refresh") == 0) {
+      legacy_router_refresh = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (ParseFlag(argv[i], "--scenario", &value)) {
@@ -129,6 +136,7 @@ int main(int argc, char** argv) {
   options.fatal_probes = fatal;
   options.availability_fatal = availability_fatal;
   options.timing = timing;
+  options.cluster.hrf_batched_refresh = !legacy_router_refresh;
   if (paper) {
     // Paper timers are ~20x slower than FastDefaults; give reorganizations
     // a commensurate drain window before each probe round.
