@@ -2,9 +2,65 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
+#include "common/logging.h"
+
 namespace pepper {
+
+// --- ExactSum ----------------------------------------------------------------
+
+void ExactSum::Add(double v) {
+  // Metrics samples are non-negative finite values (seconds, hops, sizes);
+  // zero contributes nothing and negatives/NaN/inf are not representable in
+  // the fixed-point frame, so they are dropped rather than poisoning it.
+  if (!(v > 0.0)) return;
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  uint64_t mant = bits & ((uint64_t{1} << 52) - 1);
+  const int exp = static_cast<int>((bits >> 52) & 0x7ff);
+  if (exp == 0x7ff) return;  // inf/NaN
+  int shift;  // bit position of the mantissa's LSB above the 2^-1088 base
+  if (exp == 0) {
+    shift = 14;  // subnormal: mant * 2^-1074
+  } else {
+    mant |= uint64_t{1} << 52;
+    shift = exp + 13;  // exp - 1075 + 1088
+  }
+  const int limb = shift >> 6;
+  const int off = shift & 63;
+  const unsigned __int128 wide = static_cast<unsigned __int128>(mant) << off;
+  AddLimb(limb, static_cast<uint64_t>(wide));
+  AddLimb(limb + 1, static_cast<uint64_t>(wide >> 64));
+}
+
+void ExactSum::AddSum(const ExactSum& other) {
+  for (int i = 0; i < kLimbs; ++i) AddLimb(i, other.limbs_[i]);
+}
+
+void ExactSum::AddLimb(int i, uint64_t v) {
+  while (v != 0 && i < kLimbs) {
+    const uint64_t old = limbs_[i];
+    limbs_[i] = old + v;
+    v = limbs_[i] < old ? 1 : 0;  // carry
+    ++i;
+  }
+}
+
+double ExactSum::Total() const {
+  // Fold limbs low to high in 32-bit halves (exact in a double), rounding
+  // as we go: the result is a deterministic function of the limb state, so
+  // equal exact sums always render equal doubles.
+  double total = 0.0;
+  for (int i = 0; i < kLimbs; ++i) {
+    if (limbs_[i] == 0) continue;
+    const int e = 64 * i - 1088;
+    total += std::ldexp(static_cast<double>(limbs_[i] & 0xffffffffu), e);
+    total += std::ldexp(static_cast<double>(limbs_[i] >> 32), e + 32);
+  }
+  return total;
+}
 
 void Summary::Add(double sample) {
   samples_.push_back(sample);
@@ -100,70 +156,145 @@ double Histogram::BucketUpperEdge(size_t i) {
                                         static_cast<double>(kBucketsPerDecade));
 }
 
+Histogram::Lane& Histogram::LaneRef() {
+  const int lane = tls_metrics_lane;
+  if (lane == 0 || extra_ == nullptr) return lane0_;
+  return (*extra_)[static_cast<size_t>(lane) - 1];
+}
+
+void Histogram::EnableLanes() {
+  if (extra_ == nullptr) {
+    extra_ = std::make_unique<std::array<Lane, kMaxMetricLanes - 1>>();
+  }
+}
+
+void Histogram::FlattenFrom(const Histogram& other) {
+  lane0_.counts.fill(0);
+  lane0_.count = 0;
+  lane0_.sum.Clear();
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    lane0_.counts[i] = other.bucket_count(i);
+  }
+  lane0_.count = other.count();
+  lane0_.sum.AddSum(other.lane0_.sum);
+  if (other.extra_ != nullptr) {
+    for (const Lane& l : *other.extra_) lane0_.sum.AddSum(l.sum);
+  }
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this != &other) {
+    extra_.reset();
+    FlattenFrom(other);
+  }
+  return *this;
+}
+
 void Histogram::Add(double sample) {
-  ++counts_[BucketIndex(sample)];
-  ++count_;
-  sum_ += sample;
+  Lane& l = LaneRef();
+  ++l.counts[BucketIndex(sample)];
+  ++l.count;
+  l.sum.Add(sample);
 }
 
 void Histogram::Merge(const Histogram& other) {
-  for (size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
-  count_ += other.count_;
-  sum_ += other.sum_;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    lane0_.counts[i] += other.bucket_count(i);
+  }
+  lane0_.count += other.count();
+  lane0_.sum.AddSum(other.lane0_.sum);
+  if (other.extra_ != nullptr) {
+    for (const Lane& l : *other.extra_) lane0_.sum.AddSum(l.sum);
+  }
 }
 
 Histogram Histogram::DeltaSince(const Histogram& baseline) const {
   Histogram d;
   for (size_t i = 0; i < kBucketCount; ++i) {
-    d.counts_[i] = counts_[i] >= baseline.counts_[i]
-                       ? counts_[i] - baseline.counts_[i]
-                       : 0;
-    d.count_ += d.counts_[i];
+    const uint64_t cur = bucket_count(i);
+    const uint64_t base = baseline.bucket_count(i);
+    d.lane0_.counts[i] = cur >= base ? cur - base : 0;
+    d.lane0_.count += d.lane0_.counts[i];
   }
-  d.sum_ = sum_ - baseline.sum_;
+  d.lane0_.sum.Add(sum() - baseline.sum());
   return d;
 }
 
 void Histogram::Clear() {
-  counts_.fill(0);
-  count_ = 0;
-  sum_ = 0.0;
+  lane0_.counts.fill(0);
+  lane0_.count = 0;
+  lane0_.sum.Clear();
+  if (extra_ != nullptr) {
+    for (Lane& l : *extra_) {
+      l.counts.fill(0);
+      l.count = 0;
+      l.sum.Clear();
+    }
+  }
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = lane0_.count;
+  if (extra_ != nullptr) {
+    for (const Lane& l : *extra_) total += l.count;
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  if (extra_ == nullptr) return lane0_.sum.Total();
+  // Merge the exact lane sums first, round once: the result depends only on
+  // the multiset of samples, not on how lanes partitioned them.
+  ExactSum acc;
+  acc.AddSum(lane0_.sum);
+  for (const Lane& l : *extra_) acc.AddSum(l.sum);
+  return acc.Total();
+}
+
+uint64_t Histogram::bucket_count(size_t i) const {
+  uint64_t total = lane0_.counts[i];
+  if (extra_ != nullptr) {
+    for (const Lane& l : *extra_) total += l.counts[i];
+  }
+  return total;
 }
 
 double Histogram::mean() const {
-  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
 double Histogram::min() const {
   for (size_t i = 0; i < kBucketCount; ++i) {
-    if (counts_[i] > 0) return BucketLowerEdge(i);
+    if (bucket_count(i) > 0) return BucketLowerEdge(i);
   }
   return 0.0;
 }
 
 double Histogram::max() const {
   for (size_t i = kBucketCount; i-- > 0;) {
-    if (counts_[i] > 0) return BucketUpperEdge(i);
+    if (bucket_count(i) > 0) return BucketUpperEdge(i);
   }
   return 0.0;
 }
 
 double Histogram::Percentile(double q) const {
-  if (count_ == 0) return 0.0;
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(count_);
+  const double target = q * static_cast<double>(n);
   uint64_t seen = 0;
   for (size_t i = 0; i < kBucketCount; ++i) {
-    if (counts_[i] == 0) continue;
-    const auto next = seen + counts_[i];
+    const uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    const auto next = seen + c;
     if (static_cast<double>(next) >= target) {
       const double lo = BucketLowerEdge(i);
       const double hi = BucketUpperEdge(i);
       if (i == 0 || i == kBucketCount - 1 || lo <= 0.0) return lo;
       // Log-linear interpolation by rank within the bucket.
       const double frac =
-          (target - static_cast<double>(seen)) /
-          static_cast<double>(counts_[i]);
+          (target - static_cast<double>(seen)) / static_cast<double>(c);
       return lo * std::pow(hi / lo, frac);
     }
     seen = next;
@@ -173,71 +304,127 @@ double Histogram::Percentile(double q) const {
 
 std::string Histogram::ToString() const {
   std::ostringstream os;
-  os << "n=" << count_ << " mean=" << mean() << " p50=" << Percentile(0.5)
+  os << "n=" << count() << " mean=" << mean() << " p50=" << Percentile(0.5)
      << " p95=" << Percentile(0.95) << " min=" << min() << " max=" << max();
   return os.str();
 }
 
 // --- Counters ----------------------------------------------------------------
 
-void Counters::Inc(const std::string& name, uint64_t delta) {
-  for (auto& kv : values_) {
-    if (kv.first == name) {
-      kv.second += delta;
-      return;
-    }
+Counters::Counters() { entries_.reserve(kMaxCounters); }
+
+size_t Counters::Find(const std::string& name) const {
+  const size_t n = size_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (entries_[i].name == name) return i;
   }
-  values_.emplace_back(name, delta);
+  return kMaxCounters;
+}
+
+Counters::Id Counters::Intern(const std::string& name) {
+  size_t i = Find(name);
+  if (i != kMaxCounters) return static_cast<Id>(i);
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  i = Find(name);  // re-check under the lock
+  if (i != kMaxCounters) return static_cast<Id>(i);
+  const size_t n = size_.load(std::memory_order_relaxed);
+  PEPPER_CHECK(n < kMaxCounters);
+  entries_.emplace_back();
+  entries_[n].name = name;
+  size_.store(n + 1, std::memory_order_release);
+  return static_cast<Id>(n);
+}
+
+void Counters::Inc(const std::string& name, uint64_t delta) {
+  Inc(Intern(name), delta);
 }
 
 uint64_t Counters::Get(const std::string& name) const {
-  for (const auto& kv : values_) {
-    if (kv.first == name) return kv.second;
-  }
-  return 0;
+  const size_t i = Find(name);
+  if (i == kMaxCounters) return 0;
+  uint64_t total = 0;
+  for (uint64_t lane : entries_[i].lanes) total += lane;
+  return total;
 }
 
 std::vector<std::pair<std::string, uint64_t>> Counters::Snapshot() const {
-  auto copy = values_;
-  std::sort(copy.begin(), copy.end());
-  return copy;
+  std::vector<std::pair<std::string, uint64_t>> out;
+  const size_t n = size_.load(std::memory_order_acquire);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t total = 0;
+    for (uint64_t lane : entries_[i].lanes) total += lane;
+    out.emplace_back(entries_[i].name, total);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
-void Counters::Clear() { values_.clear(); }
+void Counters::Clear() {
+  // Zero the values but keep the registrations: interned Ids held by
+  // components stay valid across a Clear.
+  const size_t n = size_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) entries_[i].lanes.fill(0);
+}
 
 // --- MetricsHub --------------------------------------------------------------
 
+MetricsHub::MetricsHub() { latencies_.reserve(kMaxSeries); }
+
 Histogram& MetricsHub::Latency(const std::string& name) {
-  for (auto& kv : latencies_) {
-    if (kv.first == name) return *kv.second;
+  size_t n = size_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (latencies_[i].first == name) return *latencies_[i].second;
   }
-  latencies_.emplace_back(name, std::make_unique<Histogram>());
-  return *latencies_.back().second;
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  n = size_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    if (latencies_[i].first == name) return *latencies_[i].second;
+  }
+  PEPPER_CHECK(n < kMaxSeries);
+  auto hist = std::make_unique<Histogram>();
+  if (concurrent_lanes_) hist->EnableLanes();
+  latencies_.emplace_back(name, std::move(hist));
+  size_.store(n + 1, std::memory_order_release);
+  return *latencies_[n].second;
 }
 
 const Histogram* MetricsHub::FindLatency(const std::string& name) const {
-  for (const auto& kv : latencies_) {
-    if (kv.first == name) return kv.second.get();
+  const size_t n = size_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (latencies_[i].first == name) return latencies_[i].second.get();
   }
   return nullptr;
+}
+
+void MetricsHub::EnableConcurrentLanes() {
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  concurrent_lanes_ = true;
+  const size_t n = size_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) latencies_[i].second->EnableLanes();
 }
 
 std::vector<std::pair<std::string, const Histogram*>> MetricsHub::Series()
     const {
   std::vector<std::pair<std::string, const Histogram*>> out;
-  out.reserve(latencies_.size());
-  for (const auto& kv : latencies_) out.emplace_back(kv.first, kv.second.get());
+  const size_t n = size_.load(std::memory_order_acquire);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(latencies_[i].first, latencies_[i].second.get());
+  }
   return out;
 }
 
 void MetricsHub::Clear() {
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  size_.store(0, std::memory_order_release);
   latencies_.clear();
   counters_.Clear();
 }
 
 std::string MetricsHub::Report() const {
   std::ostringstream os;
-  for (const auto& kv : latencies_) {
+  for (const auto& kv : Series()) {
     os << kv.first << ": " << kv.second->ToString() << "\n";
   }
   for (const auto& kv : counters_.Snapshot()) {

@@ -2,13 +2,48 @@
 #define PEPPER_COMMON_STATS_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace pepper {
+
+// Metrics lane of the calling thread.  Lane 0 is the single-threaded /
+// control lane; the sharded simulator assigns lane 1+shard to each worker.
+// Counters and Histograms accumulate per lane (so shard workers never
+// contend) and aggregate at read time; reads happen only at barriers or
+// between runs, where the simulator's synchronization orders them after
+// every lane write.
+inline thread_local int tls_metrics_lane = 0;
+inline constexpr size_t kMaxMetricLanes = 33;  // control + up to 32 shards
+
+// Exact fixed-point accumulator for non-negative doubles (a ~2176-bit
+// superaccumulator).  Addition is associative and commutative *exactly*, so
+// a sum is a pure function of the multiset of samples — independent of add
+// order and of how samples were partitioned across lanes.  That is what
+// keeps CSV means bit-identical when the sharded simulator splits a series
+// across worker lanes.
+class ExactSum {
+ public:
+  // Limb i carries weight 2^(64*i - 1088); the range covers every finite
+  // positive double (subnormals included) with headroom for 2^64 carries.
+  static constexpr int kLimbs = 34;
+
+  void Add(double v);
+  void AddSum(const ExactSum& other);
+  // Deterministic double rendering of the exact value (within 1 ulp of the
+  // correctly rounded sum; identical for identical exact values).
+  double Total() const;
+  void Clear() { limbs_.fill(0); }
+
+ private:
+  void AddLimb(int i, uint64_t v);
+  std::array<uint64_t, kLimbs> limbs_{};
+};
 
 // Accumulates latency/size samples and reports summary statistics.  Keeps
 // every sample, so percentiles are exact order statistics — use it for
@@ -55,6 +90,12 @@ class Histogram {
   // underflow + kDecades*kBucketsPerDecade + overflow
   static constexpr size_t kBucketCount = kDecades * kBucketsPerDecade + 2;
 
+  Histogram() = default;
+  // Copies flatten every lane into lane 0 of the destination: snapshots
+  // (MetricsRegistry phase baselines) are plain single-lane values.
+  Histogram(const Histogram& other) { FlattenFrom(other); }
+  Histogram& operator=(const Histogram& other);
+
   void Add(double sample);
   void Merge(const Histogram& other);
   // Bucket-wise difference *this - baseline (caller guarantees `baseline`
@@ -62,8 +103,14 @@ class Histogram {
   Histogram DeltaSince(const Histogram& baseline) const;
   void Clear();
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  // Lane plumbing for sharded runs: once enabled, Add() from a thread with
+  // tls_metrics_lane == k accumulates into a private lane, and every read
+  // aggregates across lanes.  Enabling is done before worker threads start
+  // (there is no lazy allocation to race on).
+  void EnableLanes();
+
+  uint64_t count() const;
+  double sum() const;
   double mean() const;
   // Lower edge of the first / upper edge of the last non-empty bucket
   // (0 for the underflow bucket).
@@ -72,34 +119,73 @@ class Histogram {
   // q in [0, 1]; log-interpolated within the bucket holding the rank.
   double Percentile(double q) const;
 
-  // The whole state is this object: no heap behind it.  A unit test pins
-  // the O(buckets)-not-O(samples) claim on this.
-  size_t MemoryBytes() const { return sizeof(*this); }
+  // Resident size: O(buckets), and O(buckets * lanes) only after a sharded
+  // run enables lanes.  Never O(samples) — a unit test pins this.
+  size_t MemoryBytes() const {
+    return sizeof(*this) + (extra_ == nullptr ? 0 : sizeof(*extra_));
+  }
 
   std::string ToString() const;
-  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  uint64_t bucket_count(size_t i) const;
 
  private:
+  struct Lane {
+    std::array<uint64_t, kBucketCount> counts{};
+    uint64_t count = 0;
+    ExactSum sum;
+  };
+
   static size_t BucketIndex(double v);
   static double BucketLowerEdge(size_t i);
   static double BucketUpperEdge(size_t i);
 
-  std::array<uint64_t, kBucketCount> counts_{};
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
+  Lane& LaneRef();
+  void FlattenFrom(const Histogram& other);
+
+  Lane lane0_;
+  std::unique_ptr<std::array<Lane, kMaxMetricLanes - 1>> extra_;
 };
 
 // Monotonic named counters for protocol events (messages sent, splits,
-// merges, lock waits, violations detected, ...).
+// merges, lock waits, violations detected, ...).  Each counter carries one
+// slot per metrics lane; Inc from a shard worker touches only that worker's
+// slot, and reads (Get/Snapshot, which happen at barriers or after the run)
+// aggregate.  Per-op hot paths should Intern() the name once at component
+// construction and use the Id overload — no string compare per event.
 class Counters {
  public:
+  using Id = uint32_t;
+  // Fixed capacity so the entry array never reallocates: Ids and in-flight
+  // lane scans stay valid while another thread registers a new counter.
+  static constexpr size_t kMaxCounters = 512;
+
+  Counters();
+  Counters(const Counters&) = delete;
+  Counters& operator=(const Counters&) = delete;
+
+  // Registers (or finds) the counter and returns its stable handle.
+  Id Intern(const std::string& name);
+  void Inc(Id id, uint64_t delta = 1) {
+    entries_[id].lanes[tls_metrics_lane] += delta;
+  }
   void Inc(const std::string& name, uint64_t delta = 1);
   uint64_t Get(const std::string& name) const;
   std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
   void Clear();
 
  private:
-  std::vector<std::pair<std::string, uint64_t>> values_;
+  struct Entry {
+    std::string name;
+    std::array<uint64_t, kMaxMetricLanes> lanes{};
+  };
+
+  // Index of `name` in [0, size_), or kMaxCounters if absent.  Lock-free:
+  // entries below the acquire-loaded size are fully published.
+  size_t Find(const std::string& name) const;
+
+  std::vector<Entry> entries_;   // reserved to kMaxCounters, never reallocs
+  std::atomic<size_t> size_{0};
+  std::mutex grow_mu_;
 };
 
 // Named latency histograms + counters shared by all layers of a cluster;
@@ -108,9 +194,20 @@ class Counters {
 // arbitrarily long churn runs.
 class MetricsHub {
  public:
+  // Fixed slot budget so the (name, histogram) array never reallocates
+  // under a concurrent reader; histograms themselves are heap-stable.
+  static constexpr size_t kMaxSeries = 256;
+
+  MetricsHub();
+  MetricsHub(const MetricsHub&) = delete;
+  MetricsHub& operator=(const MetricsHub&) = delete;
+
   // Returns the histogram for the named series, creating it on first use.
-  // References remain valid for the hub's lifetime.
+  // References remain valid for the hub's lifetime — per-op hot paths cache
+  // the pointer at component construction (the interned handle) and call
+  // Add() directly, skipping the by-name scan.
   Histogram& Latency(const std::string& name);
+  Histogram* LatencyHandle(const std::string& name) { return &Latency(name); }
   const Histogram* FindLatency(const std::string& name) const;
 
   void RecordLatency(const std::string& name, double value) {
@@ -120,6 +217,11 @@ class MetricsHub {
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
 
+  // Sharded runs call this before worker threads start: every existing and
+  // future histogram gets its per-lane storage up front, so worker Add()s
+  // never race an allocation.
+  void EnableConcurrentLanes();
+
   // All series, in creation order (the scenario registry snapshots these).
   std::vector<std::pair<std::string, const Histogram*>> Series() const;
 
@@ -128,6 +230,9 @@ class MetricsHub {
 
  private:
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> latencies_;
+  std::atomic<size_t> size_{0};
+  std::mutex grow_mu_;
+  bool concurrent_lanes_ = false;
   Counters counters_;
 };
 

@@ -14,11 +14,20 @@ namespace pepper::datastore {
 // in the system and do not store any data items").  The paper leaves the
 // free-peer directory mechanism unspecified; this pool is the cluster-level
 // stand-in.  Splits acquire a free peer here; merged-away peers return.
+//
+// The pool is cluster-global state: under the sharded simulator it is only
+// touched from the control context.  Mutations arriving from protocol code
+// (a node's split/merge execution) route through Simulator::Defer — inline
+// in single-threaded mode, at the next window barrier under sharding — and
+// protocol-side acquisition uses AcquireAsync, which hands the answer back
+// on the requesting node's own execution context.
 class FreePeerPool {
  public:
   explicit FreePeerPool(sim::Simulator* sim) : sim_(sim) {}
 
-  void Add(sim::NodeId peer) { peers_.push_back(peer); }
+  void Add(sim::NodeId peer) {
+    sim_->Defer([this, peer]() { peers_.push_back(peer); });
+  }
 
   // Called when a merged-away peer departs the ring.  Ring identities are
   // single-use (the paper's system model: a peer that left does not
@@ -27,7 +36,9 @@ class FreePeerPool {
   // brand-new free peer, modelling the departed process rejoining under a
   // fresh identity.
   void Retire(sim::NodeId /*peer*/) {
-    if (replenish_) replenish_();
+    sim_->Defer([this]() {
+      if (replenish_) replenish_();
+    });
   }
 
   void set_replenish(std::function<void()> fn) { replenish_ = std::move(fn); }
@@ -39,7 +50,8 @@ class FreePeerPool {
   void set_suspended(bool suspended) { suspended_ = suspended; }
   bool suspended() const { return suspended_; }
 
-  // Pops the next *alive* free peer, if any.
+  // Pops the next *alive* free peer, if any.  Control-context callers only
+  // (scenario probes, setup); protocol code uses AcquireAsync.
   std::optional<sim::NodeId> Acquire() {
     if (suspended_) return std::nullopt;
     while (!peers_.empty()) {
@@ -48,6 +60,27 @@ class FreePeerPool {
       if (sim_->IsAlive(id)) return id;
     }
     return std::nullopt;
+  }
+
+  // Acquire from protocol code: pops at the control context, then delivers
+  // the answer on `requester`'s execution context (alive-guarded — the
+  // popped peer goes back to the front if the requester died in between).
+  // Single-threaded, this collapses to an inline Acquire + callback.
+  void AcquireAsync(sim::NodeId requester,
+                    std::function<void(std::optional<sim::NodeId>)> cb) {
+    if (!sim_->sharded()) {
+      cb(Acquire());
+      return;
+    }
+    sim_->Defer([this, requester, cb = std::move(cb)]() {
+      std::optional<sim::NodeId> got = Acquire();
+      if (!sim_->IsAlive(requester)) {
+        if (got.has_value()) peers_.push_front(*got);
+        return;
+      }
+      sim_->PostToNode(requester,
+                       [cb = std::move(cb), got]() { cb(got); });
+    });
   }
 
   size_t size() const { return peers_.size(); }

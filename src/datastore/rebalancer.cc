@@ -111,11 +111,29 @@ void Rebalancer::StartSplit() {
       EndRebalance(true);
       return;
     }
-    auto free_peer = ds_->pool()->Acquire();
+    // The pool is cluster-global: the pop happens at the control context
+    // and the answer comes back on this node's execution (still holding the
+    // write lock — re-check activity, the takeover engine may have moved
+    // our range while the answer was in flight).
+    ds_->pool()->AcquireAsync(
+        id(), [this, started](std::optional<sim::NodeId> free_peer) {
+          ContinueSplitWithPeer(free_peer, started);
+        });
+  });
+}
+
+void Rebalancer::ContinueSplitWithPeer(std::optional<sim::NodeId> free_peer,
+                                       sim::SimTime started) {
     if (!free_peer.has_value()) {
       if (ds_->metrics() != nullptr) {
         ds_->metrics()->counters().Inc("ds.split_no_free_peer");
       }
+      EndRebalance(true);
+      return;
+    }
+    if (!ds_->active() ||
+        ds_->items().size() <= 2 * ds_->options().storage_factor) {
+      ds_->pool()->Add(*free_peer);
       EndRebalance(true);
       return;
     }
@@ -171,7 +189,6 @@ void Rebalancer::StartSplit() {
         // The predecessor's insertSucc itself waits for ack propagation.
         ring->options().insert_ack_timeout + ds_->options().rpc_timeout,
         [finish]() { finish(Status::TimedOut("split insert timed out")); });
-  });
 }
 
 void Rebalancer::FinishSplit(sim::NodeId free_peer, Key split_point,

@@ -1,6 +1,7 @@
 #ifndef PEPPER_DATASTORE_REBALANCER_H_
 #define PEPPER_DATASTORE_REBALANCER_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/key_space.h"
@@ -46,6 +47,10 @@ class Rebalancer : public sim::ProtocolComponent {
 
  private:
   void StartSplit();
+  // Continuation once the free-peer pool answers (possibly a window later
+  // under the sharded simulator); re-validates before materializing.
+  void ContinueSplitWithPeer(std::optional<sim::NodeId> free_peer,
+                             sim::SimTime started);
   void FinishSplit(sim::NodeId free_peer, Key split_point,
                    std::vector<Item> handed, const Status& status);
   void StartUnderflow();

@@ -19,6 +19,17 @@ P2PIndex::P2PIndex(ring::RingNode* ring, datastore::DataStoreNode* ds,
       router_(router),
       options_(std::move(options)),
       next_query_id_(static_cast<uint64_t>(ring->id()) << 40) {
+  if (options_.metrics != nullptr) {
+    Counters& ctr = options_.metrics->counters();
+    m_inserts_ = ctr.Intern("index.inserts");
+    m_deletes_ = ctr.Intern("index.deletes");
+    m_queries_ = ctr.Intern("index.queries");
+    m_queries_completed_ = ctr.Intern("index.queries_completed");
+    m_queries_failed_ = ctr.Intern("index.queries_failed");
+    m_scan_overlaps_ = ctr.Intern("index.scan_overlaps");
+    m_query_resumes_ = ctr.Intern("index.query_resumes");
+    m_query_time_ = options_.metrics->LatencyHandle("index.query_time");
+  }
   On<StartScanRequest>(
       [this](const sim::Message& m, const StartScanRequest& req) {
         HandleStartScan(m, req);
@@ -64,7 +75,7 @@ P2PIndex::P2PIndex(ring::RingNode* ring, datastore::DataStoreNode* ds,
 
 void P2PIndex::InsertItem(const datastore::Item& item, DoneFn done) {
   if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("index.inserts");
+    options_.metrics->counters().Inc(m_inserts_);
   }
   AttemptInsert(item, options_.insert_retries, std::move(done));
 }
@@ -122,7 +133,7 @@ void P2PIndex::AttemptInsert(const datastore::Item& item, int retries_left,
 
 void P2PIndex::DeleteItem(Key skv, DoneFn done) {
   if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("index.deletes");
+    options_.metrics->counters().Inc(m_deletes_);
   }
   AttemptDelete(skv, options_.insert_retries, std::move(done));
 }
@@ -187,7 +198,7 @@ void P2PIndex::RangeQuery(const Span& span, QueryFn done) {
   q.naive = !options_.pepper_scan;
   queries_.emplace(query_id, std::move(q));
   if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("index.queries");
+    options_.metrics->counters().Inc(m_queries_);
   }
   if (options_.pepper_scan) {
     Kick(query_id);
@@ -259,7 +270,7 @@ void P2PIndex::HandleQueryPartial(const sim::Message&,
   }
   q.coverage.Add(part.r);
   if (!q.naive && q.coverage.saw_overlap() && options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("index.scan_overlaps");
+    options_.metrics->counters().Inc(m_scan_overlaps_);
   }
   for (const datastore::Item& item : part.items) {
     q.items[item.skv] = item;
@@ -344,10 +355,9 @@ void P2PIndex::Finish(uint64_t query_id, const Status& status) {
   items.reserve(q.items.size());
   for (auto& kv : q.items) items.push_back(std::move(kv.second));
   if (options_.metrics != nullptr) {
-    options_.metrics->RecordLatency("index.query_time",
-                                    sim::ToSeconds(now() - q.started));
+    m_query_time_->Add(sim::ToSeconds(now() - q.started));
     options_.metrics->counters().Inc(
-        status.ok() ? "index.queries_completed" : "index.queries_failed");
+        status.ok() ? m_queries_completed_ : m_queries_failed_);
   }
   q.done(status, std::move(items));
 }
@@ -370,7 +380,7 @@ void P2PIndex::Watchdog() {
   }
   for (uint64_t id : to_kick) {
     if (options_.metrics != nullptr) {
-      options_.metrics->counters().Inc("index.query_resumes");
+      options_.metrics->counters().Inc(m_query_resumes_);
     }
     Kick(id);
   }

@@ -94,6 +94,17 @@ class P2PIndex : public sim::ProtocolComponent {
   IndexOptions options_;
 
   uint64_t next_query_id_;
+  // Interned metric handles: per-operation counters on the index hot path
+  // (string-keyed lookup hoisted to construction).  Valid only when
+  // options_.metrics != nullptr.
+  Counters::Id m_inserts_ = 0;
+  Counters::Id m_deletes_ = 0;
+  Counters::Id m_queries_ = 0;
+  Counters::Id m_queries_completed_ = 0;
+  Counters::Id m_queries_failed_ = 0;
+  Counters::Id m_scan_overlaps_ = 0;
+  Counters::Id m_query_resumes_ = 0;
+  Histogram* m_query_time_ = nullptr;
   std::map<uint64_t, ActiveQuery> queries_;
 };
 

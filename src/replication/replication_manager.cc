@@ -16,6 +16,17 @@ ReplicationManager::ReplicationManager(ring::RingNode* ring,
       ring_(ring),
       ds_(ds),
       options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    Counters& c = options_.metrics->counters();
+    m_push_msgs_ = c.Intern("repl.push_msgs");
+    m_push_acked_ = c.Intern("repl.push_acked");
+    m_delta_pushes_ = c.Intern("repl.delta_pushes");
+    m_snapshot_pushes_ = c.Intern("repl.snapshot_pushes");
+    m_push_bytes_ = c.Intern("repl.push_bytes");
+    m_bytes_saved_ = c.Intern("repl.bytes_saved");
+    m_pushes_ = c.Intern("repl.pushes");
+    m_pushes_coalesced_ = c.Intern("repl.pushes_coalesced");
+  }
   On<ReplicaPushMsg>(
       [this](const sim::Message& m, const ReplicaPushMsg& push) {
         HandlePush(m, push);
@@ -140,12 +151,12 @@ void ReplicationManager::PushAttempt(sim::NodeId to, sim::PayloadPtr payload,
                                      int retries_left,
                                      std::function<void(bool)> on_settled) {
   ++outstanding_pushes_;
-  Inc("repl.push_msgs");
+  Inc(m_push_msgs_);
   Call(
       to, payload,
       [this, on_settled](const sim::Message& m) {
         --outstanding_pushes_;
-        Inc("repl.push_acked");
+        Inc(m_push_acked_);
         // Delivered; `applied` distinguishes a hop that also absorbed the
         // content from one that needs a snapshot first (durable acks care).
         const auto& ack = static_cast<const ReplicaPushAck&>(*m.payload);
@@ -212,9 +223,9 @@ void ReplicationManager::PushNow(std::function<void(bool)> settled) {
     if (delta_cost < snapshot_cost) {
       SendPushHop(succ->id, delta, std::move(settled));
       settled = nullptr;
-      Inc("repl.delta_pushes");
-      Inc("repl.push_bytes", delta_cost);
-      Inc("repl.bytes_saved", snapshot_cost - delta_cost);
+      Inc(m_delta_pushes_);
+      Inc(m_push_bytes_, delta_cost);
+      Inc(m_bytes_saved_, snapshot_cost - delta_cost);
       sent_delta = true;
     }
     // A delta as large as the snapshot (total rewrite) falls through to the
@@ -223,10 +234,10 @@ void ReplicationManager::PushNow(std::function<void(bool)> settled) {
   if (!sent_delta) {
     SendPushHop(succ->id, MakeSnapshot(hops, /*direct=*/false),
                 std::move(settled));
-    Inc("repl.snapshot_pushes");
-    Inc("repl.push_bytes", snapshot_cost);
+    Inc(m_snapshot_pushes_);
+    Inc(m_push_bytes_, snapshot_cost);
   }
-  Inc("repl.pushes");
+  Inc(m_pushes_);
   last_push_epochs_ = current;
   last_push_version_ = version;
   chain_warm_ = true;
@@ -242,7 +253,7 @@ void ReplicationManager::OnLocalItemsChanged() {
     // hops per mutation adds nothing (the periodic refresh handles
     // keep-alive).
     if (chain_warm_ && ds_->mutation_epoch() == last_push_version_) {
-      Inc("repl.pushes_coalesced");
+      Inc(m_pushes_coalesced_);
       return;
     }
     PushNow();

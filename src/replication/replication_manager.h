@@ -254,6 +254,12 @@ class ReplicationManager : public sim::ProtocolComponent,
   void Inc(const char* name, uint64_t delta = 1) {
     if (options_.metrics != nullptr) options_.metrics->counters().Inc(name, delta);
   }
+  // Interned fast path for the per-push counters (several increments per
+  // push x every mutation x every refresh tick; the string scan was
+  // measurable at paper scale).  Ids are interned at construction.
+  void Inc(Counters::Id id, uint64_t delta = 1) {
+    if (options_.metrics != nullptr) options_.metrics->counters().Inc(id, delta);
+  }
 
   ring::RingNode* ring_;
   datastore::DataStoreNode* ds_;
@@ -272,6 +278,16 @@ class ReplicationManager : public sim::ProtocolComponent,
   size_t outstanding_pushes_ = 0;
   bool push_scheduled_ = false;
   bool sweeping_ = false;
+
+  // Interned handles for the push hot path (valid iff metrics set).
+  Counters::Id m_push_msgs_ = 0;
+  Counters::Id m_push_acked_ = 0;
+  Counters::Id m_delta_pushes_ = 0;
+  Counters::Id m_snapshot_pushes_ = 0;
+  Counters::Id m_push_bytes_ = 0;
+  Counters::Id m_bytes_saved_ = 0;
+  Counters::Id m_pushes_ = 0;
+  Counters::Id m_pushes_coalesced_ = 0;
 };
 
 }  // namespace pepper::replication

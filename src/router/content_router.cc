@@ -16,6 +16,15 @@ RouterBase::RouterBase(ring::RingNode* ring, datastore::DataStoreNode* ds,
       greedy_(greedy),
       // Lookup ids must be globally unique (replies are matched by id).
       next_lookup_id_(static_cast<uint64_t>(ring->id()) << 32) {
+  if (options_.metrics != nullptr) {
+    Counters& c = options_.metrics->counters();
+    m_lookups_ = c.Intern("router.lookups");
+    m_attempts_ = c.Intern("router.attempts");
+    m_retries_ = c.Intern("router.retries");
+    m_budget_exhausted_ = c.Intern("router.hop_budget_exhausted");
+    m_dead_end_ = c.Intern("router.fwd_dead_end");
+    m_hops_ = options_.metrics->LatencyHandle("router.hops");
+  }
   On<LookupRequest>(
       [this](const sim::Message& m, const LookupRequest& req) {
         HandleRequest(m, req);
@@ -31,7 +40,7 @@ void RouterBase::Lookup(Key key, LookupFn done) {
   // `router.attempts` / `router.retries`, so success-rate math over
   // lookups is not inflated by retried attempts.
   if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("router.lookups");
+    options_.metrics->counters().Inc(m_lookups_);
   }
   const uint64_t lookup_id = ++next_lookup_id_;
   StartAttempt(key, lookup_id, options_.max_retries, std::move(done));
@@ -40,7 +49,7 @@ void RouterBase::Lookup(Key key, LookupFn done) {
 void RouterBase::StartAttempt(Key key, uint64_t lookup_id, int retries_left,
                               LookupFn done) {
   if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("router.attempts");
+    options_.metrics->counters().Inc(m_attempts_);
   }
   pending_[lookup_id] = PendingLookup{std::move(done)};
   LookupRequest req;
@@ -60,7 +69,7 @@ void RouterBase::StartAttempt(Key key, uint64_t lookup_id, int retries_left,
                  pending_.erase(it);
                  if (retries_left > 0) {
                    if (options_.metrics != nullptr) {
-                     options_.metrics->counters().Inc("router.retries");
+                     options_.metrics->counters().Inc(m_retries_);
                    }
                    // The retry id must come from the same allocator as fresh
                    // ids: a derived id (the old lookup_id + (1<<20) scheme)
@@ -88,9 +97,8 @@ void RouterBase::HandleReply(const sim::Message&, const LookupReply& reply) {
   if (it == pending_.end()) return;  // late duplicate
   LookupFn done = std::move(it->second.done);
   pending_.erase(it);
-  if (options_.metrics != nullptr) {
-    options_.metrics->RecordLatency("router.hops",
-                                    static_cast<double>(reply.hops));
+  if (m_hops_ != nullptr) {
+    m_hops_->Add(static_cast<double>(reply.hops));
   }
   done(Status::OK(), reply.owner, reply.hops);
 }
@@ -113,7 +121,7 @@ void RouterBase::RouteOrAnswer(const LookupRequest& req) {
     // Budget exhausted (typically a lookup circling a ring whose owner
     // check transiently fails mid-takeover); the initiator retries.
     if (options_.metrics != nullptr) {
-      options_.metrics->counters().Inc("router.hop_budget_exhausted");
+      options_.metrics->counters().Inc(m_budget_exhausted_);
     }
     return;
   }
@@ -125,7 +133,7 @@ void RouterBase::RouteOrAnswer(const LookupRequest& req) {
       // Nowhere to forward at all — the same silent stall as an
       // unreachable hop, so it counts toward the same bounded event.
       if (options_.metrics != nullptr) {
-        options_.metrics->counters().Inc("router.fwd_dead_end");
+        options_.metrics->counters().Inc(m_dead_end_);
       }
       return;
     }
@@ -155,7 +163,7 @@ void RouterBase::ForwardLookup(std::shared_ptr<LookupRequest> fwd,
           // initiator-side retry.  Counted so scenario probes can see and
           // bound the event instead of misattributing it as a timeout.
           if (options_.metrics != nullptr) {
-            options_.metrics->counters().Inc("router.fwd_dead_end");
+            options_.metrics->counters().Inc(m_dead_end_);
           }
           return;
         }

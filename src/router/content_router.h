@@ -99,6 +99,16 @@ class RouterBase : public sim::ProtocolComponent, public ContentRouter {
     LookupFn done;
   };
   std::map<uint64_t, PendingLookup> pending_;
+
+  // Interned metric handles: one name lookup at construction, O(1) array
+  // increments per operation (the string-keyed scan was per-lookup work on
+  // the hottest router path).  Valid only when options_.metrics != nullptr.
+  Counters::Id m_lookups_ = 0;
+  Counters::Id m_attempts_ = 0;
+  Counters::Id m_retries_ = 0;
+  Counters::Id m_budget_exhausted_ = 0;
+  Counters::Id m_dead_end_ = 0;
+  Histogram* m_hops_ = nullptr;
 };
 
 // O(n) baseline: follows ring successors only.

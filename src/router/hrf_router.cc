@@ -12,6 +12,13 @@ HrfRouter::HrfRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
       hrf_options_(std::move(options)),
       current_period_(hrf_options_.refresh_period),
       last_state_(ring->state()) {
+  if (options_.metrics != nullptr) {
+    Counters& c = options_.metrics->counters();
+    m_refresh_replies_ = c.Intern("router.refresh_replies");
+    m_refresh_rpcs_ = c.Intern("router.refresh_rpcs");
+    m_refresh_passes_ = c.Intern("router.refresh_passes");
+    m_levels_spill_ = c.Intern("router.levels_spill");
+  }
   On<GetEntryRequest>(
       [this](const sim::Message& m, const GetEntryRequest& req) {
         auto reply = std::make_shared<GetEntryReply>();
@@ -21,7 +28,7 @@ HrfRouter::HrfRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
           reply->val = levels_[req.level].val;
         }
         if (options_.metrics != nullptr) {
-          options_.metrics->counters().Inc("router.refresh_replies");
+          options_.metrics->counters().Inc(m_refresh_replies_);
         }
         Reply(m, reply);
       });
@@ -30,10 +37,13 @@ HrfRouter::HrfRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
         auto reply = std::make_shared<GetLevelsReply>();
         if (!levels_.empty()) {
           reply->valid = true;
-          reply->entries = levels_;
+          for (const LevelEntry& e : levels_) reply->entries.push_back(e);
         }
         if (options_.metrics != nullptr) {
-          options_.metrics->counters().Inc("router.refresh_replies");
+          options_.metrics->counters().Inc(m_refresh_replies_);
+          if (reply->entries.spilled()) {
+            options_.metrics->counters().Inc(m_levels_spill_);
+          }
         }
         Reply(m, reply);
       });
@@ -58,7 +68,7 @@ uint64_t HrfRouter::DistFromSelf(Key to) const {
 
 void HrfRouter::CountRefreshRpc() {
   if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("router.refresh_rpcs");
+    options_.metrics->counters().Inc(m_refresh_rpcs_);
   }
 }
 
@@ -84,7 +94,7 @@ void HrfRouter::RefreshTick() {
     return;
   }
   if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("router.refresh_passes");
+    options_.metrics->counters().Inc(m_refresh_passes_);
   }
   if (levels_.empty()) {
     levels_.push_back(LevelEntry{succ->id, succ->val});
@@ -169,7 +179,7 @@ void HrfRouter::BatchedTick() {
     return;
   }
   if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("router.refresh_passes");
+    options_.metrics->counters().Inc(m_refresh_passes_);
   }
   ++pass_epoch_;
   pass_active_ = true;

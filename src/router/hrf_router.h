@@ -1,6 +1,7 @@
 #ifndef PEPPER_ROUTER_HRF_ROUTER_H_
 #define PEPPER_ROUTER_HRF_ROUTER_H_
 
+#include <array>
 #include <utility>
 #include <vector>
 
@@ -32,13 +33,61 @@ struct GetEntryReply : sim::Payload {
   Key val = 0;
 };
 
+// Small-vector with N inline slots: elements live in the inline array until
+// the first push beyond N, after which everything moves to (and stays on)
+// the heap.  Level vectors are log2(cluster size) entries — 16 covers rings
+// up to ~65k peers — so in practice every GetLevels reply avoids the
+// per-RPC heap allocation the std::vector carried; `spilled()` lets the
+// reply path count the exceptions (`router.levels_spill`).
+template <typename T, size_t N>
+class SmallVec {
+ public:
+  void push_back(const T& v) {
+    if (!spilled_) {
+      if (size_ < N) {
+        inline_[size_++] = v;
+        return;
+      }
+      spill_.assign(inline_.begin(), inline_.end());
+      spilled_ = true;
+    }
+    spill_.push_back(v);
+    ++size_;
+  }
+  void clear() {
+    size_ = 0;
+    spill_.clear();
+    spilled_ = false;
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool spilled() const { return spilled_; }
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+ private:
+  T* data() { return spilled_ ? spill_.data() : inline_.data(); }
+  const T* data() const { return spilled_ ? spill_.data() : inline_.data(); }
+
+  size_t size_ = 0;
+  bool spilled_ = false;
+  std::array<T, N> inline_{};
+  std::vector<T> spill_;
+};
+
 // Batched refresh probe: one RPC returns the remote peer's entire level
 // vector, so a refresh pass reads each chain peer once instead of doing a
 // per-level GetEntry round trip per tick.
 struct GetLevelsRequest : sim::Payload {};
 struct GetLevelsReply : sim::Payload {
   bool valid = false;  // remote is ring-joined and answered with its vector
-  std::vector<LevelEntry> entries;
+  // Inline up to 16 levels (rings beyond 2^16 peers spill, counted by
+  // `router.levels_spill`).
+  SmallVec<LevelEntry, 16> entries;
 };
 
 struct HrfOptions {
@@ -137,6 +186,13 @@ class HrfRouter : public RouterBase {
   bool pass_active_ = false;
   bool pass_changed_ = false;
   int soft_delta_streak_ = 0;
+
+  // Interned metric handles (see RouterBase): the refresh path increments
+  // these once per RPC/reply, the hottest maintenance traffic at scale.
+  Counters::Id m_refresh_replies_ = 0;
+  Counters::Id m_refresh_rpcs_ = 0;
+  Counters::Id m_refresh_passes_ = 0;
+  Counters::Id m_levels_spill_ = 0;
 };
 
 }  // namespace pepper::router

@@ -48,6 +48,28 @@ void EventQueue::PushTimerFire(SimTime at, uint64_t seq, uint32_t timer_idx) {
   ev.timer_idx = timer_idx;
 }
 
+void EventQueue::PushClosureSeq(SimTime at, uint64_t seq, NodeId origin,
+                                std::function<void()> fn) {
+  Event& ev = Allocate(at, seq);
+  ev.kind = EventKind::kClosure;
+  ev.node = origin;
+  ev.fn = std::move(fn);
+}
+
+void EventQueue::PushNodeClosureSeq(SimTime at, uint64_t seq, NodeId node,
+                                    std::function<void()> fn) {
+  Event& ev = Allocate(at, seq);
+  ev.kind = EventKind::kNodeClosure;
+  ev.node = node;
+  ev.fn = std::move(fn);
+}
+
+void EventQueue::PushMessageSeq(SimTime at, uint64_t seq, Message msg) {
+  Event& ev = Allocate(at, seq);
+  ev.kind = EventKind::kMessage;
+  ev.msg = std::move(msg);
+}
+
 SimTime EventQueue::NextTime() const {
   PEPPER_CHECK(!heap_.empty());
   return heap_[0].at;

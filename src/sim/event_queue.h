@@ -52,6 +52,18 @@ class EventQueue {
   // it had been pushed at arm time, matching the pre-wheel behavior.
   void PushTimerFire(SimTime at, uint64_t seq, uint32_t timer_idx);
 
+  // Explicit-seq variants for the sharded simulator, whose seqs are
+  // composite (origin node, per-origin counter) values allocated outside
+  // the queue so the (at, seq) order is identical for any shard count.
+  // `origin` on the closure variant records the node whose execution
+  // scheduled it (the shard worker's context attribution); it carries no
+  // alive guard.
+  void PushClosureSeq(SimTime at, uint64_t seq, NodeId origin,
+                      std::function<void()> fn);
+  void PushNodeClosureSeq(SimTime at, uint64_t seq, NodeId node,
+                          std::function<void()> fn);
+  void PushMessageSeq(SimTime at, uint64_t seq, Message msg);
+
   // Hands out the next insertion sequence number.  The TimerWheel draws
   // from the same counter as direct pushes so (at, seq) is a total order
   // across both structures.
@@ -59,6 +71,10 @@ class EventQueue {
 
   bool Empty() const { return heap_.empty(); }
   SimTime NextTime() const;
+  // Read-only view of the earliest event (undefined when Empty()); the
+  // sharded engine peeks to discard fizzled timer records before using the
+  // head time as a window base.
+  const Event& PeekEvent() const { return pool_[heap_.front().idx]; }
 
   // Pops the earliest event, MOVING it out of the arena (the slot is
   // recycled before return).  The old implementation const_cast the

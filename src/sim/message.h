@@ -1,7 +1,7 @@
 #ifndef PEPPER_SIM_MESSAGE_H_
 #define PEPPER_SIM_MESSAGE_H_
 
-#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <type_traits>
@@ -37,10 +37,11 @@ namespace detail {
 // Ids are assigned on first use within a run: process-local and
 // deterministic for a fixed binary + execution path; they index dispatch
 // tables and are never serialized or compared across runs.  Id 0 is the
-// null payload.
+// null payload.  Atomic: sharded simulations instantiate payload types
+// from worker threads.
 inline uint32_t AllocatePayloadTypeId() {
-  static uint32_t next = 1;
-  return next++;
+  static std::atomic<uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace detail
 
@@ -90,17 +91,31 @@ class PayloadPtr {
 };
 
 namespace detail {
-// Size-bucketed free lists for payload control blocks (16-byte buckets, up
-// to 1 KB — larger nodes fall through to operator new).  A paper-scale run
-// creates ~100M payloads; recycling the shared_ptr-with-object nodes keeps
-// the hot path off malloc and reuses cache-warm blocks.  Single-threaded
-// by design, like the simulator.  Buckets are heap-allocated and never
-// destroyed (reachable from the static pointer, so not a leak) to dodge
-// static-destruction-order issues with payloads freed at exit.
-inline std::vector<void*>* PayloadPoolBuckets() {
-  static auto* buckets = new std::array<std::vector<void*>, 64>();
-  return buckets->data();
-}
+// Per-type, per-thread free lists for payload control blocks.  A
+// paper-scale run creates ~100M payloads; recycling the
+// shared_ptr-with-object nodes keeps the hot path off malloc and reuses
+// cache-warm blocks.  The lists are keyed by the concrete allocation type
+// (the exact allocate_shared control-block layout), so a pop is always the
+// right size with no bucket rounding, and they are thread_local so sharded
+// simulations never contend or corrupt a shared list — a payload allocated
+// on one shard and released on another just migrates a block between the
+// two caches.  kMaxDepth bounds that migration: a systematically one-way
+// send pattern caps the receiving thread's cache instead of growing it
+// without bound.
+template <typename T>
+struct PayloadFreeList {
+  static constexpr size_t kMaxDepth = 4096;
+  std::vector<void*> blocks;
+
+  ~PayloadFreeList() {
+    for (void* p : blocks) ::operator delete(p);
+  }
+
+  static PayloadFreeList& Get() {
+    static thread_local PayloadFreeList list;
+    return list;
+  }
+};
 }  // namespace detail
 
 template <typename U>
@@ -110,28 +125,26 @@ struct PayloadPoolAllocator {
   template <typename V>
   PayloadPoolAllocator(const PayloadPoolAllocator<V>&) {}  // NOLINT
 
-  static constexpr size_t Bucket() { return (sizeof(U) + 15) / 16; }
-
   U* allocate(size_t n) {
-    constexpr size_t b = Bucket();
-    if (n == 1 && b < 64) {
-      std::vector<void*>& bucket = detail::PayloadPoolBuckets()[b];
-      if (!bucket.empty()) {
-        void* p = bucket.back();
-        bucket.pop_back();
+    if (n == 1) {
+      auto& list = detail::PayloadFreeList<std::remove_const_t<U>>::Get();
+      if (!list.blocks.empty()) {
+        void* p = list.blocks.back();
+        list.blocks.pop_back();
         return static_cast<U*>(p);
       }
-      // Allocate the full bucket width so any same-bucket type can reuse
-      // the block.
-      return static_cast<U*>(::operator new(b * 16));
+      return static_cast<U*>(::operator new(sizeof(U)));
     }
     return static_cast<U*>(::operator new(n * sizeof(U)));
   }
   void deallocate(U* p, size_t n) {
-    constexpr size_t b = Bucket();
-    if (n == 1 && b < 64) {
-      detail::PayloadPoolBuckets()[b].push_back(p);
-      return;
+    if (n == 1) {
+      auto& list = detail::PayloadFreeList<std::remove_const_t<U>>::Get();
+      if (list.blocks.size() < detail::PayloadFreeList<
+                                   std::remove_const_t<U>>::kMaxDepth) {
+        list.blocks.push_back(p);
+        return;
+      }
     }
     ::operator delete(p);
   }

@@ -107,20 +107,20 @@ uint64_t Node::Every(SimTime period, std::function<void()> fn,
 void Node::CancelTimer(uint64_t timer_id) {
   auto it = active_timers_.find(timer_id);
   if (it == active_timers_.end()) return;
-  sim_->CancelWheelTimer(it->second);
+  sim_->CancelWheelTimer(id_, it->second);
   active_timers_.erase(it);
 }
 
 void Node::CancelAllTimers() {
   for (const auto& entry : active_timers_) {
-    sim_->CancelWheelTimer(entry.second);
+    sim_->CancelWheelTimer(id_, entry.second);
   }
   active_timers_.clear();
 }
 
 void Node::CancelPendingRpcTimers() {
   for (const PendingCall& call : pending_) {
-    sim_->CancelWheelTimer(call.timeout_timer);
+    sim_->CancelWheelTimer(id_, call.timeout_timer);
   }
 }
 
@@ -129,7 +129,7 @@ void Node::Deliver(const Message& msg) {
   if (msg.is_response) {
     PendingCall* call = FindPending(msg.rpc_id);
     if (call == nullptr) return;  // late reply after timeout: ignore
-    sim_->CancelWheelTimer(call->timeout_timer);
+    sim_->CancelWheelTimer(id_, call->timeout_timer);
     ReplyFn cb = std::move(call->on_reply);
     ErasePending(call);
     if (cb) cb(msg);

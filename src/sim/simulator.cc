@@ -9,6 +9,8 @@
 
 namespace pepper::sim {
 
+thread_local Simulator::ShardCore* Simulator::tls_shard_ = nullptr;
+
 void Network::Send(Message msg) {
   if (msg.to == kNullNode || msg.from == kNullNode) {
     std::fprintf(stderr, "null endpoint: from=%u to=%u payload=%s\n",
@@ -16,28 +18,66 @@ void Network::Send(Message msg) {
                  msg.payload ? typeid(*msg.payload).name() : "none");
   }
   PEPPER_CHECK(msg.from != kNullNode && msg.to != kNullNode);
-  ++messages_sent_;
-  // Fixed-latency configs (min == max) skip the per-message RNG draw.
-  // NOTE: the RNG stream position is part of the determinism contract — a
-  // run's schedule is a function of every draw ever made — so whether a
-  // config draws here changes its schedule relative to configs that do.
-  // (Rng::Uniform already consumed no state for a degenerate span, so this
-  // fast path does not change any existing schedule, it only skips the
-  // call.)  Runs remain bit-identical against themselves either way.
+  ++messages_sent_[tls_metrics_lane];
+  if (!sim_->sharded()) {
+    // Fixed-latency configs (min == max) skip the per-message RNG draw.
+    // NOTE: the RNG stream position is part of the determinism contract — a
+    // run's schedule is a function of every draw ever made — so whether a
+    // config draws here changes its schedule relative to configs that do.
+    // (Rng::Uniform already consumed no state for a degenerate span, so this
+    // fast path does not change any existing schedule, it only skips the
+    // call.)  Runs remain bit-identical against themselves either way.
+    const SimTime latency =
+        options_.min_latency == options_.max_latency
+            ? options_.min_latency
+            : sim_->rng().Uniform(options_.min_latency, options_.max_latency);
+    SimTime deliver_at = sim_->now() + latency;
+    // FIFO bookkeeping only for channels that can still deliver: a message
+    // to a dead or destroyed peer is dropped at delivery time anyway, and
+    // recording it would resurrect bookkeeping ReleaseNode just pruned.
+    if (sim_->IsAlive(msg.to)) {
+      const NodeId hi = std::max(msg.from, msg.to);
+      if (channels_.size() <= hi) channels_.resize(hi + 1);
+      NodeChannels& nc = channels_[msg.from];
+      if (nc.last_out < nc.out.size() && nc.out[nc.last_out].peer == msg.to) {
+        Channel& ch = nc.out[nc.last_out];  // bursty same-destination hit
+        deliver_at = std::max(deliver_at, ch.last_delivery);  // FIFO
+        ch.last_delivery = deliver_at;
+      } else {
+        auto it = std::lower_bound(
+            nc.out.begin(), nc.out.end(), msg.to,
+            [](const Channel& ch, NodeId id) { return ch.peer < id; });
+        if (it != nc.out.end() && it->peer == msg.to) {
+          nc.last_out = static_cast<uint32_t>(it - nc.out.begin());
+          deliver_at = std::max(deliver_at, it->last_delivery);  // FIFO
+          it->last_delivery = deliver_at;
+        } else {
+          // Sorted insert; creation is once per distinct channel ever.
+          nc.out.insert(it, Channel{msg.to, deliver_at});
+          channels_[msg.to].in_senders.push_back(msg.from);
+          channel_count_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    sim_->ScheduleMessage(deliver_at, std::move(msg));
+    return;
+  }
+  // Sharded: latency draws come from the sender's per-node stream, so a
+  // node's draw order is a property of that node's execution history alone
+  // — invariant under the shard partition.  The sender's channel row is
+  // owned by the executing shard (or by the parked-worker control context),
+  // so the FIFO bookkeeping needs no locks; only the receiver-side
+  // inbound-sender index of a remote node defers to the barrier.
   const SimTime latency =
       options_.min_latency == options_.max_latency
           ? options_.min_latency
-          : sim_->rng().Uniform(options_.min_latency, options_.max_latency);
+          : sim_->SlotRng(msg.from).Uniform(options_.min_latency,
+                                            options_.max_latency);
   SimTime deliver_at = sim_->now() + latency;
-  // FIFO bookkeeping only for channels that can still deliver: a message to
-  // a dead or destroyed peer is dropped at delivery time anyway, and
-  // recording it would resurrect bookkeeping ReleaseNode just pruned.
   if (sim_->IsAlive(msg.to)) {
-    const NodeId hi = std::max(msg.from, msg.to);
-    if (channels_.size() <= hi) channels_.resize(hi + 1);
-    NodeChannels& nc = channels_[msg.from];
+    NodeChannels& nc = channels_[msg.from];  // pre-sized at Register
     if (nc.last_out < nc.out.size() && nc.out[nc.last_out].peer == msg.to) {
-      Channel& ch = nc.out[nc.last_out];  // bursty same-destination hit
+      Channel& ch = nc.out[nc.last_out];
       deliver_at = std::max(deliver_at, ch.last_delivery);  // FIFO
       ch.last_delivery = deliver_at;
     } else {
@@ -49,10 +89,11 @@ void Network::Send(Message msg) {
         deliver_at = std::max(deliver_at, it->last_delivery);  // FIFO
         it->last_delivery = deliver_at;
       } else {
-        // Sorted insert; creation is once per distinct channel ever.
         nc.out.insert(it, Channel{msg.to, deliver_at});
-        channels_[msg.to].in_senders.push_back(msg.from);
-        ++channel_count_;
+        if (!sim_->NoteNewChannelDeferred(msg.to, msg.from)) {
+          channels_[msg.to].in_senders.push_back(msg.from);
+        }
+        channel_count_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -62,7 +103,7 @@ void Network::Send(Message msg) {
 void Network::ReleaseNode(NodeId id) {
   if (id >= channels_.size()) return;
   NodeChannels& nc = channels_[id];
-  channel_count_ -= nc.out.size();
+  channel_count_.fetch_sub(nc.out.size(), std::memory_order_relaxed);
   for (const Channel& ch : nc.out) {
     auto& senders = channels_[ch.peer].in_senders;
     for (size_t i = 0; i < senders.size(); ++i) {
@@ -79,7 +120,7 @@ void Network::ReleaseNode(NodeId id) {
     for (size_t i = 0; i < out.size(); ++i) {
       if (out[i].peer == id) {
         out.erase(out.begin() + i);
-        --channel_count_;
+        channel_count_.fetch_sub(1, std::memory_order_relaxed);
         break;
       }
     }
@@ -88,43 +129,219 @@ void Network::ReleaseNode(NodeId id) {
   nc.in_senders.clear();
 }
 
-Simulator::Simulator(uint64_t seed, NetworkOptions net)
-    : rng_(seed), network_(this, net) {}
+Simulator::Simulator(uint64_t seed, NetworkOptions net, uint32_t shards)
+    : seed_(seed), rng_(seed), network_(this, net) {
+  if (shards == 0) return;
+  // Conservative lookahead: every send delivers at least min_latency in the
+  // future, so min_latency bounds how far a window can run without
+  // cross-shard effects.  A zero floor would make windows degenerate.
+  PEPPER_CHECK(net.min_latency >= 1);
+  lookahead_ = net.min_latency;
+  shards_.reserve(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    auto sc = std::make_unique<ShardCore>();
+    sc->index = i;
+    sc->owner = this;
+    sc->outbox.resize(shards);
+    shards_.push_back(std::move(sc));
+  }
+  // A single shard has nothing to overlap with: its windows run inline on
+  // the control thread (same schedule — the worker handshake is pure
+  // overhead), which keeps `--shards=1` within the serial engine's
+  // regression band.  Real workers only exist for N > 1.
+  if (shards > 1) {
+    for (auto& sc : shards_) {
+      sc->thread = std::thread(&Simulator::WorkerMain, this, sc->index);
+    }
+  }
+}
+
+Simulator::~Simulator() {
+  for (auto& sc : shards_) {
+    std::lock_guard<std::mutex> lk(sc->mu);
+    sc->exit = true;
+    sc->cv_work.notify_one();
+  }
+  for (auto& sc : shards_) {
+    if (sc->thread.joinable()) sc->thread.join();
+  }
+}
+
+SimTime Simulator::now() const {
+  const ShardCore* sc = tls_shard_;
+  return sc != nullptr ? sc->now : now_;
+}
+
+Rng& Simulator::rng() {
+  ShardCore* sc = tls_shard_;
+  if (sc != nullptr) return slots_[sc->exec_node].rng;
+  return rng_;
+}
 
 void Simulator::At(SimTime t, std::function<void()> fn) {
+  ShardCore* sc = tls_shard_;
+  if (sc != nullptr) {
+    PEPPER_CHECK(t >= sc->now);
+    sc->queue.PushClosureSeq(t, SeqOf(sc->exec_node), sc->exec_node,
+                             std::move(fn));
+    return;
+  }
   PEPPER_CHECK(t >= now_);
-  queue_.PushClosure(t, std::move(fn));
+  if (!sharded()) {
+    queue_.PushClosure(t, std::move(fn));
+    return;
+  }
+  PushCtrl(t, std::move(fn));
 }
 
 void Simulator::After(SimTime delay, std::function<void()> fn) {
-  if (delay >= kFarFuture) {
-    // Far-future one-shots (workload arrivals, slow retries) park in the
-    // wheel so the heap stays shallow for the near-future message traffic;
-    // they inject with the seq allocated here, so ordering is unchanged.
-    wheel_.Arm(kNullNode, now_ + delay, /*period=*/0, std::move(fn), &queue_,
-               /*has_guard=*/false);
+  ShardCore* sc = tls_shard_;
+  if (sc != nullptr) {
+    // Shard context: stays on the executing node's shard, attributed to
+    // that node for seq purposes.  Far-future one-shots park in the shard's
+    // wheel just like the single-threaded engine.
+    if (delay >= kFarFuture) {
+      sc->wheel.Arm(sc->exec_node, sc->now + delay, /*period=*/0,
+                    std::move(fn), &sc->queue, SeqOf(sc->exec_node),
+                    /*has_guard=*/false);
+      return;
+    }
+    sc->queue.PushClosureSeq(sc->now + delay, SeqOf(sc->exec_node),
+                             sc->exec_node, std::move(fn));
     return;
   }
-  queue_.PushClosure(now_ + delay, std::move(fn));
+  if (!sharded()) {
+    if (delay >= kFarFuture) {
+      // Far-future one-shots (workload arrivals, slow retries) park in the
+      // wheel so the heap stays shallow for the near-future message
+      // traffic; they inject with the seq allocated here, so ordering is
+      // unchanged.
+      wheel_.Arm(kNullNode, now_ + delay, /*period=*/0, std::move(fn),
+                 &queue_, queue_.AllocateSeq(), /*has_guard=*/false);
+      return;
+    }
+    queue_.PushClosure(now_ + delay, std::move(fn));
+    return;
+  }
+  // Sharded control context: control closures (workload drivers, scenario
+  // probes) run at barriers; the control heap is shallow, no wheel needed.
+  PushCtrl(now_ + delay, std::move(fn));
+}
+
+void Simulator::Defer(std::function<void()> fn) {
+  ShardCore* sc = tls_shard_;
+  if (sc == nullptr) {
+    // Control context (or single-threaded): the caller already holds the
+    // right to touch cluster-global state — run inline so setup-time code
+    // observes its effects immediately.
+    fn();
+    return;
+  }
+  sc->deferred.push_back(ShardCore::DeferredItem{
+      sc->now, SeqOf(sc->exec_node), std::move(fn)});
 }
 
 void Simulator::AfterOnNode(NodeId id, SimTime delay,
                             std::function<void()> fn) {
-  if (delay >= kFarFuture) {
-    wheel_.Arm(id, now_ + delay, /*period=*/0, std::move(fn), &queue_);
+  ShardCore* sc = tls_shard_;
+  if (sc != nullptr) {
+    // A node schedules onto itself (Node::After, RPC plumbing); scheduling
+    // onto another shard's node from a worker would race its queue.
+    PEPPER_CHECK(ShardOf(id) == sc->index);
+    if (delay >= kFarFuture) {
+      sc->wheel.Arm(id, sc->now + delay, /*period=*/0, std::move(fn),
+                    &sc->queue, SeqOf(sc->exec_node));
+      return;
+    }
+    sc->queue.PushNodeClosureSeq(sc->now + delay, SeqOf(sc->exec_node), id,
+                                 std::move(fn));
     return;
   }
-  queue_.PushNodeClosure(now_ + delay, id, std::move(fn));
+  if (!sharded()) {
+    if (delay >= kFarFuture) {
+      wheel_.Arm(id, now_ + delay, /*period=*/0, std::move(fn), &queue_,
+                 queue_.AllocateSeq());
+      return;
+    }
+    queue_.PushNodeClosure(now_ + delay, id, std::move(fn));
+    return;
+  }
+  // Sharded control context pushing into a shard: clamp one lookahead out
+  // so the target shard — which may already have executed up to the window
+  // edge — never sees an event in its past.  (Same bound every message
+  // already obeys.)
+  ShardCore& dst = *shards_[ShardOf(id)];
+  const SimTime at = now_ + std::max(delay, lookahead_);
+  if (delay >= kFarFuture) {
+    dst.wheel.Arm(id, at, /*period=*/0, std::move(fn), &dst.queue, SeqOf(id));
+    return;
+  }
+  dst.queue.PushNodeClosureSeq(at, SeqOf(id), id, std::move(fn));
 }
 
 uint32_t Simulator::ArmTimer(NodeId id, SimTime expiry, SimTime period,
                              std::function<void()> fn) {
-  return wheel_.Arm(id, expiry, period, std::move(fn), &queue_);
+  ShardCore* sc = tls_shard_;
+  if (sc != nullptr) {
+    PEPPER_CHECK(ShardOf(id) == sc->index);
+    return sc->wheel.Arm(id, expiry, period, std::move(fn), &sc->queue,
+                         SeqOf(sc->exec_node));
+  }
+  if (!sharded()) {
+    return wheel_.Arm(id, expiry, period, std::move(fn), &queue_,
+                      queue_.AllocateSeq());
+  }
+  ShardCore& dst = *shards_[ShardOf(id)];
+  const SimTime at = std::max(expiry, now_ + lookahead_);
+  return dst.wheel.Arm(id, at, period, std::move(fn), &dst.queue, SeqOf(id));
+}
+
+void Simulator::CancelWheelTimer(NodeId id, uint32_t idx) {
+  if (!sharded()) {
+    wheel_.Cancel(idx);
+    return;
+  }
+  // Cancels come from the node's own execution or from control-context
+  // teardown (Node::Fail, Unregister) with workers parked — either way the
+  // owning shard's wheel is safe to touch.
+  ShardCore* sc = tls_shard_;
+  if (sc != nullptr) PEPPER_CHECK(ShardOf(id) == sc->index);
+  shards_[ShardOf(id)]->wheel.Cancel(idx);
 }
 
 void Simulator::ScheduleMessage(SimTime deliver_at, Message msg) {
-  queue_.PushMessage(deliver_at, std::move(msg));
+  if (!sharded()) {
+    queue_.PushMessage(deliver_at, std::move(msg));
+    return;
+  }
+  const uint64_t seq = SeqOf(msg.from);
+  const uint32_t dest = ShardOf(msg.to);
+  ShardCore* sc = tls_shard_;
+  if (sc == nullptr) {
+    // Control context, workers parked: push straight into the destination
+    // queue.  deliver_at >= now_ + min_latency >= window end, so the shard
+    // has not run past it.
+    shards_[dest]->queue.PushMessageSeq(deliver_at, seq, std::move(msg));
+    return;
+  }
+  PEPPER_CHECK(ShardOf(msg.from) == sc->index);
+  if (dest == sc->index) {
+    sc->queue.PushMessageSeq(deliver_at, seq, std::move(msg));
+    return;
+  }
+  sc->outbox[dest].push_back(
+      ShardCore::OutMsg{deliver_at, seq, std::move(msg)});
 }
+
+bool Simulator::NoteNewChannelDeferred(NodeId to, NodeId from) {
+  ShardCore* sc = tls_shard_;
+  if (sc == nullptr) return false;            // control: direct append safe
+  if (ShardOf(to) == sc->index) return false;  // same shard: ours to touch
+  sc->new_in_senders.emplace_back(to, from);
+  return true;
+}
+
+// --- single-threaded engine -------------------------------------------------
 
 void Simulator::DrainDueTimers() {
   while (wheel_.HasSlottedTimers()) {
@@ -178,10 +395,15 @@ void Simulator::ExecuteTimerFire(uint32_t idx) {
     return;
   }
   t.fn = std::move(fn);
-  wheel_.Rearm(idx, now_ + t.period, &queue_);
+  wheel_.Rearm(idx, now_ + t.period, &queue_, queue_.AllocateSeq());
 }
 
 bool Simulator::Step() {
+  if (sharded()) {
+    // One whole lookahead window: finer-grained stepping would expose
+    // mid-window interleavings that differ across shard counts.
+    return AdvanceWindow(kNoEvent - 1);
+  }
   SimTime next;
   if (!PeekNextTime(&next)) return false;
   ExecuteNext(next);
@@ -221,6 +443,12 @@ void Simulator::ExecuteNext(SimTime next) {
 }
 
 void Simulator::RunUntil(SimTime t) {
+  if (sharded()) {
+    while (AdvanceWindow(t)) {
+    }
+    now_ = std::max(now_, t);
+    return;
+  }
   SimTime next;
   while (PeekNextTime(&next) && next <= t) {
     ExecuteNext(next);
@@ -228,12 +456,264 @@ void Simulator::RunUntil(SimTime t) {
   now_ = std::max(now_, t);
 }
 
+// --- sharded engine ----------------------------------------------------------
+
+void Simulator::PushCtrl(SimTime at, std::function<void()> fn) {
+  ctrl_heap_.push_back(CtrlItem{at, CtrlRank(), std::move(fn)});
+  std::push_heap(ctrl_heap_.begin(), ctrl_heap_.end(), CtrlAfter);
+}
+
+SimTime Simulator::ShardPeekNext(ShardCore& sc) {
+  // Exact earliest pending time: drain every due wheel slot into the queue
+  // first, exactly like the single-threaded DrainDueTimers.  Slot lower
+  // bounds would depend on cursor position — a partition-dependent value —
+  // and shift window placement across shard counts.
+  for (;;) {
+    while (sc.wheel.HasSlottedTimers()) {
+      const SimTime slot_start = sc.wheel.EarliestSlotStart();
+      if (!sc.queue.Empty() && sc.queue.NextTime() < slot_start) break;
+      sc.wheel.ProcessEarliestSlot(&sc.queue);
+    }
+    if (sc.queue.Empty()) {
+      sc.next_event = kNoEvent;
+      return kNoEvent;
+    }
+    // A canceled timer's record fizzles at pop — but whether it is sitting
+    // in this queue at all (versus already recycled inside its wheel slot)
+    // depends on how far earlier peeks happened to drain the wheel, which
+    // is a function of the local queue head: the one partition-dependent
+    // quantity in the engine.  Using such a record's time as the window
+    // base would shift window boundaries — and with them the shard/control
+    // interleaving — across shard counts, so discard them here and re-look.
+    const Event& head = sc.queue.PeekEvent();
+    if (head.kind == EventKind::kTimerFire &&
+        sc.wheel.timer(head.timer_idx).canceled) {
+      const Event dead = sc.queue.PopEvent();
+      sc.wheel.Free(dead.timer_idx);
+      continue;  // the new head may let more wheel slots drain
+    }
+    sc.next_event = sc.queue.NextTime();
+    return sc.next_event;
+  }
+}
+
+void Simulator::ExecuteShardTimerFire(ShardCore& sc, uint32_t idx) {
+  {
+    TimerWheel::Timer& t = sc.wheel.timer(idx);
+    if (t.canceled) {
+      sc.wheel.Free(idx);
+      return;
+    }
+    if (!t.has_guard) {
+      sc.exec_node = t.node;  // origin attribution (never kNullNode here)
+      ++sc.events;
+      std::function<void()> fn = std::move(t.fn);
+      fn();
+      sc.wheel.Free(idx);
+      return;
+    }
+    Node* n = node(t.node);
+    if (n == nullptr || !n->alive()) {
+      sc.wheel.Free(idx);
+      return;
+    }
+    sc.exec_node = t.node;
+    ++sc.events;
+  }
+  std::function<void()> fn = std::move(sc.wheel.timer(idx).fn);
+  fn();
+  TimerWheel::Timer& t = sc.wheel.timer(idx);
+  Node* n = node(t.node);
+  if (t.period == 0 || t.canceled || n == nullptr || !n->alive()) {
+    sc.wheel.Free(idx);
+    return;
+  }
+  t.fn = std::move(fn);
+  sc.wheel.Rearm(idx, sc.now + t.period, &sc.queue, SeqOf(t.node));
+}
+
+void Simulator::ExecuteShardNext(ShardCore& sc) {
+  Event ev = sc.queue.PopEvent();
+  sc.now = std::max(sc.now, ev.at);
+  // Unlike the single-threaded engine, only events whose action runs are
+  // counted.  Fizzled pops (canceled timers, guard drops) depend on how far
+  // the wheel happened to be drained into the queue at cancel time — a
+  // function of the local queue head, the one partition-dependent quantity
+  // in the engine — so counting them would make `sim.events` vary with the
+  // shard count while every protocol-visible number stays identical.
+  switch (ev.kind) {
+    case EventKind::kClosure:
+      sc.exec_node = ev.node;  // origin attribution, no guard
+      ++sc.events;
+      ev.fn();
+      break;
+    case EventKind::kNodeClosure: {
+      Node* n = node(ev.node);
+      if (n != nullptr && n->alive()) {
+        sc.exec_node = ev.node;
+        ++sc.events;
+        ev.fn();
+      }
+      break;
+    }
+    case EventKind::kMessage: {
+      Node* target = node(ev.msg.to);
+      if (target != nullptr && target->alive()) {
+        sc.exec_node = ev.msg.to;
+        ++sc.events;
+        target->Deliver(ev.msg);
+      }
+      break;
+    }
+    case EventKind::kTimerFire:
+      ExecuteShardTimerFire(sc, ev.timer_idx);
+      break;
+    case EventKind::kFree:
+      PEPPER_CHECK(false);
+      break;
+  }
+  sc.exec_node = kNullNode;
+}
+
+void Simulator::RunShardWindow(ShardCore& sc, SimTime end) {
+  for (;;) {
+    while (sc.wheel.HasSlottedTimers()) {
+      const SimTime slot_start = sc.wheel.EarliestSlotStart();
+      if (slot_start >= end) break;  // nothing in the wheel due this window
+      if (!sc.queue.Empty() && sc.queue.NextTime() < slot_start) break;
+      sc.wheel.ProcessEarliestSlot(&sc.queue);
+    }
+    if (sc.queue.Empty() || sc.queue.NextTime() >= end) return;
+    ExecuteShardNext(sc);
+  }
+}
+
+bool Simulator::AdvanceWindow(SimTime bound) {
+  // Window base m: the exact global minimum pending time across every
+  // shard and the control heap.  Exactness is what makes the window
+  // sequence — and therefore the whole run — invariant in the shard count.
+  SimTime m = kNoEvent;
+  for (auto& sc : shards_) {
+    m = std::min(m, ShardPeekNext(*sc));
+  }
+  if (!ctrl_heap_.empty()) m = std::min(m, ctrl_heap_.front().at);
+  if (m == kNoEvent || m > bound) return false;
+  const SimTime e = std::min(m + lookahead_, bound + 1);
+
+  // Run [m, e) on every shard with work in the window.  Anything executed
+  // inside sends at latency >= lookahead, landing at >= e — outside the
+  // window — so the shards cannot affect each other until the barrier.
+  if (shards_.size() == 1) {
+    // Inline single-shard execution: the window body runs on this thread
+    // with the shard's execution context installed, exactly as a worker
+    // would run it.
+    ShardCore& sc = *shards_[0];
+    if (sc.next_event < e) {
+      tls_shard_ = &sc;
+      tls_metrics_lane = 1;
+      RunShardWindow(sc, e);
+      tls_shard_ = nullptr;
+      tls_metrics_lane = 0;
+    }
+  } else {
+    for (auto& sc : shards_) {
+      if (sc->next_event >= e) continue;
+      std::lock_guard<std::mutex> lk(sc->mu);
+      sc->window_end = e;
+      ++sc->run_epoch;
+      sc->cv_work.notify_one();
+    }
+    for (auto& sc : shards_) {
+      if (sc->next_event >= e) continue;
+      std::unique_lock<std::mutex> lk(sc->mu);
+      sc->cv_done.wait(lk, [&] { return sc->done_epoch == sc->run_epoch; });
+    }
+  }
+
+  // Barrier, control thread only from here.  Merge cross-shard mailboxes:
+  // destination order is irrelevant because every event carries its
+  // (time, composite seq) key.
+  for (auto& src : shards_) {
+    for (size_t d = 0; d < shards_.size(); ++d) {
+      for (auto& om : src->outbox[d]) {
+        shards_[d]->queue.PushMessageSeq(om.at, om.seq, std::move(om.msg));
+      }
+      src->outbox[d].clear();
+    }
+    // Receiver-side registrations for channels created cross-shard this
+    // window (set semantics — application order cannot matter).
+    for (const auto& [to, from] : src->new_in_senders) {
+      network_.channels_[to].in_senders.push_back(from);
+    }
+    src->new_in_senders.clear();
+    // Defer()ed control work, stamped with the shard time and origin seq it
+    // was requested at.
+    for (auto& item : src->deferred) {
+      ctrl_heap_.push_back(
+          CtrlItem{item.at, item.rank, std::move(item.fn)});
+      std::push_heap(ctrl_heap_.begin(), ctrl_heap_.end(), CtrlAfter);
+    }
+    src->deferred.clear();
+  }
+
+  // Control work due this window, in (time, rank) order.  Plain control
+  // ranks are < 2^kSeqBits, so control-originated items sort ahead of
+  // shard-deferred ones at the same instant — an arbitrary but fixed rule.
+  while (!ctrl_heap_.empty() && ctrl_heap_.front().at < e) {
+    std::pop_heap(ctrl_heap_.begin(), ctrl_heap_.end(), CtrlAfter);
+    CtrlItem item = std::move(ctrl_heap_.back());
+    ctrl_heap_.pop_back();
+    now_ = std::max(now_, item.at);
+    ++ctrl_events_;
+    item.fn();
+  }
+  // Pull the control clock to the window edge so driver loops polling
+  // now() against a deadline always terminate.
+  now_ = std::max(now_, e - 1);
+  return true;
+}
+
+void Simulator::WorkerMain(uint32_t shard_index) {
+  ShardCore& sc = *shards_[shard_index];
+  tls_shard_ = &sc;
+  tls_metrics_lane = static_cast<int>(shard_index) + 1;
+  uint64_t seen = 0;
+  for (;;) {
+    SimTime end;
+    {
+      std::unique_lock<std::mutex> lk(sc.mu);
+      sc.cv_work.wait(lk, [&] { return sc.exit || sc.run_epoch != seen; });
+      if (sc.exit) return;
+      seen = sc.run_epoch;
+      end = sc.window_end;
+    }
+    RunShardWindow(sc, end);
+    {
+      std::lock_guard<std::mutex> lk(sc.mu);
+      sc.done_epoch = seen;
+    }
+    sc.cv_done.notify_one();
+  }
+}
+
+// --- registry ---------------------------------------------------------------
+
 NodeId Simulator::Register(Node* node) {
   nodes_.push_back(node);
-  return static_cast<NodeId>(nodes_.size() - 1);
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  if (sharded()) {
+    PEPPER_CHECK(tls_shard_ == nullptr);  // construction is control-only
+    slots_.emplace_back();
+    // Seed-derived per-node stream: draw order is a per-node property, so
+    // it cannot depend on the shard partition.
+    slots_[id].rng = Rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (id + 1)));
+    network_.EnsureChannelCapacity(nodes_.size());
+  }
+  return id;
 }
 
 void Simulator::Unregister(NodeId id) {
+  if (sharded()) PEPPER_CHECK(tls_shard_ == nullptr);  // teardown at control
   if (id < nodes_.size()) nodes_[id] = nullptr;
   network_.ReleaseNode(id);
 }
@@ -246,6 +726,13 @@ Node* Simulator::node(NodeId id) const {
 bool Simulator::IsAlive(NodeId id) const {
   Node* n = node(id);
   return n != nullptr && n->alive();
+}
+
+uint64_t Simulator::events_executed() const {
+  if (!sharded()) return events_executed_;
+  uint64_t total = ctrl_events_;
+  for (const auto& sc : shards_) total += sc->events;
+  return total;
 }
 
 }  // namespace pepper::sim

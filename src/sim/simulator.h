@@ -1,7 +1,13 @@
 #ifndef PEPPER_SIM_SIMULATOR_H_
 #define PEPPER_SIM_SIMULATOR_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -35,10 +41,18 @@ class Network {
   const NetworkOptions& options() const { return options_; }
   void set_options(NetworkOptions options) { options_ = options; }
   // Incremented on every Send — one-way messages, requests and replies all
-  // funnel through Network::Send.
-  uint64_t messages_sent() const { return messages_sent_; }
+  // funnel through Network::Send.  Counted per metrics lane so sharded
+  // workers never contend; the read aggregates (single-threaded runs only
+  // ever touch lane 0).
+  uint64_t messages_sent() const {
+    uint64_t total = 0;
+    for (uint64_t lane : messages_sent_) total += lane;
+    return total;
+  }
   // Live per-channel FIFO entries (observability for pruning tests).
-  size_t channel_count() const { return channel_count_; }
+  size_t channel_count() const {
+    return channel_count_.load(std::memory_order_relaxed);
+  }
 
   // A delay that safely upper-bounds one round trip; protocol timeouts are
   // derived from it.
@@ -53,8 +67,15 @@ class Network {
   // and sends *to* it stop being recorded).  Ids are never reused, so
   // without this long churn runs grow the bookkeeping with one entry per
   // channel every dead peer ever used.  O(channels of `id`) via the
-  // inbound-sender index, not a full scan.
+  // inbound-sender index, not a full scan.  Control-context only in
+  // sharded mode (it touches every shard's tables).
   void ReleaseNode(NodeId id);
+
+  // Sharded mode pre-sizes the per-node tables at Register so shard
+  // workers never trigger a resize.
+  void EnsureChannelCapacity(size_t n) {
+    if (channels_.size() < n) channels_.resize(n);
+  }
 
   // Per-node flat channel tables, indexed by the dense NodeId.  `out` is
   // kept sorted by peer id: lookup is a binary search over a contiguous
@@ -65,6 +86,12 @@ class Network {
   // is created once per distinct (from, to) pair ever — vanishing next to
   // the sends crossing it.  The old nested unordered_map<from,
   // unordered_map<to, SimTime>> cost two hash lookups per send.
+  //
+  // Sharded-mode ownership: channels_[n] is touched only by n's shard
+  // worker during a window (nodes send only from their own execution) and
+  // by the control thread at barriers; the exception is the inbound-sender
+  // index of a *remote* node, whose append is deferred to the barrier (see
+  // Simulator::NoteNewChannelDeferred).
   struct Channel {
     NodeId peer;
     SimTime last_delivery;  // latest delivery scheduled on this channel
@@ -77,20 +104,39 @@ class Network {
 
   Simulator* sim_;
   NetworkOptions options_;
-  uint64_t messages_sent_ = 0;
+  std::array<uint64_t, kMaxMetricLanes> messages_sent_{};
   std::vector<NodeChannels> channels_;
-  size_t channel_count_ = 0;
+  std::atomic<size_t> channel_count_{0};
 };
 
-// Single-threaded deterministic discrete-event simulator.  Peers are Node
-// actors; every handler runs atomically at a virtual instant, and all
-// concurrency between protocol steps is expressed as interleaving of events,
-// exactly the granularity at which the paper's histories are defined.
+// Deterministic discrete-event simulator.  Peers are Node actors; every
+// handler runs atomically at a virtual instant, and all concurrency between
+// protocol steps is expressed as interleaving of events, exactly the
+// granularity at which the paper's histories are defined.
 //
 // The hot path is allocation-free in steady state: message deliveries and
 // timer ticks are fixed-size records recycled through the EventQueue arena
 // and the TimerWheel pool; only generic At/After closures still engage a
 // std::function.
+//
+// --- Sharded mode (shards > 0) ---------------------------------------------
+//
+// Nodes are partitioned across `shards` worker threads by dense NodeId
+// (id % shards); each shard owns a private EventQueue arena, TimerWheel and
+// per-node RNG streams, and the shards run in lock-step windows bounded by
+// the conservative lookahead L = max(min_latency, 1): every message sent at
+// time t delivers at t + latency >= t + L, so a window [m, e) with
+// m = the exact global minimum next-event time and e = min(m + L, bound+1)
+// can execute on all shards in parallel — nothing that happens inside the
+// window can affect another node before e.  Cross-shard sends land in
+// per-(src, dst) outboxes merged into the destination queue at the barrier;
+// every event carries a composite seq ((origin NodeId + 1) << 40 | per-origin
+// counter), so the (time, seq) order — and therefore the entire run — is
+// bit-identical for any shard count.  Control work (nodeless closures,
+// Defer()ed cross-node state changes, node construction/failure) runs
+// single-threadedly at the barriers, stamped and ordered by (time, rank).
+// Single-threaded mode (shards == 0, the default) is byte-for-byte the
+// pre-sharding engine.
 class Simulator {
  public:
   // One-shot delays at or beyond this park in the timer wheel instead of
@@ -98,20 +144,51 @@ class Simulator {
   // traffic, and far-future closures cost O(1) until they come due.
   // Ordering is unaffected — everything merges by (time, seq).
   static constexpr SimTime kFarFuture = 8 * kMillisecond;
+  // Composite-seq split: high bits carry origin+1, low kSeqBits the
+  // per-origin counter.  2^40 events per origin is out of reach (whole
+  // paper-scale runs execute ~1e8 events).
+  static constexpr int kSeqBits = 40;
 
-  explicit Simulator(uint64_t seed, NetworkOptions net = NetworkOptions());
+  explicit Simulator(uint64_t seed, NetworkOptions net = NetworkOptions(),
+                     uint32_t shards = 0);
+  ~Simulator();
 
-  SimTime now() const { return now_; }
+  bool sharded() const { return !shards_.empty(); }
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
+  SimTime lookahead() const { return lookahead_; }
+
+  // Current virtual time of the calling context: a shard worker sees its
+  // shard clock, everyone else the control clock (== the single-threaded
+  // clock when not sharded).
+  SimTime now() const;
 
   void At(SimTime t, std::function<void()> fn);
   void After(SimTime delay, std::function<void()> fn);
 
-  // Executes the next event; returns false if nothing is scheduled.
+  // Runs `fn` in the control context, where cluster-global state (oracle,
+  // free-peer pool, driver bookkeeping) is safe to touch: immediately when
+  // called from control or in single-threaded mode, at the next window
+  // barrier — ordered by (shard time, origin seq) — when called from a
+  // shard worker.
+  void Defer(std::function<void()> fn);
+  // Schedules `fn` on `id`'s execution context (alive-guarded), from the
+  // control context; lands one lookahead window out in sharded mode.
+  void PostToNode(NodeId id, std::function<void()> fn) {
+    AfterOnNode(id, 0, std::move(fn));
+  }
+
+  // Executes the next event — a whole lookahead window in sharded mode
+  // (finer steps would expose mid-window states that differ across shard
+  // counts) — and returns false if nothing is scheduled.
   bool Step();
-  void RunFor(SimTime duration) { RunUntil(now_ + duration); }
+  void RunFor(SimTime duration) { RunUntil(now() + duration); }
   void RunUntil(SimTime t);
 
-  Rng& rng() { return rng_; }
+  // Calling context's RNG: the per-node stream of the executing node on a
+  // shard worker, the global control stream otherwise.  Sharded runs give
+  // every node its own seed-derived stream so draw order is a per-node
+  // property, invariant under the partition.
+  Rng& rng();
   Network& network() { return network_; }
   Counters& counters() { return counters_; }
 
@@ -122,8 +199,10 @@ class Simulator {
   size_t num_registered() const { return nodes_.size(); }
 
   // Total events executed (messages, ticks, closures); deterministic for a
-  // given seed, and the numerator of the scenario runner's events/sec.
-  uint64_t events_executed() const { return events_executed_; }
+  // given seed — and, sharded, for any shard count — and the numerator of
+  // the scenario runner's events/sec.
+  uint64_t events_executed() const;
+  // Single-threaded-engine introspection (bench/event_core tests).
   const EventQueue& queue() const { return queue_; }
   const TimerWheel& wheel() const { return wheel_; }
 
@@ -131,16 +210,83 @@ class Simulator {
   friend class Network;
   friend class Node;
 
+  // One shard: a complete single-threaded simulator core over the subset
+  // of nodes with id % shards == index, plus the cross-shard plumbing.
+  struct ShardCore {
+    uint32_t index = 0;
+    Simulator* owner = nullptr;
+    EventQueue queue;
+    TimerWheel wheel;
+    SimTime now = 0;
+    SimTime next_event = 0;  // valid during AdvanceWindow only
+    uint64_t events = 0;
+    NodeId exec_node = kNullNode;  // node whose event is executing
+
+    // Cross-shard sends buffered during the window, merged by the control
+    // thread at the barrier; (at, seq) makes insertion order irrelevant.
+    struct OutMsg {
+      SimTime at;
+      uint64_t seq;
+      Message msg;
+    };
+    std::vector<std::vector<OutMsg>> outbox;  // [destination shard]
+    // (to, from) channel registrations for remote nodes, applied at the
+    // barrier (in_senders is set-semantics, so application order across
+    // shards cannot matter).
+    std::vector<std::pair<NodeId, NodeId>> new_in_senders;
+    // Defer()ed control work stamped (shard time, origin seq).
+    struct DeferredItem {
+      SimTime at;
+      uint64_t rank;
+      std::function<void()> fn;
+    };
+    std::vector<DeferredItem> deferred;
+
+    // Worker handshake.  Condvar-based: correct and cheap whether the host
+    // has one core or many (a spin barrier would starve on small hosts).
+    std::mutex mu;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    uint64_t run_epoch = 0;
+    uint64_t done_epoch = 0;
+    SimTime window_end = 0;
+    bool exit = false;
+    std::thread thread;
+  };
+
+  struct NodeSlot {
+    Rng rng;
+    uint64_t seq_ctr = 0;
+    NodeSlot() : rng(0) {}
+  };
+
+  struct CtrlItem {
+    SimTime at;
+    uint64_t rank;
+    std::function<void()> fn;
+  };
+  // Heap comparator (std::push_heap builds a max-heap; invert for min).
+  static bool CtrlAfter(const CtrlItem& a, const CtrlItem& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.rank > b.rank;
+  }
+
   // Node::After without the old per-call wrapper closure: the alive guard
   // lives in the event record, not a capturing lambda.
   void AfterOnNode(NodeId id, SimTime delay, std::function<void()> fn);
   // Timer plumbing for Node::Every / CancelTimer.
   uint32_t ArmTimer(NodeId id, SimTime expiry, SimTime period,
                     std::function<void()> fn);
-  void CancelWheelTimer(uint32_t idx) { wheel_.Cancel(idx); }
+  void CancelWheelTimer(NodeId id, uint32_t idx);
   // Message scheduling for Network::Send (by value, no closure).
   void ScheduleMessage(SimTime deliver_at, Message msg);
+  // Called by Network::Send when a new channel (from -> to) appears; returns
+  // true if the inbound-sender registration was deferred to the barrier
+  // (cross-shard creation from a worker).
+  bool NoteNewChannelDeferred(NodeId to, NodeId from);
+  Rng& SlotRng(NodeId id) { return slots_[id].rng; }
 
+  // --- single-threaded engine ---
   // Moves every wheel slot due at or before the queue head into the queue,
   // so the heap top is the globally earliest event by (time, seq).
   void DrainDueTimers();
@@ -149,7 +295,39 @@ class Simulator {
   void ExecuteNext(SimTime next);
   void ExecuteTimerFire(uint32_t idx);
 
-  SimTime now_ = 0;
+  // --- sharded engine ---
+  uint32_t ShardOf(NodeId id) const {
+    return id % static_cast<uint32_t>(shards_.size());
+  }
+  // Next composite seq for events originating at `id` (control thread at
+  // barriers or the owning shard worker — never concurrent).
+  uint64_t SeqOf(NodeId id) {
+    return ((static_cast<uint64_t>(id) + 1) << kSeqBits) | slots_[id].seq_ctr++;
+  }
+  uint64_t CtrlRank() { return ctrl_rank_ctr_++; }
+  void PushCtrl(SimTime at, std::function<void()> fn);
+  // Exact earliest pending event time of one shard (drains due wheel slots
+  // into the queue first — slot lower bounds would depend on cursor state
+  // and break the shard-count invariance of the window placement).
+  SimTime ShardPeekNext(ShardCore& sc);
+  // Executes every event with time < end on one shard (worker thread).
+  void RunShardWindow(ShardCore& sc, SimTime end);
+  void ExecuteShardNext(ShardCore& sc);
+  void ExecuteShardTimerFire(ShardCore& sc, uint32_t idx);
+  // One lock-step window: find m, run [m, e) on all shards in parallel,
+  // then merge mailboxes and run control work at the barrier.  Returns
+  // false if nothing is pending at or before `bound`.
+  bool AdvanceWindow(SimTime bound);
+  void WorkerMain(uint32_t shard_index);
+
+  static constexpr SimTime kNoEvent = ~SimTime{0};
+
+  // Execution-context marker: the worker thread's own ShardCore, null on
+  // the control thread and in single-threaded mode.
+  static thread_local ShardCore* tls_shard_;
+
+  uint64_t seed_;
+  SimTime now_ = 0;  // control clock in sharded mode
   EventQueue queue_;
   TimerWheel wheel_;
   Rng rng_;
@@ -157,7 +335,26 @@ class Simulator {
   Counters counters_;
   uint64_t events_executed_ = 0;
   std::vector<Node*> nodes_;  // index == NodeId; nullptr when destroyed
+
+  // Sharded-mode state (empty / unused when shards == 0).
+  std::vector<std::unique_ptr<ShardCore>> shards_;
+  std::vector<NodeSlot> slots_;  // per-node rng + seq counter
+  SimTime lookahead_ = 0;
+  std::vector<CtrlItem> ctrl_heap_;  // min-heap on (at, rank)
+  uint64_t ctrl_rank_ctr_ = 0;
+  uint64_t ctrl_events_ = 0;
 };
+
+// Wraps a callback so its body runs in the simulator's control context (see
+// Simulator::Defer); completion callbacks that touch cluster-global state
+// (oracle, workload bookkeeping) from protocol code use this to stay
+// deterministic under sharding.  Arguments are captured by value.
+template <typename F>
+auto DeferredCallback(Simulator* sim, F fn) {
+  return [sim, fn = std::move(fn)](auto... args) {
+    sim->Defer([fn, args...]() { fn(args...); });
+  };
+}
 
 }  // namespace pepper::sim
 

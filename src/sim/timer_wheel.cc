@@ -33,13 +33,13 @@ uint32_t TimerWheel::AllocateRecord() {
 
 uint32_t TimerWheel::Arm(NodeId node, SimTime expiry, SimTime period,
                          std::function<void()> fn, EventQueue* queue,
-                         bool has_guard) {
+                         uint64_t seq, bool has_guard) {
   const uint32_t idx = AllocateRecord();
   Timer& t = pool_[idx];
   t.node = node;
   t.period = period;
   t.expiry = expiry;
-  t.seq = queue->AllocateSeq();
+  t.seq = seq;
   t.fn = std::move(fn);
   t.next = kNil;
   t.canceled = false;
@@ -56,11 +56,12 @@ uint32_t TimerWheel::Arm(NodeId node, SimTime expiry, SimTime period,
   return idx;
 }
 
-void TimerWheel::Rearm(uint32_t idx, SimTime expiry, EventQueue* queue) {
+void TimerWheel::Rearm(uint32_t idx, SimTime expiry, EventQueue* queue,
+                       uint64_t seq) {
   Timer& t = pool_[idx];
   PEPPER_CHECK(t.state == State::kPending && !t.canceled);
   t.expiry = expiry;
-  t.seq = queue->AllocateSeq();
+  t.seq = seq;
   if (expiry <= cursor_) {
     queue->PushTimerFire(expiry, t.seq, idx);  // stays kPending
   } else {

@@ -70,11 +70,14 @@ class TimerWheel {
   // recycled, which happens only after cancellation or node death is
   // observed at fire/slot time).  If expiry is not in the future relative
   // to the wheel cursor the fire event is injected into `queue` directly.
+  // `seq` is the (at, seq) tie-break key the fire will carry — the caller
+  // allocates it (queue->AllocateSeq() single-threaded, composite
+  // per-origin seqs sharded) so the wheel works for both schemes.
   uint32_t Arm(NodeId node, SimTime expiry, SimTime period,
-               std::function<void()> fn, EventQueue* queue,
+               std::function<void()> fn, EventQueue* queue, uint64_t seq,
                bool has_guard = true);
   // Re-arms a just-fired record (state kPending) for its next tick.  O(1).
-  void Rearm(uint32_t idx, SimTime expiry, EventQueue* queue);
+  void Rearm(uint32_t idx, SimTime expiry, EventQueue* queue, uint64_t seq);
   // Lazy-cancels; the record is recycled when next touched.  O(1).
   void Cancel(uint32_t idx);
   // Recycles a kPending record whose fire event fizzled (canceled or node

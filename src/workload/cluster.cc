@@ -73,9 +73,17 @@ ClusterOptions ClusterOptions::FastDefaults() {
 
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)),
-      sim_(std::make_unique<sim::Simulator>(options_.seed, options_.net)),
+      sim_(std::make_unique<sim::Simulator>(options_.seed, options_.net,
+                                            options_.shards)),
       oracle_(std::make_unique<history::LivenessOracle>(sim_.get())),
+      observer_proxy_(
+          std::make_unique<DeferredObserver>(sim_.get(), oracle_.get())),
       pool_(sim_.get()) {
+  if (options_.shards > 0) {
+    // Shard workers record latencies and counters into per-thread lanes;
+    // pre-allocate them before any worker touches a histogram.
+    metrics_.EnableConcurrentLanes();
+  }
   // Ring identities are single-use; a merged-away peer "rejoins" as a brand
   // new free peer.
   pool_.set_replenish([this]() { AddFreePeer(); });
@@ -92,7 +100,7 @@ PeerStack* Cluster::MakeStack() {
 
   datastore::DataStoreOptions dopts = options_.ds;
   dopts.metrics = &metrics_;
-  dopts.observer = oracle_.get();
+  dopts.observer = observer_proxy_.get();
   stack->ds = std::make_unique<datastore::DataStoreNode>(stack->ring.get(),
                                                          &pool_, dopts);
 
@@ -168,12 +176,17 @@ PeerStack* Cluster::MakeStack() {
        this](datastore::Item item) {
         auto self = weak.lock();
         if (self == nullptr) return;
-        PeerStack* via = SomeMember();
-        index::P2PIndex* target = via != nullptr ? via->index.get() : idx;
-        target->InsertItem(item, [self, item, this](const Status& s) {
-          if (s.ok()) return;
-          metrics_.counters().Inc("cluster.rehome_retries");
-          sim_->After(sim::kSecond, [self, item]() { (*self)(item); });
+        // SomeMember() walks cluster-global driver state (the round-robin
+        // cursor), so the re-issue runs in the control context; the hook
+        // fires from a shrinking peer's own execution.
+        sim_->Defer([self, idx, item, this]() {
+          PeerStack* via = SomeMember();
+          index::P2PIndex* target = via != nullptr ? via->index.get() : idx;
+          target->InsertItem(item, [self, item, this](const Status& s) {
+            if (s.ok()) return;
+            metrics_.counters().Inc("cluster.rehome_retries");
+            sim_->After(sim::kSecond, [self, item]() { (*self)(item); });
+          });
         });
       };
   dsp->set_rehome([rehome](const datastore::Item& item) { (*rehome)(item); });

@@ -33,6 +33,10 @@ struct PeerStack {
 
 struct ClusterOptions {
   uint64_t seed = 42;
+  // 0 = single-threaded simulator; N > 0 partitions the nodes across N
+  // worker shards under conservative-lookahead windows.  Results (CSV,
+  // counters, audits) are bit-identical for any N >= 1 at a given seed.
+  uint32_t shards = 0;
   sim::NetworkOptions net;
   ring::RingOptions ring;
   datastore::DataStoreOptions ds;
@@ -117,12 +121,34 @@ class Cluster {
   PeerStack* SomeMember();
 
  private:
+  // Routes data-store placement events to the oracle through the
+  // simulator's control context (Simulator::Defer): inline when
+  // single-threaded, at the window barrier — ordered by (event time,
+  // origin seq) — under sharding, where the oracle's timeline is
+  // cluster-global state that shard workers must not touch directly.
+  class DeferredObserver : public datastore::DataStoreObserver {
+   public:
+    DeferredObserver(sim::Simulator* sim, history::LivenessOracle* oracle)
+        : sim_(sim), oracle_(oracle) {}
+    void OnStore(sim::NodeId peer, Key skv) override {
+      sim_->Defer([this, peer, skv]() { oracle_->OnStore(peer, skv); });
+    }
+    void OnDrop(sim::NodeId peer, Key skv) override {
+      sim_->Defer([this, peer, skv]() { oracle_->OnDrop(peer, skv); });
+    }
+
+   private:
+    sim::Simulator* sim_;
+    history::LivenessOracle* oracle_;
+  };
+
   PeerStack* MakeStack();
 
   ClusterOptions options_;
   MetricsHub metrics_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<history::LivenessOracle> oracle_;
+  std::unique_ptr<DeferredObserver> observer_proxy_;
   datastore::FreePeerPool pool_;
   std::vector<std::unique_ptr<PeerStack>> peers_;
   size_t rr_cursor_ = 0;

@@ -99,16 +99,22 @@ void WorkloadDriver::ArmInsert(uint64_t epoch) {
       item.data = "w";
       auto* oracle = &cluster_->oracle();
       const sim::SimTime issued = cluster_->sim().now();
+      // Completion runs on the serving node's execution; the oracle timeline
+      // is cluster-global, so the body routes through the control context
+      // (inline single-threaded; at the barrier — with now() still reporting
+      // the completion instant — under sharding).
       via->index->InsertItem(item, [this, oracle, key,
                                     issued](const Status& s) {
-        if (s.ok()) {
-          oracle->RegisterInsert(key);
-          metrics().RecordLatency(
-              "wl.insert_time",
-              sim::ToSeconds(cluster_->sim().now() - issued));
-        } else {
-          metrics().counters().Inc("wl.insert_failures");
-        }
+        cluster_->sim().Defer([this, oracle, key, issued, s]() {
+          if (s.ok()) {
+            oracle->RegisterInsert(key);
+            metrics().RecordLatency(
+                "wl.insert_time",
+                sim::ToSeconds(cluster_->sim().now() - issued));
+          } else {
+            metrics().counters().Inc("wl.insert_failures");
+          }
+        });
       });
     }
     ArmInsert(epoch);
@@ -127,8 +133,10 @@ void WorkloadDriver::ArmDelete(uint64_t epoch) {
       ++deletes_issued_;
       metrics().counters().Inc("wl.deletes_issued");
       auto* oracle = &cluster_->oracle();
-      via->index->DeleteItem(key, [oracle, key](const Status& s) {
-        if (s.ok()) oracle->RegisterDelete(key);
+      via->index->DeleteItem(key, [this, oracle, key](const Status& s) {
+        cluster_->sim().Defer([oracle, key, s]() {
+          if (s.ok()) oracle->RegisterDelete(key);
+        });
       });
     }
     ArmDelete(epoch);
@@ -179,24 +187,29 @@ void WorkloadDriver::ArmQuery(uint64_t epoch) {
       via->index->RangeQuery(
           span, [this, oracle, span, started](
                     const Status& s, std::vector<datastore::Item> items) {
-            metrics().RecordLatency(
-                "wl.query_time",
-                sim::ToSeconds(cluster_->sim().now() - started));
-            if (!s.ok()) {
-              metrics().counters().Inc("wl.query_failures");
-              return;  // incomplete results carry no correctness claim
-            }
-            std::vector<Key> keys;
-            keys.reserve(items.size());
-            for (const auto& it : items) keys.push_back(it.skv);
-            const auto audit = oracle->CheckQuery(
-                span, started, cluster_->sim().now(), keys);
-            if (audit.correct) {
-              metrics().counters().Inc("wl.queries_ok");
-            } else {
-              ++query_violations_;
-              metrics().counters().Inc("wl.query_violations");
-            }
+            // The audit reads the oracle's global timeline: control context
+            // only (now() inside still reports the completion instant).
+            cluster_->sim().Defer([this, oracle, span, started, s,
+                                   items = std::move(items)]() {
+              metrics().RecordLatency(
+                  "wl.query_time",
+                  sim::ToSeconds(cluster_->sim().now() - started));
+              if (!s.ok()) {
+                metrics().counters().Inc("wl.query_failures");
+                return;  // incomplete results carry no correctness claim
+              }
+              std::vector<Key> keys;
+              keys.reserve(items.size());
+              for (const auto& it : items) keys.push_back(it.skv);
+              const auto audit = oracle->CheckQuery(
+                  span, started, cluster_->sim().now(), keys);
+              if (audit.correct) {
+                metrics().counters().Inc("wl.queries_ok");
+              } else {
+                ++query_violations_;
+                metrics().counters().Inc("wl.query_violations");
+              }
+            });
           });
     }
     ArmQuery(epoch);

@@ -1,0 +1,243 @@
+// Sharded-engine tests: the conservative-lookahead parallel simulator must
+// be indistinguishable from itself at any shard count — same metrics, same
+// event order at shard boundaries, FIFO across cross-shard channels — and
+// must keep fail-stop semantics when a node dies or unregisters with
+// cross-shard messages still in flight.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "workload/cluster.h"
+#include "workload/workload.h"
+
+namespace pepper::sim {
+namespace {
+
+// --- Shard-boundary tie-break ------------------------------------------------
+
+struct SeqMsg : Payload {
+  int seq = 0;
+};
+
+// Same-instant events on DIFFERENT shards are causally independent and may
+// execute in any wall order — the engine only defines order where streams
+// converge: deliveries merging into one node's queue, and Defer()ed work
+// merging into the control heap.  Both merges key on (time, composite seq),
+// where the seq depends only on the origin node and its per-node counter —
+// never on the shard layout — so the converged order is identical for every
+// shard count.
+TEST(ShardedSimTest, ShardBoundaryTieBreakIsShardCountInvariant) {
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    NetworkOptions net;
+    // Fixed latency: all messages sent at the same instant collide at the
+    // same delivery instant, forcing the (time, seq) tie-break.
+    net.min_latency = kMillisecond;
+    net.max_latency = kMillisecond;
+    Simulator sim(7, net, shards);
+    Node receiver(&sim);
+    std::vector<std::unique_ptr<Node>> senders;
+    for (int i = 0; i < 8; ++i) senders.push_back(std::make_unique<Node>(&sim));
+    std::vector<std::pair<NodeId, int>> delivered;  // receiver's shard only
+    receiver.On<SeqMsg>(
+        [&delivered](const Message& m, const SeqMsg& p) {
+          delivered.emplace_back(m.from, p.seq);
+        });
+    std::vector<NodeId> deferred;  // control context only
+    // Interleave the arming across node ids so wall execution order and id
+    // order disagree under any partition.
+    const int ids[] = {5, 2, 7, 0, 3, 6, 1, 4};
+    for (const int id : ids) {
+      Node* n = senders[static_cast<size_t>(id)].get();
+      n->After(10 * kMillisecond, [n, &receiver, &sim, &deferred]() {
+        for (int k = 0; k < 2; ++k) {
+          auto msg = std::make_shared<SeqMsg>();
+          msg->seq = k;
+          n->Send(receiver.id(), msg);
+        }
+        sim.Defer([n, &deferred]() { deferred.push_back(n->id()); });
+      });
+    }
+    sim.RunFor(30 * kMillisecond);
+    // Converged delivery order: ascending origin node id, per-origin send
+    // order — regardless of which shard owned which sender.
+    std::vector<std::pair<NodeId, int>> expect_msgs;
+    for (const auto& s : senders) {
+      expect_msgs.emplace_back(s->id(), 0);
+      expect_msgs.emplace_back(s->id(), 1);
+    }
+    EXPECT_EQ(delivered, expect_msgs) << "shards=" << shards;
+    std::vector<NodeId> expect_defers;
+    for (const auto& s : senders) expect_defers.push_back(s->id());
+    EXPECT_EQ(deferred, expect_defers) << "shards=" << shards;
+  }
+}
+
+// --- Cross-shard FIFO per channel -------------------------------------------
+
+TEST(ShardedSimTest, CrossShardChannelStaysFifo) {
+  // Nodes 0 and 1 land on different shards (dense id % 2).  A burst of
+  // same-instant sends plus staggered follow-ups must arrive in send order
+  // even though each message draws its own latency.
+  Simulator sim(11, NetworkOptions{}, /*shards=*/2);
+  Node a(&sim);
+  Node b(&sim);
+  ASSERT_NE(a.id() % 2, b.id() % 2);
+  std::vector<int> received;  // touched only from b's shard
+  b.On<SeqMsg>([&received](const Message&, const SeqMsg& m) {
+    received.push_back(m.seq);
+  });
+  a.After(10 * kMillisecond, [&a, &b]() {
+    for (int i = 0; i < 32; ++i) {
+      auto msg = std::make_shared<SeqMsg>();
+      msg->seq = i;
+      a.Send(b.id(), msg);
+    }
+  });
+  a.After(11 * kMillisecond, [&a, &b]() {
+    for (int i = 32; i < 40; ++i) {
+      auto msg = std::make_shared<SeqMsg>();
+      msg->seq = i;
+      a.Send(b.id(), msg);
+    }
+  });
+  sim.RunFor(100 * kMillisecond);
+  std::vector<int> expect;
+  for (int i = 0; i < 40; ++i) expect.push_back(i);
+  EXPECT_EQ(received, expect);
+}
+
+// --- Fail / unregister racing an in-flight cross-shard message ---------------
+
+TEST(ShardedSimTest, FailedNodeDropsInFlightCrossShardMessages) {
+  Simulator sim(13, NetworkOptions{}, /*shards=*/2);
+  Node a(&sim);
+  Node b(&sim);
+  ASSERT_NE(a.id() % 2, b.id() % 2);
+  int delivered = 0;
+  b.On<SeqMsg>([&delivered](const Message&, const SeqMsg&) { ++delivered; });
+  // The sends leave a's shard inside one window; b fails from the control
+  // context (sim.After runs at the barrier) while they are still in the
+  // network.  Fail-stop: none of them may be delivered.
+  a.After(10 * kMillisecond, [&a, &b]() {
+    for (int i = 0; i < 4; ++i) {
+      a.Send(b.id(), std::make_shared<SeqMsg>());
+    }
+  });
+  sim.After(10 * kMillisecond, [&b]() { b.Fail(); });
+  sim.RunFor(100 * kMillisecond);
+  EXPECT_EQ(delivered, 0);
+  // The sender is untouched and the sim keeps running.
+  bool later_ran = false;
+  a.After(kMillisecond, [&later_ran]() { later_ran = true; });
+  sim.RunFor(10 * kMillisecond);
+  EXPECT_TRUE(later_ran);
+}
+
+TEST(ShardedSimTest, UnregisterRacesInFlightCrossShardMessage) {
+  Simulator sim(17, NetworkOptions{}, /*shards=*/2);
+  Node a(&sim);
+  auto b = std::make_unique<Node>(&sim);
+  ASSERT_NE(a.id() % 2, b->id() % 2);
+  int delivered = 0;
+  b->On<SeqMsg>([&delivered](const Message&, const SeqMsg&) { ++delivered; });
+  const NodeId b_id = b->id();
+  a.After(10 * kMillisecond, [&a, b_id]() {
+    for (int i = 0; i < 4; ++i) {
+      a.Send(b_id, std::make_shared<SeqMsg>());
+    }
+  });
+  // Destroy (unregister) the receiver from the control context while the
+  // messages are in flight; delivery to a dead id must fizzle, not crash.
+  sim.After(10 * kMillisecond, [&b]() { b.reset(); });
+  sim.RunFor(100 * kMillisecond);
+  EXPECT_EQ(delivered, 0);
+  // Ids are never reused: a fresh node gets a new id and a fresh channel.
+  Node c(&sim);
+  EXPECT_NE(c.id(), b_id);
+}
+
+TEST(ShardedSimTest, CrossShardRpcTimesOutWhenReceiverFails) {
+  Simulator sim(19, NetworkOptions{}, /*shards=*/2);
+  Node a(&sim);
+  Node b(&sim);
+  bool replied = false;
+  bool timed_out = false;
+  sim.After(10 * kMillisecond, [&b]() { b.Fail(); });
+  a.After(10 * kMillisecond, [&]() {
+    a.Call(
+        b.id(), std::make_shared<SeqMsg>(),
+        [&replied](const Message&) { replied = true; },
+        50 * kMillisecond, [&timed_out]() { timed_out = true; });
+  });
+  sim.RunFor(kSecond);
+  EXPECT_FALSE(replied);
+  EXPECT_TRUE(timed_out);
+}
+
+}  // namespace
+}  // namespace pepper::sim
+
+// --- Full-cluster replay identity across shard counts ------------------------
+
+namespace pepper::workload {
+namespace {
+
+struct ReplayResult {
+  std::string report;
+  uint64_t messages = 0;
+  size_t live = 0;
+};
+
+ReplayResult RunClusterReplay(uint64_t seed, uint32_t shards) {
+  ClusterOptions copts = ClusterOptions::FastDefaults();
+  copts.seed = seed;
+  copts.shards = shards;
+  Cluster cluster(copts);
+  cluster.Bootstrap(500000);
+  for (int i = 0; i < 8; ++i) cluster.AddFreePeer();
+  cluster.RunFor(sim::kSecond);
+
+  WorkloadOptions w;
+  w.insert_rate_per_sec = 200.0;
+  w.delete_rate_per_sec = 40.0;
+  w.query_rate_per_sec = 20.0;
+  w.fail_rate_per_sec = 0.5;
+  w.peer_add_rate_per_sec = 0.5;
+  w.min_live_members = 3;
+  WorkloadDriver driver(&cluster, w, /*seed=*/seed ^ 0xabcd);
+  driver.Start();
+  cluster.RunFor(15 * sim::kSecond);
+  driver.Stop();
+  cluster.RunFor(2 * sim::kSecond);
+
+  ReplayResult r;
+  // The hub report covers every counter and histogram (counts, sums,
+  // bucket shapes): any divergence in execution order shows up here.
+  r.report = cluster.metrics().Report();
+  r.messages = cluster.sim().network().messages_sent();
+  r.live = cluster.LiveMembers().size();
+  EXPECT_EQ(driver.query_violations(), 0u)
+      << "seed " << seed << " shards " << shards;
+  return r;
+}
+
+TEST(ShardedSimTest, ClusterReplayIsIdenticalAcrossShardCounts) {
+  for (uint64_t seed : {42ull, 7ull, 1234ull}) {
+    const ReplayResult one = RunClusterReplay(seed, 1);
+    for (uint32_t shards : {2u, 4u}) {
+      const ReplayResult other = RunClusterReplay(seed, shards);
+      EXPECT_EQ(other.report, one.report)
+          << "metrics diverged: seed " << seed << " shards " << shards;
+      EXPECT_EQ(other.messages, one.messages) << "seed " << seed;
+      EXPECT_EQ(other.live, one.live) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pepper::workload

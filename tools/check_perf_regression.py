@@ -16,6 +16,14 @@ deterministic, so CI machine variance does not apply):
     A/B) must not exceed 1.0 + --max-hops-drift,
 so refresh-traffic regressions fail the nightly job like throughput
 regressions do.
+
+When the fresh report carries a scenario "shards" block, two more gates run:
+  * the single-shard engine's events/sec must stay within --max-regress of
+    the serial engine's events/sec from the SAME report (machine variance
+    cancels in the ratio), and
+  * the N-shard speedup must reach --min-shard-speedup (default 2.0) --
+    but only when the report's host_cores >= N; on smaller hosts the
+    speedup is printed for the trend and not gated.
 Exit status: 0 ok, 1 regression, 2 usage/schema error.
 """
 
@@ -38,11 +46,14 @@ def main(argv):
         return 2
     max_regress = 0.20
     max_hops_drift = 0.05
+    min_shard_speedup = 2.0
     for o in opts:
         if o.startswith("--max-regress="):
             max_regress = float(o.split("=", 1)[1])
         elif o.startswith("--max-hops-drift="):
             max_hops_drift = float(o.split("=", 1)[1])
+        elif o.startswith("--min-shard-speedup="):
+            min_shard_speedup = float(o.split("=", 1)[1])
         else:
             print(f"unknown option {o}")
             return 2
@@ -116,6 +127,44 @@ def main(argv):
             failed = True
         print(f"  router_hops_ratio (A/B)      {hops_ratio:14.3f}"
               f"  (bound {1.0 + max_hops_drift:.2f})  {status}")
+
+    # --- Sharded-engine gates (same-report ratios, machine-independent) ------
+    sh = (fresh_scn or {}).get("shards")
+    if sh:
+        if sh.get("single_audits_ok") is False or \
+                sh.get("parallel_audits_ok") is False:
+            print("sharded scenario run had audit violations")
+            failed = True
+        # Single-shard floor: the sharded engine at N=1 must stay within the
+        # regression band of the serial engine's throughput measured in the
+        # SAME report (so CI machine variance cancels out).
+        serial_eps = fresh_scn.get("events_per_sec")
+        single_eps = sh.get("single_events_per_sec")
+        if serial_eps and single_eps is not None:
+            ratio = single_eps / serial_eps
+            status = "OK"
+            if ratio < 1.0 - max_regress:
+                status = "REGRESSED"
+                failed = True
+            print(f"  shards=1 vs serial           {serial_eps:>14,.0f} -> "
+                  f"{single_eps:>14,.0f}  ({ratio:6.2%})  {status}")
+        # Parallel speedup: only meaningful when the host actually has the
+        # cores; a 1-core runner records speedup for the trend but cannot
+        # gate on it.
+        speedup = sh.get("speedup")
+        cores = sh.get("host_cores", 0)
+        n = sh.get("n", 0)
+        if speedup is not None:
+            if cores >= n:
+                status = "OK"
+                if speedup < min_shard_speedup:
+                    status = "REGRESSED"
+                    failed = True
+                print(f"  shards={n} speedup             {speedup:14.2f}x"
+                      f"  (bound {min_shard_speedup:.2f}x)  {status}")
+            else:
+                print(f"  shards={n} speedup             {speedup:14.2f}x"
+                      f"  (not gated: host_cores={cores} < {n})")
 
     print("perf check:", "FAILED" if failed else "passed")
     return 1 if failed else 0

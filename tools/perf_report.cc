@@ -4,7 +4,7 @@
 // wall-clock probe: long_churn --paper --scale=N with all audits fatal.
 //
 //   perf_report [--out=BENCH_simcore.json] [--scale=20] [--seed=42]
-//               [--quick] [--skip-scenario]
+//               [--quick] [--skip-scenario] [--shards=4] [--skip-shards]
 //
 // CI compares a fresh report against the committed BENCH_simcore.json with
 // tools/check_perf_regression.py and fails on a >20% events/sec regression.
@@ -17,6 +17,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "sim_core_microbench.h"
 
@@ -53,7 +54,7 @@ struct ScenarioProbe {
 };
 
 ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
-                               bool batched_refresh) {
+                               bool batched_refresh, uint32_t shards = 0) {
   ScenarioProbe probe;
   BuiltinParams params;
   params.scale = scale;
@@ -63,6 +64,7 @@ ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
   options.cluster = pepper::workload::ClusterOptions::PaperDefaults();
   options.cluster.seed = seed;
   options.cluster.hrf_batched_refresh = batched_refresh;
+  options.cluster.shards = shards;
   options.initial_free_peers = 10;
   options.seed_items = 40;
   options.fatal_probes = true;
@@ -114,6 +116,8 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool skip_scenario = false;
   bool skip_router_ab = false;
+  bool skip_shards = false;
+  uint32_t shards = 4;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -128,10 +132,15 @@ int main(int argc, char** argv) {
       skip_scenario = true;
     } else if (std::strcmp(argv[i], "--skip-router-ab") == 0) {
       skip_router_ab = true;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = static_cast<uint32_t>(std::strtoul(argv[i] + 9, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--skip-shards") == 0) {
+      skip_shards = true;
     } else {
       std::fprintf(stderr,
                    "usage: perf_report [--out=FILE] [--scale=F] [--seed=N] "
-                   "[--quick] [--skip-scenario] [--skip-router-ab]\n");
+                   "[--quick] [--skip-scenario] [--skip-router-ab] "
+                   "[--shards=N] [--skip-shards]\n");
       return 2;
     }
   }
@@ -145,6 +154,8 @@ int main(int argc, char** argv) {
 
   ScenarioProbe probe;
   ScenarioProbe baseline;
+  ScenarioProbe shard_single;
+  ScenarioProbe shard_par;
   if (!skip_scenario) {
     std::printf("running long_churn --paper --scale=%g --seed=%llu "
                 "(fatal audits)...\n",
@@ -184,6 +195,34 @@ int main(int argc, char** argv) {
                                                  baseline.hops_mean
                                            : 0.0);
     }
+    if (!skip_shards && shards >= 2) {
+      // Sharded-engine probes, same seed/scale.  The single-shard arm
+      // measures the engine's serial overhead (gated against the serial
+      // run's throughput); the N-shard arm measures parallel speedup
+      // (gated only when the host actually has >= N cores -- the engine
+      // is deterministic regardless, so audits always gate).
+      std::printf("running the sharded engine: --shards=1 ...\n");
+      shard_single =
+          RunScenarioProbe(scale, seed, /*batched_refresh=*/true, 1);
+      std::printf("  wall %.1fs (%.0f events/sec), audits %s\n",
+                  shard_single.wall_seconds,
+                  static_cast<double>(shard_single.events) /
+                      shard_single.wall_seconds,
+                  shard_single.ok ? "green" : "VIOLATED");
+      std::printf("running the sharded engine: --shards=%u ...\n", shards);
+      shard_par = RunScenarioProbe(scale, seed, /*batched_refresh=*/true,
+                                   shards);
+      std::printf("  wall %.1fs (%.0f events/sec), audits %s, "
+                  "speedup %.2fx over 1 shard (host cores: %u)\n",
+                  shard_par.wall_seconds,
+                  static_cast<double>(shard_par.events) /
+                      shard_par.wall_seconds,
+                  shard_par.ok ? "green" : "VIOLATED",
+                  shard_par.wall_seconds > 0.0
+                      ? shard_single.wall_seconds / shard_par.wall_seconds
+                      : 0.0,
+                  std::thread::hardware_concurrency());
+    }
   }
 
   std::ostringstream json;
@@ -196,6 +235,9 @@ int main(int argc, char** argv) {
               micro.timer_fires_per_sec) << ",\n";
   json << "    \"timer_arm_cancel_per_sec\": " << static_cast<uint64_t>(
               micro.timer_arm_cancel_per_sec) << ",\n";
+  json << "    \"sharded_sends_per_sec\": " << static_cast<uint64_t>(
+              micro.sharded_sends_per_sec) << ",\n";
+  json << "    \"sharded_n\": " << micro.sharded_n << ",\n";
   json << "    \"peak_rss_kb\": " << micro.peak_rss_kb << "\n  }";
   if (probe.ran) {
     json << ",\n  \"scenario\": {\n";
@@ -229,6 +271,32 @@ int main(int argc, char** argv) {
              << probe.hops_mean / baseline.hops_mean << ",\n";
       }
     }
+    if (shard_single.ran && shard_par.ran) {
+      json << "    \"shards\": {\n";
+      json << "      \"host_cores\": "
+           << std::thread::hardware_concurrency() << ",\n";
+      json << "      \"n\": " << shards << ",\n";
+      json << "      \"single_wall_seconds\": "
+           << shard_single.wall_seconds << ",\n";
+      json << "      \"single_events_per_sec\": "
+           << static_cast<uint64_t>(
+                  static_cast<double>(shard_single.events) /
+                  shard_single.wall_seconds) << ",\n";
+      json << "      \"single_audits_ok\": "
+           << (shard_single.ok ? "true" : "false") << ",\n";
+      json << "      \"parallel_wall_seconds\": "
+           << shard_par.wall_seconds << ",\n";
+      json << "      \"parallel_events_per_sec\": "
+           << static_cast<uint64_t>(static_cast<double>(shard_par.events) /
+                                    shard_par.wall_seconds) << ",\n";
+      json << "      \"parallel_audits_ok\": "
+           << (shard_par.ok ? "true" : "false") << ",\n";
+      json << "      \"speedup\": "
+           << (shard_par.wall_seconds > 0.0
+                   ? shard_single.wall_seconds / shard_par.wall_seconds
+                   : 0.0) << "\n";
+      json << "    },\n";
+    }
     json << "    \"peak_rss_kb\": " << pepper::bench::PeakRssKb()
          << "\n  }";
   }
@@ -242,6 +310,8 @@ int main(int argc, char** argv) {
   out << json.str();
   std::printf("report written to %s\n", out_path.c_str());
   const bool violations =
-      (probe.ran && !probe.ok) || (baseline.ran && !baseline.ok);
+      (probe.ran && !probe.ok) || (baseline.ran && !baseline.ok) ||
+      (shard_single.ran && !shard_single.ok) ||
+      (shard_par.ran && !shard_par.ok);
   return violations ? 1 : 0;
 }

@@ -43,6 +43,8 @@ void PrintUsage() {
       "  --seed=N        cluster seed (default 42)\n"
       "  --scale=F       duration/wave scale factor (default 1.0)\n"
       "  --paper         paper-scale cluster timers (Section 6.1 defaults)\n"
+      "  --shards=N      run the simulator on N worker shards (conservative\n"
+      "                  lookahead; results are bit-identical for any N)\n"
       "  --csv=FILE      write the per-phase metrics dump as CSV\n"
       "  --fatal-audits  stop at the first violating probe\n"
       "  --availability-informational\n"
@@ -74,6 +76,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   uint64_t seed = 42;
   double scale = 1.0;
+  uint32_t shards = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -97,6 +100,8 @@ int main(int argc, char** argv) {
       seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--scale", &value)) {
       scale = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      shards = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--csv", &value)) {
       csv_path = value;
     } else {
@@ -131,6 +136,7 @@ int main(int argc, char** argv) {
   options.cluster = paper ? pepper::workload::ClusterOptions::PaperDefaults()
                           : pepper::workload::ClusterOptions::FastDefaults();
   options.cluster.seed = seed;
+  options.cluster.shards = shards;
   options.initial_free_peers = 10;
   options.seed_items = 40;
   options.fatal_probes = fatal;
