@@ -34,7 +34,22 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "]";
+    const SimLogContext& ctx = tls_sim_log_ctx;
+    if (ctx.active) {
+      // Sim time in seconds (6 decimals == the microsecond tick).
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " t=%llu.%06llu",
+                    static_cast<unsigned long long>(ctx.time_us / 1000000),
+                    static_cast<unsigned long long>(ctx.time_us % 1000000));
+      stream_ << buf;
+      if (ctx.node == 0xffffffffu) {
+        stream_ << " n=ctrl";
+      } else {
+        stream_ << " n=" << ctx.node;
+      }
+    }
+    stream_ << " ";
   }
 }
 

@@ -15,6 +15,29 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 }
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+// Simulation execution context of the calling thread, set by the event
+// dispatch loops (Simulator::ExecuteNext / ExecuteShardNext / the control
+// barrier) so rare WARN/ERROR lines carry the sim time and node id they
+// fired under — correlatable with trace dumps.  Raw integers on purpose:
+// common/ must not depend on sim/ (time is microseconds; node 0xffffffff is
+// the control context).
+struct SimLogContext {
+  bool active = false;
+  uint64_t time_us = 0;
+  uint32_t node = 0;
+};
+
+namespace internal {
+inline thread_local SimLogContext tls_sim_log_ctx;
+}  // namespace internal
+
+inline void SetSimLogContext(uint64_t time_us, uint32_t node) {
+  internal::tls_sim_log_ctx = SimLogContext{true, time_us, node};
+}
+inline void ClearSimLogContext() {
+  internal::tls_sim_log_ctx.active = false;
+}
+
 namespace internal {
 
 class LogMessage {

@@ -16,6 +16,12 @@ DataStoreNode::DataStoreNode(ring::RingNode* ring, FreePeerPool* pool,
       ring_(ring),
       pool_(pool),
       options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    Counters& ctr = options_.metrics->counters();
+    m_activations_ = ctr.Intern("ds.activations");
+    m_pull_revived_items_ = ctr.Intern("ds.pull_revived_items");
+    m_pull_revived_rehomed_ = ctr.Intern("ds.pull_revived_rehomed");
+  }
   On<DsInsertRequest>(
       [this](const sim::Message& m, const DsInsertRequest& req) {
         HandleInsert(m, req);
@@ -55,7 +61,7 @@ void DataStoreNode::ActivateAsFirst() {
 void DataStoreNode::ActivateFromHandoff(const SplitHandoff& handoff) {
   Activate(handoff.range, handoff.items);
   if (options_.metrics != nullptr) {
-    options_.metrics->counters().Inc("ds.activations");
+    options_.metrics->counters().Inc(m_activations_);
   }
   if (replication_ != nullptr) replication_->OnLocalItemsChanged();
 }
@@ -341,8 +347,10 @@ void DataStoreNode::ReplyWhenDurable(const sim::Message& msg,
 void DataStoreNode::AttemptDurableAck(const sim::Message& msg,
                                       std::shared_ptr<DsAck> ack,
                                       int retries_left) {
+  TraceMark("ds.durable_push");
   replication_->PushDurable([this, msg, ack, retries_left](bool replicated) {
     if (!replicated && retries_left > 0) {
+      TraceMark("ds.durable_retry");
       // The first replica hop never acked — most likely it just died.
       // Wait one ping period for the ring to repair the chain, then push
       // again to the repaired successor; acking now would reopen the
@@ -374,8 +382,9 @@ void DataStoreNode::PromotePulled(const Item& item, uint64_t revive_epoch) {
   if (active_ && range_.Contains(item.skv) && !lock_.write_held()) {
     if (items_.find(item.skv) != items_.end()) return;
     StoreItem(item);
+    TraceMark("ds.pull_promote", item.skv);
     if (options_.metrics != nullptr) {
-      options_.metrics->counters().Inc("ds.pull_revived_items");
+      options_.metrics->counters().Inc(m_pull_revived_items_);
     }
     // One push per promoted batch, not per item: a whole group's answers
     // arrive in the same event, so the zero-delay timer coalesces them.
@@ -395,9 +404,10 @@ void DataStoreNode::PromotePulled(const Item& item, uint64_t revive_epoch) {
   // (idempotent routed insert with retries), the same path stale-range
   // orphans take.
   if (rehome_) {
+    TraceMark("ds.pull_rehome", item.skv);
     rehome_(item);
     if (options_.metrics != nullptr) {
-      options_.metrics->counters().Inc("ds.pull_revived_rehomed");
+      options_.metrics->counters().Inc(m_pull_revived_rehomed_);
     }
   }
 }

@@ -327,6 +327,13 @@ class DataStoreNode : public sim::ProtocolComponent {
   ReplicationHooks* replication_ = nullptr;
   RehomeFn rehome_;
 
+  // Interned metric handles (valid only when options_.metrics != nullptr):
+  // these fire on activation and per revived item, where the string-keyed
+  // map lookup was measurable under churn.
+  Counters::Id m_activations_ = 0;
+  Counters::Id m_pull_revived_items_ = 0;
+  Counters::Id m_pull_revived_rehomed_ = 0;
+
   bool active_ = false;
   RingRange range_;
   std::map<Key, Item> items_;

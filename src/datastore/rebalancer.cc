@@ -12,6 +12,21 @@ namespace pepper::datastore {
 
 Rebalancer::Rebalancer(DataStoreNode* ds)
     : sim::ProtocolComponent(ds->node()), ds_(ds) {
+  if (ds_->metrics() != nullptr) {
+    Counters& ctr = ds_->metrics()->counters();
+    m_revive_sweep_ = ctr.Intern("ds.revive_sweep");
+    m_split_no_free_peer_ = ctr.Intern("ds.split_no_free_peer");
+    m_split_failed_ = ctr.Intern("ds.split_failed");
+    m_splits_ = ctr.Intern("ds.splits");
+    m_redistributes_ = ctr.Intern("ds.redistributes");
+    m_merges_ = ctr.Intern("ds.merges");
+    m_merge_takeover_failed_ = ctr.Intern("ds.merge_takeover_failed");
+    m_takeover_expired_ = ctr.Intern("ds.takeover_expired");
+    m_takeover_late_ = ctr.Intern("ds.takeover_late");
+    m_split_time_ = ds_->metrics()->LatencyHandle("ds.split_time");
+    m_redistribute_time_ = ds_->metrics()->LatencyHandle("ds.redistribute_time");
+    m_merge_time_ = ds_->metrics()->LatencyHandle("ds.merge_time");
+  }
   On<SplitInsertRequest>(
       [this](const sim::Message& m, const SplitInsertRequest& req) {
         HandleSplitInsert(m, req);
@@ -63,8 +78,9 @@ void Rebalancer::MaybeStartReviveSweep() {
       return;  // next sweep retries if still relevant
     }
     ds_->StoreItem(it);
+    TraceMark("ds.revive_sweep_promote", it.skv);
     if (ds_->metrics() != nullptr) {
-      ds_->metrics()->counters().Inc("ds.revive_sweep");
+      ds_->metrics()->counters().Inc(m_revive_sweep_);
     }
     ds_->ReplicateMovedItems();
   });
@@ -73,23 +89,27 @@ void Rebalancer::MaybeStartReviveSweep() {
 void Rebalancer::RequestLeave() {
   if (!ds_->active() || rebalancing_ || merge_busy_) return;
   rebalancing_ = true;
-  ds_->AcquireWriteTimed([this](bool ok) {
+  const trace::OpToken op = TraceOp("ds.leave");
+  ds_->AcquireWriteTimed([this, op](bool ok) {
     if (!ok) {
       rebalancing_ = false;
+      TraceFinish(op);
       return;
     }
     if (!ds_->active() || ds_->range().full()) {
       EndRebalance(true);  // the last owner cannot hand the circle off
+      TraceFinish(op);
       return;
     }
     auto succ = ds_->ring()->GetSucc();
     if (!succ.has_value() || succ->id == id()) {
       EndRebalance(true);
+      TraceFinish(op);
       return;
     }
     // The successor was not primed by a MergeProposal; its
     // HandleMergeTakeover late-takeover path re-acquires its own lock.
-    DoMergeLeave(succ->id);
+    DoMergeLeave(succ->id, op);
   });
 }
 
@@ -101,14 +121,17 @@ void Rebalancer::EndRebalance(bool locked) {
 void Rebalancer::StartSplit() {
   rebalancing_ = true;
   const sim::SimTime started = now();
-  ds_->AcquireWriteTimed([this, started](bool ok) {
+  const trace::OpToken op = TraceOp("ds.split");
+  ds_->AcquireWriteTimed([this, started, op](bool ok) {
     if (!ok) {
       rebalancing_ = false;
+      TraceFinish(op);
       return;
     }
     if (!ds_->active() ||
         ds_->items().size() <= 2 * ds_->options().storage_factor) {
       EndRebalance(true);
+      TraceFinish(op);
       return;
     }
     // The pool is cluster-global: the pop happens at the control context
@@ -116,25 +139,31 @@ void Rebalancer::StartSplit() {
     // write lock — re-check activity, the takeover engine may have moved
     // our range while the answer was in flight).
     ds_->pool()->AcquireAsync(
-        id(), [this, started](std::optional<sim::NodeId> free_peer) {
-          ContinueSplitWithPeer(free_peer, started);
+        id(), [this, started, op](std::optional<sim::NodeId> free_peer) {
+          ContinueSplitWithPeer(free_peer, started, op);
         });
   });
 }
 
 void Rebalancer::ContinueSplitWithPeer(std::optional<sim::NodeId> free_peer,
-                                       sim::SimTime started) {
+                                       sim::SimTime started,
+                                       const trace::OpToken& op) {
+    // The pool answer arrives outside the split's causal chain; rejoin it
+    // so the ring insert / predecessor RPC below trace as children.
+    if (op.active()) trace::Tracer::SetCurrent(op.ctx);
     if (!free_peer.has_value()) {
       if (ds_->metrics() != nullptr) {
-        ds_->metrics()->counters().Inc("ds.split_no_free_peer");
+        ds_->metrics()->counters().Inc(m_split_no_free_peer_);
       }
       EndRebalance(true);
+      TraceFinish(op);
       return;
     }
     if (!ds_->active() ||
         ds_->items().size() <= 2 * ds_->options().storage_factor) {
       ds_->pool()->Add(*free_peer);
       EndRebalance(true);
+      TraceFinish(op);
       return;
     }
 
@@ -159,12 +188,11 @@ void Rebalancer::ContinueSplitWithPeer(std::optional<sim::NodeId> free_peer,
     handoff->items = handed;
 
     const sim::NodeId new_peer = *free_peer;
-    auto finish = [this, new_peer, split_point, handed,
-                   started](const Status& s) {
-      FinishSplit(new_peer, split_point, handed, s);
-      if (s.ok() && ds_->metrics() != nullptr) {
-        ds_->metrics()->RecordLatency("ds.split_time",
-                                      sim::ToSeconds(now() - started));
+    auto finish = [this, new_peer, split_point, handed, started,
+                   op](const Status& s) {
+      FinishSplit(new_peer, split_point, handed, s, op);
+      if (s.ok() && m_split_time_ != nullptr) {
+        m_split_time_->Add(sim::ToSeconds(now() - started));
       }
     };
 
@@ -192,14 +220,16 @@ void Rebalancer::ContinueSplitWithPeer(std::optional<sim::NodeId> free_peer,
 }
 
 void Rebalancer::FinishSplit(sim::NodeId free_peer, Key split_point,
-                             std::vector<Item> handed, const Status& status) {
+                             std::vector<Item> handed, const Status& status,
+                             const trace::OpToken& op) {
+  TraceFinish(op);
   if (!status.ok()) {
     // The free peer was not (observably) inserted; recycle it.  If the
     // insert actually completed late, the range-shrink detection in the
     // takeover engine re-homes any duplicated items.
     ds_->pool()->Add(free_peer);
     if (ds_->metrics() != nullptr) {
-      ds_->metrics()->counters().Inc("ds.split_failed");
+      ds_->metrics()->counters().Inc(m_split_failed_);
     }
     EndRebalance(true);
     return;
@@ -209,7 +239,7 @@ void Rebalancer::FinishSplit(sim::NodeId free_peer, Key split_point,
   }
   ds_->set_range(RingRange::OpenClosed(split_point, ds_->range().hi()));
   if (ds_->metrics() != nullptr) {
-    ds_->metrics()->counters().Inc("ds.splits");
+    ds_->metrics()->counters().Inc(m_splits_);
   }
   if (ds_->replication() != nullptr) ds_->replication()->OnLocalItemsChanged();
   EndRebalance(true);
@@ -218,29 +248,36 @@ void Rebalancer::FinishSplit(sim::NodeId free_peer, Key split_point,
 void Rebalancer::StartUnderflow() {
   rebalancing_ = true;
   const sim::SimTime started = now();
-  ds_->AcquireWriteTimed([this, started](bool ok) {
+  const trace::OpToken op = TraceOp("ds.underflow");
+  ds_->AcquireWriteTimed([this, started, op](bool ok) {
     if (!ok) {
       rebalancing_ = false;
+      TraceFinish(op);
       return;
     }
     if (!ds_->active() ||
         ds_->items().size() >= ds_->options().storage_factor ||
         ds_->range().full()) {
       EndRebalance(true);
+      TraceFinish(op);
       return;
     }
     auto succ = ds_->ring()->GetSucc();
     if (!succ.has_value() || succ->id == id()) {
       EndRebalance(true);
+      TraceFinish(op);
       return;
     }
+    // The lock grant runs outside the proposal's chain; rejoin so the
+    // MergeProposal RPC below (and everything downstream) traces under it.
+    if (op.active()) trace::Tracer::SetCurrent(op.ctx);
     auto proposal = std::make_shared<MergeProposal>();
     proposal->proposer_val = ds_->range().hi();
     proposal->count = ds_->items().size();
     const sim::NodeId succ_id = succ->id;
     Call(
         succ_id, proposal,
-        [this, succ_id, started](const sim::Message& m) {
+        [this, succ_id, started, op](const sim::Message& m) {
           const auto& decision = static_cast<const MergeDecision&>(*m.payload);
           switch (decision.kind) {
             case MergeDecision::Kind::kRedistribute: {
@@ -250,9 +287,8 @@ void Rebalancer::StartUnderflow() {
                   RingRange::OpenClosed(ds_->range().lo(), decision.new_val));
               ds_->ring()->set_val(decision.new_val);
               if (ds_->metrics() != nullptr) {
-                ds_->metrics()->counters().Inc("ds.redistributes");
-                ds_->metrics()->RecordLatency("ds.redistribute_time",
-                                              sim::ToSeconds(now() - started));
+                ds_->metrics()->counters().Inc(m_redistributes_);
+                m_redistribute_time_->Add(sim::ToSeconds(now() - started));
               }
               ds_->ReplicateMovedItems();
               // The value jump (old_hi, new_val] may have bridged more than
@@ -264,31 +300,41 @@ void Rebalancer::StartUnderflow() {
               ds_->PullReviveArc(
                   RingRange::OpenClosed(old_hi, decision.new_val));
               EndRebalance(true);
+              TraceFinish(op);
               break;
             }
             case MergeDecision::Kind::kTakeover:
-              DoMergeLeave(succ_id);
+              DoMergeLeave(succ_id, op);
               break;
             case MergeDecision::Kind::kRejected:
               EndRebalance(true);
+              TraceFinish(op);
               break;
           }
         },
         ds_->options().lock_timeout + ds_->options().rpc_timeout,
-        [this]() { EndRebalance(true); });
+        [this, op]() {
+          EndRebalance(true);
+          TraceFinish(op);
+        });
   });
 }
 
 // Merge by departure (Sections 2.3 and 5): replicate one extra hop, leave
 // the ring consistently, then hand everything to the successor.
-void Rebalancer::DoMergeLeave(sim::NodeId succ_id) {
+void Rebalancer::DoMergeLeave(sim::NodeId succ_id, const trace::OpToken& op) {
   const sim::SimTime merge_started = now();
-  auto after_replication = [this, succ_id, merge_started](const Status&) {
-    ds_->ring()->Leave([this, succ_id,
-                        merge_started](const Status& leave_status) {
+  auto after_replication = [this, succ_id, merge_started, op](const Status&) {
+    // The extra-hop replication ack arrives outside the departure's chain;
+    // rejoin so the Leave round and the takeover transfer trace under it.
+    if (op.active()) trace::Tracer::SetCurrent(op.ctx);
+    ds_->ring()->Leave([this, succ_id, merge_started,
+                        op](const Status& leave_status) {
+      if (op.active()) trace::Tracer::SetCurrent(op.ctx);
       if (!leave_status.ok()) {
         Send(succ_id, sim::MakePayload<MergeAbort>());
         EndRebalance(true);
+        TraceFinish(op);
         return;
       }
       auto takeover = std::make_shared<MergeTakeover>();
@@ -296,15 +342,13 @@ void Rebalancer::DoMergeLeave(sim::NodeId succ_id) {
       takeover->items = ds_->GetLocalItems();
       Call(
           succ_id, takeover,
-          [this, merge_started](const sim::Message& m) {
+          [this, merge_started, op](const sim::Message& m) {
             const auto& ack = static_cast<const DsAck&>(*m.payload);
             if (ds_->metrics() != nullptr) {
-              ds_->metrics()->counters().Inc(ack.ok
-                                                 ? "ds.merges"
-                                                 : "ds.merge_takeover_failed");
+              ds_->metrics()->counters().Inc(
+                  ack.ok ? m_merges_ : m_merge_takeover_failed_);
               if (ack.ok) {
-                ds_->metrics()->RecordLatency(
-                    "ds.merge_time", sim::ToSeconds(now() - merge_started));
+                m_merge_time_->Add(sim::ToSeconds(now() - merge_started));
               }
             }
             ds_->Deactivate();
@@ -312,19 +356,21 @@ void Rebalancer::DoMergeLeave(sim::NodeId succ_id) {
             ds_->pool()->Retire(id());
             // The lock dies with the departed peer's Data Store state.
             EndRebalance(true);
+            TraceFinish(op);
           },
           ds_->options().lock_timeout + ds_->options().rpc_timeout,
-          [this]() {
+          [this, op]() {
             // Successor vanished mid-takeover.  We already left the ring;
             // depart anyway — the extra-hop replication (and the periodic
             // pushes) let the remaining peers revive our items.
             if (ds_->metrics() != nullptr) {
-              ds_->metrics()->counters().Inc("ds.merge_takeover_failed");
+              ds_->metrics()->counters().Inc(m_merge_takeover_failed_);
             }
             ds_->Deactivate();
             ds_->ring()->Depart();
             ds_->pool()->Retire(id());
             EndRebalance(true);
+            TraceFinish(op);
           });
     });
   };
@@ -415,8 +461,9 @@ void Rebalancer::HandleMergeProposal(const sim::Message& msg,
         takeover_from_ = sim::kNullNode;
         merge_busy_ = false;
         ds_->lock().ReleaseWrite();
+        TraceMark("ds.takeover_expired");
         if (ds_->metrics() != nullptr) {
-          ds_->metrics()->counters().Inc("ds.takeover_expired");
+          ds_->metrics()->counters().Inc(m_takeover_expired_);
         }
       }
     });
@@ -451,8 +498,9 @@ void Rebalancer::HandleMergeTakeover(const sim::Message& msg,
     Reply(msg, ack);
     return;
   }
+  TraceMark("ds.takeover_late");
   if (ds_->metrics() != nullptr) {
-    ds_->metrics()->counters().Inc("ds.takeover_late");
+    ds_->metrics()->counters().Inc(m_takeover_late_);
   }
   ds_->AcquireWriteTimed([this, msg, absorb](bool ok) {
     if (!ok) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/key_space.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "datastore/ds_messages.h"
 #include "datastore/item.h"
@@ -48,13 +49,16 @@ class Rebalancer : public sim::ProtocolComponent {
  private:
   void StartSplit();
   // Continuation once the free-peer pool answers (possibly a window later
-  // under the sharded simulator); re-validates before materializing.
+  // under the sharded simulator); re-validates before materializing.  The
+  // trace op spans the whole reorganization and is threaded through every
+  // continuation to its terminal outcome.
   void ContinueSplitWithPeer(std::optional<sim::NodeId> free_peer,
-                             sim::SimTime started);
+                             sim::SimTime started, const trace::OpToken& op);
   void FinishSplit(sim::NodeId free_peer, Key split_point,
-                   std::vector<Item> handed, const Status& status);
+                   std::vector<Item> handed, const Status& status,
+                   const trace::OpToken& op);
   void StartUnderflow();
-  void DoMergeLeave(sim::NodeId succ_id);
+  void DoMergeLeave(sim::NodeId succ_id, const trace::OpToken& op);
   void EndRebalance(bool locked);
   void MaybeStartReviveSweep();
 
@@ -65,6 +69,23 @@ class Rebalancer : public sim::ProtocolComponent {
   void HandleMergeAbort(const sim::Message& msg, const MergeAbort& req);
 
   DataStoreNode* ds_;
+
+  // Interned metric handles (valid only when the data store has a metrics
+  // hub): reorganization outcomes fire under churn, where the string-keyed
+  // lookups added up.
+  Counters::Id m_revive_sweep_ = 0;
+  Counters::Id m_split_no_free_peer_ = 0;
+  Counters::Id m_split_failed_ = 0;
+  Counters::Id m_splits_ = 0;
+  Counters::Id m_redistributes_ = 0;
+  Counters::Id m_merges_ = 0;
+  Counters::Id m_merge_takeover_failed_ = 0;
+  Counters::Id m_takeover_expired_ = 0;
+  Counters::Id m_takeover_late_ = 0;
+  Histogram* m_split_time_ = nullptr;
+  Histogram* m_redistribute_time_ = nullptr;
+  Histogram* m_merge_time_ = nullptr;
+
   bool rebalancing_ = false;
   bool merge_busy_ = false;  // successor side of a proposed merge
   uint64_t takeover_epoch_ = 0;  // guards stale takeover-expiry timers

@@ -11,6 +11,13 @@ namespace pepper::datastore {
 
 ScanEngine::ScanEngine(DataStoreNode* ds)
     : sim::ProtocolComponent(ds->node()), ds_(ds) {
+  if (ds_->metrics() != nullptr) {
+    Counters& ctr = ds_->metrics()->counters();
+    m_scan_aborts_ = ctr.Intern("ds.scan_aborts");
+    m_scan_hops_exhausted_ = ctr.Intern("ds.scan_hops_exhausted");
+    m_scan_stalls_ = ctr.Intern("ds.scan_stalls");
+    m_scan_forward_timeouts_ = ctr.Intern("ds.scan_forward_timeouts");
+  }
   On<ProcessScanRequest>(
       [this](const sim::Message& m, const ProcessScanRequest& req) {
         HandleProcessScan(m, req);
@@ -34,8 +41,9 @@ void ScanEngine::ScanRange(Key lb, Key ub, const std::string& handler_id,
       // Algorithm 3 lines 1-4: not the first peer of the scan range; abort
       // and let the caller re-route.
       ds_->lock().ReleaseRead();
+      TraceMark("ds.scan_abort", lb);
       if (ds_->metrics() != nullptr) {
-        ds_->metrics()->counters().Inc("ds.scan_aborts");
+        ds_->metrics()->counters().Inc(m_scan_aborts_);
       }
       accepted(Status::Aborted("lb not in this peer's range"));
       return;
@@ -63,8 +71,9 @@ void ScanEngine::ProcessHandler(Key lb, Key ub, const std::string& handler_id,
   }
   if (hops_left <= 0) {
     ds_->lock().ReleaseRead();
+    TraceMark("ds.scan_hops_exhausted", lb);
     if (ds_->metrics() != nullptr) {
-      ds_->metrics()->counters().Inc("ds.scan_hops_exhausted");
+      ds_->metrics()->counters().Inc(m_scan_hops_exhausted_);
     }
     return;
   }
@@ -82,8 +91,9 @@ void ScanEngine::ForwardScan(Key lb, Key ub, const std::string& handler_id,
       // the STAB gate never opened: give up; the initiator's coverage
       // tracker will resume the query.
       ds_->lock().ReleaseRead();
+      TraceMark("ds.scan_stall", lb);
       if (ds_->metrics() != nullptr) {
-        ds_->metrics()->counters().Inc("ds.scan_stalls");
+        ds_->metrics()->counters().Inc(m_scan_stalls_);
       }
       return;
     }
@@ -113,11 +123,12 @@ void ScanEngine::ForwardScan(Key lb, Key ub, const std::string& handler_id,
         ds_->lock().ReleaseRead();
       },
       ds_->options().lock_timeout + ds_->options().rpc_timeout,
-      [this]() {
+      [this, lb]() {
         // Successor died or stalled; initiator resumes.
         ds_->lock().ReleaseRead();
+        TraceMark("ds.scan_forward_timeout", lb);
         if (ds_->metrics() != nullptr) {
-          ds_->metrics()->counters().Inc("ds.scan_forward_timeouts");
+          ds_->metrics()->counters().Inc(m_scan_forward_timeouts_);
         }
       });
 }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/key_space.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "datastore/ds_messages.h"
 #include "sim/component.h"
@@ -54,6 +55,13 @@ class ScanEngine : public sim::ProtocolComponent {
   DataStoreNode* ds_;
   std::map<std::string, ScanHandler> handlers_;
   uint64_t next_scan_id_ = 1;
+
+  // Interned metric handles (valid only when the data store has a metrics
+  // hub): scan failure modes, hit on every aborted/stalled hop.
+  Counters::Id m_scan_aborts_ = 0;
+  Counters::Id m_scan_hops_exhausted_ = 0;
+  Counters::Id m_scan_stalls_ = 0;
+  Counters::Id m_scan_forward_timeouts_ = 0;
 };
 
 }  // namespace pepper::datastore

@@ -11,6 +11,13 @@ namespace pepper::datastore {
 
 TakeoverEngine::TakeoverEngine(DataStoreNode* ds)
     : sim::ProtocolComponent(ds->node()), ds_(ds) {
+  if (ds_->metrics() != nullptr) {
+    Counters& ctr = ds_->metrics()->counters();
+    m_orphans_rehomed_ = ctr.Intern("ds.orphans_rehomed");
+    m_revived_items_ = ctr.Intern("ds.revived_items");
+    m_migrate_batches_ = ctr.Intern("ds.migrate_batches");
+    m_migrate_msgs_saved_ = ctr.Intern("ds.migrate_msgs_saved");
+  }
   On<DsMigrateItems>([this](const sim::Message& m, const DsMigrateItems& req) {
     HandleMigrate(m, req);
   });
@@ -23,7 +30,11 @@ void TakeoverEngine::OnPredChanged() {
 }
 
 void TakeoverEngine::ApplyRangeFromPred() {
-  ds_->AcquireWriteTimed([this](bool ok) {
+  // Spans one evaluation of the pred-change (shrink / extend / defer); a
+  // deferred retry opens a fresh op on re-entry.
+  const trace::OpToken op = TraceOp("ds.range_update");
+  ds_->AcquireWriteTimed([this, op](bool ok) {
+    if (op.active()) trace::Tracer::SetCurrent(op.ctx);
     ring::RingNode* ring = ds_->ring();
     if (!ok) {
       // The lock is tied up (e.g. a merge proposal waiting out a dead
@@ -31,11 +42,13 @@ void TakeoverEngine::ApplyRangeFromPred() {
       // a dropped extension would leave an ownerless gap — so retry.
       After(ds_->options().maintenance_period,
             [this]() { ApplyRangeFromPred(); });
+      TraceFinish(op);
       return;
     }
     pending_range_update_ = false;
     if (!ds_->active() || !ring->has_pred() || ring->pred_id() == id()) {
       ds_->lock().ReleaseWrite();
+      TraceFinish(op);
       return;
     }
     const RingRange& range = ds_->range();
@@ -44,6 +57,7 @@ void TakeoverEngine::ApplyRangeFromPred() {
     const Key hi = range.hi();
     if (new_lo == cur_lo || new_lo == hi) {
       ds_->lock().ReleaseWrite();
+      TraceFinish(op);
       return;
     }
     if (range.Contains(new_lo)) {
@@ -69,13 +83,13 @@ void TakeoverEngine::ApplyRangeFromPred() {
         }
         for (const Item& it : orphans) ds_->DropItem(it.skv);
         if (ds_->metrics() != nullptr) {
-          ds_->metrics()->counters().Inc("ds.orphans_rehomed",
-                                         orphans.size());
+          ds_->metrics()->counters().Inc(m_orphans_rehomed_, orphans.size());
         }
       }
       ds_->set_range(RingRange::OpenClosed(new_lo, hi));
       ds_->lock().ReleaseWrite();
       After(0, [this]() { ds_->MaybeRebalance(); });
+      TraceFinish(op);
       return;
     }
     // Extend: our predecessor moved backwards (the old one failed or merged
@@ -106,6 +120,7 @@ void TakeoverEngine::ApplyRangeFromPred() {
         pending_range_update_ = true;
         After(ds_->options().maintenance_period,
               [this]() { ApplyRangeFromPred(); });
+        TraceFinish(op);
         return;
       }
     } else {
@@ -118,26 +133,32 @@ void TakeoverEngine::ApplyRangeFromPred() {
               });
     ProbeExtensionBoundary(
         std::move(candidates), RingRange::OpenClosed(new_lo, cur_lo), new_lo,
-        [this, cur_lo, hi](Key effective_lo) {
+        [this, cur_lo, hi, op](Key effective_lo) {
+          // The probe chain ends in a ping reply/timeout event; rejoin the
+          // takeover's chain for the extension and its revives.
+          if (op.active()) trace::Tracer::SetCurrent(op.ctx);
           if (!ds_->active()) {
             ds_->lock().ReleaseWrite();
+            TraceFinish(op);
             return;
           }
           if (effective_lo != cur_lo) {
             const RingRange gained =
                 RingRange::OpenClosed(effective_lo, cur_lo);
             ds_->set_range(RingRange::OpenClosed(effective_lo, hi));
+            TraceMark("ds.extend", effective_lo);
             if (ds_->replication() != nullptr) {
               size_t revived = 0;
               for (const Item& it :
                    ds_->replication()->CollectReplicasIn(gained)) {
                 if (ds_->items().find(it.skv) == ds_->items().end()) {
                   ds_->StoreItem(it);
+                  TraceMark("ds.revive_promote", it.skv);
                   ++revived;
                 }
               }
               if (revived > 0 && ds_->metrics() != nullptr) {
-                ds_->metrics()->counters().Inc("ds.revived_items", revived);
+                ds_->metrics()->counters().Inc(m_revived_items_, revived);
               }
               // Pull-based revive: our held groups may not cover the whole
               // gained arc — its owner can have died before its first push
@@ -163,6 +184,7 @@ void TakeoverEngine::ApplyRangeFromPred() {
                   [this]() { ApplyRangeFromPred(); });
           }
           After(0, [this]() { ds_->MaybeRebalance(); });
+          TraceFinish(op);
         });
   });
 }
@@ -223,10 +245,10 @@ void TakeoverEngine::HandleMigrate(const sim::Message&,
 
 void TakeoverEngine::CountMigrateBatch(size_t batch_size) {
   if (ds_->metrics() == nullptr) return;
-  ds_->metrics()->counters().Inc("ds.migrate_batches");
+  ds_->metrics()->counters().Inc(m_migrate_batches_);
   if (batch_size > 1) {
     // Messages the per-item protocol would have sent for the same hop.
-    ds_->metrics()->counters().Inc("ds.migrate_msgs_saved", batch_size - 1);
+    ds_->metrics()->counters().Inc(m_migrate_msgs_saved_, batch_size - 1);
   }
 }
 

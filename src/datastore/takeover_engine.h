@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/key_space.h"
+#include "common/stats.h"
 #include "datastore/ds_messages.h"
 #include "sim/component.h"
 
@@ -44,6 +45,14 @@ class TakeoverEngine : public sim::ProtocolComponent {
   void CountMigrateBatch(size_t batch_size);
 
   DataStoreNode* ds_;
+
+  // Interned metric handles (valid only when the data store has a metrics
+  // hub); these fire per migrated batch / revived item under churn.
+  Counters::Id m_orphans_rehomed_ = 0;
+  Counters::Id m_revived_items_ = 0;
+  Counters::Id m_migrate_batches_ = 0;
+  Counters::Id m_migrate_msgs_saved_ = 0;
+
   // Pending range-extension claim awaiting confirmation (no replica-group
   // evidence for the gained arc yet).
   sim::NodeId unconfirmed_claimant_ = sim::kNullNode;

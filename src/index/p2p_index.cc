@@ -77,6 +77,17 @@ void P2PIndex::InsertItem(const datastore::Item& item, DoneFn done) {
   if (options_.metrics != nullptr) {
     options_.metrics->counters().Inc(m_inserts_);
   }
+  // Root span of the whole insert (lookup, store RPC, retries); the wrapped
+  // completion closes it.  The wrapper only exists on the sampled path.
+  const trace::OpToken op = TraceOp("index.insert", item.skv);
+  if (op.active()) {
+    AttemptInsert(item, options_.insert_retries,
+                  [this, op, done = std::move(done)](const Status& s) {
+                    TraceFinish(op);
+                    done(s);
+                  });
+    return;
+  }
   AttemptInsert(item, options_.insert_retries, std::move(done));
 }
 
@@ -91,6 +102,7 @@ void P2PIndex::AttemptInsert(const datastore::Item& item, int retries_left,
             done(why);
             return;
           }
+          TraceMark("index.insert_retry", item.skv);
           // Exponential backoff: reorganizations (especially merge
           // takeovers waiting on leave propagation) can hold a range for
           // several stabilization rounds.
@@ -135,6 +147,15 @@ void P2PIndex::DeleteItem(Key skv, DoneFn done) {
   if (options_.metrics != nullptr) {
     options_.metrics->counters().Inc(m_deletes_);
   }
+  const trace::OpToken op = TraceOp("index.delete", skv);
+  if (op.active()) {
+    AttemptDelete(skv, options_.insert_retries,
+                  [this, op, done = std::move(done)](const Status& s) {
+                    TraceFinish(op);
+                    done(s);
+                  });
+    return;
+  }
   AttemptDelete(skv, options_.insert_retries, std::move(done));
 }
 
@@ -147,6 +168,7 @@ void P2PIndex::AttemptDelete(Key skv, int retries_left, DoneFn done) {
             done(why);
             return;
           }
+          TraceMark("index.delete_retry", skv);
           const int attempt = options_.insert_retries - retries_left + 1;
           After(options_.retry_delay * attempt,
                        [this, skv, retries_left, done]() {
@@ -196,6 +218,7 @@ void P2PIndex::RangeQuery(const Span& span, QueryFn done) {
   q.started = now();
   q.last_progress = q.started;
   q.naive = !options_.pepper_scan;
+  q.op = TraceOp("index.query", span.lo);
   queries_.emplace(query_id, std::move(q));
   if (options_.metrics != nullptr) {
     options_.metrics->counters().Inc(m_queries_);
@@ -211,6 +234,9 @@ void P2PIndex::Kick(uint64_t query_id) {
   auto it = queries_.find(query_id);
   if (it == queries_.end() || it->second.kicking) return;
   ActiveQuery& q = it->second;
+  // Watchdog re-kicks run outside the query's causal chain; rejoin it so
+  // the lookup and scan fan-out stay under the query span.
+  if (q.op.active()) trace::Tracer::SetCurrent(q.op.ctx);
   auto next = q.coverage.FirstUncovered();
   if (!next.has_value()) {
     Finish(query_id, Status::OK());
@@ -351,6 +377,7 @@ void P2PIndex::Finish(uint64_t query_id, const Status& status) {
   if (it == queries_.end()) return;
   ActiveQuery q = std::move(it->second);
   queries_.erase(it);
+  TraceFinish(q.op);
   std::vector<datastore::Item> items;
   items.reserve(q.items.size());
   for (auto& kv : q.items) items.push_back(std::move(kv.second));

@@ -72,6 +72,9 @@ class P2PIndex : public sim::ProtocolComponent {
     sim::SimTime last_progress = 0;
     bool naive = false;
     bool kicking = false;
+    // Trace span covering the whole query (kicks, resumes, partials);
+    // finished when the query completes or times out.
+    trace::OpToken op;
   };
 
   void AttemptInsert(const datastore::Item& item, int retries_left,

@@ -35,6 +35,7 @@ void ReviveProtocol::StartRevive(const RingRange& arc, PromoteFn promote) {
   Pending& pending = pending_[token];
   pending.arc = arc;
   pending.promote = std::move(promote);
+  pending.op = TraceOp("repl.revive_round", arc.hi());
   repl_->Inc("repl.revives_triggered");
 
   ReviveQueryMsg query;
@@ -144,6 +145,10 @@ void ReviveProtocol::Finalize(uint64_t token) {
   auto pending = std::make_shared<Pending>(std::move(it->second));
   pending_.erase(it);
   repl_->Inc("repl.revives_completed");
+  // Rejoin the round's chain so the owner-death pings (and the promotions
+  // their timeouts trigger) trace under the revive op.
+  if (pending->op.active()) trace::Tracer::SetCurrent(pending->op.ctx);
+  TraceFinish(pending->op);
   if (pending->best.empty()) {
     repl_->Inc("repl.revives_empty");
     return;
@@ -169,6 +174,7 @@ void ReviveProtocol::PromoteGroup(const ReviveGroupInfo& group,
   repl_->Inc("repl.revive_groups_promoted");
   repl_->Inc("repl.revive_items_offered", group.items.size());
   for (const datastore::Item& item : group.items) {
+    TraceMark("repl.revive_offer", item.skv);
     pending.promote(item);
   }
 }

@@ -76,6 +76,9 @@ class ReviveProtocol : public sim::ProtocolComponent {
     PromoteFn promote;
     // Freshest answer seen per owner.
     std::map<sim::NodeId, ReviveGroupInfo> best;
+    // Trace span covering the whole round: broadcast, collection window,
+    // owner-death verification, promotion.
+    trace::OpToken op;
   };
 
   void HandleQuery(const sim::Message& msg, const ReviveQueryMsg& query);

@@ -43,15 +43,18 @@ void RouterBase::Lookup(Key key, LookupFn done) {
     options_.metrics->counters().Inc(m_lookups_);
   }
   const uint64_t lookup_id = ++next_lookup_id_;
-  StartAttempt(key, lookup_id, options_.max_retries, std::move(done));
+  // Root (or child, when the index layer is already tracing) span covering
+  // every attempt of this lookup.
+  const trace::OpToken op = TraceOp("router.lookup", key);
+  StartAttempt(key, lookup_id, options_.max_retries, std::move(done), op);
 }
 
 void RouterBase::StartAttempt(Key key, uint64_t lookup_id, int retries_left,
-                              LookupFn done) {
+                              LookupFn done, const trace::OpToken& op) {
   if (options_.metrics != nullptr) {
     options_.metrics->counters().Inc(m_attempts_);
   }
-  pending_[lookup_id] = PendingLookup{std::move(done)};
+  pending_[lookup_id] = PendingLookup{std::move(done), op};
   LookupRequest req;
   req.lookup_id = lookup_id;
   req.key = key;
@@ -66,19 +69,22 @@ void RouterBase::StartAttempt(Key key, uint64_t lookup_id, int retries_left,
                  auto it = pending_.find(lookup_id);
                  if (it == pending_.end()) return;  // answered
                  LookupFn done = std::move(it->second.done);
+                 const trace::OpToken op = it->second.op;
                  pending_.erase(it);
                  if (retries_left > 0) {
                    if (options_.metrics != nullptr) {
                      options_.metrics->counters().Inc(m_retries_);
                    }
+                   TraceMark("router.lookup_retry", key);
                    // The retry id must come from the same allocator as fresh
                    // ids: a derived id (the old lookup_id + (1<<20) scheme)
                    // eventually collides with a fresh lookup, whose pending_
                    // insert then silently overwrites the live retry entry
                    // and drops its callback.
                    StartAttempt(key, ++next_lookup_id_, retries_left - 1,
-                                std::move(done));
+                                std::move(done), op);
                  } else {
+                   TraceFinish(op);
                    done(Status::TimedOut("lookup failed"), sim::kNullNode, 0);
                  }
                });
@@ -96,6 +102,7 @@ void RouterBase::HandleReply(const sim::Message&, const LookupReply& reply) {
   auto it = pending_.find(reply.lookup_id);
   if (it == pending_.end()) return;  // late duplicate
   LookupFn done = std::move(it->second.done);
+  TraceFinish(it->second.op);
   pending_.erase(it);
   if (m_hops_ != nullptr) {
     m_hops_->Add(static_cast<double>(reply.hops));
@@ -123,6 +130,7 @@ void RouterBase::RouteOrAnswer(const LookupRequest& req) {
     if (options_.metrics != nullptr) {
       options_.metrics->counters().Inc(m_budget_exhausted_);
     }
+    TraceMark("router.budget_exhausted", req.key);
     return;
   }
 
@@ -135,6 +143,7 @@ void RouterBase::RouteOrAnswer(const LookupRequest& req) {
       if (options_.metrics != nullptr) {
         options_.metrics->counters().Inc(m_dead_end_);
       }
+      TraceMark("router.fwd_dead_end", req.key);
       return;
     }
     next = succ->id;
@@ -165,6 +174,7 @@ void RouterBase::ForwardLookup(std::shared_ptr<LookupRequest> fwd,
           if (options_.metrics != nullptr) {
             options_.metrics->counters().Inc(m_dead_end_);
           }
+          TraceMark("router.fwd_dead_end", fwd->key);
           return;
         }
         ForwardLookup(fwd, succ->id, ring_consults_left - 1);

@@ -81,7 +81,7 @@ class RouterBase : public sim::ProtocolComponent, public ContentRouter {
 
  private:
   void StartAttempt(Key key, uint64_t lookup_id, int retries_left,
-                    LookupFn done);
+                    LookupFn done, const trace::OpToken& op);
   void HandleRequest(const sim::Message& msg, const LookupRequest& req);
   void HandleReply(const sim::Message& msg, const LookupReply& reply);
   void RouteOrAnswer(const LookupRequest& req);
@@ -97,6 +97,9 @@ class RouterBase : public sim::ProtocolComponent, public ContentRouter {
   uint64_t next_lookup_id_;
   struct PendingLookup {
     LookupFn done;
+    // Trace span covering the whole lookup (all attempts); carried across
+    // retries and finished when the reply or the final timeout fires.
+    trace::OpToken op;
   };
   std::map<uint64_t, PendingLookup> pending_;
 

@@ -96,12 +96,17 @@ void HrfRouter::RefreshTick() {
   if (options_.metrics != nullptr) {
     options_.metrics->counters().Inc(m_refresh_passes_);
   }
+  // The legacy pass has no terminal continuation, so the op only spans the
+  // synchronous kick; the per-level RPCs still attach as children through
+  // the installed context and their reply-hop chains.
+  const trace::OpToken pass = TraceOp("router.refresh_pass");
   if (levels_.empty()) {
     levels_.push_back(LevelEntry{succ->id, succ->val});
   } else {
     levels_[0] = LevelEntry{succ->id, succ->val};
   }
   RefreshLevel(1);
+  TraceFinish(pass);
 }
 
 void HrfRouter::RefreshLevel(size_t level) {
@@ -184,6 +189,7 @@ void HrfRouter::BatchedTick() {
   ++pass_epoch_;
   pass_active_ = true;
   pass_changed_ = false;
+  pass_op_ = TraceOp("router.refresh_pass");
   const LevelEntry level0{succ->id, succ->val};
   if (levels_.empty()) {
     levels_.push_back(level0);
@@ -267,6 +273,8 @@ void HrfRouter::TruncateAndFinish(size_t level, uint64_t pass_epoch) {
 void HrfRouter::FinishPass(uint64_t pass_epoch, bool hard) {
   if (pass_epoch != pass_epoch_ || !pass_active_) return;
   pass_active_ = false;
+  TraceFinish(pass_op_);
+  pass_op_ = trace::OpToken{};
   if (hard) {
     // A dead/stalled chain peer or a hierarchy cleared under the pass:
     // instability right here — full snap to the base period.  Counted

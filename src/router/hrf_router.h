@@ -186,6 +186,9 @@ class HrfRouter : public RouterBase {
   bool pass_active_ = false;
   bool pass_changed_ = false;
   int soft_delta_streak_ = 0;
+  // Trace span of the in-flight batched refresh pass (chain walk included);
+  // finished by FinishPass.
+  trace::OpToken pass_op_;
 
   // Interned metric handles (see RouterBase): the refresh path increments
   // these once per RPC/reply, the hottest maintenance traffic at scale.

@@ -140,9 +140,21 @@ RunReport ScenarioRunner::Run(const Scenario& scenario) {
       // transient states don't read as violations.
       cluster.RunFor(options_.probe_settle);
       outcome.probes = RunProbes();
-      if (!outcome.probes.ok) {
-        report.ok = false;
-        report.total_violations += outcome.probes.violations.size();
+    }
+    if (options_.slo_probes) {
+      CheckSlo(outcome.metrics, &outcome.probes);
+    }
+    if (!outcome.probes.ok) {
+      report.ok = false;
+      report.total_violations += outcome.probes.violations.size();
+      // Audit-failure forensics: on the first failing round, snapshot the
+      // flight recorder — the recent record window plus the full causal
+      // history of the first offending item (when one is known).
+      if (report.trace_dump.empty() && cluster.sim().tracer().enabled()) {
+        const uint64_t tag = outcome.probes.newly_lost.empty()
+                                 ? 0
+                                 : outcome.probes.newly_lost.front();
+        report.trace_dump = cluster.sim().tracer().DumpKeyHistory(tag);
       }
     }
     report.phases.push_back(std::move(outcome));
@@ -174,6 +186,7 @@ ProbeOutcome ScenarioRunner::RunProbes() {
   }
   reported_lost_ = std::set<Key>(avail.lost.begin(), avail.lost.end());
   out.lost_items = newly_lost.size();
+  out.newly_lost = newly_lost;
   if (!newly_lost.empty() && options_.availability_fatal) {
     std::ostringstream os;
     os << "oracle: " << newly_lost.size()
@@ -250,6 +263,40 @@ ProbeOutcome ScenarioRunner::RunProbes() {
 
   out.ok = out.violations.empty();
   return out;
+}
+
+void ScenarioRunner::CheckSlo(const MetricsRegistry::PhaseSnapshot& snap,
+                              ProbeOutcome* out) {
+  struct Bound {
+    const char* series;
+    double q;
+    double limit;
+    const char* label;
+  };
+  const RunnerOptions::SloBounds& slo = options_.slo;
+  const Bound bounds[] = {
+      {"wl.insert_time", 0.5, slo.insert_p50, "insert p50"},
+      {"wl.insert_time", 0.99, slo.insert_p99, "insert p99"},
+      {"wl.insert_time", 0.999, slo.insert_p999, "insert p999"},
+      {"wl.query_time", 0.5, slo.query_p50, "query p50"},
+      {"wl.query_time", 0.99, slo.query_p99, "query p99"},
+      {"wl.query_time", 0.999, slo.query_p999, "query p999"},
+  };
+  for (const Bound& b : bounds) {
+    if (b.limit <= 0.0) continue;
+    const Histogram* h = snap.FindSeries(b.series);
+    if (h == nullptr || h->count() == 0) continue;  // phase drove no such ops
+    const double v = h->Percentile(b.q);
+    if (v <= b.limit) continue;
+    ++out->slo_violations;
+    if (options_.slo_fatal) {
+      std::ostringstream os;
+      os << "slo: " << b.label << " " << std::setprecision(4) << v
+         << "s exceeds " << b.limit << "s";
+      out->violations.push_back(os.str());
+    }
+  }
+  out->ok = out->violations.empty();
 }
 
 }  // namespace pepper::scenario

@@ -44,6 +44,24 @@ struct RunnerOptions {
   // across same-seed runs — the replay contract the determinism tests pin.
   // The deterministic `sim.events` counter is folded in unconditionally.
   bool timing = false;
+
+  // Per-phase latency SLO probes, read from the phase's own wl.insert_time /
+  // wl.query_time histograms (seconds; log-bucketed, so thresholds should
+  // absorb the ~15% bucket-edge error).  A bound of 0 is unchecked.  With
+  // `slo_fatal` a breach is a violation like any audit (fails the run /
+  // stops it under fatal_probes); otherwise breaches are only counted in
+  // ProbeOutcome::slo_violations.
+  struct SloBounds {
+    double insert_p50 = 0;
+    double insert_p99 = 0;
+    double insert_p999 = 0;
+    double query_p50 = 0;
+    double query_p99 = 0;
+    double query_p999 = 0;
+  };
+  SloBounds slo;
+  bool slo_probes = false;
+  bool slo_fatal = false;
 };
 
 // What the invariant probes found after one phase (all audits are pure
@@ -60,6 +78,10 @@ struct ProbeOutcome {
   // the initiator retry).  Bounded: more than 2% of the round's attempts
   // is a violation.
   uint64_t router_dead_ends = 0;
+  // Latency-SLO breaches this phase (counted even when slo_fatal is off).
+  size_t slo_violations = 0;
+  // The keys behind `lost_items`, for forensics (flight-recorder dump).
+  std::vector<Key> newly_lost;
   std::vector<std::string> violations;
 };
 
@@ -77,6 +99,10 @@ struct RunReport {
   bool ok = true;
   size_t total_violations = 0;
   std::vector<PhaseOutcome> phases;
+  // Flight-recorder forensics, captured at the first failing probe round
+  // when tracing is enabled: the recent record window plus the full causal
+  // history of the first offending item (empty otherwise).
+  std::string trace_dump;
 
   std::string Text() const;
   std::string Csv() const;
@@ -101,6 +127,8 @@ class ScenarioRunner {
 
  private:
   ProbeOutcome RunProbes();
+  // Appends latency-SLO breaches for one phase snapshot to `out`.
+  void CheckSlo(const MetricsRegistry::PhaseSnapshot& snap, ProbeOutcome* out);
 
   RunnerOptions options_;
   std::unique_ptr<workload::Cluster> cluster_;

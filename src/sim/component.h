@@ -84,6 +84,21 @@ class ProtocolComponent {
   // not tick in lockstep.
   SimTime RandomPhase(SimTime period);
 
+  // --- Causal tracing (see trace/tracer.h) --------------------------------
+  // Opens an operation span on this peer: a child of the active trace when
+  // one is flowing through the current event, otherwise a sampled new root.
+  // The token is captured by value into the completion path and handed back
+  // to TraceFinish; all three are no-ops while tracing is disabled.
+  trace::OpToken TraceOp(const char* name, uint64_t tag = 0) {
+    return sim()->tracer().StartOp(id(), now(), name, tag);
+  }
+  void TraceFinish(const trace::OpToken& op) {
+    sim()->tracer().FinishOp(op, now());
+  }
+  void TraceMark(const char* name, uint64_t tag = 0) {
+    sim()->tracer().Mark(id(), now(), name, tag);
+  }
+
  private:
   std::unique_ptr<Node> owned_node_;  // only set for the bottom layer
   Node* node_;

@@ -164,6 +164,21 @@ PayloadPtr MakePayload(Args&&... args) {
       PayloadPoolAllocator<const T>{}, T{std::forward<Args>(args)...}));
 }
 
+// Causal trace context riding on every message (see trace/tracer.h).
+// trace_id == 0 marks an untraced message — the common case, costing one
+// branch at each propagation point.  span_id is the span the sender was
+// executing in when it sent (the parent of the delivery hop); sent_at is
+// the send instant, so the hop span is [sent_at, delivery].  Ids are pure
+// functions of (origin node, per-origin counter) — never wall clock — so
+// the same seed produces the same ids at any shard count.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  SimTime sent_at = 0;
+  bool active() const { return trace_id != 0; }
+};
+
 // A network message.  rpc_id == 0 marks a one-way message; otherwise the
 // message belongs to a request/response exchange.
 struct Message {
@@ -172,6 +187,7 @@ struct Message {
   uint64_t rpc_id = 0;
   bool is_response = false;
   PayloadPtr payload;
+  TraceContext trace;
 };
 
 }  // namespace pepper::sim

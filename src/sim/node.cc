@@ -3,6 +3,7 @@
 #include <typeinfo>
 
 #include "common/logging.h"
+#include "trace/tracer.h"
 
 namespace pepper::sim {
 
@@ -34,6 +35,11 @@ void Node::Send(NodeId to, PayloadPtr payload) {
   msg.from = id_;
   msg.to = to;
   msg.payload = std::move(payload);
+  const TraceContext& ctx = trace::Tracer::Current();
+  if (ctx.trace_id != 0) {
+    msg.trace = ctx;
+    msg.trace.sent_at = sim_->now();
+  }
   sim_->network().Send(std::move(msg));
 }
 
@@ -49,18 +55,34 @@ void Node::ErasePending(PendingCall* call) {
   pending_.pop_back();
 }
 
+void Node::RpcTimeoutFire(uint64_t rpc_id) {
+  PendingCall* call = FindPending(rpc_id);
+  if (call == nullptr) return;  // already answered
+  TimeoutFn cb = std::move(call->on_timeout);
+  ErasePending(call);
+  if (cb) cb();
+}
+
 void Node::Call(NodeId to, PayloadPtr payload, ReplyFn on_reply,
                 SimTime timeout, TimeoutFn on_timeout) {
   if (!alive_) return;
   const uint64_t rpc_id = next_rpc_id_++;
-  const uint32_t timer_idx = sim_->ArmTimer(
-      id_, sim_->now() + timeout, /*period=*/0, [this, rpc_id]() {
-        PendingCall* call = FindPending(rpc_id);
-        if (call == nullptr) return;  // already answered
-        TimeoutFn cb = std::move(call->on_timeout);
-        ErasePending(call);
-        if (cb) cb();
-      });
+  // Traced calls capture the caller's context so the timeout continuation
+  // (a retry, typically) stays inside the trace.  The untraced shape keeps
+  // the small 16-byte capture — it must not grow, or every RPC would pay a
+  // std::function heap allocation.
+  const TraceContext ctx = trace::Tracer::Current();
+  uint32_t timer_idx;
+  if (ctx.trace_id != 0) {
+    timer_idx = sim_->ArmTimer(id_, sim_->now() + timeout, /*period=*/0,
+                               [this, rpc_id, ctx]() {
+                                 trace::Tracer::SetCurrent(ctx);
+                                 RpcTimeoutFire(rpc_id);
+                               });
+  } else {
+    timer_idx = sim_->ArmTimer(id_, sim_->now() + timeout, /*period=*/0,
+                               [this, rpc_id]() { RpcTimeoutFire(rpc_id); });
+  }
   pending_.push_back(PendingCall{rpc_id, timer_idx, std::move(on_reply),
                                  std::move(on_timeout)});
   Message msg;
@@ -68,6 +90,10 @@ void Node::Call(NodeId to, PayloadPtr payload, ReplyFn on_reply,
   msg.to = to;
   msg.rpc_id = rpc_id;
   msg.payload = std::move(payload);
+  if (ctx.trace_id != 0) {
+    msg.trace = ctx;
+    msg.trace.sent_at = sim_->now();
+  }
   sim_->network().Send(std::move(msg));
 }
 
@@ -80,12 +106,28 @@ void Node::Reply(const Message& request, PayloadPtr payload) {
   msg.rpc_id = request.rpc_id;
   msg.is_response = true;
   msg.payload = std::move(payload);
+  const TraceContext& ctx = trace::Tracer::Current();
+  if (ctx.trace_id != 0) {
+    msg.trace = ctx;
+    msg.trace.sent_at = sim_->now();
+  }
   sim_->network().Send(std::move(msg));
 }
 
 void Node::After(SimTime delay, std::function<void()> fn) {
   // The alive guard (node still registered — ids are never reused — and
-  // alive) lives in the event record itself; no wrapper closure.
+  // alive) lives in the event record itself; no wrapper closure.  Inside a
+  // trace, the continuation carries the caller's context (durable-ack
+  // re-attempts, backoff retries stay in the causal tree); the wrapper only
+  // exists on that sampled path.
+  const TraceContext ctx = trace::Tracer::Current();
+  if (ctx.trace_id != 0) {
+    sim_->AfterOnNode(id_, delay, [ctx, fn = std::move(fn)]() {
+      trace::Tracer::SetCurrent(ctx);
+      fn();
+    });
+    return;
+  }
   sim_->AfterOnNode(id_, delay, std::move(fn));
 }
 
@@ -126,6 +168,11 @@ void Node::CancelPendingRpcTimers() {
 
 void Node::Deliver(const Message& msg) {
   if (!alive_) return;
+  if (msg.trace.trace_id != 0) {
+    // Record the hop span [sent_at, now] and install the delivery context,
+    // so handler-side work (and the reply) continues the causal chain.
+    sim_->tracer().OnDeliver(msg, id_, sim_->now());
+  }
   if (msg.is_response) {
     PendingCall* call = FindPending(msg.rpc_id);
     if (call == nullptr) return;  // late reply after timeout: ignore

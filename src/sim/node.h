@@ -96,6 +96,10 @@ class Node {
   PendingCall* FindPending(uint64_t rpc_id);
   void ErasePending(PendingCall* call);
   void CancelPendingRpcTimers();
+  // Body of the RPC-timeout wheel closure (shared by the traced and
+  // untraced capture shapes — the untraced one must stay within the
+  // std::function small-buffer size).
+  void RpcTimeoutFire(uint64_t rpc_id);
   // Flat: a node rarely has more than a handful of RPCs in flight, and the
   // linear probe beats hashing at that size.
   std::vector<PendingCall> pending_;

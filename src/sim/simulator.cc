@@ -11,6 +11,19 @@ namespace pepper::sim {
 
 thread_local Simulator::ShardCore* Simulator::tls_shard_ = nullptr;
 
+namespace {
+
+// Installs the execution context of one event: the sim-time/node prefix for
+// PEPPER_LOG lines, and a cleared trace context (Node::Deliver installs the
+// incoming message's context; After/RPC continuations restore their own).
+// Cost per event when tracing is off: two thread-local stores and a branch.
+inline void BeginEventContext(SimTime t, NodeId node) {
+  SetSimLogContext(t, node);
+  trace::Tracer::Clear();
+}
+
+}  // namespace
+
 void Network::Send(Message msg) {
   if (msg.to == kNullNode || msg.from == kNullNode) {
     std::fprintf(stderr, "null endpoint: from=%u to=%u payload=%s\n",
@@ -130,7 +143,7 @@ void Network::ReleaseNode(NodeId id) {
 }
 
 Simulator::Simulator(uint64_t seed, NetworkOptions net, uint32_t shards)
-    : seed_(seed), rng_(seed), network_(this, net) {
+    : seed_(seed), rng_(seed), network_(this, net), tracer_(seed) {
   if (shards == 0) return;
   // Conservative lookahead: every send delivers at least min_latency in the
   // future, so min_latency bounds how far a window can run without
@@ -371,6 +384,7 @@ void Simulator::ExecuteTimerFire(uint32_t idx) {
     if (!t.has_guard) {
       // Unguarded one-shot (plain Simulator::After parked in the wheel):
       // runs regardless of node state.
+      BeginEventContext(now_, t.node);
       std::function<void()> fn = std::move(t.fn);
       fn();
       wheel_.Free(idx);
@@ -381,6 +395,7 @@ void Simulator::ExecuteTimerFire(uint32_t idx) {
       wheel_.Free(idx);
       return;
     }
+    BeginEventContext(now_, t.node);
   }
   // Run the callback from a local: it may arm new timers and grow the wheel
   // pool, which would invalidate any reference (or SBO buffer) inside it.
@@ -416,6 +431,7 @@ void Simulator::ExecuteNext(SimTime next) {
   ++events_executed_;
   switch (ev.kind) {
     case EventKind::kClosure:
+      BeginEventContext(now_, kNullNode);
       ev.fn();
       break;
     case EventKind::kNodeClosure: {
@@ -423,12 +439,16 @@ void Simulator::ExecuteNext(SimTime next) {
       // never reused) and alive, so callbacks cannot touch a destroyed or
       // failed node — the guard the old per-call wrapper lambda enforced.
       Node* n = node(ev.node);
-      if (n != nullptr && n->alive()) ev.fn();
+      if (n != nullptr && n->alive()) {
+        BeginEventContext(now_, ev.node);
+        ev.fn();
+      }
       break;
     }
     case EventKind::kMessage: {
       Node* target = node(ev.msg.to);
       if (target != nullptr && target->alive()) {  // fail-stop drop
+        BeginEventContext(now_, ev.msg.to);
         target->Deliver(ev.msg);
       }
       break;
@@ -454,6 +474,10 @@ void Simulator::RunUntil(SimTime t) {
     ExecuteNext(next);
   }
   now_ = std::max(now_, t);
+  // Code running between RunUntil calls (probes, drivers) is not an event;
+  // a stale prefix would mislabel its log lines.
+  ClearSimLogContext();
+  trace::Tracer::Clear();
 }
 
 // --- sharded engine ----------------------------------------------------------
@@ -507,6 +531,7 @@ void Simulator::ExecuteShardTimerFire(ShardCore& sc, uint32_t idx) {
     if (!t.has_guard) {
       sc.exec_node = t.node;  // origin attribution (never kNullNode here)
       ++sc.events;
+      BeginEventContext(sc.now, t.node);
       std::function<void()> fn = std::move(t.fn);
       fn();
       sc.wheel.Free(idx);
@@ -519,6 +544,7 @@ void Simulator::ExecuteShardTimerFire(ShardCore& sc, uint32_t idx) {
     }
     sc.exec_node = t.node;
     ++sc.events;
+    BeginEventContext(sc.now, t.node);
   }
   std::function<void()> fn = std::move(sc.wheel.timer(idx).fn);
   fn();
@@ -545,6 +571,7 @@ void Simulator::ExecuteShardNext(ShardCore& sc) {
     case EventKind::kClosure:
       sc.exec_node = ev.node;  // origin attribution, no guard
       ++sc.events;
+      BeginEventContext(sc.now, ev.node);
       ev.fn();
       break;
     case EventKind::kNodeClosure: {
@@ -552,6 +579,7 @@ void Simulator::ExecuteShardNext(ShardCore& sc) {
       if (n != nullptr && n->alive()) {
         sc.exec_node = ev.node;
         ++sc.events;
+        BeginEventContext(sc.now, ev.node);
         ev.fn();
       }
       break;
@@ -561,6 +589,7 @@ void Simulator::ExecuteShardNext(ShardCore& sc) {
       if (target != nullptr && target->alive()) {
         sc.exec_node = ev.msg.to;
         ++sc.events;
+        BeginEventContext(sc.now, ev.msg.to);
         target->Deliver(ev.msg);
       }
       break;
@@ -665,8 +694,13 @@ bool Simulator::AdvanceWindow(SimTime bound) {
     ctrl_heap_.pop_back();
     now_ = std::max(now_, item.at);
     ++ctrl_events_;
+    BeginEventContext(now_, kNullNode);
     item.fn();
   }
+  // Control code after the loop (barrier merging, probes) is not
+  // event-scoped: drop the last item's log prefix and trace context.
+  ClearSimLogContext();
+  trace::Tracer::Clear();
   // Pull the control clock to the window edge so driver loops polling
   // now() against a deadline always terminate.
   now_ = std::max(now_, e - 1);
@@ -701,6 +735,7 @@ void Simulator::WorkerMain(uint32_t shard_index) {
 NodeId Simulator::Register(Node* node) {
   nodes_.push_back(node);
   const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  tracer_.OnRegister(id);
   if (sharded()) {
     PEPPER_CHECK(tls_shard_ == nullptr);  // construction is control-only
     slots_.emplace_back();

@@ -16,6 +16,7 @@
 #include "sim/message.h"
 #include "sim/rng.h"
 #include "sim/timer_wheel.h"
+#include "trace/tracer.h"
 
 namespace pepper::sim {
 
@@ -192,6 +193,15 @@ class Simulator {
   Network& network() { return network_; }
   Counters& counters() { return counters_; }
 
+  // Deterministic causal tracing (off by default; see trace/tracer.h).
+  // Enable from the control context, passing the per-lane flight-recorder
+  // capacity and the 1-in-N root sampling rate.
+  trace::Tracer& tracer() { return tracer_; }
+  const trace::Tracer& tracer() const { return tracer_; }
+  void EnableTracing(size_t ring_capacity, uint64_t sample_every) {
+    tracer_.Enable(ring_capacity, sample_every, nodes_.size());
+  }
+
   NodeId Register(Node* node);
   void Unregister(NodeId id);
   Node* node(NodeId id) const;
@@ -333,6 +343,7 @@ class Simulator {
   Rng rng_;
   Network network_;
   Counters counters_;
+  trace::Tracer tracer_;
   uint64_t events_executed_ = 0;
   std::vector<Node*> nodes_;  // index == NodeId; nullptr when destroyed
 

@@ -84,6 +84,10 @@ Cluster::Cluster(ClusterOptions options)
     // pre-allocate them before any worker touches a histogram.
     metrics_.EnableConcurrentLanes();
   }
+  if (options_.trace) {
+    sim_->EnableTracing(options_.trace_ring_capacity,
+                        options_.trace_sample_every);
+  }
   // Ring identities are single-use; a merged-away peer "rejoins" as a brand
   // new free peer.
   pool_.set_replenish([this]() { AddFreePeer(); });

@@ -51,6 +51,14 @@ struct ClusterOptions {
   bool hrf_batched_refresh = true;
   sim::SimTime hrf_max_refresh_period = 16 * sim::kSecond;
 
+  // Causal tracing (trace/tracer.h).  Off by default: compiled in, zero
+  // schedule impact either way (same seed replays bit-identically with
+  // tracing off or on).  `trace_sample_every` = 1-in-N root-op sampling;
+  // `trace_ring_capacity` is the per-lane flight-recorder size in records.
+  bool trace = false;
+  uint64_t trace_sample_every = 1;
+  size_t trace_ring_capacity = 1 << 16;
+
   // Paper defaults (Section 6.1): successor list 4, stabilization 4 s,
   // sf = 5, replication factor 6.
   static ClusterOptions PaperDefaults();

@@ -1,6 +1,7 @@
 #ifndef PEPPER_TESTS_CLUSTER_TEST_UTIL_H_
 #define PEPPER_TESTS_CLUSTER_TEST_UTIL_H_
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -78,6 +79,117 @@ inline PartitionAudit AuditItemPlacement(const Cluster& cluster) {
     }
   }
   return audit;
+}
+
+// --- Engineered Definition 7 availability gap (the PR 2 repro) --------------
+// Shared by revive_test (loss without / recovery with pull revive) and
+// trace_test (flight-recorder forensics on the engineered loss).
+
+inline constexpr Key kGapKeySpan = 1000000;
+
+// Replication that only ever reacts to change-triggered pushes: the
+// periodic refresh, the anti-entropy probe and the group TTL are pushed far
+// beyond the test horizon, so the only group copies in play are the ones
+// the construction placed deliberately.
+inline ClusterOptions GapOptions(uint64_t seed, bool pull_revive) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = seed;
+  o.repl.replication_factor = 2;
+  o.repl.refresh_period = 600 * sim::kSecond;
+  o.repl.anti_entropy_period = 600 * sim::kSecond;
+  o.repl.group_ttl = 3600 * sim::kSecond;
+  o.repl.push_delay = 10 * sim::kMillisecond;
+  o.repl.pull_revive = pull_revive;
+  return o;
+}
+
+inline std::vector<PeerStack*> MembersByVal(const Cluster& c) {
+  std::vector<PeerStack*> members = c.LiveMembers();
+  std::sort(members.begin(), members.end(), [](PeerStack* a, PeerStack* b) {
+    return a->ring->val() < b->ring->val();
+  });
+  return members;
+}
+
+// Builds the gap: ring ... P, O, T, U0 ... where U0 splits, inserting a
+// brand-new peer U between T and U0 (U is seeded with group(T) only); then
+// O and T die in the same instant.  U becomes the owner of O's arc while
+// holding no replica group for O — but U0, two hops back, still does.
+// Returns the number of items O owned (the stake), or 0 if the topology
+// never offered a usable trio (caller skips the seed).
+inline size_t BuildGapAndKill(Cluster& c, uint64_t seed) {
+  c.Bootstrap(kGapKeySpan);
+  for (int i = 0; i < 24; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  sim::Rng rng(seed * 31);
+  for (int i = 0; i < 80; ++i) {
+    if (!c.InsertItem(rng.Uniform(0, kGapKeySpan)).ok()) return 0;
+  }
+  c.RunFor(2 * sim::kSecond);
+
+  // Place every owner's group on its *current* k successors.
+  for (PeerStack* p : c.LiveMembers()) p->repl->PushNow();
+  c.RunFor(2 * sim::kSecond);
+
+  // A trio O -> T -> U0 where U0's range is linear and wide enough to aim
+  // inserts into, and O has items at stake.
+  auto members = MembersByVal(c);
+  if (members.size() < 8) return 0;
+  PeerStack* o_peer = nullptr;
+  PeerStack* t_peer = nullptr;
+  PeerStack* u0_peer = nullptr;
+  for (size_t i = 0; i < members.size(); ++i) {
+    PeerStack* a = members[i];
+    PeerStack* b = members[(i + 1) % members.size()];
+    PeerStack* d = members[(i + 2) % members.size()];
+    const RingRange& r = d->ds->range();
+    if (!r.full() && r.lo() < r.hi() && r.hi() - r.lo() > 1000 &&
+        !a->ds->items().empty() && a->ds->range().lo() < a->ds->range().hi()) {
+      o_peer = a;
+      t_peer = b;
+      u0_peer = d;
+      break;
+    }
+  }
+  if (o_peer == nullptr) return 0;
+  // U0 must hold O's group (it is O's second successor, k=2).
+  if (u0_peer->repl->groups().count(o_peer->id()) == 0) return 0;
+
+  // Overflow U0 so it splits: the recruit U is inserted between T and U0,
+  // seeded with group(T) — and nothing of O's.
+  const uint64_t splits_before = c.metrics().counters().Get("ds.splits");
+  const Key lo = u0_peer->ds->range().lo();
+  const Key hi = u0_peer->ds->range().hi();
+  const Key width = hi - lo;
+  for (Key j = 1; j <= 14; ++j) {
+    (void)c.InsertItem(lo + (width * j) / 16);
+    if (c.metrics().counters().Get("ds.splits") > splits_before) break;
+  }
+  if (c.metrics().counters().Get("ds.splits") == splits_before) return 0;
+  c.RunFor(sim::kSecond);
+
+  // Find U: live, joined after the split, squeezed between T and U0.
+  PeerStack* u_peer = nullptr;
+  for (PeerStack* p : c.LiveMembers()) {
+    if (p == u0_peer || p == t_peer) continue;
+    const RingRange& r = p->ds->range();
+    if (!r.full() && r.lo() >= t_peer->ring->val() && r.hi() <= hi &&
+        r.lo() < r.hi()) {
+      u_peer = p;
+    }
+  }
+  if (u_peer == nullptr) return 0;
+  // The gap precondition: the brand-new successor holds nothing of O.
+  if (u_peer->repl->groups().count(o_peer->id()) > 0) return 0;
+
+  const size_t at_stake = o_peer->ds->items().size();
+  if (at_stake == 0) return 0;
+  // O and T die in the same simulated instant — before O ever stabilizes
+  // with U or refreshes its chain.  Group(O) now lives only on U0, two
+  // hops behind the new owner U.
+  c.FailPeer(t_peer);
+  c.FailPeer(o_peer);
+  return at_stake;
 }
 
 }  // namespace pepper::workload

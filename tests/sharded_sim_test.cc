@@ -12,6 +12,7 @@
 
 #include "sim/node.h"
 #include "sim/simulator.h"
+#include "trace/tracer.h"
 #include "workload/cluster.h"
 #include "workload/workload.h"
 
@@ -161,6 +162,32 @@ TEST(ShardedSimTest, UnregisterRacesInFlightCrossShardMessage) {
   EXPECT_NE(c.id(), b_id);
 }
 
+// A traced op's context rides a cross-shard send exactly like a local one:
+// the receiving shard's hop span parents on the sender's op span.
+TEST(ShardedSimTest, TraceContextPropagatesAcrossShardBoundary) {
+  Simulator sim(23, NetworkOptions{}, /*shards=*/2);
+  Node a(&sim);
+  Node b(&sim);
+  ASSERT_NE(a.id() % 2, b.id() % 2);
+  sim.EnableTracing(/*ring_capacity=*/1024, /*sample_every=*/1);
+  TraceContext op_ctx;
+  TraceContext deliver_ctx;  // written on b's shard, read after RunFor
+  b.On<SeqMsg>([&deliver_ctx](const Message&, const SeqMsg&) {
+    deliver_ctx = trace::Tracer::Current();
+  });
+  a.After(10 * kMillisecond, [&]() {
+    const trace::OpToken op =
+        sim.tracer().StartOp(a.id(), sim.now(), "xshard.op");
+    op_ctx = op.ctx;
+    a.Send(b.id(), std::make_shared<SeqMsg>());
+    sim.tracer().FinishOp(op, sim.now());
+  });
+  sim.RunFor(kSecond);
+  ASSERT_NE(op_ctx.trace_id, 0u);
+  EXPECT_EQ(deliver_ctx.trace_id, op_ctx.trace_id);
+  EXPECT_EQ(deliver_ctx.parent_span_id, op_ctx.span_id);
+}
+
 TEST(ShardedSimTest, CrossShardRpcTimesOutWhenReceiverFails) {
   Simulator sim(19, NetworkOptions{}, /*shards=*/2);
   Node a(&sim);
@@ -191,12 +218,19 @@ struct ReplayResult {
   std::string report;
   uint64_t messages = 0;
   size_t live = 0;
+  std::string trace;  // tracer DumpText, only with trace=true
 };
 
-ReplayResult RunClusterReplay(uint64_t seed, uint32_t shards) {
+ReplayResult RunClusterReplay(uint64_t seed, uint32_t shards,
+                              bool trace = false) {
   ClusterOptions copts = ClusterOptions::FastDefaults();
   copts.seed = seed;
   copts.shards = shards;
+  copts.trace = trace;
+  // Big enough that nothing is evicted: ring eviction is lane-local, and
+  // lane layouts differ across shard counts — the identity contract only
+  // covers the un-evicted record stream.
+  copts.trace_ring_capacity = 1 << 18;
   Cluster cluster(copts);
   cluster.Bootstrap(500000);
   for (int i = 0; i < 8; ++i) cluster.AddFreePeer();
@@ -221,6 +255,11 @@ ReplayResult RunClusterReplay(uint64_t seed, uint32_t shards) {
   r.report = cluster.metrics().Report();
   r.messages = cluster.sim().network().messages_sent();
   r.live = cluster.LiveMembers().size();
+  if (trace) {
+    EXPECT_EQ(cluster.sim().tracer().records_dropped(), 0u)
+        << "ring too small for the identity comparison";
+    r.trace = cluster.sim().tracer().DumpText();
+  }
   EXPECT_EQ(driver.query_violations(), 0u)
       << "seed " << seed << " shards " << shards;
   return r;
@@ -236,6 +275,24 @@ TEST(ShardedSimTest, ClusterReplayIsIdenticalAcrossShardCounts) {
       EXPECT_EQ(other.messages, one.messages) << "seed " << seed;
       EXPECT_EQ(other.live, one.live) << "seed " << seed;
     }
+  }
+}
+
+// Span/trace/record ids are pure functions of (origin node, per-node
+// counter) and sampling hashes the trace id — nothing depends on the shard
+// partition — so the merged trace dump is byte-identical at any shard
+// count, and tracing-on replays the exact tracing-off schedule.
+TEST(ShardedSimTest, TraceOutputIsIdenticalAcrossShardCounts) {
+  const ReplayResult plain = RunClusterReplay(42, 1, /*trace=*/false);
+  const ReplayResult one = RunClusterReplay(42, 1, /*trace=*/true);
+  EXPECT_FALSE(one.trace.empty());
+  EXPECT_EQ(one.report, plain.report) << "tracing perturbed the schedule";
+  for (uint32_t shards : {2u, 4u}) {
+    const ReplayResult other = RunClusterReplay(42, shards, /*trace=*/true);
+    EXPECT_EQ(other.report, one.report) << "shards " << shards;
+    EXPECT_TRUE(other.trace == one.trace)
+        << "trace diverged at shards=" << shards << " (" << other.trace.size()
+        << " vs " << one.trace.size() << " bytes)";
   }
 }
 

@@ -1,0 +1,198 @@
+// Tests for src/trace/: the flight-recorder ring (oldest-first eviction),
+// causal-context propagation across message hops and RPC timeout/retry
+// continuations, schedule invariance (tracing on/off/sampled replays the
+// same run), and the audit-failure forensics dump on an engineered
+// Definition 7 loss.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster_test_util.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "trace/tracer.h"
+#include "workload/cluster.h"
+#include "workload/workload.h"
+
+namespace pepper::sim {
+namespace {
+
+struct ProbeMsg : Payload {};
+
+// --- Flight recorder: fixed capacity, oldest overwritten first --------------
+
+TEST(TraceTest, RingBufferOverwritesOldestFirst) {
+  Simulator sim(3);
+  Node n(&sim);
+  sim.EnableTracing(/*ring_capacity=*/8, /*sample_every=*/1);
+  auto& tracer = sim.tracer();
+  // 16 root ops, 2 records each (begin + end) = 32 records into a ring of 8.
+  for (uint64_t i = 0; i < 16; ++i) {
+    trace::Tracer::Clear();  // each op is its own root
+    const trace::OpToken op =
+        tracer.StartOp(n.id(), static_cast<SimTime>(i), "test.op", i);
+    ASSERT_TRUE(op.active());
+    tracer.FinishOp(op, static_cast<SimTime>(i));
+  }
+  trace::Tracer::Clear();
+  EXPECT_EQ(tracer.record_count(), 8u);
+  EXPECT_EQ(tracer.records_dropped(), 24u);
+  const std::vector<trace::SpanRecord> merged = tracer.Merged();
+  ASSERT_EQ(merged.size(), 8u);
+  // The survivors are exactly the NEWEST 8 records — per-node record
+  // counters 24..31, i.e. the begin/end pairs of ops 12..15 — in merge
+  // order (the per-node counter is the low part of the record key).
+  const uint64_t key_base = (static_cast<uint64_t>(n.id()) + 1) << 40;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].key, key_base + 24 + i) << "slot " << i;
+    EXPECT_EQ(merged[i].tag, 12 + i / 2) << "slot " << i;
+  }
+}
+
+// --- Context propagation: hop -> handler, timeout -> retry -------------------
+
+TEST(TraceTest, ContextPropagatesAcrossHopsAndRpcTimeoutRetry) {
+  Simulator sim(5);
+  Node a(&sim);
+  Node b(&sim);
+  sim.EnableTracing(/*ring_capacity=*/1024, /*sample_every=*/1);
+  TraceContext op_ctx;       // the root op's context
+  TraceContext deliver_ctx;  // what b sees inside its handler (hop 1)
+  TraceContext timeout_ctx;  // what a sees inside the timeout continuation
+  TraceContext retry_ctx;    // what b sees on the retried call (hop 2)
+  int deliveries = 0;
+  b.On<ProbeMsg>([&](const Message&, const ProbeMsg&) {
+    // Never replies: the caller times out and retries once.
+    (deliveries++ == 0 ? deliver_ctx : retry_ctx) = trace::Tracer::Current();
+  });
+  trace::OpToken op;  // outlives the nested continuations below
+  a.After(10 * kMillisecond, [&]() {
+    op = sim.tracer().StartOp(a.id(), sim.now(), "test.lookup", 7);
+    op_ctx = op.ctx;
+    a.Call(
+        b.id(), std::make_shared<ProbeMsg>(), [](const Message&) {},
+        20 * kMillisecond, [&]() {
+          timeout_ctx = trace::Tracer::Current();
+          sim.tracer().Mark(a.id(), sim.now(), "test.retry", 7);
+          a.Call(
+              b.id(), std::make_shared<ProbeMsg>(), [](const Message&) {},
+              20 * kMillisecond,
+              [&]() { sim.tracer().FinishOp(op, sim.now()); });
+        });
+  });
+  sim.RunFor(kSecond);
+
+  ASSERT_EQ(deliveries, 2);
+  ASSERT_NE(op_ctx.trace_id, 0u);
+  // Hop 1: b's handler runs inside the same trace, its hop span parented
+  // on the op span that sent the message.
+  EXPECT_EQ(deliver_ctx.trace_id, op_ctx.trace_id);
+  EXPECT_EQ(deliver_ctx.parent_span_id, op_ctx.span_id);
+  // The timeout continuation restores the caller's span...
+  EXPECT_EQ(timeout_ctx.trace_id, op_ctx.trace_id);
+  EXPECT_EQ(timeout_ctx.span_id, op_ctx.span_id);
+  // ...so the retry rides the same trace as a sibling hop.
+  EXPECT_EQ(retry_ctx.trace_id, op_ctx.trace_id);
+  EXPECT_EQ(retry_ctx.parent_span_id, op_ctx.span_id);
+  // The recorder holds the whole story: both hops, the retry mark, the op.
+  int hops = 0;
+  int marks = 0;
+  int op_ends = 0;
+  for (const trace::SpanRecord& r : sim.tracer().Merged()) {
+    if (r.trace_id != op_ctx.trace_id) continue;
+    if (r.kind == trace::SpanRecord::Kind::kHop) ++hops;
+    if (r.kind == trace::SpanRecord::Kind::kMark) ++marks;
+    if (r.kind == trace::SpanRecord::Kind::kOpEnd) ++op_ends;
+  }
+  EXPECT_EQ(hops, 2);
+  EXPECT_EQ(marks, 1);
+  EXPECT_EQ(op_ends, 1);
+}
+
+}  // namespace
+}  // namespace pepper::sim
+
+namespace pepper::workload {
+namespace {
+
+// --- Schedule invariance: tracing may never perturb the run ------------------
+
+struct MiniResult {
+  std::string report;
+  uint64_t messages = 0;
+};
+
+MiniResult RunMini(bool trace_on, uint64_t sample_every) {
+  ClusterOptions o = ClusterOptions::FastDefaults();
+  o.seed = 97;
+  o.trace = trace_on;
+  o.trace_sample_every = sample_every;
+  Cluster c(o);
+  c.Bootstrap(1000000);
+  for (int i = 0; i < 6; ++i) c.AddFreePeer();
+  c.RunFor(sim::kSecond);
+  WorkloadOptions w;
+  w.insert_rate_per_sec = 150.0;
+  w.delete_rate_per_sec = 30.0;
+  w.query_rate_per_sec = 15.0;
+  w.fail_rate_per_sec = 0.4;
+  w.peer_add_rate_per_sec = 0.4;
+  w.min_live_members = 3;
+  WorkloadDriver driver(&c, w, /*seed=*/0x7777);
+  driver.Start();
+  c.RunFor(8 * sim::kSecond);
+  driver.Stop();
+  c.RunFor(2 * sim::kSecond);
+  MiniResult r;
+  r.report = c.metrics().Report();
+  r.messages = c.sim().network().messages_sent();
+  return r;
+}
+
+TEST(TraceClusterTest, TracingOnOffAndSamplingDoNotPerturbTheSchedule) {
+  const MiniResult off = RunMini(/*trace_on=*/false, 1);
+  const MiniResult on = RunMini(/*trace_on=*/true, 1);
+  const MiniResult sampled = RunMini(/*trace_on=*/true, 4);
+  EXPECT_EQ(on.report, off.report);
+  EXPECT_EQ(on.messages, off.messages);
+  EXPECT_EQ(sampled.report, off.report);
+  EXPECT_EQ(sampled.messages, off.messages);
+}
+
+// --- Audit-failure forensics -------------------------------------------------
+
+// The engineered PR 2 gap (see cluster_test_util.h) with pull revive OFF
+// loses items; with tracing armed, the flight recorder must hand back the
+// lost key's full causal history — the insert chain that placed it.
+TEST(TraceClusterTest, ReviveFailureDumpContainsLostKeyCausalHistory) {
+  bool found_loss = false;
+  for (uint64_t seed : {101, 102, 103, 104, 105}) {
+    ClusterOptions o = GapOptions(seed, /*pull_revive=*/false);
+    o.trace = true;  // every root sampled; default ring is ample here
+    Cluster c(o);
+    if (BuildGapAndKill(c, seed) == 0) continue;  // no usable trio
+    c.RunFor(20 * sim::kSecond);
+    const auto avail = c.AuditAvailability();
+    if (avail.lost.empty()) continue;
+    found_loss = true;
+    const Key lost = *avail.lost.begin();
+    const std::string dump = c.sim().tracer().DumpKeyHistory(lost);
+    // The dump names the item and carries the causal chain of the insert
+    // that placed it — the forensics contract of the audit-failure path.
+    EXPECT_NE(dump.find("tag=" + std::to_string(lost)), std::string::npos)
+        << "seed " << seed << ": lost key " << lost
+        << " absent from its own history dump";
+    EXPECT_NE(dump.find("index.insert"), std::string::npos)
+        << "seed " << seed << ": no insert chain in the dump";
+    break;
+  }
+  // revive_test pins that the construction loses items on these seeds; if
+  // that ever stops holding, this test must be revisited alongside it.
+  EXPECT_TRUE(found_loss) << "engineered gap lost nothing on any seed";
+}
+
+}  // namespace
+}  // namespace pepper::workload

@@ -24,6 +24,20 @@ When the fresh report carries a scenario "shards" block, two more gates run:
   * the N-shard speedup must reach --min-shard-speedup (default 2.0) --
     but only when the report's host_cores >= N; on smaller hosts the
     speedup is printed for the trend and not gated.
+
+When the fresh report carries a scenario "trace" block (the causal-tracing
+A/B on long_churn --paper --scale=20), two more gates run:
+  * tracing-OFF overhead: the fresh off-arm events/sec must stay within
+    --max-trace-overhead (default 0.05) of the committed baseline's
+    scenario events/sec -- the disabled instrumentation hooks may not cost
+    more than 5% of the hot path.  Cross-report and therefore
+    host-sensitive, like every committed-baseline comparison: re-baseline
+    on a runner-class change rather than hunting a phantom regression.
+  * replay identity: the tracing-on arm must execute exactly the serial
+    arm's event/message counts (tracing must never perturb the schedule),
+    and its audits must stay green.  The on-arm wall-clock overhead is
+    printed for the trend, not gated (sampled tracing cost is dominated by
+    machine variance at these run lengths).
 Exit status: 0 ok, 1 regression, 2 usage/schema error.
 """
 
@@ -47,6 +61,7 @@ def main(argv):
     max_regress = 0.20
     max_hops_drift = 0.05
     min_shard_speedup = 2.0
+    max_trace_overhead = 0.05
     for o in opts:
         if o.startswith("--max-regress="):
             max_regress = float(o.split("=", 1)[1])
@@ -54,6 +69,8 @@ def main(argv):
             max_hops_drift = float(o.split("=", 1)[1])
         elif o.startswith("--min-shard-speedup="):
             min_shard_speedup = float(o.split("=", 1)[1])
+        elif o.startswith("--max-trace-overhead="):
+            max_trace_overhead = float(o.split("=", 1)[1])
         else:
             print(f"unknown option {o}")
             return 2
@@ -165,6 +182,38 @@ def main(argv):
             else:
                 print(f"  shards={n} speedup             {speedup:14.2f}x"
                       f"  (not gated: host_cores={cores} < {n})")
+
+    # --- Causal-tracing gates ------------------------------------------------
+    tr = (fresh_scn or {}).get("trace")
+    if tr:
+        if tr.get("replay_identical") is False:
+            print("tracing-on run diverged from the tracing-off schedule")
+            failed = True
+        if tr.get("on_audits_ok") is False:
+            print("tracing-on scenario run had audit violations")
+            failed = True
+        # Tracing-off overhead vs the committed baseline: the disabled
+        # hooks (context clears, msg.trace stamping branches) ride the hot
+        # path of every run, so they get a tighter band than the general
+        # throughput gate.
+        base_eps = (baseline.get("scenario") or {}).get("events_per_sec")
+        off_eps = tr.get("off_events_per_sec")
+        if base_eps and off_eps is not None:
+            ratio = off_eps / base_eps
+            status = "OK"
+            if ratio < 1.0 - max_trace_overhead:
+                status = "REGRESSED"
+                failed = True
+            print(f"  trace-off vs baseline        {base_eps:>14,.0f} -> "
+                  f"{off_eps:>14,.0f}  ({ratio:6.2%})  {status}")
+        elif off_eps is not None:
+            print(f"  trace-off vs baseline        (no baseline)  "
+                  f"{off_eps:,.0f} events/sec")
+        overhead = tr.get("overhead_ratio")
+        if overhead is not None:
+            print(f"  trace-on overhead (1-in-{tr.get('on_sample_every', '?')})"
+                  f"    {overhead:10.3f}x wall, "
+                  f"{tr.get('on_records', 0):,} records  (trend only)")
 
     print("perf check:", "FAILED" if failed else "passed")
     return 1 if failed else 0

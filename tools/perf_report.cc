@@ -5,6 +5,7 @@
 //
 //   perf_report [--out=BENCH_simcore.json] [--scale=20] [--seed=42]
 //               [--quick] [--skip-scenario] [--shards=4] [--skip-shards]
+//               [--trace-sample=64] [--skip-trace]
 //
 // CI compares a fresh report against the committed BENCH_simcore.json with
 // tools/check_perf_regression.py and fails on a >20% events/sec regression.
@@ -51,10 +52,12 @@ struct ScenarioProbe {
   double hops_mean = 0.0;
   uint64_t hops_count = 0;
   uint64_t fwd_dead_ends = 0;
+  uint64_t trace_records = 0;
 };
 
 ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
-                               bool batched_refresh, uint32_t shards = 0) {
+                               bool batched_refresh, uint32_t shards = 0,
+                               uint64_t trace_sample = 0) {
   ScenarioProbe probe;
   BuiltinParams params;
   params.scale = scale;
@@ -65,6 +68,10 @@ ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
   options.cluster.seed = seed;
   options.cluster.hrf_batched_refresh = batched_refresh;
   options.cluster.shards = shards;
+  if (trace_sample > 0) {
+    options.cluster.trace = true;
+    options.cluster.trace_sample_every = trace_sample;
+  }
   options.initial_free_peers = 10;
   options.seed_items = 40;
   options.fatal_probes = true;
@@ -96,6 +103,7 @@ ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
     probe.hops_mean = hops->mean();
     probe.hops_count = hops->count();
   }
+  probe.trace_records = runner.cluster()->sim().tracer().record_count();
   return probe;
 }
 
@@ -117,7 +125,9 @@ int main(int argc, char** argv) {
   bool skip_scenario = false;
   bool skip_router_ab = false;
   bool skip_shards = false;
+  bool skip_trace = false;
   uint32_t shards = 4;
+  uint64_t trace_sample = 64;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -136,11 +146,17 @@ int main(int argc, char** argv) {
       shards = static_cast<uint32_t>(std::strtoul(argv[i] + 9, nullptr, 10));
     } else if (std::strcmp(argv[i], "--skip-shards") == 0) {
       skip_shards = true;
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      trace_sample = std::strtoull(argv[i] + 15, nullptr, 10);
+      if (trace_sample == 0) trace_sample = 1;
+    } else if (std::strcmp(argv[i], "--skip-trace") == 0) {
+      skip_trace = true;
     } else {
       std::fprintf(stderr,
                    "usage: perf_report [--out=FILE] [--scale=F] [--seed=N] "
                    "[--quick] [--skip-scenario] [--skip-router-ab] "
-                   "[--shards=N] [--skip-shards]\n");
+                   "[--shards=N] [--skip-shards] [--trace-sample=N] "
+                   "[--skip-trace]\n");
       return 2;
     }
   }
@@ -156,6 +172,7 @@ int main(int argc, char** argv) {
   ScenarioProbe baseline;
   ScenarioProbe shard_single;
   ScenarioProbe shard_par;
+  ScenarioProbe trace_on;
   if (!skip_scenario) {
     std::printf("running long_churn --paper --scale=%g --seed=%llu "
                 "(fatal audits)...\n",
@@ -223,6 +240,26 @@ int main(int argc, char** argv) {
                       : 0.0,
                   std::thread::hardware_concurrency());
     }
+    if (!skip_trace) {
+      // The tracing-on arm, same seed/scale, 1-in-N root sampling.  The
+      // serial probe above IS the tracing-off arm (tracing compiled in,
+      // disabled), so the pair measures what turning the flight recorder
+      // on costs — and its event count doubles as a replay-identity check.
+      std::printf("running the tracing-on arm (sampled 1-in-%llu)...\n",
+                  static_cast<unsigned long long>(trace_sample));
+      trace_on = RunScenarioProbe(scale, seed, /*batched_refresh=*/true,
+                                  /*shards=*/0, trace_sample);
+      std::printf("  wall %.1fs (off: %.1fs, overhead %.1f%%), %llu trace "
+                  "records, audits %s, replay %s\n",
+                  trace_on.wall_seconds, probe.wall_seconds,
+                  probe.wall_seconds > 0.0
+                      ? (trace_on.wall_seconds / probe.wall_seconds - 1.0) *
+                            100.0
+                      : 0.0,
+                  static_cast<unsigned long long>(trace_on.trace_records),
+                  trace_on.ok ? "green" : "VIOLATED",
+                  trace_on.events == probe.events ? "identical" : "DIVERGED");
+    }
   }
 
   std::ostringstream json;
@@ -271,6 +308,31 @@ int main(int argc, char** argv) {
              << probe.hops_mean / baseline.hops_mean << ",\n";
       }
     }
+    if (trace_on.ran) {
+      json << "    \"trace\": {\n";
+      json << "      \"off_wall_seconds\": " << probe.wall_seconds << ",\n";
+      json << "      \"off_events_per_sec\": "
+           << static_cast<uint64_t>(static_cast<double>(probe.events) /
+                                    probe.wall_seconds) << ",\n";
+      json << "      \"on_sample_every\": " << trace_sample << ",\n";
+      json << "      \"on_wall_seconds\": " << trace_on.wall_seconds << ",\n";
+      json << "      \"on_events_per_sec\": "
+           << static_cast<uint64_t>(static_cast<double>(trace_on.events) /
+                                    trace_on.wall_seconds) << ",\n";
+      json << "      \"on_records\": " << trace_on.trace_records << ",\n";
+      json << "      \"on_audits_ok\": " << (trace_on.ok ? "true" : "false")
+           << ",\n";
+      json << "      \"replay_identical\": "
+           << (trace_on.events == probe.events &&
+               trace_on.messages == probe.messages
+                   ? "true"
+                   : "false") << ",\n";
+      json << "      \"overhead_ratio\": "
+           << (probe.wall_seconds > 0.0
+                   ? trace_on.wall_seconds / probe.wall_seconds
+                   : 0.0) << "\n";
+      json << "    },\n";
+    }
     if (shard_single.ran && shard_par.ran) {
       json << "    \"shards\": {\n";
       json << "      \"host_cores\": "
@@ -312,6 +374,6 @@ int main(int argc, char** argv) {
   const bool violations =
       (probe.ran && !probe.ok) || (baseline.ran && !baseline.ok) ||
       (shard_single.ran && !shard_single.ok) ||
-      (shard_par.ran && !shard_par.ok);
+      (shard_par.ran && !shard_par.ok) || (trace_on.ran && !trace_on.ok);
   return violations ? 1 : 0;
 }

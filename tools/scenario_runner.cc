@@ -5,7 +5,8 @@
 //
 //   scenario_runner --list
 //   scenario_runner --scenario=long_churn [--seed=N] [--scale=F] [--paper]
-//                   [--csv=FILE] [--fatal-audits] [--quiet]
+//                   [--csv=FILE] [--fatal-audits] [--trace=FILE]
+//                   [--slo-fatal] [--quiet]
 //
 // Exit status: 0 on a clean run, 1 on probe violations, 2 on usage errors.
 
@@ -59,6 +60,18 @@ void PrintUsage() {
       "                  per-level GetEntry refresh at a fixed cadence (the\n"
       "                  pre-batching baseline) instead of batched GetLevels\n"
       "                  with stability-adaptive cadence — for A/B runs\n"
+      "  --trace=FILE    enable causal tracing and write the flight\n"
+      "                  recorder as Chrome-trace JSON (loads in Perfetto /\n"
+      "                  chrome://tracing); on a failing probe the causal\n"
+      "                  dump of the offending item is printed to stderr\n"
+      "  --trace-sample=N\n"
+      "                  sample 1-in-N root operations (default 1: all)\n"
+      "  --slo-insert-p50=S --slo-insert-p99=S --slo-insert-p999=S\n"
+      "  --slo-query-p50=S --slo-query-p99=S --slo-query-p999=S\n"
+      "                  per-phase latency SLO bounds in (fractional)\n"
+      "                  seconds, read from the phase's wl.insert_time /\n"
+      "                  wl.query_time histograms; 0 = unchecked\n"
+      "  --slo-fatal     an SLO breach fails the run like an audit\n"
       "  --quiet         suppress the text report\n");
 }
 
@@ -72,11 +85,16 @@ int main(int argc, char** argv) {
   bool timing = false;
   bool legacy_router_refresh = false;
   bool quiet = false;
+  bool slo_fatal = false;
   std::string scenario_name;
   std::string csv_path;
+  std::string trace_path;
   uint64_t seed = 42;
+  uint64_t trace_sample = 1;
   double scale = 1.0;
   uint32_t shards = 0;
+  RunnerOptions::SloBounds slo;
+  bool slo_any = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -104,6 +122,31 @@ int main(int argc, char** argv) {
       shards = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--csv", &value)) {
       csv_path = value;
+    } else if (ParseFlag(argv[i], "--trace", &value)) {
+      trace_path = value;
+    } else if (ParseFlag(argv[i], "--trace-sample", &value)) {
+      trace_sample = std::strtoull(value.c_str(), nullptr, 10);
+      if (trace_sample == 0) trace_sample = 1;
+    } else if (std::strcmp(argv[i], "--slo-fatal") == 0) {
+      slo_fatal = true;
+    } else if (ParseFlag(argv[i], "--slo-insert-p50", &value)) {
+      slo.insert_p50 = std::strtod(value.c_str(), nullptr);
+      slo_any = true;
+    } else if (ParseFlag(argv[i], "--slo-insert-p99", &value)) {
+      slo.insert_p99 = std::strtod(value.c_str(), nullptr);
+      slo_any = true;
+    } else if (ParseFlag(argv[i], "--slo-insert-p999", &value)) {
+      slo.insert_p999 = std::strtod(value.c_str(), nullptr);
+      slo_any = true;
+    } else if (ParseFlag(argv[i], "--slo-query-p50", &value)) {
+      slo.query_p50 = std::strtod(value.c_str(), nullptr);
+      slo_any = true;
+    } else if (ParseFlag(argv[i], "--slo-query-p99", &value)) {
+      slo.query_p99 = std::strtod(value.c_str(), nullptr);
+      slo_any = true;
+    } else if (ParseFlag(argv[i], "--slo-query-p999", &value)) {
+      slo.query_p999 = std::strtod(value.c_str(), nullptr);
+      slo_any = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       PrintUsage();
@@ -143,6 +186,11 @@ int main(int argc, char** argv) {
   options.availability_fatal = availability_fatal;
   options.timing = timing;
   options.cluster.hrf_batched_refresh = !legacy_router_refresh;
+  options.cluster.trace = !trace_path.empty();
+  options.cluster.trace_sample_every = trace_sample;
+  options.slo = slo;
+  options.slo_probes = slo_any;
+  options.slo_fatal = slo_fatal;
   if (paper) {
     // Paper timers are ~20x slower than FastDefaults; give reorganizations
     // a commensurate drain window before each probe round.
@@ -153,6 +201,23 @@ int main(int argc, char** argv) {
   const RunReport report = runner.Run(*scenario);
 
   if (!quiet) std::printf("%s", report.Text().c_str());
+  if (!trace_path.empty() && runner.cluster() != nullptr) {
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+    trace_out << runner.cluster()->sim().tracer().ChromeTraceJson();
+    std::printf("trace written to %s (%zu records, %llu dropped)\n",
+                trace_path.c_str(),
+                runner.cluster()->sim().tracer().record_count(),
+                static_cast<unsigned long long>(
+                    runner.cluster()->sim().tracer().records_dropped()));
+  }
+  if (!report.trace_dump.empty()) {
+    std::fprintf(stderr, "--- flight recorder (audit failure) ---\n%s",
+                 report.trace_dump.c_str());
+  }
   if (!csv_path.empty()) {
     std::ofstream csv(csv_path);
     if (!csv) {
