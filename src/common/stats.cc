@@ -347,6 +347,12 @@ uint64_t Counters::Get(const std::string& name) const {
   return total;
 }
 
+uint64_t Counters::Get(Id id) const {
+  uint64_t total = 0;
+  for (uint64_t lane : entries_[id].lanes) total += lane;
+  return total;
+}
+
 std::vector<std::pair<std::string, uint64_t>> Counters::Snapshot() const {
   std::vector<std::pair<std::string, uint64_t>> out;
   const size_t n = size_.load(std::memory_order_acquire);

@@ -170,6 +170,9 @@ class Counters {
   }
   void Inc(const std::string& name, uint64_t delta = 1);
   uint64_t Get(const std::string& name) const;
+  // Lane-aggregated read by handle; same barrier-ordered read contract as
+  // the by-name Get, minus the name scan.
+  uint64_t Get(Id id) const;
   std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
   void Clear();
 

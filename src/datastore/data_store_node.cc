@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "datastore/rebalancer.h"
 #include "datastore/takeover_engine.h"
+#include "telemetry/load_monitor.h"
 
 namespace pepper::datastore {
 
@@ -42,6 +43,11 @@ DataStoreNode::~DataStoreNode() = default;
 void DataStoreNode::Activate(RingRange range, std::vector<Item> items) {
   active_ = true;
   range_ = range;
+  // Arc born before its items land, so attribution never sees an item on an
+  // unknown arc.
+  if (options_.observer != nullptr) {
+    options_.observer->OnRangeChange(id(), range_, /*active=*/true);
+  }
   items_.clear();
   item_epochs_.clear();
   // Deletion memory is per incarnation: answering "recently deleted" for a
@@ -76,6 +82,16 @@ void DataStoreNode::Deactivate() {
   item_epochs_.clear();
   active_ = false;
   range_ = RingRange::Empty();
+  if (options_.observer != nullptr) {
+    options_.observer->OnRangeChange(id(), range_, /*active=*/false);
+  }
+}
+
+void DataStoreNode::set_range(const RingRange& range) {
+  range_ = range;
+  if (options_.observer != nullptr) {
+    options_.observer->OnRangeChange(id(), range_, active_);
+  }
 }
 
 void DataStoreNode::OnPredChanged() { takeover_->OnPredChanged(); }
@@ -145,6 +161,7 @@ Status DataStoreNode::InsertLocal(const Item& item) {
     return Status::Unavailable("range reorganization in progress");
   }
   StoreItem(item);
+  if (options_.monitor != nullptr) options_.monitor->OnMutation(id(), now());
   if (replication_ != nullptr) replication_->OnLocalItemsChanged();
   return Status::OK();
 }
@@ -168,6 +185,7 @@ Status DataStoreNode::DeleteLocal(Key skv) {
   }
   DropItem(skv);
   RecordRecentDelete(skv);
+  if (options_.monitor != nullptr) options_.monitor->OnMutation(id(), now());
   if (replication_ != nullptr) replication_->OnLocalItemsChanged();
   return Status::OK();
 }

@@ -23,6 +23,10 @@
 #include "ring/ring_node.h"
 #include "sim/component.h"
 
+namespace pepper::telemetry {
+class LoadMonitor;
+}  // namespace pepper::telemetry
+
 namespace pepper::datastore {
 
 class Rebalancer;
@@ -162,6 +166,10 @@ struct DataStoreOptions {
   bool pepper_availability = true;
   MetricsHub* metrics = nullptr;         // optional, not owned
   DataStoreObserver* observer = nullptr;  // optional, not owned
+  // Windowed load attribution (optional, not owned).  Mutation counts are
+  // charged to the owning arc at the instant they execute; the arc identity
+  // log itself rides on the observer's OnRangeChange.
+  telemetry::LoadMonitor* monitor = nullptr;
 };
 
 // The PEPPER Data Store facade (Figure 1).  Owns the peer's assigned range
@@ -274,7 +282,10 @@ class DataStoreNode : public sim::ProtocolComponent {
 
   void StoreItem(const Item& item);
   void DropItem(Key skv);
-  void set_range(const RingRange& range) { range_ = range; }
+  // Every arc move (split, merge absorb, takeover extension, redistribute
+  // jump) funnels through here, so the observer sees each ownership change
+  // exactly once — the telemetry arc-attribution contract depends on it.
+  void set_range(const RingRange& range);
   void Deactivate();
 
   // Ordered, copy-free view of our items starting just past the range's

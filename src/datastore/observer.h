@@ -20,6 +20,16 @@ class DataStoreObserver {
   // Item with key `skv` left `peer`'s Data Store (moved, deleted, peer
   // deactivated).
   virtual void OnDrop(sim::NodeId peer, Key skv) = 0;
+  // `peer`'s owned arc changed: activation, deactivation, or a range move
+  // (split/merge/takeover/redistribute all funnel through the facade's
+  // set_range).  Default no-op — only the telemetry arc-attribution log
+  // listens today; the oracle tracks items, not arcs.
+  virtual void OnRangeChange(sim::NodeId peer, const RingRange& range,
+                             bool active) {
+    (void)peer;
+    (void)range;
+    (void)active;
+  }
 };
 
 }  // namespace pepper::datastore

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "datastore/data_store_node.h"
 #include "ring/ring_node.h"
+#include "telemetry/load_monitor.h"
 
 namespace pepper::datastore {
 
@@ -238,6 +239,11 @@ void Rebalancer::FinishSplit(sim::NodeId free_peer, Key split_point,
     ds_->DropItem(it.skv);
   }
   ds_->set_range(RingRange::OpenClosed(split_point, ds_->range().hi()));
+  // One reorg event per protocol decision, charged to the peer completing
+  // it (here the splitter; the recruit's activation is the same split).
+  if (ds_->options().monitor != nullptr) {
+    ds_->options().monitor->OnReorg(id(), telemetry::ReorgKind::kSplit, now());
+  }
   if (ds_->metrics() != nullptr) {
     ds_->metrics()->counters().Inc(m_splits_);
   }
@@ -286,6 +292,10 @@ void Rebalancer::StartUnderflow() {
               ds_->set_range(
                   RingRange::OpenClosed(ds_->range().lo(), decision.new_val));
               ds_->ring()->set_val(decision.new_val);
+              if (ds_->options().monitor != nullptr) {
+                ds_->options().monitor->OnReorg(
+                    id(), telemetry::ReorgKind::kRedistribute, now());
+              }
               if (ds_->metrics() != nullptr) {
                 ds_->metrics()->counters().Inc(m_redistributes_);
                 m_redistribute_time_->Add(sim::ToSeconds(now() - started));
@@ -478,6 +488,10 @@ void Rebalancer::HandleMergeTakeover(const sim::Message& msg,
     const Key new_lo = req.range.full() ? hi : req.range.lo();
     ds_->set_range((new_lo == hi) ? RingRange::Full(hi)
                                   : RingRange::OpenClosed(new_lo, hi));
+    if (ds_->options().monitor != nullptr) {
+      ds_->options().monitor->OnReorg(id(), telemetry::ReorgKind::kMerge,
+                                      now());
+    }
     ds_->lock().ReleaseWrite();
     Reply(msg, sim::MakePayload<DsAck>());
     ds_->ReplicateMovedItems();

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "datastore/data_store_node.h"
 #include "ring/ring_node.h"
+#include "telemetry/load_monitor.h"
 
 namespace pepper::datastore {
 
@@ -57,6 +58,11 @@ void ScanEngine::ProcessHandler(Key lb, Key ub, const std::string& handler_id,
                                 sim::PayloadPtr param, int hops_left) {
   // Lock is held (read).  Invoke the handler with our slice of [lb, ub]
   // (Algorithm 4 lines 1-3).
+  if (ds_->options().monitor != nullptr) {
+    // One scan-hop served by this arc, charged at the instant the slice is
+    // processed — accept aborts and stalls never count.
+    ds_->options().monitor->OnScanServed(id(), now());
+  }
   auto it = handlers_.find(handler_id);
   if (it != handlers_.end()) {
     for (const Span& r : ds_->range().IntersectClosed(Span{lb, ub})) {

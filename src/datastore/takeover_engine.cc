@@ -6,6 +6,7 @@
 
 #include "datastore/data_store_node.h"
 #include "ring/ring_node.h"
+#include "telemetry/load_monitor.h"
 
 namespace pepper::datastore {
 
@@ -147,6 +148,10 @@ void TakeoverEngine::ApplyRangeFromPred() {
                 RingRange::OpenClosed(effective_lo, cur_lo);
             ds_->set_range(RingRange::OpenClosed(effective_lo, hi));
             TraceMark("ds.extend", effective_lo);
+            if (ds_->options().monitor != nullptr) {
+              ds_->options().monitor->OnReorg(
+                  id(), telemetry::ReorgKind::kTakeover, now());
+            }
             if (ds_->replication() != nullptr) {
               size_t revived = 0;
               for (const Item& it :

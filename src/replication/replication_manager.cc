@@ -26,6 +26,23 @@ ReplicationManager::ReplicationManager(ring::RingNode* ring,
     m_bytes_saved_ = c.Intern("repl.bytes_saved");
     m_pushes_ = c.Intern("repl.pushes");
     m_pushes_coalesced_ = c.Intern("repl.pushes_coalesced");
+    m_groups_expired_ = c.Intern("repl.groups_expired");
+    m_dead_groups_retained_ = c.Intern("repl.dead_groups_retained");
+    m_push_attempt_timeouts_ = c.Intern("repl.push_attempt_timeouts");
+    m_push_timeouts_ = c.Intern("repl.push_timeouts");
+    m_chain_resets_ = c.Intern("repl.chain_resets");
+    m_stale_snapshots_ = c.Intern("repl.stale_snapshots");
+    m_delta_misses_ = c.Intern("repl.delta_misses");
+    m_stale_deltas_ = c.Intern("repl.stale_deltas");
+    m_manifest_mismatches_ = c.Intern("repl.manifest_mismatches");
+    m_delta_applies_ = c.Intern("repl.delta_applies");
+    m_snapshot_repairs_ = c.Intern("repl.snapshot_repairs");
+    m_anti_entropy_probes_ = c.Intern("repl.anti_entropy_probes");
+    m_anti_entropy_repairs_ = c.Intern("repl.anti_entropy_repairs");
+    m_holders_dropped_ = c.Intern("repl.holders_dropped");
+    m_extra_hop_ops_ = c.Intern("repl.extra_hop_ops");
+    m_extra_hop_groups_ = c.Intern("repl.extra_hop_groups");
+    m_groups_purged_ = c.Intern("repl.groups_purged");
   }
   On<ReplicaPushMsg>(
       [this](const sim::Message& m, const ReplicaPushMsg& push) {
@@ -86,11 +103,11 @@ void ReplicationManager::RefreshTick() {
             if (group_it != groups_.end() &&
                 group_it->second.ttl_strikes > 0) {
               groups_.erase(group_it);
-              Inc("repl.groups_expired");
+              Inc(m_groups_expired_);
             }
           },
           ring_->options().ping_timeout,
-          [this]() { Inc("repl.dead_groups_retained"); });
+          [this]() { Inc(m_dead_groups_retained_); });
     }
     ++it;
   }
@@ -165,12 +182,12 @@ void ReplicationManager::PushAttempt(sim::NodeId to, sim::PayloadPtr payload,
       options_.rpc_timeout,
       [this, to, payload, retries_left, on_settled]() {
         --outstanding_pushes_;
-        Inc("repl.push_attempt_timeouts");
+        Inc(m_push_attempt_timeouts_);
         if (retries_left > 0) {
           PushAttempt(to, payload, retries_left - 1, on_settled);
           return;
         }
-        Inc("repl.push_timeouts");
+        Inc(m_push_timeouts_);
         if (on_settled) on_settled(false);
       });
 }
@@ -266,7 +283,7 @@ void ReplicationManager::OnSuccessorFailed(sim::NodeId succ) {
   // The chain's first hop changed under crash suspicion: the next push must
   // be a full snapshot along the repaired chain.
   chain_warm_ = false;
-  Inc("repl.chain_resets");
+  Inc(m_chain_resets_);
   // Re-pushing *immediately* (instead of waiting for the next refresh) is
   // part of the PEPPER availability protocol; the naive CFS baseline the
   // ablations compare against reacts to nothing.  The window where a fresh
@@ -281,7 +298,7 @@ void ReplicationManager::ApplySnapshot(const ReplicaPushMsg& push) {
   if (group.version > push.manifest.version) {
     // Stale copy (an extra-hop forward or a reordered retry racing a direct
     // refresh): never regress a fresher group.
-    Inc("repl.stale_snapshots");
+    Inc(m_stale_snapshots_);
     return;
   }
   group.owner_val = push.owner_val;
@@ -319,7 +336,7 @@ void ReplicationManager::HandleDelta(const sim::Message& msg,
     // Never seen this owner (new holder, or the group aged out): only a
     // snapshot can seed us.
     need_full = true;
-    Inc("repl.delta_misses");
+    Inc(m_delta_misses_);
   } else {
     ReplicaGroup& group = it->second;
     if (group.version == delta.manifest.version) {
@@ -335,7 +352,7 @@ void ReplicationManager::HandleDelta(const sim::Message& msg,
       // fresher — same never-regress rule as ApplySnapshot, and no
       // need_full: a repair would just re-send what we already hold.
       version = group.version;
-      Inc("repl.stale_deltas");
+      Inc(m_stale_deltas_);
     } else if (group.version == delta.from_version) {
       for (size_t i = 0; i < delta.upserts.size(); ++i) {
         group.items[delta.upserts[i].skv] = delta.upserts[i];
@@ -353,9 +370,9 @@ void ReplicationManager::HandleDelta(const sim::Message& msg,
       // manifest; anything else is divergence and gets the snapshot path.
       if (BuildManifest(group.epochs, group.version) != delta.manifest) {
         need_full = true;
-        Inc("repl.manifest_mismatches");
+        Inc(m_manifest_mismatches_);
       } else {
-        Inc("repl.delta_applies");
+        Inc(m_delta_applies_);
         version = group.version;
       }
     } else {
@@ -364,7 +381,7 @@ void ReplicationManager::HandleDelta(const sim::Message& msg,
       // revival — and ask for a snapshot.
       need_full = true;
       version = group.version;
-      Inc("repl.delta_misses");
+      Inc(m_delta_misses_);
     }
   }
   if (msg.rpc_id != 0) {
@@ -433,14 +450,14 @@ void ReplicationManager::HandleStatus(const sim::Message&,
     return;
   }
   if (holder.repair_in_flight) return;
-  RepairHolder(status.holder, "repl.snapshot_repairs");
+  RepairHolder(status.holder, m_snapshot_repairs_);
   // A repaired holder sits at an off-chain version until the next snapshot
   // round; re-sync the whole chain instead of re-repairing it every delta.
   chain_warm_ = false;
 }
 
 void ReplicationManager::RepairHolder(sim::NodeId holder,
-                                      const char* counter) {
+                                      Counters::Id counter) {
   holders_[holder].repair_in_flight = true;
   Inc(counter);
   SendPushHop(holder, MakeSnapshot(0, /*direct=*/true),
@@ -463,7 +480,7 @@ void ReplicationManager::AntiEntropyTick() {
     // This holder acked once but has gone quiet: the forward chain no
     // longer reaches it (dead intermediate hop, ring rewiring).  Compare
     // manifests directly and repair divergence with a snapshot.
-    Inc("repl.anti_entropy_probes");
+    Inc(m_anti_entropy_probes_);
     auto probe = std::make_shared<ManifestProbeMsg>();
     probe->owner = id();
     probe->manifest = manifest;
@@ -476,7 +493,7 @@ void ReplicationManager::AntiEntropyTick() {
           if (it == holders_.end()) return;
           it->second.last_ack = now();
           if (reply.divergent && !it->second.repair_in_flight) {
-            RepairHolder(holder, "repl.anti_entropy_repairs");
+            RepairHolder(holder, m_anti_entropy_repairs_);
           }
         },
         options_.rpc_timeout,
@@ -484,7 +501,7 @@ void ReplicationManager::AntiEntropyTick() {
           // Quiet and unreachable: dead or moved on.  It re-enters the
           // book with its next status ack if it ever comes back.
           holders_.erase(holder);
-          Inc("repl.holders_dropped");
+          Inc(m_holders_dropped_);
         });
   }
 }
@@ -547,8 +564,8 @@ void ReplicationManager::ReplicateExtraHop(
                                 /*direct=*/false));
   }
   pending->remaining = static_cast<int>(msgs.size());
-  Inc("repl.extra_hop_ops");
-  Inc("repl.extra_hop_groups", msgs.size());
+  Inc(m_extra_hop_ops_);
+  Inc(m_extra_hop_groups_, msgs.size());
   for (auto& m : msgs) {
     SendPushHop(succ->id, m, [pending](bool acked) {
       if (!acked) pending->failed = true;
@@ -629,7 +646,7 @@ void ReplicationManager::StartReviveSweep(
             // Departed owner: its items were handed over at departure; this
             // frozen snapshot can only resurrect since-deleted items.
             groups_.erase(owner);
-            Inc("repl.groups_purged");
+            Inc(m_groups_purged_);
           }
           (*step)();
         },

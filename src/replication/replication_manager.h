@@ -244,19 +244,16 @@ class ReplicationManager : public sim::ProtocolComponent,
                    std::function<void(bool)> on_settled = nullptr);
   void PushAttempt(sim::NodeId to, sim::PayloadPtr payload, int retries_left,
                    std::function<void(bool)> on_settled);
-  // Direct full snapshot to one holder (need_full repair / anti-entropy).
-  void RepairHolder(sim::NodeId holder, const char* counter);
+  // Direct full snapshot to one holder (need_full repair / anti-entropy);
+  // `counter` is the interned repair counter to charge.
+  void RepairHolder(sim::NodeId holder, Counters::Id counter);
   std::shared_ptr<ReplicaPushMsg> MakeSnapshot(int hops_left, bool direct);
   const ReplicaManifest& OwnManifest();
   void RefreshTick();
   void AntiEntropyTick();
   sim::SimTime anti_entropy_period() const;
-  void Inc(const char* name, uint64_t delta = 1) {
-    if (options_.metrics != nullptr) options_.metrics->counters().Inc(name, delta);
-  }
-  // Interned fast path for the per-push counters (several increments per
-  // push x every mutation x every refresh tick; the string scan was
-  // measurable at paper scale).  Ids are interned at construction.
+  // Interned fast path (the only path left — every repl.* counter interns
+  // its name once at construction; no string scan per event anywhere).
   void Inc(Counters::Id id, uint64_t delta = 1) {
     if (options_.metrics != nullptr) options_.metrics->counters().Inc(id, delta);
   }
@@ -288,6 +285,24 @@ class ReplicationManager : public sim::ProtocolComponent,
   Counters::Id m_bytes_saved_ = 0;
   Counters::Id m_pushes_ = 0;
   Counters::Id m_pushes_coalesced_ = 0;
+  // Maintenance/expiry counters (colder, but still per-tick under churn).
+  Counters::Id m_groups_expired_ = 0;
+  Counters::Id m_dead_groups_retained_ = 0;
+  Counters::Id m_push_attempt_timeouts_ = 0;
+  Counters::Id m_push_timeouts_ = 0;
+  Counters::Id m_chain_resets_ = 0;
+  Counters::Id m_stale_snapshots_ = 0;
+  Counters::Id m_delta_misses_ = 0;
+  Counters::Id m_stale_deltas_ = 0;
+  Counters::Id m_manifest_mismatches_ = 0;
+  Counters::Id m_delta_applies_ = 0;
+  Counters::Id m_snapshot_repairs_ = 0;
+  Counters::Id m_anti_entropy_probes_ = 0;
+  Counters::Id m_anti_entropy_repairs_ = 0;
+  Counters::Id m_holders_dropped_ = 0;
+  Counters::Id m_extra_hop_ops_ = 0;
+  Counters::Id m_extra_hop_groups_ = 0;
+  Counters::Id m_groups_purged_ = 0;
 };
 
 }  // namespace pepper::replication

@@ -18,6 +18,15 @@ struct ReviveQueryAck : sim::Payload {};
 
 ReviveProtocol::ReviveProtocol(ReplicationManager* repl)
     : sim::ProtocolComponent(repl->node()), repl_(repl) {
+  if (repl_->options().metrics != nullptr) {
+    Counters& c = repl_->options().metrics->counters();
+    m_revives_triggered_ = c.Intern("repl.revives_triggered");
+    m_revive_answers_ = c.Intern("repl.revive_answers");
+    m_revives_completed_ = c.Intern("repl.revives_completed");
+    m_revives_empty_ = c.Intern("repl.revives_empty");
+    m_revive_groups_promoted_ = c.Intern("repl.revive_groups_promoted");
+    m_revive_items_offered_ = c.Intern("repl.revive_items_offered");
+  }
   On<ReviveQueryMsg>(
       [this](const sim::Message& m, const ReviveQueryMsg& query) {
         HandleQuery(m, query);
@@ -36,7 +45,7 @@ void ReviveProtocol::StartRevive(const RingRange& arc, PromoteFn promote) {
   pending.arc = arc;
   pending.promote = std::move(promote);
   pending.op = TraceOp("repl.revive_round", arc.hi());
-  repl_->Inc("repl.revives_triggered");
+  repl_->Inc(m_revives_triggered_);
 
   ReviveQueryMsg query;
   query.origin = id();
@@ -116,7 +125,7 @@ void ReviveProtocol::HandleQuery(const sim::Message& msg,
     answer->responder = id();
     answer->token = query.token;
     Send(query.origin, answer);
-    repl_->Inc("repl.revive_answers");
+    repl_->Inc(m_revive_answers_);
   }
   if (query.hops_left > 0) {
     ReviveQueryMsg fwd = query;
@@ -144,13 +153,13 @@ void ReviveProtocol::Finalize(uint64_t token) {
   if (it == pending_.end()) return;
   auto pending = std::make_shared<Pending>(std::move(it->second));
   pending_.erase(it);
-  repl_->Inc("repl.revives_completed");
+  repl_->Inc(m_revives_completed_);
   // Rejoin the round's chain so the owner-death pings (and the promotions
   // their timeouts trigger) trace under the revive op.
   if (pending->op.active()) trace::Tracer::SetCurrent(pending->op.ctx);
   TraceFinish(pending->op);
   if (pending->best.empty()) {
-    repl_->Inc("repl.revives_empty");
+    repl_->Inc(m_revives_empty_);
     return;
   }
   for (auto& kv : pending->best) {
@@ -171,8 +180,8 @@ void ReviveProtocol::Finalize(uint64_t token) {
 
 void ReviveProtocol::PromoteGroup(const ReviveGroupInfo& group,
                                   const Pending& pending) {
-  repl_->Inc("repl.revive_groups_promoted");
-  repl_->Inc("repl.revive_items_offered", group.items.size());
+  repl_->Inc(m_revive_groups_promoted_);
+  repl_->Inc(m_revive_items_offered_, group.items.size());
   for (const datastore::Item& item : group.items) {
     TraceMark("repl.revive_offer", item.skv);
     pending.promote(item);

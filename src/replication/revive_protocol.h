@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/key_space.h"
+#include "common/stats.h"
 #include "datastore/item.h"
 #include "sim/component.h"
 
@@ -96,6 +97,14 @@ class ReviveProtocol : public sim::ProtocolComponent {
   ReplicationManager* repl_;
   std::map<uint64_t, Pending> pending_;
   uint64_t next_token_ = 1;
+
+  // Interned metric handles (valid iff the manager carries a metrics hub).
+  Counters::Id m_revives_triggered_ = 0;
+  Counters::Id m_revive_answers_ = 0;
+  Counters::Id m_revives_completed_ = 0;
+  Counters::Id m_revives_empty_ = 0;
+  Counters::Id m_revive_groups_promoted_ = 0;
+  Counters::Id m_revive_items_offered_ = 0;
 };
 
 }  // namespace pepper::replication

@@ -84,7 +84,8 @@ void RingNode::InsertSucc(sim::NodeId peer, Key peer_val,
   succ_list_.PushFront(
       SuccEntry{peer, peer_val, PeerState::kJoining, false});
   pending_insert_ = PendingInsert{peer,  peer_val, std::move(join_data),
-                                  std::move(done), now(), ++op_epoch_};
+                                  std::move(done), now(), ++op_epoch_,
+                                  TraceOp("ring.insert", peer_val)};
 
   if (!options_.pepper_insert || succ_list_.JoinedCount() == 0) {
     // Naive insert completes after a single round trip; a lone peer has no
@@ -121,6 +122,7 @@ void RingNode::AbortInsert(const Status& status) {
   if (options_.metrics != nullptr) {
     options_.metrics->counters().Inc("ring.inserts_aborted");
   }
+  TraceFinish(pending.op);
   if (pending.done) pending.done(status);
 }
 
@@ -133,6 +135,7 @@ void RingNode::CompleteInsert() {
   if (!idx.has_value()) {
     // The entry vanished (e.g. via a concurrent repair); fail the insert.
     if (state_ == PeerState::kInserting) state_ = PeerState::kJoined;
+    TraceFinish(pending.op);
     if (pending.done) pending.done(Status::Aborted("joining entry lost"));
     return;
   }
@@ -172,24 +175,27 @@ void RingNode::CompleteInsert() {
 
   const sim::SimTime started = pending.started;
   const sim::NodeId peer = pending.peer;
+  const trace::OpToken op = pending.op;
   DoneFn done = std::move(pending.done);
   Call(
       peer, join,
-      [this, started, done](const sim::Message&) {
+      [this, started, done, op](const sim::Message&) {
         if (options_.metrics != nullptr) {
           options_.metrics->RecordLatency("ring.insert_succ",
                                           sim::ToSeconds(now() - started));
           options_.metrics->counters().Inc("ring.inserts_completed");
         }
+        TraceFinish(op);
         if (done) done(Status::OK());
       },
       4 * options_.rpc_timeout,
-      [this, peer, done]() {
+      [this, peer, done, op]() {
         // The joining peer died before confirming; drop it.
         succ_list_.Remove(peer);
         if (options_.metrics != nullptr) {
           options_.metrics->counters().Inc("ring.inserts_aborted");
         }
+        TraceFinish(op);
         if (done) done(Status::Unavailable("joining peer did not confirm"));
       });
 }
@@ -202,11 +208,15 @@ void RingNode::Leave(DoneFn done) {
   if (options_.metrics != nullptr) {
     options_.metrics->counters().Inc("ring.leaves_started");
   }
+  // Span over the leave handshake; the naive and lone-peer variants complete
+  // inline, so their spans close at zero width.
+  const trace::OpToken op = TraceOp("ring.leave", val_);
   if (!options_.pepper_leave) {
     // Naive leave: no coordination whatsoever (the Figure 14 baseline).
     if (options_.metrics != nullptr) {
       options_.metrics->RecordLatency("ring.leave", 0.0);
     }
+    TraceFinish(op);
     done(Status::OK());
     return;
   }
@@ -216,10 +226,11 @@ void RingNode::Leave(DoneFn done) {
     if (options_.metrics != nullptr) {
       options_.metrics->RecordLatency("ring.leave", 0.0);
     }
+    TraceFinish(op);
     done(Status::OK());
     return;
   }
-  pending_leave_ = PendingLeave{std::move(done), now(), ++op_epoch_};
+  pending_leave_ = PendingLeave{std::move(done), now(), ++op_epoch_, op};
   if (options_.proactive_stabilize && has_pred()) {
     Send(pred_id_, sim::MakePayload<TriggerStab>());
   }
@@ -232,6 +243,7 @@ void RingNode::Leave(DoneFn done) {
       if (options_.metrics != nullptr) {
         options_.metrics->counters().Inc("ring.leave_ack_timeouts");
       }
+      TraceFinish(pending.op);
       if (pending.done) pending.done(Status::OK());
     }
   });
@@ -241,6 +253,9 @@ void RingNode::Depart() {
   state_ = PeerState::kFree;
   succ_list_ = SuccList();
   pred_id_ = sim::kNullNode;
+  // Close any span whose completion path can no longer fire.
+  if (pending_insert_.has_value()) TraceFinish(pending_insert_->op);
+  if (pending_leave_.has_value()) TraceFinish(pending_leave_->op);
   pending_insert_.reset();
   pending_leave_.reset();
   stabilizing_ = false;
@@ -304,6 +319,9 @@ void RingNode::RunStabilization() {
     options_.metrics->counters().Inc("ring.stab_rounds");
   }
   stabilizing_ = true;
+  // Span over the round trip plus the response application (the acks and
+  // rectify pings ApplyStabResponse sends trace as children).
+  const trace::OpToken op = TraceOp("ring.stab_round", target.val);
 
   auto req = std::make_shared<StabRequest>();
   req->sender = id();
@@ -315,20 +333,23 @@ void RingNode::RunStabilization() {
   }
   Call(
       target.id, req,
-      [this, target](const sim::Message& m) {
+      [this, target, op](const sim::Message& m) {
         stabilizing_ = false;
         if (state_ != PeerState::kJoined && state_ != PeerState::kInserting) {
+          TraceFinish(op);
           return;
         }
         const auto& resp = static_cast<const StabResponse&>(*m.payload);
         ApplyStabResponse(target, resp);
+        TraceFinish(op);
       },
       options_.rpc_timeout,
-      [this]() {
+      [this, op]() {
         stabilizing_ = false;  // ping loop handles removal of dead peers
         if (options_.metrics != nullptr) {
           options_.metrics->counters().Inc("ring.stab_timeouts");
         }
+        TraceFinish(op);
       });
 }
 
@@ -483,6 +504,7 @@ void RingNode::HandleLeaveAck(const sim::Message& /*msg*/,
     options_.metrics->RecordLatency("ring.leave",
                                     sim::ToSeconds(now() - pending.started));
   }
+  TraceFinish(pending.op);
   if (pending.done) pending.done(Status::OK());
 }
 

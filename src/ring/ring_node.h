@@ -220,6 +220,9 @@ class RingNode : public sim::ProtocolComponent {
     DoneFn done;
     sim::SimTime started;
     uint64_t epoch;
+    // Span over the whole handshake: ack propagation, JoinPeer round trip,
+    // completion or abort.
+    trace::OpToken op;
   };
   std::optional<PendingInsert> pending_insert_;
 
@@ -227,6 +230,7 @@ class RingNode : public sim::ProtocolComponent {
     DoneFn done;
     sim::SimTime started;
     uint64_t epoch;
+    trace::OpToken op;
   };
   std::optional<PendingLeave> pending_leave_;
 

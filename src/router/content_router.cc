@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "telemetry/load_monitor.h"
+
 namespace pepper::router {
 
 struct LookupForwardAck : sim::Payload {};
@@ -112,6 +114,11 @@ void RouterBase::HandleReply(const sim::Message&, const LookupReply& reply) {
 
 void RouterBase::RouteOrAnswer(const LookupRequest& req) {
   if (ds_->active() && ds_->range().Contains(req.key)) {
+    if (options_.monitor != nullptr) {
+      // Owner answer: the lookup is charged to this arc, once, at the hop
+      // that resolves it — forwarding hops are message traffic, not load.
+      options_.monitor->OnLookupServed(id(), now());
+    }
     auto reply = std::make_shared<LookupReply>();
     reply->lookup_id = req.lookup_id;
     reply->owner = id();

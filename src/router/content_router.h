@@ -55,6 +55,9 @@ struct RouterOptions {
   int max_retries = 3;
   int hop_budget = 1024;
   MetricsHub* metrics = nullptr;  // optional, not owned
+  // Windowed load attribution (optional, not owned): lookups answered by
+  // this peer as the owner are charged to its arc.
+  telemetry::LoadMonitor* monitor = nullptr;
 };
 
 // Base with the shared request/reply plumbing; subclasses choose the next

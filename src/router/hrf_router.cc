@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "telemetry/load_monitor.h"
+
 namespace pepper::router {
 
 HrfRouter::HrfRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
@@ -18,6 +20,16 @@ HrfRouter::HrfRouter(ring::RingNode* ring, datastore::DataStoreNode* ds,
     m_refresh_rpcs_ = c.Intern("router.refresh_rpcs");
     m_refresh_passes_ = c.Intern("router.refresh_passes");
     m_levels_spill_ = c.Intern("router.levels_spill");
+    m_refresh_skipped_ = c.Intern("router.refresh_skipped");
+    m_refresh_hard_events_ = c.Intern("router.refresh_hard_events");
+    m_refresh_deltas_ = c.Intern("router.refresh_deltas");
+    m_cadence_backoffs_ = c.Intern("router.cadence_backoffs");
+    m_cadence_resets_ = c.Intern("router.cadence_resets");
+  }
+  if (options_.monitor != nullptr) {
+    // Seed the staleness clock at birth: a freshly recruited peer has not
+    // *missed* a refresh yet, so the stall probe must not trip on it.
+    options_.monitor->OnRefreshPass(id(), now());
   }
   On<GetEntryRequest>(
       [this](const sim::Message& m, const GetEntryRequest& req) {
@@ -86,15 +98,30 @@ void HrfRouter::RefreshTick() {
   if (ring_->state() != ring::PeerState::kJoined &&
       ring_->state() != ring::PeerState::kInserting) {
     levels_.clear();
+    // No pass is owed outside member states (free pool, departing), so the
+    // staleness clock keeps ticking forward — a peer that lingers unrecruited
+    // must not read as stalled the moment it joins.
+    if (options_.monitor != nullptr) {
+      options_.monitor->OnRefreshPass(id(), now());
+    }
     return;
   }
   auto succ = ring_->GetSuccRelaxed();
   if (!succ.has_value() || succ->id == id()) {
     levels_.clear();
+    // A lone peer (self-successor) has no chain to refresh; not a stall.
+    if (options_.monitor != nullptr) {
+      options_.monitor->OnRefreshPass(id(), now());
+    }
     return;
   }
   if (options_.metrics != nullptr) {
     options_.metrics->counters().Inc(m_refresh_passes_);
+  }
+  // Legacy path marks the staleness clock at pass start (it has no terminal
+  // continuation to mark completion on).
+  if (options_.monitor != nullptr) {
+    options_.monitor->OnRefreshPass(id(), now());
   }
   // The legacy pass has no terminal continuation, so the op only spans the
   // synchronous kick; the per-level RPCs still attach as children through
@@ -164,6 +191,11 @@ void HrfRouter::BatchedTick() {
       levels_.clear();
       SetPeriod(hrf_options_.refresh_period);
     }
+    // No pass is owed outside member states — advance the staleness clock so
+    // time spent in the free pool never reads as a refresh stall on join.
+    if (options_.monitor != nullptr) {
+      options_.monitor->OnRefreshPass(id(), now());
+    }
     return;
   }
   if (pass_active_) {
@@ -171,7 +203,7 @@ void HrfRouter::BatchedTick() {
     // hop); starting another would race it on levels_, and its outcome
     // will reset the cadence anyway.
     if (options_.metrics != nullptr) {
-      options_.metrics->counters().Inc("router.refresh_skipped");
+      options_.metrics->counters().Inc(m_refresh_skipped_);
     }
     return;
   }
@@ -180,6 +212,12 @@ void HrfRouter::BatchedTick() {
     if (!levels_.empty()) {
       levels_.clear();
       SetPeriod(hrf_options_.refresh_period);
+    }
+    // Lone peer: nothing to refresh, so no pass is owed.  The pass_active_
+    // skip above deliberately does NOT mark — a pass stuck in flight is the
+    // very signal the stall probe exists to catch.
+    if (options_.monitor != nullptr) {
+      options_.monitor->OnRefreshPass(id(), now());
     }
     return;
   }
@@ -275,13 +313,18 @@ void HrfRouter::FinishPass(uint64_t pass_epoch, bool hard) {
   pass_active_ = false;
   TraceFinish(pass_op_);
   pass_op_ = trace::OpToken{};
+  // Batched path marks completion: a pass stuck on a dead chain peer keeps
+  // the staleness clock running, which is exactly the health signal.
+  if (options_.monitor != nullptr) {
+    options_.monitor->OnRefreshPass(id(), now());
+  }
   if (hard) {
     // A dead/stalled chain peer or a hierarchy cleared under the pass:
     // instability right here — full snap to the base period.  Counted
     // separately from soft vector deltas so the two cadence rules stay
     // distinguishable in the metrics.
     if (options_.metrics != nullptr) {
-      options_.metrics->counters().Inc("router.refresh_hard_events");
+      options_.metrics->counters().Inc(m_refresh_hard_events_);
     }
     soft_delta_streak_ = 0;
     SetPeriod(hrf_options_.refresh_period);
@@ -297,7 +340,7 @@ void HrfRouter::FinishPass(uint64_t pass_epoch, bool hard) {
     // Hard local events (successor failed / new successor / state change /
     // chain timeout) still snap straight to base above.
     if (options_.metrics != nullptr) {
-      options_.metrics->counters().Inc("router.refresh_deltas");
+      options_.metrics->counters().Inc(m_refresh_deltas_);
     }
     if (++soft_delta_streak_ >= 2) {
       soft_delta_streak_ = 0;
@@ -316,8 +359,8 @@ void HrfRouter::SetPeriod(sim::SimTime period) {
   if (period == current_period_) return;
   if (options_.metrics != nullptr) {
     options_.metrics->counters().Inc(period > current_period_
-                                         ? "router.cadence_backoffs"
-                                         : "router.cadence_resets");
+                                         ? m_cadence_backoffs_
+                                         : m_cadence_resets_);
   }
   current_period_ = period;
   CancelTimer(refresh_timer_);

@@ -196,6 +196,11 @@ class HrfRouter : public RouterBase {
   Counters::Id m_refresh_rpcs_ = 0;
   Counters::Id m_refresh_passes_ = 0;
   Counters::Id m_levels_spill_ = 0;
+  Counters::Id m_refresh_skipped_ = 0;
+  Counters::Id m_refresh_hard_events_ = 0;
+  Counters::Id m_refresh_deltas_ = 0;
+  Counters::Id m_cadence_backoffs_ = 0;
+  Counters::Id m_cadence_resets_ = 0;
 };
 
 }  // namespace pepper::router

@@ -141,6 +141,71 @@ Scenario RollingUpgrade(const BuiltinParams& p) {
   return builder.Build();
 }
 
+Scenario SlowPeerScenario(const BuiltinParams& p) {
+  ScenarioBuilder builder("slow_peer");
+  builder
+      .Describe("gray failure: one live member's service queue slows to a "
+                "crawl mid-run — callers time out on it while its own calls "
+                "still succeed — until the operator replaces the zombie the "
+                "health probe named")
+      .BaseWorkload(BaseLoad())
+      .Steady(Sec(20, p));
+
+  workload::WorkloadOptions degraded = BaseLoad();
+  degraded.query_rate_per_sec = 1.0;  // audited queries keep hitting its arc
+  Phase degrade;
+  degrade.name = "degrade";
+  degrade.duration = Sec(40, p);
+  degrade.workload = degraded;
+  // The victim's predecessor takes its arc over within a ping period, but
+  // the zombie keeps announcing itself (its own requests are undelayed) and
+  // keeps its items — double ownership and a stale ring view are the
+  // injected condition under study, so the end-of-phase structural audits
+  // would only re-report the injection.  Health probes still run: the
+  // timeout-anomaly stream from the re-adopt/evict cycle is the signal.
+  degrade.skip_probes = true;
+  degrade.on_enter = [](workload::Cluster& cluster, sim::Rng& rng) {
+    // Deterministic victim: the scenario stream picks a live member, and
+    // the node id lands in `wl.slow_peer_node` so reports and tests can
+    // name it.  2 s of service-queue delay dwarfs every RPC timeout at
+    // both timer scales, so every request to the victim times out.
+    std::vector<workload::PeerStack*> live = cluster.LiveMembers();
+    if (live.empty()) return;
+    workload::PeerStack* victim =
+        live[static_cast<size_t>(rng.Uniform(0, live.size() - 1))];
+    cluster.metrics().counters().Inc("wl.slow_peer_node", victim->id());
+    cluster.sim().network().set_node_extra_delay(victim->id(),
+                                                 2 * sim::kSecond);
+  };
+  builder.AddPhase(std::move(degrade));
+
+  Phase replace;
+  replace.name = "replace";
+  replace.duration = Sec(20, p);
+  replace.workload = BaseLoad();
+  replace.on_enter = [](workload::Cluster& cluster, sim::Rng&) {
+    // The operator playbook: ring identities are single-use, so a flagged
+    // gray peer is replaced, not revived — kill the zombie (its arc was
+    // already taken over) and let the free pool supply fresh capacity.
+    // Lift the delay from everyone rather than re-deriving the victim.
+    for (const auto& peer : cluster.peers()) {
+      cluster.sim().network().set_node_extra_delay(peer->id(), 0);
+    }
+    const sim::NodeId victim = static_cast<sim::NodeId>(
+        cluster.metrics().counters().Get("wl.slow_peer_node"));
+    for (const auto& peer : cluster.peers()) {
+      if (peer->id() == victim && peer->ring->alive()) {
+        cluster.FailPeer(peer.get());
+        break;
+      }
+    }
+  };
+  builder.AddPhase(std::move(replace));
+
+  builder.Quiesce(Sec(20, p));
+  return builder.Build();
+}
+
 Scenario ReplicaStorm(const BuiltinParams& p) {
   return ScenarioBuilder("replica_storm")
       .Describe("failure bursts racing the replication refresh: rapid "
@@ -181,6 +246,10 @@ const std::vector<BuiltinScenario>& BuiltinScenarios() {
       {"replica_storm",
        "failure bursts racing the replication refresh (revive stress)",
        &ReplicaStorm},
+      {"slow_peer",
+       "one member turns slow-but-alive (gray failure); the flagged zombie "
+       "is replaced",
+       &SlowPeerScenario},
   };
   return kScenarios;
 }

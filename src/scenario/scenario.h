@@ -27,6 +27,13 @@ struct Phase {
   // FreePeerDrought: the free-peer directory answers "none" for the whole
   // phase; queued peers reappear when the drought lifts.
   bool suspend_free_peers = false;
+  // Skip the end-of-phase structural audits (ring, conservation, oracle,
+  // SLO) for this phase only.  For phases that deliberately hold the
+  // cluster in a degraded state — e.g. slow_peer's injection window, where
+  // the victim's stale view is the condition under study, not a bug — the
+  // audits would report the injection itself.  Health probes still run:
+  // detecting the degradation is the point.
+  bool skip_probes = false;
 };
 
 // A named sequence of phases.  Immutable once built; runs are owned by

@@ -1,5 +1,6 @@
 #include "scenario/scenario_runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iomanip>
 #include <set>
@@ -38,6 +39,7 @@ std::string RunReport::Text() const {
     }
     os << "\n";
     for (const auto& v : p.probes.violations) os << "   ! " << v << "\n";
+    os << p.top_arcs;  // per-window hot arcs (timeline mode; else empty)
   }
   os << MetricsRegistry::TextOf(Snapshots(*this));
   return os.str();
@@ -62,7 +64,14 @@ RunReport ScenarioRunner::Run(const Scenario& scenario) {
   reported_query_violations_ = 0;
   reported_dead_ends_ = 0;
   reported_attempts_ = 0;
-  cluster_ = std::make_unique<workload::Cluster>(options_.cluster);
+  reported_health_.clear();
+  run_health_.clear();
+  phase_spans_.clear();
+  workload::ClusterOptions cluster_options = options_.cluster;
+  if (options_.health_probes || options_.timeline) {
+    cluster_options.telemetry = true;  // schedule-invisible; see cluster.h
+  }
+  cluster_ = std::make_unique<workload::Cluster>(cluster_options);
   workload::Cluster& cluster = *cluster_;
   cluster.Bootstrap(options_.bootstrap_val);
   for (size_t i = 0; i < options_.initial_free_peers; ++i) {
@@ -104,8 +113,26 @@ RunReport ScenarioRunner::Run(const Scenario& scenario) {
     driver.Stop();
     driver.set_options(phase.workload);
     driver.Start();
-    cluster.RunFor(phase.duration);
+    const sim::SimTime phase_start = cluster.sim().now();
+    ProbeOutcome mid_health;  // mid-phase findings, merged into the probes
+    if (options_.health_probes && options_.health_check_period > 0) {
+      // Chunked run with health evaluation at fixed sim-time boundaries.
+      // The chunking is part of the run recipe, not data-dependent, so the
+      // event schedule is the same as one straight RunFor.
+      sim::SimTime remaining = phase.duration;
+      while (remaining > 0) {
+        const sim::SimTime step =
+            std::min(remaining, options_.health_check_period);
+        cluster.RunFor(step);
+        remaining -= step;
+        if (remaining > 0) CheckHealth(&mid_health);
+      }
+    } else {
+      cluster.RunFor(phase.duration);
+    }
     driver.Stop();
+    phase_spans_.push_back(
+        telemetry::PhaseSpan{label.str(), phase_start, cluster.sim().now()});
     cluster.metrics().counters().Inc(
         "net.messages_sent",
         cluster.sim().network().messages_sent() - msgs_before);
@@ -135,14 +162,26 @@ RunReport ScenarioRunner::Run(const Scenario& scenario) {
     outcome.metrics = registry.phases().back();
     outcome.events = phase_events;
     if (options_.timing) outcome.wall_seconds = wall_seconds;
-    if (options_.run_probes) {
+    if (options_.run_probes && !phase.skip_probes) {
       // Drain in-flight reorganizations (driver stopped, metrics closed) so
       // transient states don't read as violations.
       cluster.RunFor(options_.probe_settle);
       outcome.probes = RunProbes();
     }
-    if (options_.slo_probes) {
+    if (options_.slo_probes && !phase.skip_probes) {
       CheckSlo(outcome.metrics, &outcome.probes);
+    }
+    if (options_.health_probes) {
+      outcome.probes.health_violations += mid_health.health_violations;
+      for (auto& v : mid_health.violations) {
+        outcome.probes.violations.push_back(std::move(v));
+      }
+      CheckHealth(&outcome.probes);  // boundary check + ok recompute
+    }
+    if (options_.timeline && cluster.monitor() != nullptr) {
+      outcome.top_arcs = telemetry::TopArcsText(
+          *cluster.monitor(), phase_spans_.back().start,
+          phase_spans_.back().end, options_.timeline_top_k);
     }
     if (!outcome.probes.ok) {
       report.ok = false;
@@ -159,6 +198,13 @@ RunReport ScenarioRunner::Run(const Scenario& scenario) {
     }
     report.phases.push_back(std::move(outcome));
     if (!report.ok && options_.fatal_probes) break;
+  }
+  if (options_.timeline && cluster.monitor() != nullptr) {
+    telemetry::TimelineOptions topts;
+    topts.top_k = options_.timeline_top_k;
+    report.timeline_json = telemetry::TimelineJson(*cluster.monitor(),
+                                                   run_health_, phase_spans_,
+                                                   topts);
   }
   return report;
 }
@@ -294,6 +340,37 @@ void ScenarioRunner::CheckSlo(const MetricsRegistry::PhaseSnapshot& snap,
       os << "slo: " << b.label << " " << std::setprecision(4) << v
          << "s exceeds " << b.limit << "s";
       out->violations.push_back(os.str());
+    }
+  }
+  out->ok = out->violations.empty();
+}
+
+void ScenarioRunner::CheckHealth(ProbeOutcome* out) {
+  workload::Cluster& cluster = *cluster_;
+  telemetry::LoadMonitor* monitor = cluster.monitor();
+  if (monitor == nullptr) return;
+  telemetry::HealthOptions health = options_.health;
+  if (health.max_refresh_period == 0 && options_.cluster.use_hrf_router) {
+    // Derive the stall threshold from the router's cadence cap unless the
+    // caller pinned one.
+    health.max_refresh_period = options_.cluster.hrf_batched_refresh
+                                    ? options_.cluster.hrf_max_refresh_period
+                                    : options_.cluster.hrf_refresh_period;
+  }
+  std::vector<sim::NodeId> live;
+  for (workload::PeerStack* p : cluster.LiveMembers()) live.push_back(p->id());
+  const std::vector<telemetry::HealthViolation> found =
+      telemetry::EvaluateHealth(*monitor, health, live, cluster.sim().now());
+  for (const telemetry::HealthViolation& v : found) {
+    // A streak persisting across evaluations re-fires at each newly closed
+    // window; each (kind, peer, window) is reported exactly once.
+    const auto key =
+        std::make_tuple(static_cast<int>(v.kind), v.node, v.window);
+    if (!reported_health_.insert(key).second) continue;
+    ++out->health_violations;
+    run_health_.push_back(v);
+    if (options_.health_fatal) {
+      out->violations.push_back("health: " + v.ToString());
     }
   }
   out->ok = out->violations.empty();

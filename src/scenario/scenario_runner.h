@@ -4,9 +4,12 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "scenario/scenario.h"
+#include "telemetry/health.h"
+#include "telemetry/timeline.h"
 #include "workload/cluster.h"
 #include "workload/workload.h"
 
@@ -62,6 +65,22 @@ struct RunnerOptions {
   SloBounds slo;
   bool slo_probes = false;
   bool slo_fatal = false;
+
+  // --- Windowed telemetry / deterministic health probes --------------------
+  // Health probes (telemetry/health.h) run over the cluster's LoadMonitor
+  // (armed automatically): at every phase boundary, and additionally every
+  // `health_check_period` of simulated time *inside* a phase (0 = phase
+  // boundaries only).  Each (kind, peer, window) finding is reported once;
+  // with `health_fatal` a finding is a violation like any audit, otherwise
+  // it is only counted in ProbeOutcome::health_violations.
+  bool health_probes = false;
+  bool health_fatal = false;
+  telemetry::HealthOptions health;
+  sim::SimTime health_check_period = 0;
+  // Build the windowed timeline: RunReport::timeline_json plus the
+  // per-phase top-k hot-arc lines of the text report.  Arms telemetry.
+  bool timeline = false;
+  size_t timeline_top_k = 5;
 };
 
 // What the invariant probes found after one phase (all audits are pure
@@ -80,6 +99,9 @@ struct ProbeOutcome {
   uint64_t router_dead_ends = 0;
   // Latency-SLO breaches this phase (counted even when slo_fatal is off).
   size_t slo_violations = 0;
+  // Health-probe findings this phase, mid-phase checks included (counted
+  // even when health_fatal is off).
+  size_t health_violations = 0;
   // The keys behind `lost_items`, for forensics (flight-recorder dump).
   std::vector<Key> newly_lost;
   std::vector<std::string> violations;
@@ -91,6 +113,8 @@ struct PhaseOutcome {
   MetricsRegistry::PhaseSnapshot metrics;  // per-phase deltas, plain values
   uint64_t events = 0;         // simulator events executed during the phase
   double wall_seconds = 0.0;   // host wall-clock; only set with timing on
+  // Per-window top-k hot-arc lines covering this phase (timeline mode).
+  std::string top_arcs;
 };
 
 struct RunReport {
@@ -103,6 +127,9 @@ struct RunReport {
   // when tracing is enabled: the recent record window plus the full causal
   // history of the first offending item (empty otherwise).
   std::string trace_dump;
+  // The windowed timeline JSON (timeline/telemetry.h schema); only set when
+  // RunnerOptions::timeline is on.
+  std::string timeline_json;
 
   std::string Text() const;
   std::string Csv() const;
@@ -129,6 +156,9 @@ class ScenarioRunner {
   ProbeOutcome RunProbes();
   // Appends latency-SLO breaches for one phase snapshot to `out`.
   void CheckSlo(const MetricsRegistry::PhaseSnapshot& snap, ProbeOutcome* out);
+  // Evaluates the deterministic health probes against the cluster's load
+  // monitor and appends unreported findings to `out`.
+  void CheckHealth(ProbeOutcome* out);
 
   RunnerOptions options_;
   std::unique_ptr<workload::Cluster> cluster_;
@@ -147,6 +177,13 @@ class ScenarioRunner {
   // And for the router dead-end probe (counters are run-cumulative).
   uint64_t reported_dead_ends_ = 0;
   uint64_t reported_attempts_ = 0;
+  // Health findings already reported this run, keyed by
+  // (kind, peer, streak-ending window): a streak that persists re-fires at
+  // each newly closed window, but each window is reported exactly once.
+  std::set<std::tuple<int, sim::NodeId, uint64_t>> reported_health_;
+  // Every reported finding in report order (the timeline's health rows).
+  std::vector<telemetry::HealthViolation> run_health_;
+  std::vector<telemetry::PhaseSpan> phase_spans_;
 };
 
 }  // namespace pepper::scenario

@@ -58,6 +58,11 @@ void Node::ErasePending(PendingCall* call) {
 void Node::RpcTimeoutFire(uint64_t rpc_id) {
   PendingCall* call = FindPending(rpc_id);
   if (call == nullptr) return;  // already answered
+  if (TelemetrySink* sink = sim_->telemetry_sink()) {
+    // Charged to the callee: whether it is dead or merely slow, it failed
+    // to answer within the deadline — the gray-failure signal.
+    sink->OnRpcTimeout(id_, call->to, sim_->now());
+  }
   TimeoutFn cb = std::move(call->on_timeout);
   ErasePending(call);
   if (cb) cb();
@@ -83,7 +88,7 @@ void Node::Call(NodeId to, PayloadPtr payload, ReplyFn on_reply,
     timer_idx = sim_->ArmTimer(id_, sim_->now() + timeout, /*period=*/0,
                                [this, rpc_id]() { RpcTimeoutFire(rpc_id); });
   }
-  pending_.push_back(PendingCall{rpc_id, timer_idx, std::move(on_reply),
+  pending_.push_back(PendingCall{rpc_id, timer_idx, to, std::move(on_reply),
                                  std::move(on_timeout)});
   Message msg;
   msg.from = id_;
@@ -168,6 +173,12 @@ void Node::CancelPendingRpcTimers() {
 
 void Node::Deliver(const Message& msg) {
   if (!alive_) return;
+  if (TelemetrySink* sink = sim_->telemetry_sink()) {
+    // On this node's shard thread: the per-node windowed backlog counters
+    // are single-writer.
+    sink->OnMessageDelivered(id_, msg.rpc_id != 0 && !msg.is_response,
+                             sim_->now());
+  }
   if (msg.trace.trace_id != 0) {
     // Record the hop span [sent_at, now] and install the delivery context,
     // so handler-side work (and the reply) continues the causal chain.

@@ -90,6 +90,11 @@ class Node {
     // far-future event through the heap at all (the old queue-resident
     // timeout closure sat deep in the heap and fizzled at pop time).
     uint32_t timeout_timer;
+    // Callee, so a fired timeout can be charged to the peer that failed to
+    // answer (telemetry health signal).  Lives here, not in the timeout
+    // closure — the untraced closure must stay within the std::function
+    // small-buffer size.
+    NodeId to;
     ReplyFn on_reply;
     TimeoutFn on_timeout;
   };

@@ -72,6 +72,14 @@ void Network::Send(Message msg) {
         }
       }
     }
+    // Gray-failure injection: extra destination delay (requests only — see
+    // set_node_extra_delay) models the receiver's service queue, applied
+    // AFTER the transport FIFO clamp and excluded from the clamp floor —
+    // responses ride the transport untouched and may overtake queued
+    // requests, so a slow peer's own calls still complete on time.  The
+    // delay only ever pushes delivery later, keeping the lookahead lower
+    // bound valid, and with no delay armed the schedule is unchanged.
+    if (!msg.is_response) deliver_at += node_extra_delay(msg.to);
     sim_->ScheduleMessage(deliver_at, std::move(msg));
     return;
   }
@@ -110,6 +118,9 @@ void Network::Send(Message msg) {
       }
     }
   }
+  // Service-queue injection after the FIFO clamp, exactly as in the serial
+  // branch above: requests only, never part of the channel's FIFO floor.
+  if (!msg.is_response) deliver_at += node_extra_delay(msg.to);
   sim_->ScheduleMessage(deliver_at, std::move(msg));
 }
 

@@ -15,6 +15,7 @@
 #include "sim/event_queue.h"
 #include "sim/message.h"
 #include "sim/rng.h"
+#include "sim/telemetry_hooks.h"
 #include "sim/timer_wheel.h"
 #include "trace/tracer.h"
 
@@ -58,6 +59,27 @@ class Network {
   // A delay that safely upper-bounds one round trip; protocol timeouts are
   // derived from it.
   SimTime RoundTripBound() const { return 2 * options_.max_latency + 2; }
+
+  // Extra one-way delay added to every *request* delivered TO `id` — the
+  // gray-failure knob (a slow-but-alive peer).  Models service-queue delay,
+  // not link delay: inbound requests stall in the slow peer's queue, while
+  // RPC replies coming back to it (work its healthy callees already
+  // finished) arrive on time — so callers time out on the slow peer, but
+  // the slow peer's own calls still succeed and nobody else is implicated.
+  // Only ever ADDS latency on top of the (FIFO-clamped) drawn base, so the
+  // conservative lookahead (min_latency) stays a safe lower bound and the
+  // sharded schedule stays valid; the delay is excluded from the channel's
+  // FIFO floor — a queued request must never drag later transport traffic
+  // (in particular the victim's own replies) behind it.  No RNG stream is
+  // touched, so the injection is deterministic.  Set from the control
+  // context (scenario on_enter hooks), read on the send path.
+  void set_node_extra_delay(NodeId id, SimTime delay) {
+    if (extra_delay_.size() <= id) extra_delay_.resize(id + 1, 0);
+    extra_delay_[id] = delay;
+  }
+  SimTime node_extra_delay(NodeId id) const {
+    return id < extra_delay_.size() ? extra_delay_[id] : 0;
+  }
 
  private:
   friend class Simulator;
@@ -108,6 +130,10 @@ class Network {
   std::array<uint64_t, kMaxMetricLanes> messages_sent_{};
   std::vector<NodeChannels> channels_;
   std::atomic<size_t> channel_count_{0};
+  // Per-destination gray-failure delay; empty (the common case) costs one
+  // size check per send.  Resized only from the control context with the
+  // workers parked.
+  std::vector<SimTime> extra_delay_;
 };
 
 // Deterministic discrete-event simulator.  Peers are Node actors; every
@@ -201,6 +227,13 @@ class Simulator {
   void EnableTracing(size_t ring_capacity, uint64_t sample_every) {
     tracer_.Enable(ring_capacity, sample_every, nodes_.size());
   }
+
+  // Windowed-telemetry hooks (off by default; see sim/telemetry_hooks.h and
+  // telemetry/load_monitor.h).  Install from the control context before the
+  // run; null disables — the disabled cost is one pointer load + branch at
+  // each hook site (gated at <=5% by the perf report's telemetry block).
+  void set_telemetry_sink(TelemetrySink* sink) { telemetry_sink_ = sink; }
+  TelemetrySink* telemetry_sink() const { return telemetry_sink_; }
 
   NodeId Register(Node* node);
   void Unregister(NodeId id);
@@ -344,6 +377,7 @@ class Simulator {
   Network network_;
   Counters counters_;
   trace::Tracer tracer_;
+  TelemetrySink* telemetry_sink_ = nullptr;
   uint64_t events_executed_ = 0;
   std::vector<Node*> nodes_;  // index == NodeId; nullptr when destroyed
 

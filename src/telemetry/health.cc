@@ -1,0 +1,100 @@
+#include "telemetry/health.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pepper::telemetry {
+
+std::string HealthViolation::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kTimeoutAnomaly:
+      os << "peer " << node << " timeout anomaly: " << value
+         << " rpc timeout(s) in window " << window << " (cluster median "
+         << reference << ")";
+      break;
+    case Kind::kRefreshStall:
+      os << "peer " << node << " refresh stall: last pass " << value
+         << "us ago at window " << window << " (threshold " << reference
+         << "us)";
+      break;
+  }
+  return os.str();
+}
+
+std::vector<HealthViolation> EvaluateHealth(const LoadMonitor& monitor,
+                                            const HealthOptions& options,
+                                            const std::vector<NodeId>& live,
+                                            SimTime now) {
+  std::vector<HealthViolation> out;
+  if (live.empty()) return out;
+  std::vector<NodeId> peers(live);
+  std::sort(peers.begin(), peers.end());
+
+  const TimeSeries& series = monitor.series();
+  const uint64_t open_window = series.WindowOf(now);
+
+  // --- RPC-timeout rate anomaly -------------------------------------------
+  const uint32_t w = options.consecutive_windows;
+  if (w > 0 && open_window >= w) {
+    const uint64_t last_closed = open_window - 1;
+    const uint64_t first = last_closed - (w - 1);
+    // Stay inside the exactly-retained ring range (w << capacity, so this
+    // only matters for pathological configurations).
+    const uint64_t earliest_exact =
+        open_window >= series.capacity() ? open_window - series.capacity() + 1
+                                         : 0;
+    if (first >= earliest_exact) {
+      // Per-window medians across the live peers (lower median for even
+      // counts — a deterministic order statistic, no averaging).
+      std::vector<uint64_t> medians(w, 0);
+      std::vector<std::vector<uint64_t>> counts(
+          w, std::vector<uint64_t>(peers.size(), 0));
+      for (uint32_t i = 0; i < w; ++i) {
+        for (size_t p = 0; p < peers.size(); ++p) {
+          counts[i][p] = series.TimeoutsFor(peers[p], first + i);
+        }
+        std::vector<uint64_t> sorted(counts[i]);
+        std::sort(sorted.begin(), sorted.end());
+        medians[i] = sorted[(sorted.size() - 1) / 2];
+      }
+      for (size_t p = 0; p < peers.size(); ++p) {
+        bool anomalous = true;
+        for (uint32_t i = 0; i < w && anomalous; ++i) {
+          const uint64_t c = counts[i][p];
+          const uint64_t median_floor = std::max<uint64_t>(medians[i], 1);
+          anomalous = c >= options.timeout_min &&
+                      c >= options.timeout_factor * median_floor;
+        }
+        if (anomalous) {
+          HealthViolation v;
+          v.kind = HealthViolation::Kind::kTimeoutAnomaly;
+          v.node = peers[p];
+          v.window = last_closed;
+          v.value = counts[w - 1][p];
+          v.reference = medians[w - 1];
+          out.push_back(v);
+        }
+      }
+    }
+  }
+
+  // --- Router refresh stall ------------------------------------------------
+  if (options.stale_factor > 0 && options.max_refresh_period > 0) {
+    const SimTime threshold = options.stale_factor * options.max_refresh_period;
+    for (NodeId node : peers) {
+      const SimTime age = now - monitor.last_refresh(node);
+      if (age <= threshold) continue;
+      HealthViolation v;
+      v.kind = HealthViolation::Kind::kRefreshStall;
+      v.node = node;
+      v.window = open_window == 0 ? 0 : open_window - 1;
+      v.value = age;
+      v.reference = threshold;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace pepper::telemetry

@@ -1,0 +1,63 @@
+#ifndef PEPPER_TELEMETRY_HEALTH_H_
+#define PEPPER_TELEMETRY_HEALTH_H_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/load_monitor.h"
+
+namespace pepper::telemetry {
+
+// Deterministic health probes over the LoadMonitor's closed windows.
+// Pure integer/threshold checks on shard-invariant sums — evaluated from
+// the control context, between and during scenario phases — so a probe
+// either fires identically at every shard count and on every replay of a
+// seed, or never fires at all.
+struct HealthOptions {
+  // A peer is anomalous when, for `consecutive_windows` consecutive closed
+  // windows, the RPC timeouts charged to it are BOTH at least
+  // `timeout_min` (the absolute floor: quiet clusters have medians of
+  // zero) AND at least `timeout_factor` times the cluster median across
+  // live peers (rate-of-change vs the cluster, the gray-failure shape:
+  // slow-but-alive peers rack up caller-observed timeouts while the rest
+  // of the cluster stays quiet).
+  uint32_t consecutive_windows = 3;
+  uint64_t timeout_factor = 4;
+  uint64_t timeout_min = 3;
+  // A peer's router has stalled when its last completed refresh pass is
+  // older than `stale_factor * max_refresh_period` (the adaptive-cadence
+  // cap — a live member always completes a pass well within it).  0
+  // disables the stall detector (no router cadence to compare against).
+  uint64_t stale_factor = 4;
+  sim::SimTime max_refresh_period = 0;
+};
+
+struct HealthViolation {
+  enum class Kind : uint8_t { kTimeoutAnomaly, kRefreshStall };
+  Kind kind = Kind::kTimeoutAnomaly;
+  NodeId node = sim::kNullNode;
+  // The last (most recent) closed window of the offending streak.
+  uint64_t window = 0;
+  // kTimeoutAnomaly: timeouts charged to the peer in `window` /
+  // kRefreshStall: refresh-pass age in sim microseconds.
+  uint64_t value = 0;
+  // kTimeoutAnomaly: the cluster median it was compared against /
+  // kRefreshStall: the staleness threshold in sim microseconds.
+  uint64_t reference = 0;
+
+  std::string ToString() const;
+};
+
+// Runs every probe against the monitor's retained windows.  `live` is the
+// set of peers to judge (the caller passes the cluster's live members —
+// crashed or merged-away peers are expected to look unhealthy and are
+// skipped).  `now` is the current sim time; the window containing `now` is
+// still open and never judged.
+std::vector<HealthViolation> EvaluateHealth(const LoadMonitor& monitor,
+                                            const HealthOptions& options,
+                                            const std::vector<NodeId>& live,
+                                            SimTime now);
+
+}  // namespace pepper::telemetry
+
+#endif  // PEPPER_TELEMETRY_HEALTH_H_

@@ -1,0 +1,84 @@
+#include "telemetry/load_monitor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pepper::telemetry {
+
+const char* ReorgKindName(ReorgKind kind) {
+  switch (kind) {
+    case ReorgKind::kSplit:
+      return "split";
+    case ReorgKind::kMerge:
+      return "merge";
+    case ReorgKind::kTakeover:
+      return "takeover";
+    case ReorgKind::kRedistribute:
+      return "redistribute";
+  }
+  return "?";
+}
+
+LoadMonitor::LoadMonitor(const Options& options)
+    : series_(options.window, options.ring_capacity) {}
+
+void LoadMonitor::OnRegister(NodeId id) {
+  series_.OnRegister(id);
+  if (logs_.size() <= id) logs_.resize(id + 1);
+  if (last_refresh_.size() <= id) last_refresh_.resize(id + 1, 0);
+}
+
+void LoadMonitor::OnRangeChange(NodeId node, const RingRange& range,
+                                bool active, SimTime now) {
+  PEPPER_CHECK(node < logs_.size());
+  NodeLog& log = logs_[node];
+  ArcEvent ev;
+  ev.time = now;
+  ev.seq = log.arc_seq++;
+  ev.node = node;
+  ev.range = range;
+  ev.active = active;
+  log.arcs.push_back(ev);
+}
+
+void LoadMonitor::OnReorg(NodeId node, ReorgKind kind, SimTime now) {
+  PEPPER_CHECK(node < logs_.size());
+  logs_[node].reorgs.push_back(ReorgEvent{now, kind});
+}
+
+void LoadMonitor::OnRefreshPass(NodeId node, SimTime now) {
+  PEPPER_CHECK(node < last_refresh_.size());
+  last_refresh_[node] = now;
+}
+
+SimTime LoadMonitor::last_refresh(NodeId node) const {
+  return node < last_refresh_.size() ? last_refresh_[node] : 0;
+}
+
+std::vector<ArcEvent> LoadMonitor::MergedArcEvents() const {
+  std::vector<ArcEvent> out;
+  for (const NodeLog& log : logs_) {
+    out.insert(out.end(), log.arcs.begin(), log.arcs.end());
+  }
+  // (time, node, seq) is a total order: seq is per-node monotone, so the
+  // merged sequence is invariant under the shard partition.
+  std::sort(out.begin(), out.end(), [](const ArcEvent& a, const ArcEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.node != b.node) return a.node < b.node;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+uint64_t LoadMonitor::ReorgsInWindow(uint64_t window, ReorgKind kind) const {
+  uint64_t total = 0;
+  for (const NodeLog& log : logs_) {
+    for (const ReorgEvent& ev : log.reorgs) {
+      if (series_.WindowOf(ev.time) == window && ev.kind == kind) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace pepper::telemetry

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <typeinfo>
 
@@ -241,11 +242,31 @@ std::string Tracer::DumpKeyHistory(uint64_t tag, size_t max_recent) const {
   return os.str();
 }
 
-std::string Tracer::ChromeTraceJson() const {
+std::string Tracer::ChromeTraceJson(const std::string& root_prefix) const {
+  const std::vector<SpanRecord> merged = Merged();
+  // Root spans are the kOpBegin records with no parent; a trace is exported
+  // iff its root name matches the prefix (all traces when the prefix is
+  // empty).  Ring eviction can drop a root while children survive — such
+  // orphan traces are filtered out too, which is the conservative reading
+  // of "bound the export".
+  std::vector<uint64_t> keep;
+  if (!root_prefix.empty()) {
+    for (const SpanRecord& r : merged) {
+      if (r.kind == SpanRecord::Kind::kOpBegin && r.parent_span_id == 0 &&
+          std::strncmp(r.name, root_prefix.c_str(), root_prefix.size()) == 0) {
+        keep.push_back(r.trace_id);
+      }
+    }
+    std::sort(keep.begin(), keep.end());
+  }
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
-  for (const SpanRecord& r : Merged()) {
+  for (const SpanRecord& r : merged) {
+    if (!root_prefix.empty() &&
+        !std::binary_search(keep.begin(), keep.end(), r.trace_id)) {
+      continue;
+    }
     if (!first) os << ",";
     first = false;
     os << "\n{\"pid\":0,\"tid\":" << r.node << ",\"ts\":" << r.start;

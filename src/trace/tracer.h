@@ -131,7 +131,10 @@ class Tracer {
   std::string DumpKeyHistory(uint64_t tag, size_t max_recent = 64) const;
   // Chrome trace event JSON ({"traceEvents":[...]}; loads in Perfetto /
   // chrome://tracing).  ts/dur are sim microseconds; tid is the node.
-  std::string ChromeTraceJson() const;
+  // `root_prefix` (when non-empty) keeps only the traces whose root op name
+  // starts with it — "router." exports lookup trees and nothing else —
+  // bounding export size without changing what was recorded.
+  std::string ChromeTraceJson(const std::string& root_prefix = "") const;
 
  private:
   struct LaneRing {

@@ -75,10 +75,19 @@ Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)),
       sim_(std::make_unique<sim::Simulator>(options_.seed, options_.net,
                                             options_.shards)),
+      monitor_(options_.telemetry
+                   ? std::make_unique<telemetry::LoadMonitor>(
+                         telemetry::LoadMonitor::Options{
+                             options_.telemetry_window,
+                             options_.telemetry_ring_capacity})
+                   : nullptr),
       oracle_(std::make_unique<history::LivenessOracle>(sim_.get())),
-      observer_proxy_(
-          std::make_unique<DeferredObserver>(sim_.get(), oracle_.get())),
+      observer_proxy_(std::make_unique<DeferredObserver>(
+          sim_.get(), oracle_.get(), monitor_.get())),
       pool_(sim_.get()) {
+  if (monitor_ != nullptr) {
+    sim_->set_telemetry_sink(monitor_.get());
+  }
   if (options_.shards > 0) {
     // Shard workers record latencies and counters into per-thread lanes;
     // pre-allocate them before any worker touches a histogram.
@@ -101,10 +110,16 @@ PeerStack* Cluster::MakeStack() {
   ring::RingOptions ropts = options_.ring;
   ropts.metrics = &metrics_;
   stack->ring = std::make_unique<ring::RingNode>(sim_.get(), /*val=*/0, ropts);
+  if (monitor_ != nullptr) {
+    // Control context (peer creation runs with workers parked); every peer
+    // node gets its telemetry slot before it can receive a message.
+    monitor_->OnRegister(stack->ring->id());
+  }
 
   datastore::DataStoreOptions dopts = options_.ds;
   dopts.metrics = &metrics_;
   dopts.observer = observer_proxy_.get();
+  dopts.monitor = monitor_.get();
   stack->ds = std::make_unique<datastore::DataStoreNode>(stack->ring.get(),
                                                          &pool_, dopts);
 
@@ -116,6 +131,7 @@ PeerStack* Cluster::MakeStack() {
 
   router::RouterOptions routopts = options_.router;
   routopts.metrics = &metrics_;
+  routopts.monitor = monitor_.get();
   if (options_.use_hrf_router) {
     router::HrfOptions hopts;
     hopts.base = routopts;

@@ -16,6 +16,7 @@
 #include "router/content_router.h"
 #include "router/hrf_router.h"
 #include "sim/simulator.h"
+#include "telemetry/load_monitor.h"
 
 namespace pepper::workload {
 
@@ -59,6 +60,14 @@ struct ClusterOptions {
   uint64_t trace_sample_every = 1;
   size_t trace_ring_capacity = 1 << 16;
 
+  // Windowed telemetry (telemetry/load_monitor.h).  Off by default; like
+  // tracing, enabling it never shifts the event schedule (the hooks consume
+  // no randomness, no timers, no deferred events), so the same seed replays
+  // bit-identically with telemetry off or on, serial or sharded.
+  bool telemetry = false;
+  sim::SimTime telemetry_window = 5 * sim::kSecond;
+  size_t telemetry_ring_capacity = 128;
+
   // Paper defaults (Section 6.1): successor list 4, stabilization 4 s,
   // sf = 5, replication factor 6.
   static ClusterOptions PaperDefaults();
@@ -76,6 +85,8 @@ class Cluster {
 
   sim::Simulator& sim() { return *sim_; }
   MetricsHub& metrics() { return metrics_; }
+  // Null unless ClusterOptions::telemetry.
+  telemetry::LoadMonitor* monitor() { return monitor_.get(); }
   history::LivenessOracle& oracle() { return *oracle_; }
   datastore::FreePeerPool& pool() { return pool_; }
   const ClusterOptions& options() const { return options_; }
@@ -136,18 +147,31 @@ class Cluster {
   // cluster-global state that shard workers must not touch directly.
   class DeferredObserver : public datastore::DataStoreObserver {
    public:
-    DeferredObserver(sim::Simulator* sim, history::LivenessOracle* oracle)
-        : sim_(sim), oracle_(oracle) {}
+    DeferredObserver(sim::Simulator* sim, history::LivenessOracle* oracle,
+                     telemetry::LoadMonitor* monitor)
+        : sim_(sim), oracle_(oracle), monitor_(monitor) {}
     void OnStore(sim::NodeId peer, Key skv) override {
       sim_->Defer([this, peer, skv]() { oracle_->OnStore(peer, skv); });
     }
     void OnDrop(sim::NodeId peer, Key skv) override {
       sim_->Defer([this, peer, skv]() { oracle_->OnDrop(peer, skv); });
     }
+    // Telemetry takes this one DIRECTLY, not through Defer: the monitor's
+    // arc log is per-node single-writer storage owned by the firing node's
+    // thread, and a deferred event would perturb the sharded event counts
+    // (telemetry must be schedule-invisible).  The oracle tracks items, not
+    // arcs, so nothing here touches cluster-global state.
+    void OnRangeChange(sim::NodeId peer, const RingRange& range,
+                       bool active) override {
+      if (monitor_ != nullptr) {
+        monitor_->OnRangeChange(peer, range, active, sim_->now());
+      }
+    }
 
    private:
     sim::Simulator* sim_;
     history::LivenessOracle* oracle_;
+    telemetry::LoadMonitor* monitor_;
   };
 
   PeerStack* MakeStack();
@@ -155,6 +179,8 @@ class Cluster {
   ClusterOptions options_;
   MetricsHub metrics_;
   std::unique_ptr<sim::Simulator> sim_;
+  // Declared before the observer proxy, which captures the raw pointer.
+  std::unique_ptr<telemetry::LoadMonitor> monitor_;
   std::unique_ptr<history::LivenessOracle> oracle_;
   std::unique_ptr<DeferredObserver> observer_proxy_;
   datastore::FreePeerPool pool_;

@@ -31,6 +31,19 @@ size_t ZipfGenerator::Next() {
 WorkloadDriver::WorkloadDriver(Cluster* cluster, WorkloadOptions options,
                                uint64_t seed)
     : cluster_(cluster), options_(options), rng_(seed) {
+  Counters& c = metrics().counters();
+  m_inserts_issued_ = c.Intern("wl.inserts_issued");
+  m_insert_failures_ = c.Intern("wl.insert_failures");
+  m_deletes_issued_ = c.Intern("wl.deletes_issued");
+  m_peers_added_ = c.Intern("wl.peers_added");
+  m_failures_injected_ = c.Intern("wl.failures_injected");
+  m_failures_skipped_ = c.Intern("wl.failures_skipped_min_live");
+  m_queries_issued_ = c.Intern("wl.queries_issued");
+  m_query_failures_ = c.Intern("wl.query_failures");
+  m_queries_ok_ = c.Intern("wl.queries_ok");
+  m_query_violations_ = c.Intern("wl.query_violations");
+  m_insert_time_ = metrics().LatencyHandle("wl.insert_time");
+  m_query_time_ = metrics().LatencyHandle("wl.query_time");
   if (options_.zipf_keys) {
     zipf_ = std::make_unique<ZipfGenerator>(100000, options_.zipf_theta,
                                             rng_.Next());
@@ -93,7 +106,7 @@ void WorkloadDriver::ArmInsert(uint64_t epoch) {
       const Key key = NextKey();
       ++inserts_issued_;
       inserted_keys_.push_back(key);
-      metrics().counters().Inc("wl.inserts_issued");
+      metrics().counters().Inc(m_inserts_issued_);
       datastore::Item item;
       item.skv = key;
       item.data = "w";
@@ -108,11 +121,10 @@ void WorkloadDriver::ArmInsert(uint64_t epoch) {
         cluster_->sim().Defer([this, oracle, key, issued, s]() {
           if (s.ok()) {
             oracle->RegisterInsert(key);
-            metrics().RecordLatency(
-                "wl.insert_time",
+            m_insert_time_->Add(
                 sim::ToSeconds(cluster_->sim().now() - issued));
           } else {
-            metrics().counters().Inc("wl.insert_failures");
+            metrics().counters().Inc(m_insert_failures_);
           }
         });
       });
@@ -131,7 +143,7 @@ void WorkloadDriver::ArmDelete(uint64_t epoch) {
       const Key key = inserted_keys_[idx];
       inserted_keys_.erase(inserted_keys_.begin() + static_cast<long>(idx));
       ++deletes_issued_;
-      metrics().counters().Inc("wl.deletes_issued");
+      metrics().counters().Inc(m_deletes_issued_);
       auto* oracle = &cluster_->oracle();
       via->index->DeleteItem(key, [this, oracle, key](const Status& s) {
         cluster_->sim().Defer([oracle, key, s]() {
@@ -148,7 +160,7 @@ void WorkloadDriver::ArmPeerAdd(uint64_t epoch) {
                         [this, epoch]() {
     if (!running_ || epoch != epoch_) return;
     cluster_->AddFreePeer();
-    metrics().counters().Inc("wl.peers_added");
+    metrics().counters().Inc(m_peers_added_);
     ArmPeerAdd(epoch);
   });
 }
@@ -162,9 +174,9 @@ void WorkloadDriver::ArmFail(uint64_t epoch) {
       const size_t idx = rng_.Uniform(0, members.size() - 1);
       cluster_->FailPeer(members[idx]);
       ++failures_injected_;
-      metrics().counters().Inc("wl.failures_injected");
+      metrics().counters().Inc(m_failures_injected_);
     } else {
-      metrics().counters().Inc("wl.failures_skipped_min_live");
+      metrics().counters().Inc(m_failures_skipped_);
     }
     ArmFail(epoch);
   });
@@ -181,7 +193,7 @@ void WorkloadDriver::ArmQuery(uint64_t epoch) {
                               options_.key_max);
       const Span span{lo, hi};
       ++queries_issued_;
-      metrics().counters().Inc("wl.queries_issued");
+      metrics().counters().Inc(m_queries_issued_);
       auto* oracle = &cluster_->oracle();
       const sim::SimTime started = cluster_->sim().now();
       via->index->RangeQuery(
@@ -191,11 +203,10 @@ void WorkloadDriver::ArmQuery(uint64_t epoch) {
             // only (now() inside still reports the completion instant).
             cluster_->sim().Defer([this, oracle, span, started, s,
                                    items = std::move(items)]() {
-              metrics().RecordLatency(
-                  "wl.query_time",
+              m_query_time_->Add(
                   sim::ToSeconds(cluster_->sim().now() - started));
               if (!s.ok()) {
-                metrics().counters().Inc("wl.query_failures");
+                metrics().counters().Inc(m_query_failures_);
                 return;  // incomplete results carry no correctness claim
               }
               std::vector<Key> keys;
@@ -204,10 +215,10 @@ void WorkloadDriver::ArmQuery(uint64_t epoch) {
               const auto audit = oracle->CheckQuery(
                   span, started, cluster_->sim().now(), keys);
               if (audit.correct) {
-                metrics().counters().Inc("wl.queries_ok");
+                metrics().counters().Inc(m_queries_ok_);
               } else {
                 ++query_violations_;
-                metrics().counters().Inc("wl.query_violations");
+                metrics().counters().Inc(m_query_violations_);
               }
             });
           });

@@ -82,6 +82,20 @@ class WorkloadDriver {
   Cluster* cluster_;
   WorkloadOptions options_;
   sim::Rng rng_;
+  // Interned metric handles (the driver fires these once per arrival; the
+  // string-keyed scans were per-op work on every issued request).
+  Counters::Id m_inserts_issued_ = 0;
+  Counters::Id m_insert_failures_ = 0;
+  Counters::Id m_deletes_issued_ = 0;
+  Counters::Id m_peers_added_ = 0;
+  Counters::Id m_failures_injected_ = 0;
+  Counters::Id m_failures_skipped_ = 0;
+  Counters::Id m_queries_issued_ = 0;
+  Counters::Id m_query_failures_ = 0;
+  Counters::Id m_queries_ok_ = 0;
+  Counters::Id m_query_violations_ = 0;
+  Histogram* m_insert_time_ = nullptr;
+  Histogram* m_query_time_ = nullptr;
   std::unique_ptr<ZipfGenerator> zipf_;
   bool running_ = false;
   uint64_t epoch_ = 0;

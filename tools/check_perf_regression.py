@@ -38,6 +38,21 @@ A/B on long_churn --paper --scale=20), two more gates run:
     and its audits must stay green.  The on-arm wall-clock overhead is
     printed for the trend, not gated (sampled tracing cost is dominated by
     machine variance at these run lengths).
+
+When the fresh report carries a scenario "telemetry" block (the windowed
+load-monitor A/B on the same run), three more gates run:
+  * replay identity: the telemetry-on arm must execute exactly the serial
+    arm's event/message counts -- the monitor rings and health probes must
+    never perturb the schedule.  Hard fail on divergence.
+  * the on-arm audits (fatal ring/SLO probes PLUS the armed health probes)
+    must stay green -- a clean long_churn may never trip a health finding.
+  * disabled-hook overhead: the off arm (monitor hooks compiled in, no
+    monitor armed -- the default state of every run) must keep its
+    events/sec within --max-telemetry-overhead (default 0.05) of the
+    committed baseline, same contract as the trace block.  The ARMED
+    monitor's wall overhead (overhead_ratio, a same-report ratio) is
+    printed for the trend, not gated: per-delivery ring writes cost real
+    wall time, and paying it is an explicit opt-in (--timeline / --health).
 Exit status: 0 ok, 1 regression, 2 usage/schema error.
 """
 
@@ -62,6 +77,7 @@ def main(argv):
     max_hops_drift = 0.05
     min_shard_speedup = 2.0
     max_trace_overhead = 0.05
+    max_telemetry_overhead = 0.05
     for o in opts:
         if o.startswith("--max-regress="):
             max_regress = float(o.split("=", 1)[1])
@@ -71,6 +87,8 @@ def main(argv):
             min_shard_speedup = float(o.split("=", 1)[1])
         elif o.startswith("--max-trace-overhead="):
             max_trace_overhead = float(o.split("=", 1)[1])
+        elif o.startswith("--max-telemetry-overhead="):
+            max_telemetry_overhead = float(o.split("=", 1)[1])
         else:
             print(f"unknown option {o}")
             return 2
@@ -214,6 +232,38 @@ def main(argv):
             print(f"  trace-on overhead (1-in-{tr.get('on_sample_every', '?')})"
                   f"    {overhead:10.3f}x wall, "
                   f"{tr.get('on_records', 0):,} records  (trend only)")
+
+    # --- Telemetry gates -----------------------------------------------------
+    tm = (fresh_scn or {}).get("telemetry")
+    if tm:
+        if tm.get("replay_identical") is False:
+            print("telemetry-on run diverged from the telemetry-off schedule")
+            failed = True
+        if tm.get("on_audits_ok") is False:
+            print("telemetry-on run had audit or health-probe violations")
+            failed = True
+        # Disabled-hook overhead vs the committed baseline: the monitor
+        # null-checks ride the hot path of every run whether or not a
+        # monitor is armed, so they get the same tight band as the trace
+        # hooks.  Cross-report and host-sensitive -- re-baseline on a
+        # runner-class change rather than hunting a phantom regression.
+        base_eps = (baseline.get("scenario") or {}).get("events_per_sec")
+        off_eps = tm.get("off_events_per_sec")
+        if base_eps and off_eps is not None:
+            ratio = off_eps / base_eps
+            status = "OK"
+            if ratio < 1.0 - max_telemetry_overhead:
+                status = "REGRESSED"
+                failed = True
+            print(f"  telemetry-off vs baseline    {base_eps:>14,.0f} -> "
+                  f"{off_eps:>14,.0f}  ({ratio:6.2%})  {status}")
+        elif off_eps is not None:
+            print(f"  telemetry-off vs baseline    (no baseline)  "
+                  f"{off_eps:,.0f} events/sec")
+        overhead = tm.get("overhead_ratio")
+        if overhead is not None:
+            print(f"  telemetry-on (armed) overhead {overhead:13.3f}x wall"
+                  f"  (trend only)")
 
     print("perf check:", "FAILED" if failed else "passed")
     return 1 if failed else 0

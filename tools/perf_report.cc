@@ -5,7 +5,7 @@
 //
 //   perf_report [--out=BENCH_simcore.json] [--scale=20] [--seed=42]
 //               [--quick] [--skip-scenario] [--shards=4] [--skip-shards]
-//               [--trace-sample=64] [--skip-trace]
+//               [--trace-sample=64] [--skip-trace] [--skip-telemetry]
 //
 // CI compares a fresh report against the committed BENCH_simcore.json with
 // tools/check_perf_regression.py and fails on a >20% events/sec regression.
@@ -57,7 +57,8 @@ struct ScenarioProbe {
 
 ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
                                bool batched_refresh, uint32_t shards = 0,
-                               uint64_t trace_sample = 0) {
+                               uint64_t trace_sample = 0,
+                               bool telemetry = false) {
   ScenarioProbe probe;
   BuiltinParams params;
   params.scale = scale;
@@ -71,6 +72,13 @@ ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
   if (trace_sample > 0) {
     options.cluster.trace = true;
     options.cluster.trace_sample_every = trace_sample;
+  }
+  if (telemetry) {
+    // Windowed load monitor + the deterministic health probes, armed fatal:
+    // the arm measures the hook cost AND continuously proves the probes
+    // stay quiet on a clean paper-scale churn run.
+    options.health_probes = true;
+    options.health_fatal = true;
   }
   options.initial_free_peers = 10;
   options.seed_items = 40;
@@ -126,6 +134,7 @@ int main(int argc, char** argv) {
   bool skip_router_ab = false;
   bool skip_shards = false;
   bool skip_trace = false;
+  bool skip_telemetry = false;
   uint32_t shards = 4;
   uint64_t trace_sample = 64;
 
@@ -151,12 +160,14 @@ int main(int argc, char** argv) {
       if (trace_sample == 0) trace_sample = 1;
     } else if (std::strcmp(argv[i], "--skip-trace") == 0) {
       skip_trace = true;
+    } else if (std::strcmp(argv[i], "--skip-telemetry") == 0) {
+      skip_telemetry = true;
     } else {
       std::fprintf(stderr,
                    "usage: perf_report [--out=FILE] [--scale=F] [--seed=N] "
                    "[--quick] [--skip-scenario] [--skip-router-ab] "
                    "[--shards=N] [--skip-shards] [--trace-sample=N] "
-                   "[--skip-trace]\n");
+                   "[--skip-trace] [--skip-telemetry]\n");
       return 2;
     }
   }
@@ -173,6 +184,7 @@ int main(int argc, char** argv) {
   ScenarioProbe shard_single;
   ScenarioProbe shard_par;
   ScenarioProbe trace_on;
+  ScenarioProbe telemetry_on;
   if (!skip_scenario) {
     std::printf("running long_churn --paper --scale=%g --seed=%llu "
                 "(fatal audits)...\n",
@@ -260,6 +272,28 @@ int main(int argc, char** argv) {
                   trace_on.ok ? "green" : "VIOLATED",
                   trace_on.events == probe.events ? "identical" : "DIVERGED");
     }
+    if (!skip_telemetry) {
+      // The telemetry-on arm, same seed/scale: load monitor rings filling
+      // plus the deterministic health probes armed fatal.  The serial probe
+      // above IS the telemetry-off arm (hooks compiled in, sink null), so
+      // the pair prices the enabled monitor, the event count doubles as a
+      // replay-identity check, and a clean run proves the probes stay quiet
+      // on healthy paper-scale churn.
+      std::printf("running the telemetry-on arm (health probes fatal)...\n");
+      telemetry_on = RunScenarioProbe(scale, seed, /*batched_refresh=*/true,
+                                      /*shards=*/0, /*trace_sample=*/0,
+                                      /*telemetry=*/true);
+      std::printf("  wall %.1fs (off: %.1fs, overhead %.1f%%), audits %s, "
+                  "replay %s\n",
+                  telemetry_on.wall_seconds, probe.wall_seconds,
+                  probe.wall_seconds > 0.0
+                      ? (telemetry_on.wall_seconds / probe.wall_seconds -
+                         1.0) * 100.0
+                      : 0.0,
+                  telemetry_on.ok ? "green" : "VIOLATED",
+                  telemetry_on.events == probe.events ? "identical"
+                                                      : "DIVERGED");
+    }
   }
 
   std::ostringstream json;
@@ -333,6 +367,31 @@ int main(int argc, char** argv) {
                    : 0.0) << "\n";
       json << "    },\n";
     }
+    if (telemetry_on.ran) {
+      json << "    \"telemetry\": {\n";
+      json << "      \"off_wall_seconds\": " << probe.wall_seconds << ",\n";
+      json << "      \"off_events_per_sec\": "
+           << static_cast<uint64_t>(static_cast<double>(probe.events) /
+                                    probe.wall_seconds) << ",\n";
+      json << "      \"on_wall_seconds\": " << telemetry_on.wall_seconds
+           << ",\n";
+      json << "      \"on_events_per_sec\": "
+           << static_cast<uint64_t>(
+                  static_cast<double>(telemetry_on.events) /
+                  telemetry_on.wall_seconds) << ",\n";
+      json << "      \"on_audits_ok\": "
+           << (telemetry_on.ok ? "true" : "false") << ",\n";
+      json << "      \"replay_identical\": "
+           << (telemetry_on.events == probe.events &&
+               telemetry_on.messages == probe.messages
+                   ? "true"
+                   : "false") << ",\n";
+      json << "      \"overhead_ratio\": "
+           << (probe.wall_seconds > 0.0
+                   ? telemetry_on.wall_seconds / probe.wall_seconds
+                   : 0.0) << "\n";
+      json << "    },\n";
+    }
     if (shard_single.ran && shard_par.ran) {
       json << "    \"shards\": {\n";
       json << "      \"host_cores\": "
@@ -374,6 +433,7 @@ int main(int argc, char** argv) {
   const bool violations =
       (probe.ran && !probe.ok) || (baseline.ran && !baseline.ok) ||
       (shard_single.ran && !shard_single.ok) ||
-      (shard_par.ran && !shard_par.ok) || (trace_on.ran && !trace_on.ok);
+      (shard_par.ran && !shard_par.ok) || (trace_on.ran && !trace_on.ok) ||
+      (telemetry_on.ran && !telemetry_on.ok);
   return violations ? 1 : 0;
 }

@@ -66,6 +66,27 @@ void PrintUsage() {
       "                  dump of the offending item is printed to stderr\n"
       "  --trace-sample=N\n"
       "                  sample 1-in-N root operations (default 1: all)\n"
+      "  --trace-filter=PREFIX\n"
+      "                  export only traces whose root op name starts with\n"
+      "                  PREFIX (e.g. router. or ring.) — bounds the trace\n"
+      "                  file without changing what was recorded\n"
+      "  --timeline=FILE write the windowed telemetry timeline as JSON and\n"
+      "                  add per-phase top-k hot-arc lines to the text\n"
+      "                  report (schedule-invisible, byte-identical at any\n"
+      "                  --shards)\n"
+      "  --timeline-top-k=N\n"
+      "                  hot arcs per window in the timeline (default 5)\n"
+      "  --telemetry-window=S\n"
+      "                  telemetry window length in (fractional) seconds\n"
+      "                  (default 5)\n"
+      "  --health        evaluate the deterministic health probes (timeout\n"
+      "                  anomalies, router refresh stalls) at phase\n"
+      "                  boundaries; findings are counted, not fatal\n"
+      "  --health-fatal  a health finding fails the run like an audit\n"
+      "  --health-check-period=S\n"
+      "                  additionally evaluate health probes every S\n"
+      "                  simulated seconds inside a phase (0 = boundaries\n"
+      "                  only)\n"
       "  --slo-insert-p50=S --slo-insert-p99=S --slo-insert-p999=S\n"
       "  --slo-query-p50=S --slo-query-p99=S --slo-query-p999=S\n"
       "                  per-phase latency SLO bounds in (fractional)\n"
@@ -89,10 +110,17 @@ int main(int argc, char** argv) {
   std::string scenario_name;
   std::string csv_path;
   std::string trace_path;
+  std::string trace_filter;
+  std::string timeline_path;
   uint64_t seed = 42;
   uint64_t trace_sample = 1;
   double scale = 1.0;
+  double telemetry_window_s = 0.0;
+  double health_check_period_s = 0.0;
+  size_t timeline_top_k = 5;
   uint32_t shards = 0;
+  bool health = false;
+  bool health_fatal = false;
   RunnerOptions::SloBounds slo;
   bool slo_any = false;
 
@@ -127,6 +155,22 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--trace-sample", &value)) {
       trace_sample = std::strtoull(value.c_str(), nullptr, 10);
       if (trace_sample == 0) trace_sample = 1;
+    } else if (ParseFlag(argv[i], "--trace-filter", &value)) {
+      trace_filter = value;
+    } else if (ParseFlag(argv[i], "--timeline", &value)) {
+      timeline_path = value;
+    } else if (ParseFlag(argv[i], "--timeline-top-k", &value)) {
+      timeline_top_k =
+          static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--telemetry-window", &value)) {
+      telemetry_window_s = std::strtod(value.c_str(), nullptr);
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      health = true;
+    } else if (std::strcmp(argv[i], "--health-fatal") == 0) {
+      health = true;
+      health_fatal = true;
+    } else if (ParseFlag(argv[i], "--health-check-period", &value)) {
+      health_check_period_s = std::strtod(value.c_str(), nullptr);
     } else if (std::strcmp(argv[i], "--slo-fatal") == 0) {
       slo_fatal = true;
     } else if (ParseFlag(argv[i], "--slo-insert-p50", &value)) {
@@ -191,6 +235,19 @@ int main(int argc, char** argv) {
   options.slo = slo;
   options.slo_probes = slo_any;
   options.slo_fatal = slo_fatal;
+  options.health_probes = health;
+  options.health_fatal = health_fatal;
+  if (health_check_period_s > 0.0) {
+    options.health_check_period =
+        static_cast<sim::SimTime>(health_check_period_s *
+                                  static_cast<double>(sim::kSecond));
+  }
+  options.timeline = !timeline_path.empty();
+  options.timeline_top_k = timeline_top_k;
+  if (telemetry_window_s > 0.0) {
+    options.cluster.telemetry_window = static_cast<sim::SimTime>(
+        telemetry_window_s * static_cast<double>(sim::kSecond));
+  }
   if (paper) {
     // Paper timers are ~20x slower than FastDefaults; give reorganizations
     // a commensurate drain window before each probe round.
@@ -207,7 +264,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
       return 2;
     }
-    trace_out << runner.cluster()->sim().tracer().ChromeTraceJson();
+    trace_out << runner.cluster()->sim().tracer().ChromeTraceJson(trace_filter);
     std::printf("trace written to %s (%zu records, %llu dropped)\n",
                 trace_path.c_str(),
                 runner.cluster()->sim().tracer().record_count(),
@@ -217,6 +274,15 @@ int main(int argc, char** argv) {
   if (!report.trace_dump.empty()) {
     std::fprintf(stderr, "--- flight recorder (audit failure) ---\n%s",
                  report.trace_dump.c_str());
+  }
+  if (!timeline_path.empty()) {
+    std::ofstream timeline_out(timeline_path);
+    if (!timeline_out) {
+      std::fprintf(stderr, "cannot write %s\n", timeline_path.c_str());
+      return 2;
+    }
+    timeline_out << report.timeline_json;
+    std::printf("timeline written to %s\n", timeline_path.c_str());
   }
   if (!csv_path.empty()) {
     std::ofstream csv(csv_path);
