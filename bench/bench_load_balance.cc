@@ -48,8 +48,8 @@ Balance RunOnce(bool zipf, uint64_t seed) {
   Balance b;
   const size_t sf = c.options().ds.storage_factor;
   for (workload::PeerStack* p : c.LiveMembers()) {
-    counts.Add(static_cast<double>(p->ds->items().size()));
-    if (p->ds->items().size() > 2 * sf) ++b.over_bound;
+    counts.Add(static_cast<double>(p->ds->ItemCount()));
+    if (p->ds->ItemCount() > 2 * sf) ++b.over_bound;
   }
   b.mean = counts.mean();
   b.max = counts.max();

@@ -59,7 +59,7 @@ int main() {
   // Storage balance despite the skew.
   size_t max_items = 0, peers = 0;
   for (auto* p : cluster.LiveMembers()) {
-    max_items = std::max(max_items, p->ds->items().size());
+    max_items = std::max(max_items, p->ds->ItemCount());
     ++peers;
   }
   std::printf("%d articles over %zu peers; fullest peer holds %zu items "

@@ -53,7 +53,7 @@ int main() {
   // Kill a peer; replication revives its items and queries stay correct.
   PeerStack* victim = cluster.LiveMembers()[3];
   std::printf("failing peer %u (%zu items)...\n", victim->id(),
-              victim->ds->items().size());
+              victim->ds->ItemCount());
   cluster.FailPeer(victim);
   cluster.RunFor(30 * sim::kSecond);
 

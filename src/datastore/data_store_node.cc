@@ -16,12 +16,19 @@ DataStoreNode::DataStoreNode(ring::RingNode* ring, FreePeerPool* pool,
     : sim::ProtocolComponent(ring->node()),
       ring_(ring),
       pool_(pool),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      store_(store::MakeItemStore(options_.store)) {
   if (options_.metrics != nullptr) {
     Counters& ctr = options_.metrics->counters();
     m_activations_ = ctr.Intern("ds.activations");
     m_pull_revived_items_ = ctr.Intern("ds.pull_revived_items");
     m_pull_revived_rehomed_ = ctr.Intern("ds.pull_revived_rehomed");
+    m_store_hits_ = ctr.Intern("store.hits");
+    m_store_faults_ = ctr.Intern("store.faults");
+    m_store_evictions_ = ctr.Intern("store.evictions");
+    m_store_writebacks_ = ctr.Intern("store.writebacks");
+    m_store_pages_alloc_ = ctr.Intern("store.pages_alloc");
+    m_store_btree_splits_ = ctr.Intern("store.btree_splits");
   }
   On<DsInsertRequest>(
       [this](const sim::Message& m, const DsInsertRequest& req) {
@@ -48,8 +55,7 @@ void DataStoreNode::Activate(RingRange range, std::vector<Item> items) {
   if (options_.observer != nullptr) {
     options_.observer->OnRangeChange(id(), range_, /*active=*/true);
   }
-  items_.clear();
-  item_epochs_.clear();
+  store_->Clear();
   // Deletion memory is per incarnation: answering "recently deleted" for a
   // key this store only deleted in a previous life would wrongly ack a
   // fresh delete as idempotent.
@@ -73,13 +79,16 @@ void DataStoreNode::ActivateFromHandoff(const SplitHandoff& handoff) {
 }
 
 void DataStoreNode::Deactivate() {
-  for (const auto& kv : items_) {
-    if (options_.observer != nullptr) {
-      options_.observer->OnDrop(id(), kv.first);
+  if (options_.observer != nullptr) {
+    // Collect first: the observer must not run against a live cursor.
+    std::vector<Key> keys;
+    keys.reserve(store_->size());
+    for (auto cur = store_->SeekFirst(); cur->valid(); cur->Next()) {
+      keys.push_back(cur->item().skv);
     }
+    for (Key skv : keys) options_.observer->OnDrop(id(), skv);
   }
-  items_.clear();
-  item_epochs_.clear();
+  store_->Clear();
   active_ = false;
   range_ = RingRange::Empty();
   if (options_.observer != nullptr) {
@@ -99,18 +108,16 @@ void DataStoreNode::OnPredChanged() { takeover_->OnPredChanged(); }
 // --- Basic item plumbing ----------------------------------------------------
 
 void DataStoreNode::StoreItem(const Item& item) {
-  items_[item.skv] = item;
-  item_epochs_[item.skv] = ++mutation_epoch_;
+  store_->Put(item, ++mutation_epoch_);
   if (options_.observer != nullptr) {
     options_.observer->OnStore(id(), item.skv);
   }
 }
 
 void DataStoreNode::DropItem(Key skv) {
-  if (items_.erase(skv) > 0) {
+  if (store_->Erase(skv)) {
     // A drop advances the group version too: replica manifests must
     // diverge from any copy still holding the item.
-    item_epochs_.erase(skv);
     ++mutation_epoch_;
   }
   if (options_.observer != nullptr) {
@@ -143,8 +150,33 @@ bool DataStoreNode::DeletedSince(Key skv, uint64_t since_epoch) const {
 
 std::vector<Item> DataStoreNode::GetLocalItems() const {
   std::vector<Item> out;
-  out.reserve(items_.size());
-  for (const auto& kv : items_) out.push_back(kv.second);
+  out.reserve(store_->size());
+  for (auto cur = store_->SeekFirst(); cur->valid(); cur->Next()) {
+    out.push_back(cur->item());
+  }
+  return out;
+}
+
+void DataStoreNode::ForEachItem(
+    const std::function<void(const Item&, uint64_t)>& fn) const {
+  for (auto cur = store_->SeekFirst(); cur->valid(); cur->Next()) {
+    fn(cur->item(), cur->epoch());
+  }
+}
+
+std::map<Key, Item> DataStoreNode::ItemsSnapshot() const {
+  std::map<Key, Item> out;
+  for (auto cur = store_->SeekFirst(); cur->valid(); cur->Next()) {
+    out.emplace_hint(out.end(), cur->item().skv, cur->item());
+  }
+  return out;
+}
+
+std::map<Key, uint64_t> DataStoreNode::ItemEpochsSnapshot() const {
+  std::map<Key, uint64_t> out;
+  for (auto cur = store_->SeekFirst(); cur->valid(); cur->Next()) {
+    out.emplace_hint(out.end(), cur->item().skv, cur->epoch());
+  }
   return out;
 }
 
@@ -174,7 +206,7 @@ Status DataStoreNode::DeleteLocal(Key skv) {
   if (rebalancer_->rebalancing()) {
     return Status::Unavailable("range reorganization in progress");
   }
-  if (items_.find(skv) == items_.end()) {
+  if (!store_->Contains(skv)) {
     // Idempotent retry: a delete that already applied here — its ack lost
     // to a failure, or delayed past the caller's timeout by the durable-ack
     // replication wait — must succeed, not NotFound.  The caller's oracle
@@ -190,6 +222,61 @@ Status DataStoreNode::DeleteLocal(Key skv) {
   return Status::OK();
 }
 
+// --- Simulated store I/O ----------------------------------------------------
+
+void DataStoreNode::BeginStoreOp() {
+  // Latency accrued since the last op belongs to control-context reads
+  // (probes, snapshots, test assertions) — they must never shift the event
+  // schedule, so their accrual is discarded, not charged.
+  store_->DrainAccruedLatency();
+}
+
+void DataStoreNode::ChargeStoreIo(std::function<void()> fn) {
+  NoteStoreActivity();
+  const uint64_t accrued = store_->DrainAccruedLatency();
+  if (accrued == 0) {
+    // Inline, not After(0): a zero-delay timer is a schedule event, and the
+    // zero-latency paged backend must replay the in-memory schedule
+    // bit-identically.
+    fn();
+    return;
+  }
+  After(static_cast<sim::SimTime>(accrued), std::move(fn));
+}
+
+void DataStoreNode::NoteStoreActivity() {
+  const store::StoreStats& s = store_->stats();
+  if (options_.monitor != nullptr) {
+    const uint64_t dh = s.hits - flushed_.hits;
+    const uint64_t df = s.faults - flushed_.faults;
+    if (dh != 0 || df != 0) {
+      options_.monitor->OnStoreAccess(id(), dh, df, now());
+    }
+  }
+  if (options_.metrics != nullptr) {
+    Counters& ctr = options_.metrics->counters();
+    if (s.hits != flushed_.hits) {
+      ctr.Inc(m_store_hits_, s.hits - flushed_.hits);
+    }
+    if (s.faults != flushed_.faults) {
+      ctr.Inc(m_store_faults_, s.faults - flushed_.faults);
+    }
+    if (s.evictions != flushed_.evictions) {
+      ctr.Inc(m_store_evictions_, s.evictions - flushed_.evictions);
+    }
+    if (s.writebacks != flushed_.writebacks) {
+      ctr.Inc(m_store_writebacks_, s.writebacks - flushed_.writebacks);
+    }
+    if (s.pages_alloc != flushed_.pages_alloc) {
+      ctr.Inc(m_store_pages_alloc_, s.pages_alloc - flushed_.pages_alloc);
+    }
+    if (s.btree_splits != flushed_.btree_splits) {
+      ctr.Inc(m_store_btree_splits_, s.btree_splits - flushed_.btree_splits);
+    }
+  }
+  flushed_ = s;
+}
+
 // --- CircularItemView --------------------------------------------------------
 
 bool CircularItemView::wraps() const {
@@ -200,22 +287,22 @@ Key CircularItemView::lo_bound() const {
   return range_.full() ? range_.hi() : range_.lo();
 }
 
-// Turns a raw (pos, wrapped) position into either a valid element or the
+// Turns a raw (cursor, wrapped) position into either a valid element or the
 // canonical end state.
 void CircularItemView::Settle(Iterator& it) const {
   if (wraps()) {
-    if (!it.wrapped_ && it.pos_ == items_->end()) {
+    if (!it.wrapped_ && !it.cursor_->valid()) {
       // Keys above lo exhausted: continue with the wrapped tail, which runs
       // up to hi (== the anchor for a full range, so the tail then covers
       // every remaining key).  Items in the uncovered gap (hi, lo] are not
       // ours and stay out of the view, same as the plain-range branch.
-      it.pos_ = items_->begin();
+      it.cursor_ = store_->SeekFirst();
       it.wrapped_ = true;
     }
-    it.done_ = it.pos_ == items_->end() ||
-               (it.wrapped_ && it.pos_->first > range_.hi());
+    it.done_ = !it.cursor_->valid() ||
+               (it.wrapped_ && it.cursor_->item().skv > range_.hi());
   } else {
-    it.done_ = it.pos_ == items_->end() || it.pos_->first > range_.hi();
+    it.done_ = !it.cursor_->valid() || it.cursor_->item().skv > range_.hi();
   }
 }
 
@@ -223,7 +310,7 @@ CircularItemView::Iterator CircularItemView::begin() const {
   if (range_.IsEmpty()) return end();
   Iterator it;
   it.view_ = this;
-  it.pos_ = items_->upper_bound(lo_bound());
+  it.cursor_ = store_->SeekAfter(lo_bound());
   it.wrapped_ = false;
   Settle(it);
   return it;
@@ -232,28 +319,20 @@ CircularItemView::Iterator CircularItemView::begin() const {
 CircularItemView::Iterator CircularItemView::end() const {
   Iterator it;
   it.view_ = this;
-  it.pos_ = items_->end();
   it.done_ = true;
   return it;
 }
 
 CircularItemView::Iterator& CircularItemView::Iterator::operator++() {
-  ++pos_;
+  cursor_->Next();
   view_->Settle(*this);
   return *this;
 }
 
 size_t CircularItemView::size() const {
-  if (range_.IsEmpty()) return 0;
-  if (range_.full()) return items_->size();
-  if (wraps()) {
-    // Keys above lo plus the wrapped tail up to hi.
-    return static_cast<size_t>(
-        std::distance(items_->upper_bound(range_.lo()), items_->end()) +
-        std::distance(items_->begin(), items_->upper_bound(range_.hi())));
-  }
-  return static_cast<size_t>(std::distance(
-      items_->upper_bound(range_.lo()), items_->upper_bound(range_.hi())));
+  size_t n = 0;
+  for (Iterator it = begin(); it != end(); ++it) ++n;
+  return n;
 }
 
 std::vector<Item> CircularItemView::TakePrefix(size_t n) const {
@@ -268,7 +347,6 @@ std::vector<Item> CircularItemView::TakePrefix(size_t n) const {
 std::vector<Item> DataStoreNode::ItemsInCircularOrder() const {
   const CircularItemView view = OrderedItems();
   std::vector<Item> out;
-  out.reserve(view.size());
   for (const Item& it : view) out.push_back(it);
   return out;
 }
@@ -333,12 +411,18 @@ bool DataStoreNode::rebalancing() const { return rebalancer_->rebalancing(); }
 
 void DataStoreNode::HandleInsert(const sim::Message& msg,
                                  const DsInsertRequest& req) {
-  ReplyWhenDurable(msg, InsertLocal(req.item));
+  BeginStoreOp();
+  const Status s = InsertLocal(req.item);
+  // The mutation's own page faults (tree descent, leaf write, splits) delay
+  // the acknowledgement path, never the mutation itself.
+  ChargeStoreIo([this, msg, s]() { ReplyWhenDurable(msg, s); });
 }
 
 void DataStoreNode::HandleDelete(const sim::Message& msg,
                                  const DsDeleteRequest& req) {
-  ReplyWhenDurable(msg, DeleteLocal(req.skv));
+  BeginStoreOp();
+  const Status s = DeleteLocal(req.skv);
+  ChargeStoreIo([this, msg, s]() { ReplyWhenDurable(msg, s); });
 }
 
 // Acknowledges an item mutation.  Under the PEPPER availability protocol a
@@ -398,7 +482,7 @@ void DataStoreNode::PromotePulled(const Item& item, uint64_t revive_epoch) {
   // the answering holder's copy predates it.
   if (DeletedSince(item.skv, revive_epoch)) return;
   if (active_ && range_.Contains(item.skv) && !lock_.write_held()) {
-    if (items_.find(item.skv) != items_.end()) return;
+    if (store_->Contains(item.skv)) return;
     StoreItem(item);
     TraceMark("ds.pull_promote", item.skv);
     if (options_.metrics != nullptr) {

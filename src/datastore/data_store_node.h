@@ -22,6 +22,7 @@
 #include "datastore/scan_engine.h"
 #include "ring/ring_node.h"
 #include "sim/component.h"
+#include "store/item_store.h"
 
 namespace pepper::telemetry {
 class LoadMonitor;
@@ -32,12 +33,13 @@ namespace pepper::datastore {
 class Rebalancer;
 class TakeoverEngine;
 
-// Zero-copy ordered view over a peer's items in circular order starting
-// just past its range's low end — the order every split/redistribute
-// decision works in.  Iterating materializes nothing; only the prefix a
-// decision actually hands off gets copied by the caller.  Like any map
-// view, it is invalidated by item or range mutations; consume it before
-// releasing the facade's write lock.
+// Ordered view over a peer's items in circular order starting just past its
+// range's low end — the order every split/redistribute decision works in.
+// Built on ItemStore cursors, so it works over any backend; iterating
+// materializes nothing, and only the prefix a decision actually hands off
+// gets copied by the caller.  Iterators are single-pass (input iterators)
+// and, like any store cursor, invalidated by item or range mutations;
+// consume the view before releasing the facade's write lock.
 class CircularItemView {
  public:
   class Iterator {
@@ -48,25 +50,28 @@ class CircularItemView {
     using pointer = const Item*;
     using reference = const Item&;
 
-    reference operator*() const { return pos_->second; }
-    pointer operator->() const { return &pos_->second; }
+    reference operator*() const { return cursor_->item(); }
+    pointer operator->() const { return &cursor_->item(); }
     Iterator& operator++();
     bool operator==(const Iterator& o) const {
-      return done_ == o.done_ && (done_ || pos_ == o.pos_);
+      if (done_ || o.done_) return done_ == o.done_;
+      return cursor_->item().skv == o.cursor_->item().skv;
     }
     bool operator!=(const Iterator& o) const { return !(*this == o); }
 
    private:
     friend class CircularItemView;
     const CircularItemView* view_ = nullptr;
-    std::map<Key, Item>::const_iterator pos_;
+    // Shared so iterators stay copyable; copies alias one position, the
+    // usual single-pass input-iterator caveat.
+    std::shared_ptr<store::ItemStore::Cursor> cursor_;
     bool wrapped_ = false;
     bool done_ = true;
   };
 
   Iterator begin() const;
   Iterator end() const;
-  // Number of items the iteration visits; O(size) pointer chasing, no Item
+  // Number of items the iteration visits; O(size) cursor stepping, no Item
   // copies.
   size_t size() const;
   bool empty() const { return begin() == end(); }
@@ -76,8 +81,8 @@ class CircularItemView {
 
  private:
   friend class DataStoreNode;
-  CircularItemView(const std::map<Key, Item>* items, const RingRange& range)
-      : items_(items), range_(range) {}
+  CircularItemView(store::ItemStore* store, const RingRange& range)
+      : store_(store), range_(range) {}
 
   // A full or wrapped range visits every item (keys > lo, then the wrapped
   // tail with keys <= lo); a plain range visits keys in (lo, hi].
@@ -85,7 +90,7 @@ class CircularItemView {
   Key lo_bound() const;
   void Settle(Iterator& it) const;
 
-  const std::map<Key, Item>* items_;
+  store::ItemStore* store_;
   RingRange range_;
 };
 
@@ -164,6 +169,10 @@ struct DataStoreOptions {
   // PEPPER replicate-to-additional-hop before a merge departure (Section
   // 5.2); false reproduces the naive baseline that can lose items.
   bool pepper_availability = true;
+  // Which engine backs the local item set (and its knobs); see
+  // store/item_store.h.  The in-memory default is bit-identical to the
+  // paged backend at page_io_latency = 0.
+  store::StoreOptions store;
   MetricsHub* metrics = nullptr;         // optional, not owned
   DataStoreObserver* observer = nullptr;  // optional, not owned
   // Windowed load attribution (optional, not owned).  Mutation counts are
@@ -173,8 +182,9 @@ struct DataStoreOptions {
 };
 
 // The PEPPER Data Store facade (Figure 1).  Owns the peer's assigned range
-// (pred.val, val], the items mapped into it, and the range lock; the three
-// protocol engines stacked on the same host node do the actual work:
+// (pred.val, val], the ItemStore holding the items mapped into it, and the
+// range lock; the three protocol engines stacked on the same host node do
+// the actual work:
 //
 //   ScanEngine      — the scanRange accept/process/forward chain
 //                     (Section 4.3.2, Algorithms 3-5)
@@ -188,7 +198,9 @@ struct DataStoreOptions {
 // The facade exposes the paper's Data Store API unchanged, handles plain
 // item traffic itself, and provides the engines a narrow core surface
 // (StoreItem/DropItem/set_range/locks) so every range or item mutation is
-// observable in one place.
+// observable in one place.  Engines and clients never see the backing
+// container: lookups go through HasItem/FindItem, iteration through
+// ForEachItem/OrderedItems — the ItemStore contract.
 class DataStoreNode : public sim::ProtocolComponent {
  public:
   using ScanHandler = ScanEngine::ScanHandler;
@@ -217,10 +229,30 @@ class DataStoreNode : public sim::ProtocolComponent {
 
   bool active() const { return active_; }
   const RingRange& range() const { return range_; }
-  const std::map<Key, Item>& items() const { return items_; }
   RangeLock& lock() { return lock_; }
   ring::RingNode* ring() { return ring_; }
   const DataStoreOptions& options() const { return options_; }
+
+  // --- Item access (the ItemStore surface) ---------------------------------
+
+  size_t ItemCount() const { return store_->size(); }
+  bool HasItem(Key skv) const { return store_->Contains(skv); }
+  // Copies the item out; false when absent.
+  bool FindItem(Key skv, Item* out) const {
+    return store_->Get(skv, out, nullptr);
+  }
+  // Visits every stored (item, epoch) in ascending key order.
+  void ForEachItem(
+      const std::function<void(const Item&, uint64_t)>& fn) const;
+  // Materialized copies, for callers that need a container (manifest
+  // builds, test assertions).  O(n); prefer ForEachItem on hot paths.
+  std::map<Key, Item> ItemsSnapshot() const;
+  std::map<Key, uint64_t> ItemEpochsSnapshot() const;
+
+  // Backend observability: cumulative engine counters (buffer hits/faults,
+  // evictions, write-backs, page/tree activity) and the backend name.
+  const store::StoreStats& store_stats() const { return store_->stats(); }
+  const char* store_backend() const { return store_->name(); }
 
   // getLocalItems(): the items currently in this peer's Data Store.
   std::vector<Item> GetLocalItems() const;
@@ -234,8 +266,6 @@ class DataStoreNode : public sim::ProtocolComponent {
 
   // The epoch of the most recent mutation (0 before the first one).
   uint64_t mutation_epoch() const { return mutation_epoch_; }
-  // Per-item epochs for the items currently stored (same keys as items()).
-  const std::map<Key, uint64_t>& item_epochs() const { return item_epochs_; }
   // True if `skv` was deleted here after `since_epoch` (bounded memory of
   // recent deletions).  Asynchronous revival paths snapshot the epoch when
   // they start and refuse to resurrect anything deleted since — a revive
@@ -288,11 +318,24 @@ class DataStoreNode : public sim::ProtocolComponent {
   void set_range(const RingRange& range);
   void Deactivate();
 
+  // --- Simulated store I/O (deterministic latency charging) ----------------
+  // A paged backend accrues `page_io_latency` per fault instead of ever
+  // blocking.  Protocol operations bracket their store accesses:
+  // BeginStoreOp() at entry discards whatever control-context reads
+  // (probes, snapshots) accrued since the last op, then ChargeStoreIo(fn)
+  // at the ack point drains the op's own accrual — running `fn` inline
+  // when it is zero (the default page_io_latency = 0 therefore replays the
+  // in-memory schedule bit-identically; an After(0) would not) and through
+  // the node's timer otherwise.  Also flushes per-op store counter deltas
+  // into MetricsHub and the windowed telemetry.
+  void BeginStoreOp();
+  void ChargeStoreIo(std::function<void()> fn);
+
   // Ordered, copy-free view of our items starting just past the range's
   // low end; split/redistribute decisions iterate only the prefix they
   // hand off.
   CircularItemView OrderedItems() const {
-    return CircularItemView(&items_, range_);
+    return CircularItemView(store_.get(), range_);
   }
 
   // Materialized form of OrderedItems() — O(n) copies; prefer the view on
@@ -331,6 +374,9 @@ class DataStoreNode : public sim::ProtocolComponent {
   void PromotePulled(const Item& item, uint64_t revive_epoch);
   // Tombstones a client deletion (DeleteLocal only — never handoff drops).
   void RecordRecentDelete(Key skv);
+  // Flushes store-counter deltas since the last flush into the interned
+  // MetricsHub handles and the per-window telemetry (store hits/faults).
+  void NoteStoreActivity();
 
   ring::RingNode* ring_;
   FreePeerPool* pool_;
@@ -344,11 +390,21 @@ class DataStoreNode : public sim::ProtocolComponent {
   Counters::Id m_activations_ = 0;
   Counters::Id m_pull_revived_items_ = 0;
   Counters::Id m_pull_revived_rehomed_ = 0;
+  // Interned store.* handles, flushed by NoteStoreActivity.
+  Counters::Id m_store_hits_ = 0;
+  Counters::Id m_store_faults_ = 0;
+  Counters::Id m_store_evictions_ = 0;
+  Counters::Id m_store_writebacks_ = 0;
+  Counters::Id m_store_pages_alloc_ = 0;
+  Counters::Id m_store_btree_splits_ = 0;
 
   bool active_ = false;
   RingRange range_;
-  std::map<Key, Item> items_;
-  std::map<Key, uint64_t> item_epochs_;
+  // The storage plane.  Mutable because reads fault buffer-pool state on a
+  // paged backend; the facade's const accessors stay const.
+  mutable std::unique_ptr<store::ItemStore> store_;
+  // Stats already flushed to MetricsHub/telemetry (NoteStoreActivity).
+  store::StoreStats flushed_;
   uint64_t mutation_epoch_ = 0;
   // Epochs of recent deletions, FIFO-bounded (see DeletedSince).
   std::map<Key, uint64_t> recent_delete_epochs_;

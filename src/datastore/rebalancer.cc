@@ -50,9 +50,9 @@ void Rebalancer::MaybeRebalance() {
   if (!ds_->active() || rebalancing_ || merge_busy_) return;
   MaybeStartReviveSweep();
   const size_t sf = ds_->options().storage_factor;
-  if (ds_->items().size() > 2 * sf) {
+  if (ds_->ItemCount() > 2 * sf) {
     StartSplit();
-  } else if (ds_->items().size() < sf && !ds_->range().full()) {
+  } else if (ds_->ItemCount() < sf && !ds_->range().full()) {
     StartUnderflow();
   }
 }
@@ -67,7 +67,7 @@ void Rebalancer::MaybeStartReviveSweep() {
   if (replication == nullptr || ds_->lock().write_held()) return;
   bool missing = false;
   for (const Item& it : replication->CollectReplicasIn(ds_->range())) {
-    if (ds_->items().find(it.skv) == ds_->items().end()) {
+    if (!ds_->HasItem(it.skv)) {
       missing = true;
       break;
     }
@@ -75,7 +75,7 @@ void Rebalancer::MaybeStartReviveSweep() {
   if (!missing) return;
   replication->StartReviveSweep(ds_->range(), [this](const Item& it) {
     if (!ds_->active() || ds_->lock().write_held() ||
-        !ds_->range().Contains(it.skv) || ds_->items().count(it.skv) > 0) {
+        !ds_->range().Contains(it.skv) || ds_->HasItem(it.skv)) {
       return;  // next sweep retries if still relevant
     }
     ds_->StoreItem(it);
@@ -130,7 +130,7 @@ void Rebalancer::StartSplit() {
       return;
     }
     if (!ds_->active() ||
-        ds_->items().size() <= 2 * ds_->options().storage_factor) {
+        ds_->ItemCount() <= 2 * ds_->options().storage_factor) {
       EndRebalance(true);
       TraceFinish(op);
       return;
@@ -161,7 +161,7 @@ void Rebalancer::ContinueSplitWithPeer(std::optional<sim::NodeId> free_peer,
       return;
     }
     if (!ds_->active() ||
-        ds_->items().size() <= 2 * ds_->options().storage_factor) {
+        ds_->ItemCount() <= 2 * ds_->options().storage_factor) {
       ds_->pool()->Add(*free_peer);
       EndRebalance(true);
       TraceFinish(op);
@@ -171,6 +171,7 @@ void Rebalancer::ContinueSplitWithPeer(std::optional<sim::NodeId> free_peer,
     // Split point: the new peer takes the lower half of our range
     // (Figure 5: p4 overflows, free peer p3 takes over the lower items).
     // Only the handed-off half is materialized; the view copies nothing.
+    ds_->BeginStoreOp();
     const CircularItemView view = ds_->OrderedItems();
     const size_t give = view.size() / 2;
     if (give == 0) {  // in-range items lag the raw count mid-transition
@@ -197,27 +198,33 @@ void Rebalancer::ContinueSplitWithPeer(std::optional<sim::NodeId> free_peer,
       }
     };
 
-    // The new peer must be inserted as the successor of our predecessor.
-    // A lone peer (or one with no predecessor hint yet) is its own
-    // predecessor.
-    ring::RingNode* ring = ds_->ring();
-    if (range.full() || !ring->has_pred() || ring->pred_id() == id()) {
-      ring->InsertSucc(new_peer, split_point, handoff, finish);
-      return;
-    }
-    auto req = std::make_shared<SplitInsertRequest>();
-    req->new_peer = new_peer;
-    req->new_val = split_point;
-    req->handoff = handoff;
-    Call(
-        ring->pred_id(), req,
-        [finish](const sim::Message& m) {
-          const auto& ack = static_cast<const DsAck&>(*m.payload);
-          finish(ack.ok ? Status::OK() : Status::Aborted(ack.error));
-        },
-        // The predecessor's insertSucc itself waits for ack propagation.
-        ring->options().insert_ack_timeout + ds_->options().rpc_timeout,
-        [finish]() { finish(Status::TimedOut("split insert timed out")); });
+    // Collecting the handed-off prefix walked the store; the accrued
+    // simulated I/O delays the handoff dispatch (write lock stays held).
+    const bool was_full = range.full();
+    ds_->ChargeStoreIo([this, was_full, new_peer, split_point, handoff,
+                        finish]() {
+      // The new peer must be inserted as the successor of our predecessor.
+      // A lone peer (or one with no predecessor hint yet) is its own
+      // predecessor.
+      ring::RingNode* ring = ds_->ring();
+      if (was_full || !ring->has_pred() || ring->pred_id() == id()) {
+        ring->InsertSucc(new_peer, split_point, handoff, finish);
+        return;
+      }
+      auto req = std::make_shared<SplitInsertRequest>();
+      req->new_peer = new_peer;
+      req->new_val = split_point;
+      req->handoff = handoff;
+      Call(
+          ring->pred_id(), req,
+          [finish](const sim::Message& m) {
+            const auto& ack = static_cast<const DsAck&>(*m.payload);
+            finish(ack.ok ? Status::OK() : Status::Aborted(ack.error));
+          },
+          // The predecessor's insertSucc itself waits for ack propagation.
+          ring->options().insert_ack_timeout + ds_->options().rpc_timeout,
+          [finish]() { finish(Status::TimedOut("split insert timed out")); });
+    });
 }
 
 void Rebalancer::FinishSplit(sim::NodeId free_peer, Key split_point,
@@ -262,7 +269,7 @@ void Rebalancer::StartUnderflow() {
       return;
     }
     if (!ds_->active() ||
-        ds_->items().size() >= ds_->options().storage_factor ||
+        ds_->ItemCount() >= ds_->options().storage_factor ||
         ds_->range().full()) {
       EndRebalance(true);
       TraceFinish(op);
@@ -279,7 +286,7 @@ void Rebalancer::StartUnderflow() {
     if (op.active()) trace::Tracer::SetCurrent(op.ctx);
     auto proposal = std::make_shared<MergeProposal>();
     proposal->proposer_val = ds_->range().hi();
-    proposal->count = ds_->items().size();
+    proposal->count = ds_->ItemCount();
     const sim::NodeId succ_id = succ->id;
     Call(
         succ_id, proposal,
@@ -349,7 +356,11 @@ void Rebalancer::DoMergeLeave(sim::NodeId succ_id, const trace::OpToken& op) {
       }
       auto takeover = std::make_shared<MergeTakeover>();
       takeover->range = ds_->range();
+      ds_->BeginStoreOp();
       takeover->items = ds_->GetLocalItems();
+      // Reading out the whole store for the transfer is the departure's
+      // I/O bill; it delays the takeover RPC.
+      ds_->ChargeStoreIo([this, succ_id, takeover, merge_started, op]() {
       Call(
           succ_id, takeover,
           [this, merge_started, op](const sim::Message& m) {
@@ -382,6 +393,7 @@ void Rebalancer::DoMergeLeave(sim::NodeId succ_id, const trace::OpToken& op) {
             EndRebalance(true);
             TraceFinish(op);
           });
+      });
     });
   };
   if (ds_->options().pepper_availability && ds_->replication() != nullptr) {
@@ -429,10 +441,11 @@ void Rebalancer::HandleMergeProposal(const sim::Message& msg,
       return;
     }
     const size_t sf = ds_->options().storage_factor;
-    const size_t total = ds_->items().size() + proposer_count;
-    if (total >= 2 * sf && ds_->items().size() > sf) {
+    const size_t total = ds_->ItemCount() + proposer_count;
+    if (total >= 2 * sf && ds_->ItemCount() > sf) {
       // Redistribute: hand the proposer our low-side items so both end up
       // near total/2 (Section 2.3).
+      ds_->BeginStoreOp();
       const CircularItemView view = ds_->OrderedItems();
       if (view.size() < 2) {
         merge_busy_ = false;
@@ -440,7 +453,7 @@ void Rebalancer::HandleMergeProposal(const sim::Message& msg,
         reject("nothing to redistribute");
         return;
       }
-      size_t target_give = ds_->items().size() - total / 2;
+      size_t target_give = ds_->ItemCount() - total / 2;
       target_give = std::max<size_t>(target_give, 1);
       target_give = std::min(target_give, view.size() - 1);
       std::vector<Item> given = view.TakePrefix(target_give);
@@ -451,10 +464,14 @@ void Rebalancer::HandleMergeProposal(const sim::Message& msg,
       for (const Item& it : given) ds_->DropItem(it.skv);
       ds_->set_range(RingRange::OpenClosed(decision->new_val,
                                            ds_->range().hi()));
-      Reply(msg, decision);
-      ds_->ReplicateMovedItems();
-      ds_->lock().ReleaseWrite();
-      merge_busy_ = false;
+      // Collecting and dropping the handed prefix walked the store; the
+      // accrued I/O delays the redistribute reply, lock still held.
+      ds_->ChargeStoreIo([this, msg, decision]() {
+        Reply(msg, decision);
+        ds_->ReplicateMovedItems();
+        ds_->lock().ReleaseWrite();
+        merge_busy_ = false;
+      });
       return;
     }
     // Full takeover: keep our write lock until the leaver transfers its
@@ -483,6 +500,7 @@ void Rebalancer::HandleMergeProposal(const sim::Message& msg,
 void Rebalancer::HandleMergeTakeover(const sim::Message& msg,
                                      const MergeTakeover& req) {
   auto absorb = [this, msg, req]() {
+    ds_->BeginStoreOp();
     for (const Item& it : req.items) ds_->StoreItem(it);
     const Key hi = ds_->range().hi();
     const Key new_lo = req.range.full() ? hi : req.range.lo();
@@ -492,10 +510,14 @@ void Rebalancer::HandleMergeTakeover(const sim::Message& msg,
       ds_->options().monitor->OnReorg(id(), telemetry::ReorgKind::kMerge,
                                       now());
     }
-    ds_->lock().ReleaseWrite();
-    Reply(msg, sim::MakePayload<DsAck>());
-    ds_->ReplicateMovedItems();
-    After(0, [this]() { MaybeRebalance(); });
+    // Absorbing the leaver's items faulted pages; the accrued I/O delays
+    // the takeover ack (and our lock release) — the honest merge cost.
+    ds_->ChargeStoreIo([this, msg]() {
+      ds_->lock().ReleaseWrite();
+      Reply(msg, sim::MakePayload<DsAck>());
+      ds_->ReplicateMovedItems();
+      After(0, [this]() { MaybeRebalance(); });
+    });
   };
   if (merge_busy_ && takeover_from_ == msg.from) {
     takeover_from_ = sim::kNullNode;

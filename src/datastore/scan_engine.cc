@@ -63,6 +63,7 @@ void ScanEngine::ProcessHandler(Key lb, Key ub, const std::string& handler_id,
     // processed — accept aborts and stalls never count.
     ds_->options().monitor->OnScanServed(id(), now());
   }
+  ds_->BeginStoreOp();
   auto it = handlers_.find(handler_id);
   if (it != handlers_.end()) {
     for (const Span& r : ds_->range().IntersectClosed(Span{lb, ub})) {
@@ -71,20 +72,25 @@ void ScanEngine::ProcessHandler(Key lb, Key ub, const std::string& handler_id,
   } else {
     PEPPER_LOG(Warn) << "no scan handler '" << handler_id << "'";
   }
-  if (ds_->range().Contains(ub)) {
-    ds_->lock().ReleaseRead();  // scan complete at this peer
-    return;
-  }
-  if (hops_left <= 0) {
-    ds_->lock().ReleaseRead();
-    TraceMark("ds.scan_hops_exhausted", lb);
-    if (ds_->metrics() != nullptr) {
-      ds_->metrics()->counters().Inc(m_scan_hops_exhausted_);
+  // The handler iterated our slice through the store; charge any page
+  // faults before the scan proceeds (release or forward).
+  ds_->ChargeStoreIo([this, lb, ub, handler_id, param = std::move(param),
+                      hops_left]() {
+    if (ds_->range().Contains(ub)) {
+      ds_->lock().ReleaseRead();  // scan complete at this peer
+      return;
     }
-    return;
-  }
-  ForwardScan(lb, ub, handler_id, std::move(param), hops_left - 1,
-              ds_->options().scan_succ_retries);
+    if (hops_left <= 0) {
+      ds_->lock().ReleaseRead();
+      TraceMark("ds.scan_hops_exhausted", lb);
+      if (ds_->metrics() != nullptr) {
+        ds_->metrics()->counters().Inc(m_scan_hops_exhausted_);
+      }
+      return;
+    }
+    ForwardScan(lb, ub, handler_id, param, hops_left - 1,
+                ds_->options().scan_succ_retries);
+  });
 }
 
 void ScanEngine::ForwardScan(Key lb, Key ub, const std::string& handler_id,

@@ -68,9 +68,9 @@ void TakeoverEngine::ApplyRangeFromPred() {
       // new predecessor.
       std::vector<Item> orphans;
       const RingRange lost = RingRange::OpenClosed(cur_lo, new_lo);
-      for (const auto& kv : ds_->items()) {
-        if (lost.Contains(kv.first)) orphans.push_back(kv.second);
-      }
+      ds_->ForEachItem([&lost, &orphans](const Item& it, uint64_t) {
+        if (lost.Contains(it.skv)) orphans.push_back(it);
+      });
       if (!orphans.empty()) {
         if (ds_->rehome()) {
           // Routed re-insert with retries: survives the new owner being
@@ -156,7 +156,7 @@ void TakeoverEngine::ApplyRangeFromPred() {
               size_t revived = 0;
               for (const Item& it :
                    ds_->replication()->CollectReplicasIn(gained)) {
-                if (ds_->items().find(it.skv) == ds_->items().end()) {
+                if (!ds_->HasItem(it.skv)) {
                   ds_->StoreItem(it);
                   TraceMark("ds.revive_promote", it.skv);
                   ++revived;
@@ -231,7 +231,7 @@ void TakeoverEngine::HandleMigrate(const sim::Message&,
   std::vector<Item> onward;
   for (const Item& it : req.items) {
     if (ds_->active() && ds_->range().Contains(it.skv)) {
-      if (ds_->items().find(it.skv) == ds_->items().end()) ds_->StoreItem(it);
+      if (!ds_->HasItem(it.skv)) ds_->StoreItem(it);
       continue;
     }
     if (req.hops_left > 0 && ds_->ring()->has_pred()) {

@@ -57,9 +57,9 @@ P2PIndex::P2PIndex(ring::RingNode* ring, datastore::DataStoreNode* ds,
         auto partial = std::make_shared<QueryPartial>();
         partial->query_id = p->query_id;
         partial->r = r;
-        for (const auto& kv : ds_->items()) {
-          if (r.Contains(kv.first)) partial->items.push_back(kv.second);
-        }
+        ds_->ForEachItem([&r, &partial](const datastore::Item& it, uint64_t) {
+          if (r.Contains(it.skv)) partial->items.push_back(it);
+        });
         if (p->initiator == id()) {
           HandleQueryPartial(sim::Message{}, *partial);
         } else {
@@ -338,9 +338,10 @@ void P2PIndex::HandleNaiveScan(const sim::Message&, const NaiveScanMsg& scan) {
   const Span query_span{scan.lb, scan.ub};
   auto pieces = ds_->range().IntersectClosed(query_span);
   partial->r = pieces.empty() ? Span{1, 0} : pieces.front();
-  for (const auto& kv : ds_->items()) {
-    if (query_span.Contains(kv.first)) partial->items.push_back(kv.second);
-  }
+  ds_->ForEachItem(
+      [&query_span, &partial](const datastore::Item& it, uint64_t) {
+    if (query_span.Contains(it.skv)) partial->items.push_back(it);
+  });
   auto deliver_local = scan.initiator == id();
   if (deliver_local) {
     HandleQueryPartial(sim::Message{}, *partial);

@@ -127,7 +127,8 @@ void ReplicationManager::RefreshTick() {
 const ReplicaManifest& ReplicationManager::OwnManifest() {
   if (!own_manifest_valid_ ||
       own_manifest_.version != ds_->mutation_epoch()) {
-    own_manifest_ = BuildManifest(ds_->item_epochs(), ds_->mutation_epoch());
+    own_manifest_ =
+        BuildManifest(ds_->ItemEpochsSnapshot(), ds_->mutation_epoch());
     own_manifest_valid_ = true;
   }
   return own_manifest_;
@@ -138,13 +139,13 @@ std::shared_ptr<ReplicaPushMsg> ReplicationManager::MakeSnapshot(
   auto push = std::make_shared<ReplicaPushMsg>();
   push->owner = id();
   push->owner_val = ring_->val();
-  const auto& epochs = ds_->item_epochs();
-  push->items.reserve(epochs.size());
-  push->epochs.reserve(epochs.size());
-  for (const auto& kv : ds_->items()) {
-    push->items.push_back(kv.second);
-    push->epochs.push_back(epochs.at(kv.first));
-  }
+  const size_t n = ds_->ItemCount();
+  push->items.reserve(n);
+  push->epochs.reserve(n);
+  ds_->ForEachItem([&push](const datastore::Item& item, uint64_t epoch) {
+    push->items.push_back(item);
+    push->epochs.push_back(epoch);
+  });
   push->manifest = OwnManifest();
   push->hops_left = hops_left;
   push->direct = direct;
@@ -207,11 +208,13 @@ void ReplicationManager::PushNow(std::function<void(bool)> settled) {
   }
   const uint64_t version = ds_->mutation_epoch();
   const ReplicaManifest manifest = OwnManifest();
-  const auto& current = ds_->item_epochs();
+  const auto current = ds_->ItemEpochsSnapshot();
   const int hops = static_cast<int>(options_.replication_factor) - 1;
 
   size_t snapshot_cost = kManifestWireBytes;
-  for (const auto& kv : ds_->items()) snapshot_cost += WireBytes(kv.second);
+  ds_->ForEachItem([&snapshot_cost](const datastore::Item& item, uint64_t) {
+    snapshot_cost += WireBytes(item);
+  });
 
   bool sent_delta = false;
   if (options_.delta_pushes && chain_warm_) {
@@ -221,12 +224,14 @@ void ReplicationManager::PushNow(std::function<void(bool)> settled) {
     delta->from_version = last_push_version_;
     delta->manifest = manifest;
     delta->hops_left = hops;
-    const auto& items = ds_->items();
     for (const auto& kv : current) {
       auto base = last_push_epochs_.find(kv.first);
       if (base == last_push_epochs_.end() || base->second != kv.second) {
-        delta->upserts.push_back(items.at(kv.first));
-        delta->upsert_epochs.push_back(kv.second);
+        datastore::Item item;
+        if (ds_->FindItem(kv.first, &item)) {
+          delta->upserts.push_back(std::move(item));
+          delta->upsert_epochs.push_back(kv.second);
+        }
       }
     }
     for (const auto& kv : last_push_epochs_) {

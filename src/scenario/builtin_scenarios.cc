@@ -206,6 +206,29 @@ Scenario SlowPeerScenario(const BuiltinParams& p) {
   return builder.Build();
 }
 
+Scenario BigDataScenario(const BuiltinParams& p) {
+  // Storage-engine stress: an order-of-magnitude insert torrent (10x the
+  // Section 6.1 base rate) grows every arc's item set far past the default
+  // storage factor, then audited range queries sweep the arcs end to end.
+  // Run with --items-scale / --store=paged / --pool-pages to push each
+  // peer's working set through a bounded buffer pool; --min-store-hit-rate
+  // pins that the pool serves the load without thrashing.
+  workload::WorkloadOptions heavy = BaseLoad();
+  heavy.insert_rate_per_sec = 20.0;
+  heavy.delete_rate_per_sec = 1.0;
+  heavy.peer_add_rate_per_sec = 1.0;  // splits need a steady free-peer supply
+  return ScenarioBuilder("big_data")
+      .Describe("storage-heavy paged-store stress: a 10x insert torrent "
+                "grows every arc's tree, then audited range queries sweep "
+                "the items back through the bounded buffer pool")
+      .BaseWorkload(heavy)
+      .Steady(Sec(40, p))
+      .FlashCrowd(/*zipf_theta=*/0.5, /*query_rate_per_sec=*/2.0, Sec(40, p))
+      .Steady(Sec(20, p))
+      .Quiesce(Sec(20, p))
+      .Build();
+}
+
 Scenario ReplicaStorm(const BuiltinParams& p) {
   return ScenarioBuilder("replica_storm")
       .Describe("failure bursts racing the replication refresh: rapid "
@@ -246,6 +269,9 @@ const std::vector<BuiltinScenario>& BuiltinScenarios() {
       {"replica_storm",
        "failure bursts racing the replication refresh (revive stress)",
        &ReplicaStorm},
+      {"big_data",
+       "10x insert torrent + range-query sweeps (paged-store stress)",
+       &BigDataScenario},
       {"slow_peer",
        "one member turns slow-but-alive (gray failure); the flagged zombie "
        "is replaced",

@@ -247,20 +247,20 @@ ProbeOutcome ScenarioRunner::RunProbes() {
   std::set<Key> seen;
   for (const auto& p : cluster.peers()) {
     if (!p->ring->alive() || !p->ds->active()) continue;
-    for (const auto& kv : p->ds->items()) {
-      if (!p->ds->range().Contains(kv.first)) {
+    p->ds->ForEachItem([&](const datastore::Item& item, uint64_t) {
+      if (!p->ds->range().Contains(item.skv)) {
         ++out.conservation_errors;
         out.violations.push_back(
             "conservation: peer " + std::to_string(p->id()) +
-            " holds out-of-range key " + std::to_string(kv.first));
+            " holds out-of-range key " + std::to_string(item.skv));
       }
-      if (!seen.insert(kv.first).second) {
+      if (!seen.insert(item.skv).second) {
         ++out.conservation_errors;
         out.violations.push_back("conservation: key " +
-                                 std::to_string(kv.first) +
+                                 std::to_string(item.skv) +
                                  " owned by two peers");
       }
-    }
+    });
   }
 
   // --- Router dead-end probe ----------------------------------------------
@@ -291,6 +291,32 @@ ProbeOutcome ScenarioRunner::RunProbes() {
        << " forwarding dead-end(s) across " << round_attempts
        << " attempts this round (>2%)";
     out.violations.push_back(os.str());
+  }
+
+  // --- Buffer-pool hit-rate probe -----------------------------------------
+  // With a bounded paged store, a collapsing hit rate means the pool is
+  // thrashing (every access a simulated disk fault) — a capacity-planning
+  // failure the latency statistics would only show indirectly.  Cumulative
+  // over the run; read-only (audit reads perturb no schedule).
+  if (options_.min_store_hit_rate > 0.0) {
+    uint64_t hits = 0;
+    uint64_t faults = 0;
+    for (const auto& p : cluster.peers()) {
+      const store::StoreStats& s = p->ds->store_stats();
+      hits += s.hits;
+      faults += s.faults;
+    }
+    if (hits + faults > 0) {
+      const double rate = static_cast<double>(hits) /
+                          static_cast<double>(hits + faults);
+      if (rate < options_.min_store_hit_rate) {
+        std::ostringstream os;
+        os << "store: buffer hit rate " << rate << " below required "
+           << options_.min_store_hit_rate << " (" << hits << " hits, "
+           << faults << " faults)";
+        out.violations.push_back(os.str());
+      }
+    }
   }
 
   // --- Query audits (Definition 4) ----------------------------------------

@@ -66,6 +66,13 @@ struct RunnerOptions {
   bool slo_probes = false;
   bool slo_fatal = false;
 
+  // Minimum cluster-wide buffer-pool hit rate (hits / (hits + faults)),
+  // summed over every peer's store at each probe round.  0 = unchecked.
+  // Only meaningful with the paged store backend and a bounded pool; the
+  // big_data scenario uses it to pin that the working set actually cycles
+  // through a bounded pool without thrashing.
+  double min_store_hit_rate = 0;
+
   // --- Windowed telemetry / deterministic health probes --------------------
   // Health probes (telemetry/health.h) run over the cluster's LoadMonitor
   // (armed automatically): at every phase boundary, and additionally every

@@ -1,0 +1,442 @@
+#include "store/btree.h"
+
+#include <algorithm>
+
+namespace pepper::store {
+
+namespace {
+
+// Child to descend into for `skv`: first separator > skv (separators mark
+// the smallest key of the subtree to their right, so equality goes right).
+uint16_t FindChild(const Page* p, Key skv) {
+  const Key* begin = p->seps.data();
+  const Key* end = begin + p->count;
+  return static_cast<uint16_t>(std::upper_bound(begin, end, skv) - begin);
+}
+
+// First leaf slot with key >= skv.
+uint16_t LeafLowerBound(const Page* p, Key skv) {
+  uint16_t lo = 0;
+  uint16_t hi = p->count;
+  while (lo < hi) {
+    const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (p->entries[mid].skv < skv) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void LeafInsertAt(Page* leaf, uint16_t pos, const Item& item,
+                  uint64_t epoch) {
+  for (uint16_t i = leaf->count; i > pos; --i) {
+    leaf->entries[i] = std::move(leaf->entries[i - 1]);
+  }
+  leaf->entries[pos] = LeafEntry{item.skv, epoch, item};
+  ++leaf->count;
+}
+
+void LeafRemoveAt(Page* leaf, uint16_t pos) {
+  for (uint16_t i = pos; i + 1 < leaf->count; ++i) {
+    leaf->entries[i] = std::move(leaf->entries[i + 1]);
+  }
+  --leaf->count;
+  leaf->entries[leaf->count] = LeafEntry{};  // release the item string
+}
+
+// Removes separator `i` and child `i + 1` from an interior node.
+void InteriorRemoveAt(Page* node, uint16_t i) {
+  for (uint16_t j = i; j + 1 < node->count; ++j) {
+    node->seps[j] = node->seps[j + 1];
+    node->children[j + 1] = node->children[j + 2];
+  }
+  --node->count;
+}
+
+}  // namespace
+
+void BTree::DescendTo(Key skv, std::vector<PathNode>* path) {
+  PageId cur = root_;
+  while (true) {
+    Page* p = pool_->Pin(cur);
+    PathNode node;
+    node.id = cur;
+    node.page = p;
+    if (p->kind == Page::Kind::kLeaf) {
+      path->push_back(node);
+      return;
+    }
+    node.child = FindChild(p, skv);
+    path->push_back(node);
+    cur = p->children[node.child];
+  }
+}
+
+void BTree::ReleasePath(std::vector<PathNode>* path) {
+  for (auto it = path->rbegin(); it != path->rend(); ++it) {
+    if (it->page != nullptr) pool_->Unpin(it->id, it->dirty);
+  }
+  path->clear();
+}
+
+bool BTree::Get(Key skv, Item* item, uint64_t* epoch) {
+  PageId cur = root_;
+  if (cur == kNullPage) return false;
+  while (true) {
+    Page* p = pool_->Pin(cur);
+    if (p->kind == Page::Kind::kInterior) {
+      const PageId next = p->children[FindChild(p, skv)];
+      pool_->Unpin(cur, false);
+      cur = next;
+      continue;
+    }
+    const uint16_t pos = LeafLowerBound(p, skv);
+    const bool found = pos < p->count && p->entries[pos].skv == skv;
+    if (found) {
+      if (item != nullptr) *item = p->entries[pos].item;
+      if (epoch != nullptr) *epoch = p->entries[pos].epoch;
+    }
+    pool_->Unpin(cur, false);
+    return found;
+  }
+}
+
+bool BTree::Put(const Item& item, uint64_t epoch) {
+  if (root_ == kNullPage) {
+    root_ = storage_->Allocate(Page::Kind::kLeaf);
+    Page* leaf = pool_->Pin(root_);
+    LeafInsertAt(leaf, 0, item, epoch);
+    pool_->Unpin(root_, true);
+    size_ = 1;
+    return true;
+  }
+
+  std::vector<PathNode> path;
+  DescendTo(item.skv, &path);
+  PathNode& leaf_node = path.back();
+  Page* leaf = leaf_node.page;
+
+  const uint16_t pos = LeafLowerBound(leaf, item.skv);
+  if (pos < leaf->count && leaf->entries[pos].skv == item.skv) {
+    leaf->entries[pos].item = item;
+    leaf->entries[pos].epoch = epoch;
+    leaf_node.dirty = true;
+    ReleasePath(&path);
+    return false;
+  }
+
+  if (leaf->count < kLeafSlots) {
+    LeafInsertAt(leaf, pos, item, epoch);
+    leaf_node.dirty = true;
+    ++size_;
+    ReleasePath(&path);
+    return true;
+  }
+
+  // Leaf split: left keeps the lower half, the new right leaf takes the
+  // upper half and slots into the chain; its first key is the separator.
+  const PageId right_id = storage_->Allocate(Page::Kind::kLeaf);
+  Page* right = pool_->Pin(right_id);
+  for (uint16_t i = kLeafMin; i < kLeafSlots; ++i) {
+    right->entries[i - kLeafMin] = std::move(leaf->entries[i]);
+    leaf->entries[i] = LeafEntry{};
+  }
+  right->count = kLeafSlots - kLeafMin;
+  leaf->count = kLeafMin;
+  right->next = leaf->next;
+  leaf->next = right_id;
+  ++stats_->btree_splits;
+
+  const Key sep = right->entries[0].skv;
+  if (item.skv < sep) {
+    LeafInsertAt(leaf, LeafLowerBound(leaf, item.skv), item, epoch);
+  } else {
+    LeafInsertAt(right, LeafLowerBound(right, item.skv), item, epoch);
+  }
+  leaf_node.dirty = true;
+  pool_->Unpin(right_id, true);
+  ++size_;
+
+  InsertIntoParent(&path, static_cast<int>(path.size()) - 2, sep, right_id);
+  ReleasePath(&path);
+  return true;
+}
+
+void BTree::InsertIntoParent(std::vector<PathNode>* path, int level, Key sep,
+                             PageId right_id) {
+  if (level < 0) {
+    // Root split: the tree grows a level.
+    const PageId new_root = storage_->Allocate(Page::Kind::kInterior);
+    Page* r = pool_->Pin(new_root);
+    r->seps[0] = sep;
+    r->children[0] = (*path)[0].id;
+    r->children[1] = right_id;
+    r->count = 1;
+    pool_->Unpin(new_root, true);
+    root_ = new_root;
+    return;
+  }
+
+  PathNode& parent_node = (*path)[level];
+  Page* parent = parent_node.page;
+  const uint16_t at = parent_node.child;  // new sep/child slot in at/at+1
+
+  if (parent->count < kInteriorSlots) {
+    for (uint16_t i = parent->count; i > at; --i) {
+      parent->seps[i] = parent->seps[i - 1];
+      parent->children[i + 1] = parent->children[i];
+    }
+    parent->seps[at] = sep;
+    parent->children[at + 1] = right_id;
+    ++parent->count;
+    parent_node.dirty = true;
+    return;
+  }
+
+  // Interior split: assemble the would-be (count + 1)-separator node, push
+  // the middle separator up, split the rest between old and new.
+  std::vector<Key> seps(parent->seps.begin(),
+                        parent->seps.begin() + parent->count);
+  std::vector<PageId> children(parent->children.begin(),
+                               parent->children.begin() + parent->count + 1);
+  seps.insert(seps.begin() + at, sep);
+  children.insert(children.begin() + at + 1, right_id);
+
+  const uint16_t mid = static_cast<uint16_t>(seps.size() / 2);
+  const Key promote = seps[mid];
+
+  const PageId new_right_id = storage_->Allocate(Page::Kind::kInterior);
+  Page* new_right = pool_->Pin(new_right_id);
+  parent->count = mid;
+  for (uint16_t i = 0; i < mid; ++i) parent->seps[i] = seps[i];
+  for (uint16_t i = 0; i <= mid; ++i) parent->children[i] = children[i];
+  new_right->count = static_cast<uint16_t>(seps.size() - mid - 1);
+  for (uint16_t i = 0; i < new_right->count; ++i) {
+    new_right->seps[i] = seps[mid + 1 + i];
+  }
+  for (uint16_t i = 0; i <= new_right->count; ++i) {
+    new_right->children[i] = children[mid + 1 + i];
+  }
+  parent_node.dirty = true;
+  pool_->Unpin(new_right_id, true);
+  ++stats_->btree_splits;
+
+  InsertIntoParent(path, level - 1, promote, new_right_id);
+}
+
+bool BTree::Erase(Key skv) {
+  if (root_ == kNullPage) return false;
+  std::vector<PathNode> path;
+  DescendTo(skv, &path);
+  PathNode& leaf_node = path.back();
+  Page* leaf = leaf_node.page;
+  const uint16_t pos = LeafLowerBound(leaf, skv);
+  if (pos >= leaf->count || leaf->entries[pos].skv != skv) {
+    ReleasePath(&path);
+    return false;
+  }
+  LeafRemoveAt(leaf, pos);
+  leaf_node.dirty = true;
+  --size_;
+  RebalanceAfterErase(&path);
+  ReleasePath(&path);
+  return true;
+}
+
+void BTree::RebalanceAfterErase(std::vector<PathNode>* path) {
+  for (int level = static_cast<int>(path->size()) - 1; level > 0; --level) {
+    PathNode& node_entry = (*path)[level];
+    Page* node = node_entry.page;
+    const bool is_leaf = node->kind == Page::Kind::kLeaf;
+    const uint16_t min = is_leaf ? kLeafMin : kInteriorMin;
+    if (node->count >= min) return;
+
+    PathNode& parent_entry = (*path)[level - 1];
+    Page* parent = parent_entry.page;
+    const uint16_t idx = parent_entry.child;
+    parent_entry.dirty = true;
+    node_entry.dirty = true;
+
+    // Try borrowing from the left sibling, then the right, then merge.
+    if (idx > 0) {
+      const PageId left_id = parent->children[idx - 1];
+      Page* left = pool_->Pin(left_id);
+      if (left->count > min) {
+        if (is_leaf) {
+          LeafInsertAt(node, 0, left->entries[left->count - 1].item,
+                       left->entries[left->count - 1].epoch);
+          LeafRemoveAt(left, static_cast<uint16_t>(left->count - 1));
+          parent->seps[idx - 1] = node->entries[0].skv;
+        } else {
+          for (uint16_t i = node->count; i > 0; --i) {
+            node->seps[i] = node->seps[i - 1];
+            node->children[i + 1] = node->children[i];
+          }
+          node->children[1] = node->children[0];
+          node->seps[0] = parent->seps[idx - 1];
+          node->children[0] = left->children[left->count];
+          ++node->count;
+          parent->seps[idx - 1] = left->seps[left->count - 1];
+          --left->count;
+        }
+        pool_->Unpin(left_id, true);
+        return;
+      }
+      pool_->Unpin(left_id, false);
+    }
+    if (idx < parent->count) {
+      const PageId right_id = parent->children[idx + 1];
+      Page* right = pool_->Pin(right_id);
+      if (right->count > min) {
+        if (is_leaf) {
+          LeafInsertAt(node, node->count, right->entries[0].item,
+                       right->entries[0].epoch);
+          LeafRemoveAt(right, 0);
+          parent->seps[idx] = right->entries[0].skv;
+        } else {
+          node->seps[node->count] = parent->seps[idx];
+          node->children[node->count + 1] = right->children[0];
+          ++node->count;
+          parent->seps[idx] = right->seps[0];
+          for (uint16_t i = 0; i + 1 < right->count; ++i) {
+            right->seps[i] = right->seps[i + 1];
+            right->children[i] = right->children[i + 1];
+          }
+          right->children[right->count - 1] = right->children[right->count];
+          --right->count;
+        }
+        pool_->Unpin(right_id, true);
+        return;
+      }
+      pool_->Unpin(right_id, false);
+    }
+
+    // Merge.  Both nodes are at (or below) half occupancy, so the union
+    // fits in one page.
+    ++stats_->btree_merges;
+    if (idx > 0) {
+      // Fold `node` into its left sibling; `node`'s page dies.
+      const PageId left_id = parent->children[idx - 1];
+      Page* left = pool_->Pin(left_id);
+      if (is_leaf) {
+        for (uint16_t i = 0; i < node->count; ++i) {
+          left->entries[left->count + i] = std::move(node->entries[i]);
+        }
+        left->count = static_cast<uint16_t>(left->count + node->count);
+        left->next = node->next;
+      } else {
+        left->seps[left->count] = parent->seps[idx - 1];
+        for (uint16_t i = 0; i < node->count; ++i) {
+          left->seps[left->count + 1 + i] = node->seps[i];
+        }
+        for (uint16_t i = 0; i <= node->count; ++i) {
+          left->children[left->count + 1 + i] = node->children[i];
+        }
+        left->count = static_cast<uint16_t>(left->count + node->count + 1);
+      }
+      pool_->Unpin(left_id, true);
+      InteriorRemoveAt(parent, static_cast<uint16_t>(idx - 1));
+      pool_->Discard(node_entry.id);
+      storage_->Free(node_entry.id);
+      node_entry.page = nullptr;  // ReleasePath must not unpin a freed page
+    } else {
+      // Leftmost child: fold the right sibling into `node`.
+      const PageId right_id = parent->children[idx + 1];
+      Page* right = pool_->Pin(right_id);
+      if (is_leaf) {
+        for (uint16_t i = 0; i < right->count; ++i) {
+          node->entries[node->count + i] = std::move(right->entries[i]);
+        }
+        node->count = static_cast<uint16_t>(node->count + right->count);
+        node->next = right->next;
+      } else {
+        node->seps[node->count] = parent->seps[idx];
+        for (uint16_t i = 0; i < right->count; ++i) {
+          node->seps[node->count + 1 + i] = right->seps[i];
+        }
+        for (uint16_t i = 0; i <= right->count; ++i) {
+          node->children[node->count + 1 + i] = right->children[i];
+        }
+        node->count = static_cast<uint16_t>(node->count + right->count + 1);
+      }
+      pool_->Discard(right_id);
+      storage_->Free(right_id);
+      InteriorRemoveAt(parent, idx);
+    }
+    // The parent lost a separator; the loop re-checks it next.
+  }
+
+  // Root adjustments.
+  PathNode& root_entry = (*path)[0];
+  Page* root = root_entry.page;
+  if (root->kind == Page::Kind::kInterior && root->count == 0) {
+    // A single child left: the tree shrinks a level.
+    const PageId child = root->children[0];
+    pool_->Discard(root_entry.id);
+    storage_->Free(root_entry.id);
+    root_entry.page = nullptr;
+    root_ = child;
+  } else if (root->kind == Page::Kind::kLeaf && root->count == 0) {
+    pool_->Discard(root_entry.id);
+    storage_->Free(root_entry.id);
+    root_entry.page = nullptr;
+    root_ = kNullPage;
+  }
+}
+
+void BTree::Clear() {
+  pool_->Reset();
+  storage_->Reset();
+  root_ = kNullPage;
+  size_ = 0;
+}
+
+BTree::Position BTree::First() {
+  Position out;
+  PageId cur = root_;
+  if (cur == kNullPage) return out;
+  while (true) {
+    Page* p = pool_->Pin(cur);
+    if (p->kind == Page::Kind::kInterior) {
+      const PageId next = p->children[0];
+      pool_->Unpin(cur, false);
+      cur = next;
+      continue;
+    }
+    out.page = p->count > 0 ? cur : kNullPage;
+    pool_->Unpin(cur, false);
+    return out;
+  }
+}
+
+BTree::Position BTree::After(Key skv) {
+  Position out;
+  PageId cur = root_;
+  if (cur == kNullPage) return out;
+  while (true) {
+    Page* p = pool_->Pin(cur);
+    if (p->kind == Page::Kind::kInterior) {
+      const PageId next = p->children[FindChild(p, skv)];
+      pool_->Unpin(cur, false);
+      cur = next;
+      continue;
+    }
+    // First slot with key > skv; step to the next leaf when past the end
+    // (chained leaves are never empty, so one hop suffices).
+    uint16_t slot = LeafLowerBound(p, skv);
+    if (slot < p->count && p->entries[slot].skv == skv) ++slot;
+    if (slot < p->count) {
+      out.page = cur;
+      out.slot = slot;
+    } else if (p->next != kNullPage) {
+      out.page = p->next;
+      out.slot = 0;
+    }
+    pool_->Unpin(cur, false);
+    return out;
+  }
+}
+
+}  // namespace pepper::store

@@ -1,0 +1,70 @@
+#ifndef PEPPER_STORE_BTREE_H_
+#define PEPPER_STORE_BTREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "store/buffer_pool.h"
+
+namespace pepper::store {
+
+// The per-arc B+-tree: (skv -> item, epoch) over buffer-pooled pages.
+// Sorted-array leaves chained in ascending key order; interior nodes hold
+// separators (seps[i] = smallest key under children[i+1]).  Leaves and
+// interiors split at capacity and borrow-or-merge at half occupancy; the
+// root may shrink (interior with one child collapses, an emptied root leaf
+// is freed).  Every page touch goes through the buffer pool, so costs —
+// hits, faults, accrued I/O latency — fall out of the access pattern.
+class BTree {
+ public:
+  // A leaf slot; kNullPage when exhausted.  Cursors pin the leaf themselves.
+  struct Position {
+    PageId page = kNullPage;
+    uint16_t slot = 0;
+  };
+
+  BTree(StorageManager* storage, BufferPool* pool, StoreStats* stats)
+      : storage_(storage), pool_(pool), stats_(stats) {}
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  size_t size() const { return size_; }
+
+  bool Get(Key skv, Item* item, uint64_t* epoch);
+  // Insert or overwrite; true when a new key was inserted.
+  bool Put(const Item& item, uint64_t epoch);
+  bool Erase(Key skv);
+  void Clear();
+
+  Position First();
+  // First entry with key strictly greater than `skv`.
+  Position After(Key skv);
+
+ private:
+  struct PathNode {
+    PageId id = kNullPage;
+    Page* page = nullptr;
+    uint16_t child = 0;  // interior: child index the descent took
+    bool dirty = false;
+  };
+
+  // Pins root..leaf for `skv`; caller unpins via ReleasePath.
+  void DescendTo(Key skv, std::vector<PathNode>* path);
+  void ReleasePath(std::vector<PathNode>* path);
+  // Leaf position of the first entry with key > skv (follows the chain).
+  Position UpperBoundPosition(Key skv);
+  void InsertIntoParent(std::vector<PathNode>* path, int level, Key sep,
+                        PageId right_id);
+  void RebalanceAfterErase(std::vector<PathNode>* path);
+
+  StorageManager* storage_;
+  BufferPool* pool_;
+  StoreStats* stats_;
+  PageId root_ = kNullPage;
+  size_t size_ = 0;
+};
+
+}  // namespace pepper::store
+
+#endif  // PEPPER_STORE_BTREE_H_

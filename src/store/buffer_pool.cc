@@ -1,0 +1,104 @@
+#include "store/buffer_pool.h"
+
+namespace pepper::store {
+
+Page* BufferPool::Pin(PageId id) {
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    ++stats_->hits;
+    if (policy_ == ReplacementPolicy::kLru) f.stamp = ++stamp_counter_;
+    return storage_->PageAt(id);
+  }
+
+  // Fault: simulated read from the arena "disk".
+  ++stats_->faults;
+  accrued_latency_ += page_io_latency_;
+  const size_t idx = ClaimFrame();
+  Frame& f = frames_[idx];
+  f.page = id;
+  f.pins = 1;
+  f.dirty = false;
+  f.stamp = ++stamp_counter_;
+  resident_[id] = idx;
+  return storage_->PageAt(id);
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = resident_.find(id);
+  if (it == resident_.end()) return;
+  Frame& f = frames_[it->second];
+  if (f.pins > 0) --f.pins;
+  if (dirty) f.dirty = true;
+}
+
+size_t BufferPool::ClaimFrame() {
+  if (!free_frames_.empty()) {
+    const size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (frames_.size() < capacity_) {
+    frames_.emplace_back();
+    return frames_.size() - 1;
+  }
+  // Evict the unpinned frame with the smallest stamp (oldest load for
+  // FIFO, least recently touched for LRU).  Stamps are unique: no ties.
+  size_t victim = frames_.size();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].pins != 0) continue;
+    if (victim == frames_.size() ||
+        frames_[i].stamp < frames_[victim].stamp) {
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    // Every frame is pinned — the tree never pins more than a root-to-leaf
+    // path plus siblings, so this only fires on a badly undersized pool.
+    // Grow instead of failing; the overflow is reported, never silent.
+    ++stats_->pool_grows;
+    frames_.emplace_back();
+    return frames_.size() - 1;
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    ++stats_->writebacks;
+    accrued_latency_ += page_io_latency_;
+  }
+  ++stats_->evictions;
+  resident_.erase(f.page);
+  f = Frame{};
+  return victim;
+}
+
+void BufferPool::Discard(PageId id) {
+  auto it = resident_.find(id);
+  if (it == resident_.end()) return;
+  const size_t idx = it->second;
+  resident_.erase(it);
+  frames_[idx] = Frame{};
+  free_frames_.push_back(idx);
+}
+
+void BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page == kNullPage || !f.dirty) continue;
+    ++stats_->writebacks;
+    accrued_latency_ += page_io_latency_;
+    f.dirty = false;
+  }
+}
+
+void BufferPool::Reset() {
+  frames_.clear();
+  resident_.clear();
+  free_frames_.clear();
+}
+
+uint32_t BufferPool::pin_count(PageId id) const {
+  auto it = resident_.find(id);
+  return it == resident_.end() ? 0 : frames_[it->second].pins;
+}
+
+}  // namespace pepper::store

@@ -1,0 +1,85 @@
+#ifndef PEPPER_STORE_BUFFER_POOL_H_
+#define PEPPER_STORE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "store/storage_manager.h"
+
+namespace pepper::store {
+
+// Bounded frame table over the page arena.  A page access goes through
+// Pin: resident pages are hits; absent pages fault, claim a frame (evicting
+// the FIFO/LRU victim among unpinned frames, writing it back first when
+// dirty), and accrue the simulated per-page I/O latency.  Pinned frames are
+// never evicted.  All bookkeeping is deterministic: victims are chosen by a
+// monotone stamp (load order for FIFO, last-touch order for LRU), which is
+// unique, so there are no ties.
+//
+// The "disk" is the arena itself — pages are typed structs that never
+// leave it — so eviction and write-back are pure accounting plus latency;
+// correctness can't depend on the pool, only costs and counters do.
+class BufferPool {
+ public:
+  BufferPool(StorageManager* storage, size_t frames,
+             ReplacementPolicy policy, uint64_t page_io_latency,
+             StoreStats* stats)
+      : storage_(storage),
+        capacity_(frames == 0 ? 1 : frames),
+        policy_(policy),
+        page_io_latency_(page_io_latency),
+        stats_(stats) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Makes `id` resident and pinned; returns its page.
+  Page* Pin(PageId id);
+  // Balances a Pin.  `dirty` marks the frame for write-back on eviction.
+  void Unpin(PageId id, bool dirty);
+
+  // The page was freed: drop its frame (if resident) without write-back.
+  void Discard(PageId id);
+  // Write back every dirty frame (each exactly once) and clear dirty bits.
+  void FlushAll();
+  // Drop every frame without write-back; pins must be zero (Reset path).
+  void Reset();
+
+  // Accrued simulated I/O latency since the last drain; resets to zero.
+  uint64_t DrainAccruedLatency() {
+    const uint64_t out = accrued_latency_;
+    accrued_latency_ = 0;
+    return out;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return resident_.size(); }
+  uint32_t pin_count(PageId id) const;
+
+ private:
+  struct Frame {
+    PageId page = kNullPage;
+    uint32_t pins = 0;
+    bool dirty = false;
+    uint64_t stamp = 0;  // FIFO: set at load; LRU: bumped on every pin
+  };
+
+  size_t ClaimFrame();  // evicts if needed; may grow as a last resort
+
+  StorageManager* storage_;
+  size_t capacity_;
+  ReplacementPolicy policy_;
+  uint64_t page_io_latency_;
+  StoreStats* stats_;
+
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> resident_;  // page -> frame index
+  std::vector<size_t> free_frames_;
+  uint64_t stamp_counter_ = 0;
+  uint64_t accrued_latency_ = 0;
+};
+
+}  // namespace pepper::store
+
+#endif  // PEPPER_STORE_BUFFER_POOL_H_

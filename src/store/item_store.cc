@@ -1,0 +1,18 @@
+#include "store/item_store.h"
+
+#include "store/map_store.h"
+#include "store/paged_store.h"
+
+namespace pepper::store {
+
+std::unique_ptr<ItemStore> MakeItemStore(const StoreOptions& options) {
+  switch (options.backend) {
+    case StoreBackend::kPaged:
+      return std::make_unique<PagedStore>(options);
+    case StoreBackend::kInMemory:
+      break;
+  }
+  return std::make_unique<MapStore>();
+}
+
+}  // namespace pepper::store

@@ -1,0 +1,52 @@
+#ifndef PEPPER_STORE_PAGE_H_
+#define PEPPER_STORE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "store/item_store.h"
+
+namespace pepper::store {
+
+using PageId = uint32_t;
+inline constexpr PageId kNullPage = static_cast<PageId>(-1);
+
+// Fixed fan-outs.  kLeafSlots items per leaf / kInteriorSlots separators
+// per interior node; non-root nodes never drop below half occupancy.
+inline constexpr uint16_t kLeafSlots = 32;
+inline constexpr uint16_t kInteriorSlots = 32;
+inline constexpr uint16_t kLeafMin = kLeafSlots / 2;
+inline constexpr uint16_t kInteriorMin = kInteriorSlots / 2;
+
+struct LeafEntry {
+  Key skv = 0;
+  uint64_t epoch = 0;
+  Item item;
+};
+
+// A B+-tree node as a fixed slot-count struct — the CS525 "page as a typed
+// record" simplification.  Pages live in the storage manager's arena; the
+// buffer pool simulates disk residency (which pages are "in memory") and
+// its latency, but never serializes: an eviction is accounting, the bytes
+// stay in the arena.  Variable-size item payloads are held by value in
+// their slots (a disk engine would spill them to overflow pages).
+struct Page {
+  enum class Kind : uint8_t { kFree = 0, kLeaf = 1, kInterior = 2 };
+
+  Kind kind = Kind::kFree;
+  uint16_t count = 0;   // live entries (leaf) or separators (interior)
+  PageId next = kNullPage;  // leaf chain, ascending key order
+
+  // Leaf payload: entries[0..count) sorted by skv.
+  std::array<LeafEntry, kLeafSlots> entries;
+
+  // Interior payload: seps[0..count) sorted; children[0..count].  seps[i]
+  // is the smallest key in the subtree under children[i+1], so child i
+  // covers keys in [seps[i-1], seps[i]).
+  std::array<Key, kInteriorSlots> seps;
+  std::array<PageId, kInteriorSlots + 1> children;
+};
+
+}  // namespace pepper::store
+
+#endif  // PEPPER_STORE_PAGE_H_

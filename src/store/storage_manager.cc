@@ -1,0 +1,39 @@
+#include "store/storage_manager.h"
+
+#include <algorithm>
+
+namespace pepper::store {
+
+PageId StorageManager::Allocate(Page::Kind kind) {
+  ++stats_->pages_alloc;
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = static_cast<PageId>(pages_.size());
+    pages_.push_back(std::make_unique<Page>());
+  }
+  Page* page = pages_[id].get();
+  *page = Page{};
+  page->kind = kind;
+  return id;
+}
+
+void StorageManager::Free(PageId id) {
+  ++stats_->pages_freed;
+  Page* page = pages_[id].get();
+  *page = Page{};  // also releases the item strings
+  // Insert keeping the list sorted descending so the smallest free id is
+  // reused first.
+  auto it = std::lower_bound(free_list_.begin(), free_list_.end(), id,
+                             [](PageId a, PageId b) { return a > b; });
+  free_list_.insert(it, id);
+}
+
+void StorageManager::Reset() {
+  pages_.clear();
+  free_list_.clear();
+}
+
+}  // namespace pepper::store

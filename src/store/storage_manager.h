@@ -1,0 +1,41 @@
+#ifndef PEPPER_STORE_STORAGE_MANAGER_H_
+#define PEPPER_STORE_STORAGE_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "store/page.h"
+
+namespace pepper::store {
+
+// The page arena ("storage manager"): owns every page of one peer's store
+// and hands out ids.  Freed pages go on a free list and are reused
+// lowest-id-first, so allocation order — and therefore the whole paged
+// engine — is a pure function of the operation sequence (deterministic
+// across runs and shard counts).  Only the buffer pool touches PageAt.
+class StorageManager {
+ public:
+  explicit StorageManager(StoreStats* stats) : stats_(stats) {}
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  PageId Allocate(Page::Kind kind);
+  void Free(PageId id);
+  Page* PageAt(PageId id) { return pages_[id].get(); }
+
+  // Pages currently allocated (arena minus free list).
+  size_t live_pages() const { return pages_.size() - free_list_.size(); }
+
+  // Drops every page; the caller must have discarded all frames first.
+  void Reset();
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageId> free_list_;  // kept sorted descending; pop_back = min
+  StoreStats* stats_;
+};
+
+}  // namespace pepper::store
+
+#endif  // PEPPER_STORE_STORAGE_MANAGER_H_

@@ -96,6 +96,12 @@ class LoadMonitor : public sim::TelemetrySink {
   void OnMutation(NodeId owner, SimTime now) {
     series_.AddMutation(owner, now);
   }
+  // Buffer-pool activity on `owner`'s store, flushed as deltas by the Data
+  // Store facade after each store operation (owning node's thread).
+  void OnStoreAccess(NodeId owner, uint64_t hits, uint64_t faults,
+                     SimTime now) {
+    series_.AddStoreAccess(owner, hits, faults, now);
+  }
   void OnRangeChange(NodeId node, const RingRange& range, bool active,
                      SimTime now);
   void OnReorg(NodeId node, ReorgKind kind, SimTime now);

@@ -51,12 +51,14 @@ struct WindowCounters {
   uint64_t msgs_in = 0;    // messages delivered (in-window event backlog)
   uint64_t rpcs_in = 0;    // RPC requests delivered
   uint64_t rpc_timeouts = 0;  // RPCs to this peer that timed out
+  uint64_t store_hits = 0;    // buffer-pool page hits on this peer's store
+  uint64_t store_faults = 0;  // buffer-pool page faults (simulated disk I/O)
 
   // The arc-load figure the top-k ranking uses: owner-attributed work.
   uint64_t arc_load() const { return lookups + scans + mutations; }
   bool any() const {
-    return (lookups | scans | mutations | msgs_in | rpcs_in | rpc_timeouts) !=
-           0;
+    return (lookups | scans | mutations | msgs_in | rpcs_in | rpc_timeouts |
+            store_hits | store_faults) != 0;
   }
   void Add(const WindowCounters& o) {
     lookups += o.lookups;
@@ -65,6 +67,8 @@ struct WindowCounters {
     msgs_in += o.msgs_in;
     rpcs_in += o.rpcs_in;
     rpc_timeouts += o.rpc_timeouts;
+    store_hits += o.store_hits;
+    store_faults += o.store_faults;
   }
 };
 
@@ -93,6 +97,12 @@ class TimeSeries {
     WindowCounters& c = Slot(node, now);
     c.msgs_in++;
     if (is_rpc) c.rpcs_in++;
+  }
+  void AddStoreAccess(NodeId node, uint64_t hits, uint64_t faults,
+                      SimTime now) {
+    WindowCounters& c = Slot(node, now);
+    c.store_hits += hits;
+    c.store_faults += faults;
   }
 
   // --- Writer (caller's thread, charged to `callee`) -----------------------

@@ -57,7 +57,8 @@ void AppendCounters(std::ostringstream& os, const WindowCounters& c) {
   os << "\"lookups\":" << c.lookups << ",\"scans\":" << c.scans
      << ",\"mutations\":" << c.mutations << ",\"msgs_in\":" << c.msgs_in
      << ",\"rpcs_in\":" << c.rpcs_in << ",\"rpc_timeouts\":"
-     << c.rpc_timeouts;
+     << c.rpc_timeouts << ",\"store_hits\":" << c.store_hits
+     << ",\"store_faults\":" << c.store_faults;
 }
 
 }  // namespace

@@ -265,7 +265,7 @@ ring::RingAudit Cluster::AuditRing() const {
 size_t Cluster::TotalStoredItems() const {
   size_t n = 0;
   for (const auto& p : peers_) {
-    if (p->ring->alive() && p->ds->active()) n += p->ds->items().size();
+    if (p->ring->alive() && p->ds->active()) n += p->ds->ItemCount();
   }
   return n;
 }

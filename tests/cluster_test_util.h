@@ -69,14 +69,14 @@ inline PartitionAudit AuditItemPlacement(const Cluster& cluster) {
   PartitionAudit audit;
   for (const auto& p : cluster.peers()) {
     if (!p->ring->alive() || !p->ds->active()) continue;
-    for (const auto& kv : p->ds->items()) {
-      if (!p->ds->range().Contains(kv.first)) {
+    p->ds->ForEachItem([&](const datastore::Item& item, uint64_t) {
+      if (!p->ds->range().Contains(item.skv)) {
         audit.ok = false;
         audit.problems.push_back("peer " + std::to_string(p->id()) +
                                  " holds out-of-range key " +
-                                 std::to_string(kv.first));
+                                 std::to_string(item.skv));
       }
-    }
+    });
   }
   return audit;
 }
@@ -144,7 +144,7 @@ inline size_t BuildGapAndKill(Cluster& c, uint64_t seed) {
     PeerStack* d = members[(i + 2) % members.size()];
     const RingRange& r = d->ds->range();
     if (!r.full() && r.lo() < r.hi() && r.hi() - r.lo() > 1000 &&
-        !a->ds->items().empty() && a->ds->range().lo() < a->ds->range().hi()) {
+        a->ds->ItemCount() > 0 && a->ds->range().lo() < a->ds->range().hi()) {
       o_peer = a;
       t_peer = b;
       u0_peer = d;
@@ -182,7 +182,7 @@ inline size_t BuildGapAndKill(Cluster& c, uint64_t seed) {
   // The gap precondition: the brand-new successor holds nothing of O.
   if (u_peer->repl->groups().count(o_peer->id()) > 0) return 0;
 
-  const size_t at_stake = o_peer->ds->items().size();
+  const size_t at_stake = o_peer->ds->ItemCount();
   if (at_stake == 0) return 0;
   // O and T die in the same simulated instant — before O ever stabilizes
   // with U or refreshes its chain.  Group(O) now lives only on U0, two

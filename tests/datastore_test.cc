@@ -64,7 +64,7 @@ TEST(DataStoreTest, GrowthKeepsStorageBounded) {
   EXPECT_EQ(c.TotalStoredItems(), 200u);
   const size_t sf = c.options().ds.storage_factor;
   for (PeerStack* p : c.LiveMembers()) {
-    EXPECT_LE(p->ds->items().size(), 2 * sf)
+    EXPECT_LE(p->ds->ItemCount(), 2 * sf)
         << "peer " << p->id() << " overfull";
   }
   auto part = AuditRangePartition(c);
@@ -123,7 +123,7 @@ TEST(DataStoreTest, InsertRejectedOutsideRangeIsRetriedViaRouter) {
   item.skv = 42;
   EXPECT_TRUE(first->ds->InsertLocal(item).ok());
   EXPECT_TRUE(first->ds->InsertLocal(item).ok());  // overwrite is fine
-  EXPECT_EQ(first->ds->items().size(), 1u);
+  EXPECT_EQ(first->ds->ItemCount(), 1u);
 }
 
 TEST(DataStoreTest, ItemConservationUnderMixedLoad) {

@@ -68,13 +68,13 @@ TEST(DataStoreUnitTest, SplitMovesLowerHalfOfItems) {
   ASSERT_NE(other, nullptr);
   // The new peer took the lower half: its items are all below the split
   // point, the splitter's all above.
-  ASSERT_FALSE(other->ds->items().empty());
+  ASSERT_FALSE(other->ds->ItemCount() == 0);
   const Key split = other->ds->range().hi();
-  for (const auto& kv : other->ds->items()) EXPECT_LE(kv.first, split);
-  for (const auto& kv : first->ds->items()) EXPECT_GT(kv.first, split);
+  for (const auto& kv : other->ds->ItemsSnapshot()) EXPECT_LE(kv.first, split);
+  for (const auto& kv : first->ds->ItemsSnapshot()) EXPECT_GT(kv.first, split);
   // Roughly even counts.
-  EXPECT_NEAR(static_cast<double>(other->ds->items().size()),
-              static_cast<double>(first->ds->items().size()), 1.0);
+  EXPECT_NEAR(static_cast<double>(other->ds->ItemCount()),
+              static_cast<double>(first->ds->ItemCount()), 1.0);
 }
 
 TEST(DataStoreUnitTest, ScanRangeAbortsWhenLbNotOwned) {
@@ -171,7 +171,7 @@ TEST(DataStoreUnitTest, MergedAwayPeerBecomesInactive) {
   for (const auto& p : c.peers()) {
     if (p->ring->alive() && p->ring->state() == ring::PeerState::kFree &&
         !p->ds->active()) {
-      EXPECT_TRUE(p->ds->items().empty());
+      EXPECT_TRUE(p->ds->ItemCount() == 0);
       ++departed;
     }
   }

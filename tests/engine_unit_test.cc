@@ -70,13 +70,13 @@ TEST(RebalancerTest, SplitPicksTheMedianBoundary) {
   // items, keys 10..50), so the split boundary is the median key 50.
   ASSERT_TRUE(f.b_ds->active());
   EXPECT_EQ(f.b_ds->range().hi(), 50u);
-  EXPECT_EQ(f.b_ds->items().size(), 5u);
-  EXPECT_EQ(f.a_ds->items().size(), 6u);
+  EXPECT_EQ(f.b_ds->ItemCount(), 5u);
+  EXPECT_EQ(f.a_ds->ItemCount(), 6u);
   EXPECT_EQ(f.a_ds->range().lo(), 50u);
   EXPECT_EQ(f.a_ds->range().hi(), 1000000u);
   EXPECT_EQ(f.metrics.counters().Get("ds.splits"), 1u);
-  for (const auto& kv : f.b_ds->items()) EXPECT_LE(kv.first, 50u);
-  for (const auto& kv : f.a_ds->items()) EXPECT_GT(kv.first, 50u);
+  for (const auto& kv : f.b_ds->ItemsSnapshot()) EXPECT_LE(kv.first, 50u);
+  for (const auto& kv : f.a_ds->ItemsSnapshot()) EXPECT_GT(kv.first, 50u);
 }
 
 TEST(RebalancerTest, MergeProposalRejectedWhileSuccessorIsMergeBusy) {
@@ -112,7 +112,7 @@ TEST(RebalancerTest, MergeProposalRejectedWhileSuccessorIsMergeBusy) {
   f.sim.RunFor(3 * sim::kSecond);
 
   EXPECT_TRUE(f.a_ds->active());
-  EXPECT_EQ(f.a_ds->items().size(), 3u);
+  EXPECT_EQ(f.a_ds->ItemCount(), 3u);
   EXPECT_EQ(f.a_ds->range().lo(), 50u);
   EXPECT_EQ(f.a_ds->range().hi(), 1000000u);
   EXPECT_TRUE(f.b_ds->rebalancer().merge_busy());

@@ -54,14 +54,14 @@ TEST(ReplicaManifestTest, FacadeEpochsAdvanceOnEveryMutation) {
   c.RunFor(sim::kSecond);
   PeerStack* p = c.LiveMembers()[0];
   ASSERT_TRUE(c.InsertItem(100, "v1").ok());
-  const uint64_t e1 = p->ds->item_epochs().at(100);
+  const uint64_t e1 = p->ds->ItemEpochsSnapshot().at(100);
   ASSERT_TRUE(c.InsertItem(100, "v2").ok());
-  const uint64_t e2 = p->ds->item_epochs().at(100);
+  const uint64_t e2 = p->ds->ItemEpochsSnapshot().at(100);
   EXPECT_GT(e2, e1);
   const uint64_t before = p->ds->mutation_epoch();
   ASSERT_TRUE(c.DeleteItem(100).ok());
   EXPECT_GT(p->ds->mutation_epoch(), before);  // deletes advance the version
-  EXPECT_EQ(p->ds->item_epochs().count(100), 0u);
+  EXPECT_EQ(p->ds->ItemEpochsSnapshot().count(100), 0u);
 }
 
 // The delta-push equivalence property: after any interleaving of inserts,
@@ -99,13 +99,13 @@ TEST(ReplicationDeltaTest, DeltaReconstructedGroupsMatchFreshSnapshots) {
     size_t groups_checked = 0;
     for (PeerStack* owner : c.LiveMembers()) {
       const ReplicaManifest fresh = BuildManifest(
-          owner->ds->item_epochs(), owner->ds->mutation_epoch());
+          owner->ds->ItemEpochsSnapshot(), owner->ds->mutation_epoch());
       for (const auto& holder : c.peers()) {
         if (!holder->ring->alive() || holder->id() == owner->id()) continue;
         auto it = holder->repl->groups().find(owner->id());
         if (it == holder->repl->groups().end()) continue;
         const ReplicaGroup& group = it->second;
-        EXPECT_EQ(group.items, owner->ds->items())
+        EXPECT_EQ(group.items, owner->ds->ItemsSnapshot())
             << "holder " << holder->id() << " of owner " << owner->id()
             << " diverged (seed " << seed << ")";
         EXPECT_EQ(BuildManifest(group.epochs, group.version), fresh)

@@ -35,7 +35,7 @@ size_t CopiesOf(const Cluster& c, Key skv) {
   size_t copies = 0;
   for (const auto& p : c.peers()) {
     if (!p->ring->alive()) continue;
-    if (p->ds->active() && p->ds->items().count(skv) > 0) ++copies;
+    if (p->ds->active() && p->ds->HasItem(skv)) ++copies;
     if (p->repl->HoldsReplica(skv)) ++copies;
   }
   return copies;

@@ -73,8 +73,8 @@ TEST(ReplicationUnitTest, GroupsTrackOwnerDeletes) {
   c.RunFor(6 * sim::kSecond);
   // Pick an owner and one of its items.
   PeerStack* owner = c.LiveMembers()[2];
-  ASSERT_FALSE(owner->ds->items().empty());
-  const Key victim = owner->ds->items().begin()->first;
+  ASSERT_FALSE(owner->ds->ItemCount() == 0);
+  const Key victim = owner->ds->ItemsSnapshot().begin()->first;
   ASSERT_TRUE(c.DeleteItem(victim).ok());
   c.RunFor(2 * sim::kSecond);  // refresh replaces snapshots
   for (const auto& p : c.peers()) {
@@ -141,7 +141,7 @@ TEST(ReplicationUnitTest, RevivedItemsServeQueriesWithoutRefreshWindow) {
   Grow(c, 100, 11);
   c.RunFor(3 * sim::kSecond);
   PeerStack* victim = c.LiveMembers()[4];
-  const size_t victim_items = victim->ds->items().size();
+  const size_t victim_items = victim->ds->ItemCount();
   ASSERT_GT(victim_items, 0u);
   c.FailPeer(victim);
   c.RunFor(8 * sim::kSecond);

@@ -1,0 +1,319 @@
+// Storage-engine tests: buffer-pool replacement mechanics (FIFO vs LRU
+// victim order, pin protection, exactly-once dirty write-back), the paged
+// B+-tree against a std::map oracle under randomized churn, and the
+// backend-equivalence contract — at page_io_latency=0 the paged store must
+// replay a scenario bit-identically with the in-memory map, at every shard
+// count.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/builtin_scenarios.h"
+#include "scenario/scenario_runner.h"
+#include "sim/rng.h"
+#include "store/buffer_pool.h"
+#include "store/item_store.h"
+#include "store/paged_store.h"
+#include "store/storage_manager.h"
+
+namespace pepper::store {
+namespace {
+
+// --- Buffer pool -------------------------------------------------------------
+
+struct PoolFixture {
+  StoreStats stats;
+  StorageManager storage{&stats};
+  std::vector<PageId> pages;
+
+  PoolFixture(size_t page_count) {
+    for (size_t i = 0; i < page_count; ++i) {
+      pages.push_back(storage.Allocate(Page::Kind::kLeaf));
+    }
+  }
+};
+
+TEST(BufferPoolTest, FifoEvictsLoadOrderVictim) {
+  PoolFixture f(4);
+  BufferPool pool(&f.storage, 3, ReplacementPolicy::kFifo, 7, &f.stats);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(pool.Pin(f.pages[i]), nullptr);
+    pool.Unpin(f.pages[i], false);
+  }
+  EXPECT_EQ(f.stats.faults, 3u);
+  EXPECT_EQ(pool.DrainAccruedLatency(), 3u * 7u);
+
+  // Re-touch page 0: FIFO ignores recency, so it is still the oldest load.
+  pool.Pin(f.pages[0]);
+  pool.Unpin(f.pages[0], false);
+  EXPECT_EQ(f.stats.hits, 1u);
+
+  pool.Pin(f.pages[3]);  // evicts pages[0] (loaded first)
+  pool.Unpin(f.pages[3], false);
+  EXPECT_EQ(f.stats.evictions, 1u);
+  EXPECT_EQ(pool.resident(), 3u);
+
+  pool.Pin(f.pages[1]);  // still resident: hit
+  pool.Unpin(f.pages[1], false);
+  EXPECT_EQ(f.stats.hits, 2u);
+  pool.Pin(f.pages[0]);  // was the victim: faults back in
+  pool.Unpin(f.pages[0], false);
+  EXPECT_EQ(f.stats.faults, 5u);
+}
+
+TEST(BufferPoolTest, LruEvictsLeastRecentlyTouchedVictim) {
+  PoolFixture f(4);
+  BufferPool pool(&f.storage, 3, ReplacementPolicy::kLru, 0, &f.stats);
+  for (int i = 0; i < 3; ++i) {
+    pool.Pin(f.pages[i]);
+    pool.Unpin(f.pages[i], false);
+  }
+  // Re-touch page 0: under LRU the coldest frame is now page 1.
+  pool.Pin(f.pages[0]);
+  pool.Unpin(f.pages[0], false);
+
+  pool.Pin(f.pages[3]);  // evicts pages[1]
+  pool.Unpin(f.pages[3], false);
+  EXPECT_EQ(f.stats.evictions, 1u);
+
+  const uint64_t faults_before = f.stats.faults;
+  pool.Pin(f.pages[0]);  // recently touched: still resident
+  pool.Unpin(f.pages[0], false);
+  EXPECT_EQ(f.stats.faults, faults_before);
+  pool.Pin(f.pages[1]);  // the LRU victim: faults back in
+  pool.Unpin(f.pages[1], false);
+  EXPECT_EQ(f.stats.faults, faults_before + 1);
+}
+
+TEST(BufferPoolTest, PinnedFramesAreNeverEvicted) {
+  PoolFixture f(3);
+  BufferPool pool(&f.storage, 2, ReplacementPolicy::kLru, 0, &f.stats);
+  Page* a = pool.Pin(f.pages[0]);  // stays pinned
+  ASSERT_NE(a, nullptr);
+  pool.Pin(f.pages[1]);
+  pool.Unpin(f.pages[1], false);
+
+  // pages[0] is pinned and pages[1] is not; despite pages[0] being the
+  // older (and colder) frame, the victim must be pages[1].
+  pool.Pin(f.pages[2]);
+  pool.Unpin(f.pages[2], false);
+  EXPECT_EQ(f.stats.evictions, 1u);
+  EXPECT_EQ(pool.pin_count(f.pages[0]), 1u);
+
+  const uint64_t faults_before = f.stats.faults;
+  pool.Pin(f.pages[0]);  // never left the pool
+  EXPECT_EQ(f.stats.faults, faults_before);
+  pool.Unpin(f.pages[0], false);
+  pool.Unpin(f.pages[0], false);
+}
+
+TEST(BufferPoolTest, AllPinnedGrowsInsteadOfEvicting) {
+  PoolFixture f(3);
+  BufferPool pool(&f.storage, 2, ReplacementPolicy::kFifo, 0, &f.stats);
+  pool.Pin(f.pages[0]);
+  pool.Pin(f.pages[1]);
+  // Every frame is pinned: the pool must grow (correctness over bound)
+  // and account for it, not evict a pinned frame or fail.
+  Page* c = pool.Pin(f.pages[2]);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(f.stats.pool_grows, 1u);
+  EXPECT_EQ(f.stats.evictions, 0u);
+  EXPECT_EQ(pool.resident(), 3u);
+  pool.Unpin(f.pages[0], false);
+  pool.Unpin(f.pages[1], false);
+  pool.Unpin(f.pages[2], false);
+}
+
+TEST(BufferPoolTest, DirtyWritebackHappensExactlyOnce) {
+  PoolFixture f(3);
+  StoreStats& stats = f.stats;
+  BufferPool pool(&f.storage, 2, ReplacementPolicy::kFifo, 5, &stats);
+
+  // Dirty page evicted: exactly one write-back, with its latency accrued.
+  pool.Pin(f.pages[0]);
+  pool.Unpin(f.pages[0], true);
+  pool.Pin(f.pages[1]);
+  pool.Unpin(f.pages[1], false);
+  (void)pool.DrainAccruedLatency();
+  pool.Pin(f.pages[2]);  // evicts dirty pages[0]
+  pool.Unpin(f.pages[2], false);
+  EXPECT_EQ(stats.writebacks, 1u);
+  // fault (5) + write-back (5)
+  EXPECT_EQ(pool.DrainAccruedLatency(), 10u);
+
+  // Clean eviction writes nothing back.
+  pool.Pin(f.pages[0]);  // evicts clean pages[1]
+  pool.Unpin(f.pages[0], false);
+  EXPECT_EQ(stats.writebacks, 1u);
+
+  // FlushAll: one write-back per dirty frame, and flushing clears the bit —
+  // a second flush (or a later eviction) must not write again.
+  pool.Pin(f.pages[2]);
+  pool.Unpin(f.pages[2], true);
+  pool.FlushAll();
+  EXPECT_EQ(stats.writebacks, 2u);
+  pool.FlushAll();
+  EXPECT_EQ(stats.writebacks, 2u);
+  pool.Pin(f.pages[1]);  // evicts pages[2], now clean again
+  pool.Unpin(f.pages[1], false);
+  EXPECT_EQ(stats.writebacks, 2u);
+}
+
+// --- Paged store vs std::map oracle ------------------------------------------
+
+Item MakeItem(Key k, uint64_t salt) {
+  Item it;
+  it.skv = k;
+  it.data = "v" + std::to_string(k) + "_" + std::to_string(salt);
+  return it;
+}
+
+// Full-scan equality: same keys, same payloads, same epochs, same order.
+void ExpectStoreMatchesOracle(
+    ItemStore& store,
+    const std::map<Key, std::pair<std::string, uint64_t>>& oracle) {
+  ASSERT_EQ(store.size(), oracle.size());
+  auto cursor = store.SeekFirst();
+  for (const auto& [key, value] : oracle) {
+    ASSERT_TRUE(cursor->valid());
+    EXPECT_EQ(cursor->item().skv, key);
+    EXPECT_EQ(cursor->item().data, value.first);
+    EXPECT_EQ(cursor->epoch(), value.second);
+    cursor->Next();
+  }
+  EXPECT_FALSE(cursor->valid());
+}
+
+TEST(PagedStoreProperty, MatchesMapOracleUnderChurn) {
+  for (const uint64_t seed : {3ull, 17ull, 99ull, 4242ull}) {
+    StoreOptions opts;
+    opts.backend = StoreBackend::kPaged;
+    opts.buffer_pool_pages = 8;  // small: structural ops cross evictions
+    opts.page_io_latency = 3;
+    auto store = MakeItemStore(opts);
+    std::map<Key, std::pair<std::string, uint64_t>> oracle;
+    sim::Rng rng(seed);
+    uint64_t epoch = 0;
+
+    for (int op = 0; op < 4000; ++op) {
+      const Key k = rng.Uniform(0, 499);  // dense: plenty of updates/deletes
+      const uint64_t roll = rng.Uniform(0, 99);
+      if (roll < 55) {
+        const Item item = MakeItem(k, epoch);
+        store->Put(item, ++epoch);
+        oracle[k] = {item.data, epoch};
+      } else if (roll < 85) {
+        const bool present = oracle.erase(k) > 0;
+        EXPECT_EQ(store->Erase(k), present);
+      } else {
+        // Point read + upper-bound cursor, against the oracle.
+        Item item;
+        uint64_t item_epoch = 0;
+        const auto it = oracle.find(k);
+        ASSERT_EQ(store->Get(k, &item, &item_epoch), it != oracle.end());
+        if (it != oracle.end()) {
+          EXPECT_EQ(item.data, it->second.first);
+          EXPECT_EQ(item_epoch, it->second.second);
+        }
+        auto cursor = store->SeekAfter(k);
+        const auto ub = oracle.upper_bound(k);
+        ASSERT_EQ(cursor->valid(), ub != oracle.end());
+        if (ub != oracle.end()) {
+          EXPECT_EQ(cursor->item().skv, ub->first);
+        }
+      }
+      if (op % 500 == 499) ExpectStoreMatchesOracle(*store, oracle);
+    }
+    ExpectStoreMatchesOracle(*store, oracle);
+    // The churn must actually have exercised the structural paths.
+    EXPECT_GT(store->stats().btree_splits, 0u);
+    EXPECT_GT(store->stats().evictions, 0u);
+
+    // Drain to empty in random order: every merge/borrow/root-collapse
+    // path runs; the tree must end exactly empty.
+    std::vector<Key> keys;
+    for (const auto& kv : oracle) keys.push_back(kv.first);
+    for (size_t i = keys.size(); i > 1; --i) {
+      std::swap(keys[i - 1], keys[rng.Uniform(0, i - 1)]);
+    }
+    for (const Key k : keys) ASSERT_TRUE(store->Erase(k));
+    EXPECT_EQ(store->size(), 0u);
+    EXPECT_FALSE(store->SeekFirst()->valid());
+    // Collapsing a multi-leaf tree to empty cannot avoid the merge path.
+    EXPECT_GT(store->stats().btree_merges, 0u);
+
+    // And it must be reusable after hitting empty.
+    store->Put(MakeItem(7, 1), 1);
+    EXPECT_TRUE(store->Contains(7));
+    EXPECT_EQ(store->size(), 1u);
+  }
+}
+
+// --- Backend equivalence -----------------------------------------------------
+
+// The store.* counters describe the backend itself (page faults vs map
+// lookups) and legitimately differ; everything else — every protocol
+// counter, histogram, event and message count — must not.
+std::string StripStoreRows(const std::string& csv) {
+  std::istringstream in(csv);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(",store.") == std::string::npos) out << line << "\n";
+  }
+  return out.str();
+}
+
+TEST(StoreBackendEquivalence, LongChurnReplaysBitIdenticallyAtZeroLatency) {
+  for (const uint64_t seed : {42ull, 77ull}) {
+    std::string baseline_csv;
+    uint64_t baseline_events = 0;
+    for (const uint32_t shards : {1u, 2u, 4u}) {
+      for (const StoreBackend backend :
+           {StoreBackend::kInMemory, StoreBackend::kPaged}) {
+        scenario::RunnerOptions options;
+        options.cluster = workload::ClusterOptions::FastDefaults();
+        options.cluster.seed = seed;
+        options.cluster.shards = shards;
+        options.cluster.ds.store.backend = backend;
+        options.cluster.ds.store.page_io_latency = 0;
+        options.initial_free_peers = 10;
+        options.seed_items = 40;
+        scenario::BuiltinParams params;
+        params.scale = 0.25;
+        auto scenario = scenario::MakeBuiltin("long_churn", params);
+        ASSERT_TRUE(scenario.has_value());
+        scenario::ScenarioRunner runner(options);
+        const scenario::RunReport report = runner.Run(*scenario);
+        EXPECT_TRUE(report.ok)
+            << "seed " << seed << " shards " << shards << " backend "
+            << (backend == StoreBackend::kPaged ? "paged" : "map");
+        uint64_t events = 0;
+        for (const auto& phase : report.phases) events += phase.events;
+        const std::string csv = StripStoreRows(report.Csv());
+        if (baseline_csv.empty()) {
+          baseline_csv = csv;
+          baseline_events = events;
+          continue;
+        }
+        EXPECT_EQ(events, baseline_events)
+            << "event-count divergence at seed " << seed << " shards "
+            << shards << " backend "
+            << (backend == StoreBackend::kPaged ? "paged" : "map");
+        EXPECT_EQ(csv, baseline_csv)
+            << "report divergence at seed " << seed << " shards " << shards
+            << " backend "
+            << (backend == StoreBackend::kPaged ? "paged" : "map");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pepper::store

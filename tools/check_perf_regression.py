@@ -53,6 +53,20 @@ load-monitor A/B on the same run), three more gates run:
     monitor's wall overhead (overhead_ratio, a same-report ratio) is
     printed for the trend, not gated: per-delivery ring writes cost real
     wall time, and paying it is an explicit opt-in (--timeline / --health).
+When the fresh report carries a scenario "store" block (the paged-store A/B
+on the same run, page_io_latency=0), three more gates run:
+  * replay identity: the paged arm must execute exactly the in-memory arm's
+    event/message counts.  At zero simulated I/O latency the storage engine
+    is invisible to the protocol, so ANY divergence means the B+-tree or
+    the facade's latency charging changed the schedule.  Hard fail.
+  * the paged arm's fatal audits must stay green.
+  * in-memory overhead: the off arm (the ItemStore facade over the map
+    engine -- the default state of every run) must keep its events/sec
+    within --max-store-overhead (default 0.05) of the committed baseline's
+    scenario events/sec.  The abstraction may not tax the hot path more
+    than 5%.  Cross-report and host-sensitive like the trace/telemetry
+    bands.  The paged arm's wall overhead and buffer hit rate are printed
+    for the trend, not gated.
 Exit status: 0 ok, 1 regression, 2 usage/schema error.
 """
 
@@ -78,6 +92,7 @@ def main(argv):
     min_shard_speedup = 2.0
     max_trace_overhead = 0.05
     max_telemetry_overhead = 0.05
+    max_store_overhead = 0.05
     for o in opts:
         if o.startswith("--max-regress="):
             max_regress = float(o.split("=", 1)[1])
@@ -89,6 +104,8 @@ def main(argv):
             max_trace_overhead = float(o.split("=", 1)[1])
         elif o.startswith("--max-telemetry-overhead="):
             max_telemetry_overhead = float(o.split("=", 1)[1])
+        elif o.startswith("--max-store-overhead="):
+            max_store_overhead = float(o.split("=", 1)[1])
         else:
             print(f"unknown option {o}")
             return 2
@@ -264,6 +281,37 @@ def main(argv):
         if overhead is not None:
             print(f"  telemetry-on (armed) overhead {overhead:13.3f}x wall"
                   f"  (trend only)")
+
+    # --- Paged-store gates ---------------------------------------------------
+    st = (fresh_scn or {}).get("store")
+    if st:
+        if st.get("replay_identical") is False:
+            print("paged-store run diverged from the in-memory schedule "
+                  "at zero I/O latency")
+            failed = True
+        if st.get("on_audits_ok") is False:
+            print("paged-store run had audit violations")
+            failed = True
+        # In-memory overhead vs the committed baseline: the ItemStore facade
+        # (virtual dispatch, cursor iteration) rides every run's hot path.
+        base_eps = (baseline.get("scenario") or {}).get("events_per_sec")
+        off_eps = st.get("off_events_per_sec")
+        if base_eps and off_eps is not None:
+            ratio = off_eps / base_eps
+            status = "OK"
+            if ratio < 1.0 - max_store_overhead:
+                status = "REGRESSED"
+                failed = True
+            print(f"  store-off vs baseline        {base_eps:>14,.0f} -> "
+                  f"{off_eps:>14,.0f}  ({ratio:6.2%})  {status}")
+        elif off_eps is not None:
+            print(f"  store-off vs baseline        (no baseline)  "
+                  f"{off_eps:,.0f} events/sec")
+        overhead = st.get("overhead_ratio")
+        if overhead is not None:
+            print(f"  store-on (paged) overhead    {overhead:13.3f}x wall, "
+                  f"hit rate {st.get('hit_rate', 1.0):.4f} "
+                  f"({st.get('buffer_faults', 0):,} faults)  (trend only)")
 
     print("perf check:", "FAILED" if failed else "passed")
     return 1 if failed else 0

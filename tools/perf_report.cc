@@ -53,12 +53,15 @@ struct ScenarioProbe {
   uint64_t hops_count = 0;
   uint64_t fwd_dead_ends = 0;
   uint64_t trace_records = 0;
+  // Paged-store arm only: cumulative buffer-pool figures across all peers.
+  uint64_t store_hits = 0;
+  uint64_t store_faults = 0;
 };
 
 ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
                                bool batched_refresh, uint32_t shards = 0,
                                uint64_t trace_sample = 0,
-                               bool telemetry = false) {
+                               bool telemetry = false, bool paged = false) {
   ScenarioProbe probe;
   BuiltinParams params;
   params.scale = scale;
@@ -69,6 +72,11 @@ ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
   options.cluster.seed = seed;
   options.cluster.hrf_batched_refresh = batched_refresh;
   options.cluster.shards = shards;
+  if (paged) {
+    // Zero page_io_latency: the paged engine must replay the in-memory
+    // event schedule bit-identically — replay_identical gates it.
+    options.cluster.ds.store.backend = pepper::store::StoreBackend::kPaged;
+  }
   if (trace_sample > 0) {
     options.cluster.trace = true;
     options.cluster.trace_sample_every = trace_sample;
@@ -112,6 +120,11 @@ ScenarioProbe RunScenarioProbe(double scale, uint64_t seed,
     probe.hops_count = hops->count();
   }
   probe.trace_records = runner.cluster()->sim().tracer().record_count();
+  for (const auto& peer : runner.cluster()->peers()) {
+    const pepper::store::StoreStats& s = peer->ds->store_stats();
+    probe.store_hits += s.hits;
+    probe.store_faults += s.faults;
+  }
   return probe;
 }
 
@@ -135,6 +148,7 @@ int main(int argc, char** argv) {
   bool skip_shards = false;
   bool skip_trace = false;
   bool skip_telemetry = false;
+  bool skip_store = false;
   uint32_t shards = 4;
   uint64_t trace_sample = 64;
 
@@ -162,12 +176,14 @@ int main(int argc, char** argv) {
       skip_trace = true;
     } else if (std::strcmp(argv[i], "--skip-telemetry") == 0) {
       skip_telemetry = true;
+    } else if (std::strcmp(argv[i], "--skip-store") == 0) {
+      skip_store = true;
     } else {
       std::fprintf(stderr,
                    "usage: perf_report [--out=FILE] [--scale=F] [--seed=N] "
                    "[--quick] [--skip-scenario] [--skip-router-ab] "
                    "[--shards=N] [--skip-shards] [--trace-sample=N] "
-                   "[--skip-trace] [--skip-telemetry]\n");
+                   "[--skip-trace] [--skip-telemetry] [--skip-store]\n");
       return 2;
     }
   }
@@ -185,6 +201,7 @@ int main(int argc, char** argv) {
   ScenarioProbe shard_par;
   ScenarioProbe trace_on;
   ScenarioProbe telemetry_on;
+  ScenarioProbe store_on;
   if (!skip_scenario) {
     std::printf("running long_churn --paper --scale=%g --seed=%llu "
                 "(fatal audits)...\n",
@@ -294,6 +311,33 @@ int main(int argc, char** argv) {
                   telemetry_on.events == probe.events ? "identical"
                                                       : "DIVERGED");
     }
+    if (!skip_store) {
+      // The paged-store arm, same seed/scale, page_io_latency=0.  The
+      // serial probe above IS the in-memory arm (same facade, map engine),
+      // so the pair prices the paged engine (page faults, tree descents,
+      // pool bookkeeping) against the map — and at zero latency the event
+      // schedule must be bit-identical, which doubles as the strongest
+      // whole-system correctness check the B+-tree can get.
+      std::printf("running the paged-store arm (page_io_latency=0)...\n");
+      store_on = RunScenarioProbe(scale, seed, /*batched_refresh=*/true,
+                                  /*shards=*/0, /*trace_sample=*/0,
+                                  /*telemetry=*/false, /*paged=*/true);
+      const uint64_t accesses = store_on.store_hits + store_on.store_faults;
+      std::printf("  wall %.1fs (map: %.1fs, overhead %.1f%%), hit rate "
+                  "%.4f (%llu hits, %llu faults), audits %s, replay %s\n",
+                  store_on.wall_seconds, probe.wall_seconds,
+                  probe.wall_seconds > 0.0
+                      ? (store_on.wall_seconds / probe.wall_seconds - 1.0) *
+                            100.0
+                      : 0.0,
+                  accesses > 0 ? static_cast<double>(store_on.store_hits) /
+                                     static_cast<double>(accesses)
+                               : 1.0,
+                  static_cast<unsigned long long>(store_on.store_hits),
+                  static_cast<unsigned long long>(store_on.store_faults),
+                  store_on.ok ? "green" : "VIOLATED",
+                  store_on.events == probe.events ? "identical" : "DIVERGED");
+    }
   }
 
   std::ostringstream json;
@@ -392,6 +436,39 @@ int main(int argc, char** argv) {
                    : 0.0) << "\n";
       json << "    },\n";
     }
+    if (store_on.ran) {
+      const uint64_t accesses = store_on.store_hits + store_on.store_faults;
+      json << "    \"store\": {\n";
+      json << "      \"backend\": \"paged\",\n";
+      json << "      \"page_io_latency\": 0,\n";
+      json << "      \"off_wall_seconds\": " << probe.wall_seconds << ",\n";
+      json << "      \"off_events_per_sec\": "
+           << static_cast<uint64_t>(static_cast<double>(probe.events) /
+                                    probe.wall_seconds) << ",\n";
+      json << "      \"on_wall_seconds\": " << store_on.wall_seconds
+           << ",\n";
+      json << "      \"on_events_per_sec\": "
+           << static_cast<uint64_t>(static_cast<double>(store_on.events) /
+                                    store_on.wall_seconds) << ",\n";
+      json << "      \"buffer_hits\": " << store_on.store_hits << ",\n";
+      json << "      \"buffer_faults\": " << store_on.store_faults << ",\n";
+      json << "      \"hit_rate\": "
+           << (accesses > 0 ? static_cast<double>(store_on.store_hits) /
+                                  static_cast<double>(accesses)
+                            : 1.0) << ",\n";
+      json << "      \"on_audits_ok\": " << (store_on.ok ? "true" : "false")
+           << ",\n";
+      json << "      \"replay_identical\": "
+           << (store_on.events == probe.events &&
+               store_on.messages == probe.messages
+                   ? "true"
+                   : "false") << ",\n";
+      json << "      \"overhead_ratio\": "
+           << (probe.wall_seconds > 0.0
+                   ? store_on.wall_seconds / probe.wall_seconds
+                   : 0.0) << "\n";
+      json << "    },\n";
+    }
     if (shard_single.ran && shard_par.ran) {
       json << "    \"shards\": {\n";
       json << "      \"host_cores\": "
@@ -434,6 +511,7 @@ int main(int argc, char** argv) {
       (probe.ran && !probe.ok) || (baseline.ran && !baseline.ok) ||
       (shard_single.ran && !shard_single.ok) ||
       (shard_par.ran && !shard_par.ok) || (trace_on.ran && !trace_on.ok) ||
-      (telemetry_on.ran && !telemetry_on.ok);
+      (telemetry_on.ran && !telemetry_on.ok) ||
+      (store_on.ran && !store_on.ok);
   return violations ? 1 : 0;
 }

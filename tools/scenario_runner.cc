@@ -46,6 +46,21 @@ void PrintUsage() {
       "  --paper         paper-scale cluster timers (Section 6.1 defaults)\n"
       "  --shards=N      run the simulator on N worker shards (conservative\n"
       "                  lookahead; results are bit-identical for any N)\n"
+      "  --store=BACKEND item-store backend: map (default, in-memory) or\n"
+      "                  paged (page arena + bounded buffer pool + per-arc\n"
+      "                  B+-tree); at --page-io-latency=0 both replay\n"
+      "                  bit-identically\n"
+      "  --page-io-latency=US\n"
+      "                  simulated latency per page fault / write-back in\n"
+      "                  microseconds (default 0; paged backend only)\n"
+      "  --pool-pages=N  buffer-pool frames per peer (default 64)\n"
+      "  --pool-fifo     FIFO page replacement instead of the default LRU\n"
+      "  --items-scale=F multiply the seed-item count and the storage\n"
+      "                  factor by F (10-100x turns any scenario into a\n"
+      "                  big-data run)\n"
+      "  --min-store-hit-rate=F\n"
+      "                  probe: cluster-wide buffer hit rate must stay >= F\n"
+      "                  (0 = unchecked)\n"
       "  --csv=FILE      write the per-phase metrics dump as CSV\n"
       "  --fatal-audits  stop at the first violating probe\n"
       "  --availability-informational\n"
@@ -115,6 +130,12 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   uint64_t trace_sample = 1;
   double scale = 1.0;
+  double items_scale = 1.0;
+  double min_store_hit_rate = 0.0;
+  std::string store_backend = "map";
+  uint64_t page_io_latency = 0;
+  uint64_t pool_pages = 0;
+  bool pool_fifo = false;
   double telemetry_window_s = 0.0;
   double health_check_period_s = 0.0;
   size_t timeline_top_k = 5;
@@ -146,6 +167,18 @@ int main(int argc, char** argv) {
       seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--scale", &value)) {
       scale = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--store", &value)) {
+      store_backend = value;
+    } else if (ParseFlag(argv[i], "--page-io-latency", &value)) {
+      page_io_latency = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--pool-pages", &value)) {
+      pool_pages = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--pool-fifo") == 0) {
+      pool_fifo = true;
+    } else if (ParseFlag(argv[i], "--items-scale", &value)) {
+      items_scale = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--min-store-hit-rate", &value)) {
+      min_store_hit_rate = std::strtod(value.c_str(), nullptr);
     } else if (ParseFlag(argv[i], "--shards", &value)) {
       shards = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--csv", &value)) {
@@ -226,6 +259,29 @@ int main(int argc, char** argv) {
   options.cluster.shards = shards;
   options.initial_free_peers = 10;
   options.seed_items = 40;
+  if (store_backend == "paged") {
+    options.cluster.ds.store.backend = pepper::store::StoreBackend::kPaged;
+  } else if (store_backend != "map") {
+    std::fprintf(stderr, "unknown --store backend: %s (map|paged)\n",
+                 store_backend.c_str());
+    return 2;
+  }
+  options.cluster.ds.store.page_io_latency = page_io_latency;
+  if (pool_pages > 0) {
+    options.cluster.ds.store.buffer_pool_pages =
+        static_cast<size_t>(pool_pages);
+  }
+  if (pool_fifo) {
+    options.cluster.ds.store.replacement =
+        pepper::store::ReplacementPolicy::kFifo;
+  }
+  if (items_scale > 1.0) {
+    options.seed_items = static_cast<size_t>(
+        static_cast<double>(options.seed_items) * items_scale);
+    options.cluster.ds.storage_factor = static_cast<size_t>(
+        static_cast<double>(options.cluster.ds.storage_factor) * items_scale);
+  }
+  options.min_store_hit_rate = min_store_hit_rate;
   options.fatal_probes = fatal;
   options.availability_fatal = availability_fatal;
   options.timing = timing;
